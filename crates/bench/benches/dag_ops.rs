@@ -1,0 +1,62 @@
+//! Criterion micro-benchmarks for DAG-level machinery: expansion with
+//! unification, subsumption derivations, sharability (degree-of-sharing),
+//! and physical DAG instantiation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mqo_cost::CostParams;
+use mqo_dag::{sharable_groups, Dag, DagConfig};
+use mqo_physical::PhysicalDag;
+use mqo_workloads::{Scaleup, Tpcd};
+use std::hint::black_box;
+
+fn bench_expand(c: &mut Criterion) {
+    let tpcd = Tpcd::new(1.0);
+    let scaleup = Scaleup::new(2_000);
+    let mut group = c.benchmark_group("dag_expand");
+    group.sample_size(10);
+    let bq5 = tpcd.bq(5);
+    group.bench_function("BQ5", |b| {
+        b.iter(|| black_box(Dag::expand(&bq5, &tpcd.catalog, DagConfig::default()).num_ops()));
+    });
+    let cq3 = scaleup.cq(3);
+    group.bench_function("CQ3", |b| {
+        b.iter(|| black_box(Dag::expand(&cq3, &scaleup.catalog, DagConfig::default()).num_ops()));
+    });
+    group.bench_function("CQ3_no_subsumption", |b| {
+        let cfg = DagConfig {
+            enable_subsumption: false,
+            ..DagConfig::default()
+        };
+        b.iter(|| black_box(Dag::expand(&cq3, &scaleup.catalog, cfg).num_ops()));
+    });
+    group.finish();
+}
+
+fn bench_sharability(c: &mut Criterion) {
+    let scaleup = Scaleup::new(2_000);
+    let cq5 = scaleup.cq(5);
+    let dag = Dag::expand(&cq5, &scaleup.catalog, DagConfig::default());
+    let mut group = c.benchmark_group("sharability");
+    group.sample_size(10);
+    group.bench_function("CQ5_degree_of_sharing", |b| {
+        b.iter(|| black_box(sharable_groups(&dag).len()));
+    });
+    group.finish();
+}
+
+fn bench_physical(c: &mut Criterion) {
+    let scaleup = Scaleup::new(2_000);
+    let cq3 = scaleup.cq(3);
+    let dag = Dag::expand(&cq3, &scaleup.catalog, DagConfig::default());
+    let mut group = c.benchmark_group("physical_dag");
+    group.sample_size(10);
+    group.bench_function("CQ3_build", |b| {
+        b.iter(|| {
+            black_box(PhysicalDag::build(&dag, &scaleup.catalog, CostParams::default()).num_ops())
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_expand, bench_sharability, bench_physical);
+criterion_main!(benches);

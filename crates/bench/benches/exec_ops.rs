@@ -1,0 +1,39 @@
+//! Criterion micro-benchmarks for the execution engine: shared vs
+//! unshared execution (the Figure 7 mechanism) and core operators.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mqo_core::{optimize, Algorithm, OptContext, Options};
+use mqo_exec::{execute_plan, generate_database};
+use mqo_util::FxHashMap;
+use mqo_workloads::Tpcd;
+use std::hint::black_box;
+
+fn bench_shared_vs_unshared(c: &mut Criterion) {
+    let w = Tpcd::new(0.002);
+    let opts = Options::new();
+    let db = generate_database(&w.catalog, 42, usize::MAX);
+    let params = FxHashMap::default();
+    let mut group = c.benchmark_group("fig7_execution");
+    group.sample_size(10);
+    for (name, batch) in [("Q11", w.q11()), ("Q15", w.q15())] {
+        let base = optimize(&batch, &w.catalog, Algorithm::Volcano, &opts);
+        let greedy = optimize(&batch, &w.catalog, Algorithm::Greedy, &opts);
+        let ctx = OptContext::build(&batch, &w.catalog, &opts);
+        group.bench_function(format!("{name}/no_mqo"), |b| {
+            b.iter(|| {
+                black_box(execute_plan(&w.catalog, &ctx.pdag, &base.plan, &db, &params).rows_out)
+            });
+        });
+        group.bench_function(format!("{name}/mqo"), |b| {
+            b.iter(|| {
+                black_box(
+                    execute_plan(&w.catalog, &ctx.pdag, &greedy.plan, &db, &params).rows_out,
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_shared_vs_unshared);
+criterion_main!(benches);

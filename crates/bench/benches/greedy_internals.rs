@@ -1,0 +1,91 @@
+//! Criterion micro-benchmarks for greedy's §4 optimizations:
+//! incremental cost update (Figure 5) vs full recomputation, and the
+//! whole algorithm with each optimization toggled.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mqo_core::{optimize, Algorithm, CostState, GreedyOptions, OptStats, Options};
+use mqo_dag::{sharable_groups, Dag, DagConfig};
+use mqo_physical::{CostTable, PhysProp, PhysicalDag};
+use mqo_workloads::Scaleup;
+use std::hint::black_box;
+
+fn bench_incremental_vs_full(c: &mut Criterion) {
+    let w = Scaleup::new(2_000);
+    let batch = w.cq(3);
+    let dag = Dag::expand(&batch, &w.catalog, DagConfig::default());
+    let pdag = PhysicalDag::build(&dag, &w.catalog, mqo_cost::CostParams::default());
+    let candidates: Vec<_> = sharable_groups(&dag)
+        .into_iter()
+        .filter_map(|(g, _)| pdag.node_for(g, &PhysProp::Any))
+        .collect();
+    assert!(!candidates.is_empty());
+
+    let mut group = c.benchmark_group("incremental_update");
+    group.sample_size(20);
+    group.bench_function("CQ3_incremental_probe", |b| {
+        let mut state = CostState::new(&pdag);
+        let mut stats = OptStats::default();
+        b.iter(|| {
+            for &n in &candidates {
+                state.add_mat(&pdag, n, &mut stats);
+                black_box(state.total(&pdag));
+                state.remove_mat(&pdag, n, &mut stats);
+            }
+        });
+    });
+    group.bench_function("CQ3_full_recompute_probe", |b| {
+        let mut state = CostState::new(&pdag);
+        b.iter(|| {
+            for &n in &candidates {
+                state.mat.insert(&pdag, n);
+                state.table = CostTable::compute(&pdag, &state.mat);
+                black_box(state.total(&pdag));
+                state.mat.remove(&pdag, n);
+                state.table = CostTable::compute(&pdag, &state.mat);
+            }
+        });
+    });
+    group.finish();
+}
+
+fn bench_greedy_ablations(c: &mut Criterion) {
+    let w = Scaleup::new(2_000);
+    let batch = w.cq(2);
+    let mut group = c.benchmark_group("greedy_ablations");
+    group.sample_size(10);
+    let configs = [
+        ("all_on", GreedyOptions::default()),
+        (
+            "no_monotonicity",
+            GreedyOptions {
+                use_monotonicity: false,
+                ..GreedyOptions::default()
+            },
+        ),
+        (
+            "no_sharability",
+            GreedyOptions {
+                use_sharability: false,
+                ..GreedyOptions::default()
+            },
+        ),
+        (
+            "no_incremental",
+            GreedyOptions {
+                use_incremental: false,
+                ..GreedyOptions::default()
+            },
+        ),
+    ];
+    for (name, g) in configs {
+        let mut opts = Options::new();
+        opts.greedy = g;
+        group.bench_function(format!("CQ2/{name}"), |b| {
+            b.iter(|| black_box(optimize(&batch, &w.catalog, Algorithm::Greedy, &opts).cost));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_incremental_vs_full, bench_greedy_ablations);
+criterion_main!(benches);

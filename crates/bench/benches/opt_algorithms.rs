@@ -1,0 +1,58 @@
+//! Criterion micro-benchmarks: end-to-end optimization time of each
+//! algorithm on representative workloads (the timing side of Figures
+//! 6, 8 and 9).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mqo_core::{optimize, Algorithm, Options};
+use mqo_workloads::{Scaleup, Tpcd};
+use std::hint::black_box;
+
+fn bench_standalone(c: &mut Criterion) {
+    let w = Tpcd::new(1.0);
+    let opts = Options::new();
+    let mut group = c.benchmark_group("fig6_standalone");
+    group.sample_size(10);
+    for (name, batch) in w.standalone() {
+        for alg in Algorithm::ALL {
+            group.bench_function(format!("{name}/{}", alg.name()), |b| {
+                b.iter(|| black_box(optimize(&batch, &w.catalog, alg, &opts).cost));
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_batched(c: &mut Criterion) {
+    let w = Tpcd::new(1.0);
+    let opts = Options::new();
+    let mut group = c.benchmark_group("fig8_batched");
+    group.sample_size(10);
+    for i in [1usize, 3, 5] {
+        let batch = w.bq(i);
+        for alg in [Algorithm::Volcano, Algorithm::Greedy] {
+            group.bench_function(format!("BQ{i}/{}", alg.name()), |b| {
+                b.iter(|| black_box(optimize(&batch, &w.catalog, alg, &opts).cost));
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_scaleup(c: &mut Criterion) {
+    let w = Scaleup::new(2_000);
+    let opts = Options::new();
+    let mut group = c.benchmark_group("fig9_scaleup");
+    group.sample_size(10);
+    for i in [1usize, 3, 5] {
+        let batch = w.cq(i);
+        for alg in [Algorithm::Volcano, Algorithm::Greedy] {
+            group.bench_function(format!("CQ{i}/{}", alg.name()), |b| {
+                b.iter(|| black_box(optimize(&batch, &w.catalog, alg, &opts).cost));
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_standalone, bench_batched, bench_scaleup);
+criterion_main!(benches);

@@ -1,0 +1,110 @@
+//! Section 6.3 ablations: the effect of greedy's individual
+//! optimizations on the scale-up workload.
+//!
+//! * `mono`  — monotonicity heuristic on/off: benefit recomputations and
+//!   optimization time (paper: ~45 vs ~1558 recomputations per pick, and
+//!   a 10x time gap at CQ2, with virtually identical plan costs).
+//! * `shar`  — sharability pre-filter on/off: optimization time (paper:
+//!   30s → 46s at CQ2... reported as a significant increase).
+//! * `incr`  — incremental cost update vs full recomputation per benefit.
+
+use mqo_bench::{ms, secs, TextTable};
+use mqo_core::{optimize, Algorithm, GreedyOptions, Options};
+use mqo_workloads::Scaleup;
+
+fn main() {
+    let which = std::env::args().nth(1).unwrap_or_else(|| "all".into());
+    let w = Scaleup::new(2_000);
+    let max_cq = if which == "all" { 4 } else { 5 };
+
+    let run = |i: usize, g: GreedyOptions| {
+        let mut o = Options::new();
+        o.greedy = g;
+        optimize(&w.cq(i), &w.catalog, Algorithm::Greedy, &o)
+    };
+
+    if which == "mono" || which == "all" {
+        let mut t = TextTable::new(&[
+            "batch",
+            "time on(ms)",
+            "time off(ms)",
+            "benefits on",
+            "benefits off",
+            "cost on",
+            "cost off",
+        ]);
+        for i in 1..=max_cq {
+            let on = run(i, GreedyOptions::default());
+            let off = run(
+                i,
+                GreedyOptions {
+                    use_monotonicity: false,
+                    ..GreedyOptions::default()
+                },
+            );
+            t.row(vec![
+                format!("CQ{i}"),
+                ms(on.stats.opt_time_secs),
+                ms(off.stats.opt_time_secs),
+                on.stats.benefit_recomputations.to_string(),
+                off.stats.benefit_recomputations.to_string(),
+                secs(on.cost.secs()),
+                secs(off.cost.secs()),
+            ]);
+        }
+        t.print("Section 6.3: monotonicity heuristic on/off (same plans, far fewer benefit computations)");
+    }
+
+    if which == "shar" || which == "all" {
+        let mut t = TextTable::new(&[
+            "batch",
+            "time on(ms)",
+            "time off(ms)",
+            "candidates on",
+            "candidates off",
+            "cost on",
+            "cost off",
+        ]);
+        for i in 1..=max_cq {
+            let on = run(i, GreedyOptions::default());
+            let off = run(
+                i,
+                GreedyOptions {
+                    use_sharability: false,
+                    ..GreedyOptions::default()
+                },
+            );
+            t.row(vec![
+                format!("CQ{i}"),
+                ms(on.stats.opt_time_secs),
+                ms(off.stats.opt_time_secs),
+                on.stats.sharable.to_string(),
+                off.stats.sharable.to_string(),
+                secs(on.cost.secs()),
+                secs(off.cost.secs()),
+            ]);
+        }
+        t.print("Section 6.3: sharability computation on/off");
+    }
+
+    if which == "incr" || which == "all" {
+        let mut t = TextTable::new(&["batch", "time incr(ms)", "time full(ms)", "cost equal"]);
+        for i in 1..=max_cq.min(3) {
+            let on = run(i, GreedyOptions::default());
+            let off = run(
+                i,
+                GreedyOptions {
+                    use_incremental: false,
+                    ..GreedyOptions::default()
+                },
+            );
+            t.row(vec![
+                format!("CQ{i}"),
+                ms(on.stats.opt_time_secs),
+                ms(off.stats.opt_time_secs),
+                ((on.cost.secs() - off.cost.secs()).abs() < 1e-6).to_string(),
+            ]);
+        }
+        t.print("Section 4.2 ablation: incremental cost update vs full recomputation");
+    }
+}

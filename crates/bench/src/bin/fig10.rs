@@ -1,0 +1,39 @@
+//! Figure 10: complexity of the greedy heuristic on the scale-up
+//! workload — total cost propagations across equivalence nodes (left)
+//! and cost recomputations initiated, i.e. benefit computations (right).
+//! Both grow near-linearly with the number of queries, far below the
+//! worst-case O(k²e).
+
+use mqo_bench::TextTable;
+use mqo_core::{optimize, Algorithm, Options};
+use mqo_workloads::Scaleup;
+
+fn main() {
+    let w = Scaleup::new(2_000);
+    let opts = Options::new();
+    let mut t = TextTable::new(&[
+        "batch",
+        "queries",
+        "cost propagations",
+        "cost recomputations",
+        "props/recomp",
+        "sharable",
+        "materialized",
+    ]);
+    for i in 1..=5 {
+        let batch = w.cq(i);
+        let r = optimize(&batch, &w.catalog, Algorithm::Greedy, &opts);
+        let props = r.stats.cost_propagations;
+        let recomps = r.stats.benefit_recomputations;
+        t.row(vec![
+            format!("CQ{i}"),
+            batch.len().to_string(),
+            props.to_string(),
+            recomps.to_string(),
+            format!("{:.1}", props as f64 / recomps.max(1) as f64),
+            r.stats.sharable.to_string(),
+            r.stats.materialized.to_string(),
+        ]);
+    }
+    t.print("Figure 10: complexity of the Greedy heuristic (both curves ~linear in #queries)");
+}

@@ -1,0 +1,35 @@
+//! Figure 8: optimization of batched TPCD queries BQ1..BQ5 — estimated
+//! cost and optimization time per algorithm.
+
+use mqo_bench::{ms, run_all, secs, TextTable};
+use mqo_core::Options;
+use mqo_workloads::Tpcd;
+
+fn main() {
+    let w = Tpcd::new(1.0);
+    let opts = Options::new();
+    let mut cost_t = TextTable::new(&["batch", "Volcano", "Volcano-SH", "Volcano-RU", "Greedy"]);
+    let mut time_t = TextTable::new(&[
+        "batch",
+        "Volcano(ms)",
+        "Volcano-SH(ms)",
+        "Volcano-RU(ms)",
+        "Greedy(ms)",
+    ]);
+    for i in 1..=5 {
+        let batch = w.bq(i);
+        let results = run_all(&batch, &w.catalog, &opts);
+        cost_t.row(
+            std::iter::once(format!("BQ{i}"))
+                .chain(results.iter().map(|(_, r)| secs(r.cost.secs())))
+                .collect(),
+        );
+        time_t.row(
+            std::iter::once(format!("BQ{i}"))
+                .chain(results.iter().map(|(_, r)| ms(r.stats.opt_time_secs)))
+                .collect(),
+        );
+    }
+    cost_t.print("Figure 8 (left): estimated cost of batched TPCD queries [s]");
+    time_t.print("Figure 8 (right): optimization time [ms]");
+}

@@ -1,0 +1,115 @@
+//! Shared harness utilities for the figure/table binaries.
+//!
+//! Every binary regenerates one of the paper's tables or figures as an
+//! aligned text table: estimated cost in seconds (the paper's unit) and
+//! optimization time. Absolute numbers differ from 1999 hardware; the
+//! *shape* — who wins, by what factor, how things scale — is what
+//! `EXPERIMENTS.md` compares.
+
+use mqo_catalog::Catalog;
+use mqo_core::{optimize, Algorithm, Optimized, Options};
+use mqo_logical::Batch;
+
+/// Runs the four practical algorithms on a batch.
+pub fn run_all(batch: &Batch, catalog: &Catalog, options: &Options) -> Vec<(Algorithm, Optimized)> {
+    Algorithm::ALL
+        .iter()
+        .map(|&a| (a, optimize(batch, catalog, a, options)))
+        .collect()
+}
+
+/// A simple aligned text table.
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    pub fn new(header: &[&str]) -> Self {
+        Self {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (stringified cells).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.header.len());
+        self.rows.push(cells);
+    }
+
+    /// Renders with padded columns.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for r in &self.rows {
+            for (i, c) in r.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let fmt_row = |cells: &[String]| {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:>w$}", c, w = widths[i]))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        let mut out = String::new();
+        out.push_str(&fmt_row(&self.header));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push('\n');
+        for r in &self.rows {
+            out.push_str(&fmt_row(r));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Prints with a title banner.
+    pub fn print(&self, title: &str) {
+        println!("\n=== {title} ===");
+        print!("{}", self.render());
+    }
+}
+
+/// Formats seconds with 2 decimals.
+pub fn secs(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+/// Formats milliseconds from seconds.
+pub fn ms(x: f64) -> String {
+    format!("{:.1}", x * 1e3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = TextTable::new(&["name", "cost"]);
+        t.row(vec!["volcano".into(), "12.5".into()]);
+        t.row(vec!["greedy".into(), "3.1".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("name"));
+        assert!(lines[2].ends_with("12.5"));
+    }
+
+    #[test]
+    #[should_panic]
+    fn row_arity_checked() {
+        let mut t = TextTable::new(&["a", "b"]);
+        t.row(vec!["x".into()]);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(secs(1.234), "1.23");
+        assert_eq!(ms(0.0123), "12.3");
+    }
+}

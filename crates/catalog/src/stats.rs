@@ -1,0 +1,91 @@
+//! Column statistics used by cardinality estimation.
+
+/// A numeric bound for range selectivity estimation. Strings are mapped to
+/// numbers by their first bytes when generated; columns without meaningful
+/// order use [`ColStats::opaque`].
+pub type Number = f64;
+
+/// Per-column statistics: domain bounds and distinct count.
+///
+/// These follow the classic System R assumptions the paper's cost model
+/// relies on: uniform value distribution and independence across columns.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ColStats {
+    /// Smallest value (as a number), if the domain is ordered.
+    pub min: Option<Number>,
+    /// Largest value (as a number), if the domain is ordered.
+    pub max: Option<Number>,
+    /// Estimated number of distinct values.
+    pub distinct: f64,
+}
+
+impl ColStats {
+    /// Uniform integer domain `[lo, hi]` with the given distinct count.
+    pub fn uniform_int(lo: i64, hi: i64, distinct: f64) -> Self {
+        assert!(lo <= hi, "empty domain");
+        Self {
+            min: Some(lo as f64),
+            max: Some(hi as f64),
+            distinct: distinct.max(1.0),
+        }
+    }
+
+    /// Uniform float domain `[lo, hi]`.
+    pub fn uniform_float(lo: f64, hi: f64, distinct: f64) -> Self {
+        assert!(lo <= hi, "empty domain");
+        Self {
+            min: Some(lo),
+            max: Some(hi),
+            distinct: distinct.max(1.0),
+        }
+    }
+
+    /// A domain with no usable order (e.g. free-form strings): range
+    /// predicates fall back to default selectivities.
+    pub fn opaque(distinct: f64) -> Self {
+        Self {
+            min: None,
+            max: None,
+            distinct: distinct.max(1.0),
+        }
+    }
+
+    /// Width of the ordered domain, if known and non-degenerate.
+    pub fn range_width(&self) -> Option<f64> {
+        match (self.min, self.max) {
+            (Some(lo), Some(hi)) if hi > lo => Some(hi - lo),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_int_bounds() {
+        let s = ColStats::uniform_int(5, 15, 11.0);
+        assert_eq!(s.min, Some(5.0));
+        assert_eq!(s.max, Some(15.0));
+        assert_eq!(s.range_width(), Some(10.0));
+    }
+
+    #[test]
+    fn opaque_has_no_range() {
+        let s = ColStats::opaque(100.0);
+        assert_eq!(s.range_width(), None);
+    }
+
+    #[test]
+    fn distinct_clamped_to_one() {
+        let s = ColStats::opaque(0.0);
+        assert_eq!(s.distinct, 1.0);
+    }
+
+    #[test]
+    fn degenerate_range_is_none() {
+        let s = ColStats::uniform_int(7, 7, 1.0);
+        assert_eq!(s.range_width(), None);
+    }
+}

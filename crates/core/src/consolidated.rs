@@ -1,0 +1,522 @@
+//! The consolidated (DAG-structured) best plan that Volcano-SH and
+//! Volcano-RU operate on, plus the shared Volcano-SH decision procedure
+//! (paper Figure 2).
+
+use crate::OptStats;
+use mqo_cost::Cost;
+use mqo_dag::Dag;
+use mqo_physical::{
+    ChosenOp, CostTable, ExtractedPlan, MatSet, PhysNodeId, PhysOpId, PhysicalDag,
+};
+use mqo_util::FxHashMap;
+
+/// One node of the consolidated plan.
+#[derive(Debug, Clone)]
+pub struct PGNode {
+    /// The physical node this plan node computes.
+    pub phys: PhysNodeId,
+    /// Currently chosen op (may be switched by the subsumption pre-pass).
+    pub op: PhysOpId,
+    /// Children plan-node indices, aligned with `op`'s inputs.
+    pub children: Vec<usize>,
+    /// Op and children before the pre-pass switch (for the undo pass).
+    pub original: Option<(PhysOpId, Vec<usize>)>,
+    /// Total number of uses by parent plan ops; root edges count with
+    /// their query weights (§5). This is the paper's `numuses⁻` — a lower
+    /// bound, since it counts plan parents rather than true evaluations.
+    pub uses: f64,
+    /// Uses added by subsumption pre-pass switches. Kept separate from
+    /// `uses`: a switched parent would *not* otherwise have paid this
+    /// node's cost, so the standard materialization inequality must not
+    /// count it (Figure 2 prices subsumption uses via the savings term).
+    pub sub_uses: f64,
+    /// True if this node entered the plan only through a subsumption
+    /// derivation (Figure 2 treats these specially).
+    pub introduced: bool,
+}
+
+/// A DAG-structured plan over physical nodes: the combination of the
+/// per-query best plans ("the consolidated best plan for the root of the
+/// DAG may contain nodes with more than one parent", §3.2).
+#[derive(Debug, Clone)]
+pub struct PlanGraph {
+    /// Plan nodes; `nodes[root]` is the pseudo-root.
+    pub nodes: Vec<PGNode>,
+    /// Physical node → plan node index.
+    pub by_phys: FxHashMap<PhysNodeId, usize>,
+    /// Index of the pseudo-root plan node.
+    pub root: usize,
+    /// Cross-variant reuse aliases (Volcano-RU): a use of physical node
+    /// `n` satisfied by reading materialized variant `m`.
+    pub aliases: FxHashMap<PhysNodeId, PhysNodeId>,
+}
+
+impl PlanGraph {
+    /// Builds the consolidated plan for the whole batch under a given
+    /// materialized set (`MatSet::new()` for plain Volcano-SH; Volcano-RU
+    /// instead builds incrementally with [`PlanGraph::add_query`]).
+    pub fn consolidated(pdag: &PhysicalDag, table: &CostTable, mat: &MatSet) -> PlanGraph {
+        let mut g = PlanGraph::empty();
+        let root_idx = g.define(pdag, table, mat, pdag.root());
+        debug_assert!(g.root == usize::MAX || g.root == root_idx);
+        g.nodes[root_idx].uses = 1.0;
+        g.root = root_idx;
+        g
+    }
+
+    /// Starts an empty plan graph (Volcano-RU).
+    pub fn empty() -> PlanGraph {
+        PlanGraph {
+            nodes: Vec::new(),
+            by_phys: FxHashMap::default(),
+            root: usize::MAX,
+            aliases: FxHashMap::default(),
+        }
+    }
+
+    /// Adds one query's best plan (under the *current* table/mat state) to
+    /// the graph, recording a use of weight `weight` on its root. Returns
+    /// the plan node index of the query root.
+    pub fn add_query(
+        &mut self,
+        pdag: &PhysicalDag,
+        table: &CostTable,
+        mat: &MatSet,
+        query_root: PhysNodeId,
+        weight: f64,
+    ) -> usize {
+        self.visit_use(pdag, table, mat, query_root, weight, u32::MAX)
+    }
+
+    /// Installs the pseudo-root combining the per-query roots (Volcano-RU
+    /// finishes with this; `consolidated` does it automatically).
+    pub fn set_root(&mut self, pdag: &PhysicalDag, root_op: PhysOpId, children: Vec<usize>) {
+        let idx = self.nodes.len();
+        self.nodes.push(PGNode {
+            phys: pdag.op(root_op).node,
+            op: root_op,
+            children,
+            original: None,
+            uses: 1.0,
+            sub_uses: 0.0,
+            introduced: false,
+        });
+        self.by_phys.insert(pdag.op(root_op).node, idx);
+        self.root = idx;
+    }
+
+    /// Resolves one *use* of `phys` (by a consumer with topological number
+    /// `consumer_topo`): if a satisfying variant is materialized, cheaper,
+    /// and numbered below the consumer, point the use at that variant's
+    /// definition; otherwise define `phys` in place.
+    fn visit_use(
+        &mut self,
+        pdag: &PhysicalDag,
+        table: &CostTable,
+        mat: &MatSet,
+        phys: PhysNodeId,
+        weight: f64,
+        consumer_topo: u32,
+    ) -> usize {
+        if let Some(m) = mat.reusable_for(pdag, phys) {
+            if pdag.node(m).topo < consumer_topo
+                && pdag.reusecost(m) <= table.node_cost[phys.index()]
+            {
+                if m != phys {
+                    self.aliases.insert(phys, m);
+                }
+                let idx = self.define(pdag, table, mat, m);
+                self.nodes[idx].uses += weight;
+                return idx;
+            }
+        }
+        let idx = self.define(pdag, table, mat, phys);
+        self.nodes[idx].uses += weight;
+        idx
+    }
+
+    /// Ensures `phys`'s computing definition is in the graph.
+    fn define(
+        &mut self,
+        pdag: &PhysicalDag,
+        table: &CostTable,
+        mat: &MatSet,
+        phys: PhysNodeId,
+    ) -> usize {
+        if let Some(&idx) = self.by_phys.get(&phys) {
+            return idx;
+        }
+        let op = table.best_op[phys.index()]
+            .unwrap_or_else(|| panic!("plan graph: node {phys} has no feasible op"));
+        let idx = self.nodes.len();
+        self.nodes.push(PGNode {
+            phys,
+            op,
+            children: Vec::new(),
+            original: None,
+            uses: 0.0,
+            sub_uses: 0.0,
+            introduced: false,
+        });
+        self.by_phys.insert(phys, idx);
+        let opref = pdag.op(op);
+        let weights: Vec<f64> = match &opref.weights {
+            Some(ws) => ws.clone(),
+            None => vec![1.0; opref.inputs.len()],
+        };
+        if let Some(td) = opref.temp_dep {
+            // the chosen op probes a temp: its definition must be planned
+            let m = mat
+                .sorted_on(pdag, td.source, td.key)
+                .expect("temp-dependent best op without its temp");
+            let midx = self.define(pdag, table, mat, m);
+            self.nodes[midx].uses += 1.0;
+        }
+        let consumer_topo = pdag.node(phys).topo;
+        let inputs = pdag.op(op).inputs.clone();
+        let mut children = Vec::with_capacity(inputs.len());
+        for (i, c) in inputs.into_iter().enumerate() {
+            children.push(self.visit_use(pdag, table, mat, c, weights[i], consumer_topo));
+        }
+        self.nodes[idx].children = children;
+        idx
+    }
+
+    /// Plan node indices in bottom-up (topological) order.
+    pub fn topo_indices(&self, pdag: &PhysicalDag) -> Vec<usize> {
+        let mut idxs: Vec<usize> = (0..self.nodes.len()).collect();
+        idxs.sort_by_key(|&i| pdag.node(self.nodes[i].phys).topo);
+        idxs
+    }
+
+    /// Converts the (post-decision) graph into an [`ExtractedPlan`] whose
+    /// materialized set is `mat`.
+    pub fn into_plan(&self, pdag: &PhysicalDag, mat: &MatSet, total_cost: Cost) -> ExtractedPlan {
+        let mut choices: FxHashMap<PhysNodeId, ChosenOp> = FxHashMap::default();
+        for n in &self.nodes {
+            choices.insert(n.phys, ChosenOp::Compute(n.op));
+        }
+        for (&n, &m) in &self.aliases {
+            if mat.contains(m) {
+                choices.insert(n, ChosenOp::Reuse(m));
+            } else if let Some(&midx) = self.by_phys.get(&m) {
+                // reuse target was rejected: compute the satisfying
+                // variant inline (same group, stronger property)
+                choices.insert(n, ChosenOp::Compute(self.nodes[midx].op));
+            }
+        }
+        let root_op = self.nodes[self.root].op;
+        let query_roots = pdag.op(root_op).inputs.clone();
+        let mut materialized: Vec<PhysNodeId> = mat.iter().collect();
+        materialized.retain(|&m| self.by_phys.contains_key(&m));
+        materialized.sort_by_key(|&m| pdag.node(m).topo);
+        ExtractedPlan {
+            choices,
+            root: self.nodes[self.root].phys,
+            query_roots,
+            materialized,
+            total_cost,
+        }
+    }
+}
+
+/// The subsumption pre-pass of Volcano-SH (Figure 2): where a plan node's
+/// group offers a subsumption derivation, switch the plan to derive the
+/// result from the weaker expression, pulling the weaker node into the
+/// plan (flagged `introduced` if new). Prefers derivations whose source is
+/// already part of the consolidated plan.
+pub fn subsumption_prepass(pdag: &PhysicalDag, graph: &mut PlanGraph, base_table: &CostTable) {
+    let node_count = graph.nodes.len();
+    for idx in 0..node_count {
+        let node = &graph.nodes[idx];
+        if node.original.is_some() || pdag.op(node.op).from_subsumption {
+            continue;
+        }
+        let phys = node.phys;
+        let alts: Vec<PhysOpId> = pdag
+            .node(phys)
+            .ops
+            .iter()
+            .copied()
+            .filter(|&o| {
+                let op = pdag.op(o);
+                op.from_subsumption && op.temp_dep.is_none() && !op.inputs.is_empty()
+            })
+            .collect();
+        if alts.is_empty() {
+            continue;
+        }
+        // prefer an alternative whose inputs are already in the plan
+        let alt = alts
+            .iter()
+            .copied()
+            .find(|&o| {
+                pdag.op(o)
+                    .inputs
+                    .iter()
+                    .all(|c| graph.by_phys.contains_key(c))
+            })
+            .unwrap_or(alts[0]);
+        let inputs = pdag.op(alt).inputs.clone();
+        let mut children = Vec::with_capacity(inputs.len());
+        for c in inputs {
+            let cidx = match graph.by_phys.get(&c) {
+                Some(&i) => i,
+                None => introduce(pdag, graph, base_table, c),
+            };
+            graph.nodes[cidx].sub_uses += 1.0;
+            children.push(cidx);
+        }
+        // the original children lose one use each
+        let orig_children = graph.nodes[idx].children.clone();
+        for &c in &orig_children {
+            graph.nodes[c].uses -= 1.0;
+        }
+        let node = &mut graph.nodes[idx];
+        node.original = Some((node.op, orig_children));
+        node.op = alt;
+        node.children = children;
+    }
+}
+
+/// Adds the definition of `phys` to the graph flagged as introduced,
+/// using the base best plan for its subtree.
+fn introduce(
+    pdag: &PhysicalDag,
+    graph: &mut PlanGraph,
+    base_table: &CostTable,
+    phys: PhysNodeId,
+) -> usize {
+    if let Some(&i) = graph.by_phys.get(&phys) {
+        return i;
+    }
+    let op = base_table.best_op[phys.index()].expect("introduced node has a plan");
+    let idx = graph.nodes.len();
+    graph.nodes.push(PGNode {
+        phys,
+        op,
+        children: Vec::new(),
+        original: None,
+        uses: 0.0,
+        sub_uses: 0.0,
+        introduced: true,
+    });
+    graph.by_phys.insert(phys, idx);
+    let inputs = pdag.op(op).inputs.clone();
+    let mut children = Vec::with_capacity(inputs.len());
+    for c in inputs {
+        let ci = match graph.by_phys.get(&c) {
+            Some(&i) => i,
+            None => introduce(pdag, graph, base_table, c),
+        };
+        graph.nodes[ci].uses += 1.0;
+        children.push(ci);
+    }
+    graph.nodes[idx].children = children;
+    idx
+}
+
+/// The Volcano-SH decision procedure (Figure 2) applied to a plan graph:
+/// bottom-up cost computation with `C = reusecost` for materialized
+/// children, the materialization inequality with the `numuses⁻`
+/// underestimate, the subsumption special case, and the undo pass.
+///
+/// Returns the chosen materialized set and the resulting total cost.
+pub fn sh_decide(
+    pdag: &PhysicalDag,
+    dag: &Dag,
+    graph: &mut PlanGraph,
+    base_table: &CostTable,
+    _stats: &mut OptStats,
+) -> (MatSet, Cost) {
+    let order = graph.topo_indices(pdag);
+    let mut mat = MatSet::new();
+
+    // Temp-dependent chosen ops (possible in Volcano-RU graphs) force
+    // their probe source to stay materialized.
+    for idx in 0..graph.nodes.len() {
+        let op = pdag.op(graph.nodes[idx].op);
+        if let Some(td) = op.temp_dep {
+            let source = graph
+                .nodes
+                .iter()
+                .map(|n| n.phys)
+                .find(|&p| {
+                    pdag.node(p).group == td.source
+                        && pdag.node(p).prop.leading_col() == Some(td.key)
+                });
+            if let Some(src) = source {
+                mat.insert(pdag, src);
+            }
+        }
+    }
+
+    let eval = |graph: &PlanGraph, cost: &[Cost], mat: &MatSet, idx: usize| -> Cost {
+        let node = &graph.nodes[idx];
+        let op = pdag.op(node.op);
+        let mut c = op.local;
+        if let Some(td) = op.temp_dep {
+            c += td.extra;
+        }
+        let weights: Vec<f64> = match &op.weights {
+            Some(ws) => ws.clone(),
+            None => vec![1.0; node.children.len()],
+        };
+        for (i, &ch) in node.children.iter().enumerate() {
+            let ch_phys = graph.nodes[ch].phys;
+            let ch_cost = if mat.contains(ch_phys) {
+                pdag.reusecost(ch_phys)
+            } else {
+                cost[ch]
+            };
+            c += ch_cost * weights.get(i).copied().unwrap_or(1.0);
+        }
+        c
+    };
+
+    let mut cost = vec![Cost::ZERO; graph.nodes.len()];
+    for &idx in &order {
+        cost[idx] = eval(graph, &cost, &mat, idx);
+        if idx == graph.root {
+            continue;
+        }
+        let node = &graph.nodes[idx];
+        let phys = node.phys;
+        if dag.group(pdag.node(phys).group).has_param {
+            continue; // parameter-dependent results cannot be shared (§5)
+        }
+        if mat.contains(phys) {
+            continue; // forced above
+        }
+        let uses = node.uses;
+        let sub_uses = node.sub_uses;
+        if uses + sub_uses <= 1.0 + 1e-9 {
+            continue;
+        }
+        let matc = pdag.matcost(phys);
+        let reuse = pdag.reusecost(phys);
+        let c = cost[idx];
+        if !node.introduced && uses > 1.0 + 1e-9 {
+            // Materialize iff cost + matcost + numuses⁻·reusecost <
+            // numuses⁻·cost. This is the paper's Equation 2 with one
+            // extra `reusecost`: Figure 2 assumes the first use is
+            // pipelined with materialization, but the global bestcost
+            // bookkeeping (Figure 5's TotalCost, which `CostTable::total`
+            // mirrors, and the paper's own SQL Server encoding) charges a
+            // temp read at *every* use. Using the bookkeeping-consistent
+            // form preserves the §3.2 guarantee that a materialization
+            // decision never increases cost.
+            // Subsumption-switched parents are priced separately: they
+            // pay `reuse` if this node is materialized, but would not
+            // otherwise have computed it, so they appear on the cost side
+            // only.
+            if (matc.secs() + (uses + sub_uses) * reuse.secs()) / (uses - 1.0) < c.secs() {
+                mat.insert(pdag, phys);
+            }
+        } else if !node.introduced {
+            // all extra uses come from switches: only worthwhile if the
+            // switches' savings beat the full price (same shape as the
+            // introduced case below)
+            let price = matc + reuse * (uses + sub_uses);
+            let mut savings = Cost::ZERO;
+            for parent in &graph.nodes {
+                if !parent.children.contains(&idx) || parent.original.is_none() {
+                    continue;
+                }
+                let (orig_op, _) = parent.original.clone().unwrap();
+                let orig = base_table.op_cost[orig_op.index()];
+                let mut switched = pdag.op(parent.op).local + reuse;
+                for &ch in &parent.children {
+                    if ch != idx {
+                        switched += cost[ch];
+                    }
+                }
+                if orig > switched {
+                    savings += orig - switched;
+                }
+            }
+            if price < savings {
+                mat.insert(pdag, phys);
+            }
+        } else {
+            // Figure 2's subsumption case: materialize only if the full
+            // price of the introduced node beats the savings it brings to
+            // the parents that switched onto it.
+            let price = c + matc + reuse * (uses + sub_uses);
+            let mut savings = Cost::ZERO;
+            for parent in &graph.nodes {
+                if !parent.children.contains(&idx) {
+                    continue;
+                }
+                let Some((orig_op, _)) = parent.original else {
+                    continue;
+                };
+                let orig = base_table.op_cost[orig_op.index()];
+                let mut switched = pdag.op(parent.op).local + reuse;
+                for &ch in &parent.children {
+                    if ch != idx {
+                        switched += cost[ch];
+                    }
+                }
+                if orig > switched {
+                    savings += orig - switched;
+                }
+            }
+            if price < savings {
+                mat.insert(pdag, phys);
+            }
+        }
+    }
+
+    // Undo pass: revert pre-pass switches whose derivation source was not
+    // chosen for materialization.
+    let mut reverted = false;
+    for idx in 0..graph.nodes.len() {
+        let Some((orig_op, orig_children)) = graph.nodes[idx].original.clone() else {
+            continue;
+        };
+        // keep the switch only if the derivation source is materialized
+        // AND reading it actually beats the original computation here
+        let keep = graph.nodes[idx].children.iter().any(|&ch| {
+            let ch_phys = graph.nodes[ch].phys;
+            mat.contains(ch_phys) && {
+                let switched =
+                    pdag.op(graph.nodes[idx].op).local + pdag.reusecost(ch_phys);
+                switched < base_table.op_cost[orig_op.index()]
+            }
+        });
+        if !keep {
+            for &c in &graph.nodes[idx].children.clone() {
+                graph.nodes[c].sub_uses -= 1.0;
+            }
+            for &c in &orig_children {
+                graph.nodes[c].uses += 1.0;
+            }
+            graph.nodes[idx].op = orig_op;
+            graph.nodes[idx].children = orig_children;
+            graph.nodes[idx].original = None;
+            reverted = true;
+        }
+    }
+    if reverted {
+        // drop never-used introduced nodes from the materialized set
+        for n in &graph.nodes {
+            if n.introduced && n.uses <= 1e-9 {
+                mat.remove(pdag, n.phys);
+            }
+        }
+    }
+
+    // Final cost with decisions fixed.
+    let mut final_cost = vec![Cost::ZERO; graph.nodes.len()];
+    for &idx in &order {
+        final_cost[idx] = eval(graph, &final_cost, &mat, idx);
+    }
+    let mut total = final_cost[graph.root];
+    for m in mat.iter() {
+        if let Some(&midx) = graph.by_phys.get(&m) {
+            total += final_cost[midx] + pdag.matcost(m);
+        }
+    }
+    (mat, total)
+}

@@ -1,0 +1,58 @@
+//! Exhaustive materialization-set search — the doubly-exponential
+//! strategy the paper's §4 motivates against. Used as an oracle in tests
+//! and to sanity-check greedy on tiny inputs.
+
+use crate::{OptContext, OptStats, Optimized};
+use mqo_dag::sharable_groups;
+use mqo_physical::{CostTable, ExtractedPlan, MatSet, PhysNodeId};
+
+/// Maximum number of candidate nodes considered: `2^MAX_CANDIDATES`
+/// subsets are enumerated.
+const MAX_CANDIDATES: usize = 16;
+
+/// Enumerates every subset of the sharable candidates and keeps the one
+/// with minimum `bestcost(Q, S)`. Candidates beyond `MAX_CANDIDATES`
+/// are dropped (largest degree of sharing kept) — exhaustive search is
+/// only an oracle, not a practical algorithm.
+pub fn exhaustive(ctx: &OptContext<'_>) -> Optimized {
+    let pdag = &ctx.pdag;
+    let mut stats = OptStats::default();
+    let mut degrees = sharable_groups(&ctx.dag);
+    degrees.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+    let mut candidates: Vec<PhysNodeId> = Vec::new();
+    for (g, _) in degrees {
+        for &v in pdag.variants(g) {
+            candidates.push(v);
+        }
+    }
+    candidates.truncate(MAX_CANDIDATES);
+    stats.sharable = candidates.len();
+
+    let mut best_mat = MatSet::new();
+    let mut best_table = CostTable::compute(pdag, &best_mat);
+    let mut best_cost = best_table.total(pdag, &best_mat);
+    for mask in 1u64..(1u64 << candidates.len()) {
+        let mut mat = MatSet::new();
+        for (i, &n) in candidates.iter().enumerate() {
+            if mask & (1 << i) != 0 {
+                mat.insert(pdag, n);
+            }
+        }
+        let table = CostTable::compute(pdag, &mat);
+        let cost = table.total(pdag, &mat);
+        stats.benefit_recomputations += 1;
+        if cost < best_cost {
+            best_cost = cost;
+            best_mat = mat;
+            best_table = table;
+        }
+    }
+    stats.materialized = best_mat.len();
+    let plan = ExtractedPlan::extract(pdag, &best_table, &best_mat);
+    Optimized {
+        plan,
+        mat: best_mat,
+        cost: best_cost,
+        stats,
+    }
+}

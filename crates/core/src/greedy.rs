@@ -1,0 +1,232 @@
+//! The greedy algorithm (paper §4, Figure 4) with its three novel
+//! optimizations: sharability pre-filtering (§4.1), incremental cost
+//! update (§4.2/Figure 5, see [`crate::CostState`]), and the
+//! monotonicity heuristic (§4.3).
+
+use crate::state::CostState;
+use crate::{OptContext, OptStats, Optimized};
+use mqo_cost::Cost;
+use mqo_dag::sharable_groups;
+use mqo_physical::{ExtractedPlan, PhysNodeId};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Ablation switches for the greedy algorithm (§6.3 experiments).
+#[derive(Debug, Clone, Copy)]
+pub struct GreedyOptions {
+    /// Initialize the candidate set with sharable nodes only (§4.1). When
+    /// off, every non-root, non-parameterized node is a candidate.
+    pub use_sharability: bool,
+    /// Maintain benefit upper bounds in a heap and re-evaluate lazily
+    /// (§4.3). When off, every remaining candidate's benefit is recomputed
+    /// in every iteration.
+    pub use_monotonicity: bool,
+    /// Update costs incrementally on materialized-set changes (§4.2,
+    /// Figure 5). When off, each benefit computation recomputes the whole
+    /// cost table.
+    pub use_incremental: bool,
+    /// Offer sorted variants (temp indexes) as materialization candidates
+    /// in addition to unordered results (§5's index extension).
+    pub sorted_candidates: bool,
+    /// Temporary-storage budget in blocks (paper §8 future work): when
+    /// set, candidates are ranked by benefit *per unit space* and
+    /// materialization stops once the budget is exhausted.
+    pub space_budget_blocks: Option<f64>,
+}
+
+impl Default for GreedyOptions {
+    fn default() -> Self {
+        Self {
+            use_sharability: true,
+            use_monotonicity: true,
+            use_incremental: true,
+            sorted_candidates: true,
+            space_budget_blocks: None,
+        }
+    }
+}
+
+/// Heap entry ordered by benefit upper bound.
+struct HeapEntry {
+    bound: f64,
+    node: PhysNodeId,
+}
+
+impl PartialEq for HeapEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.bound == other.bound && self.node == other.node
+    }
+}
+impl Eq for HeapEntry {}
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.bound
+            .partial_cmp(&other.bound)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| self.node.cmp(&other.node))
+    }
+}
+
+/// Runs the greedy heuristic: iteratively materialize the candidate node
+/// with the largest benefit until no candidate improves the plan.
+pub fn greedy(ctx: &OptContext<'_>, opts: GreedyOptions) -> Optimized {
+    let pdag = &ctx.pdag;
+    let mut stats = OptStats::default();
+
+    // ---- Candidate set (sharability optimization, §4.1) ----
+    let mut degrees: Vec<(mqo_dag::GroupId, f64)> = if opts.use_sharability {
+        sharable_groups(&ctx.dag)
+    } else {
+        let all = mqo_dag::degree_of_sharing(&ctx.dag);
+        ctx.dag
+            .topo_order()
+            .iter()
+            .copied()
+            .filter(|&g| g != ctx.dag.root() && !ctx.dag.group(g).has_param)
+            .map(|g| (g, all.get(&g).copied().unwrap_or(1.0).max(1.0)))
+            .collect()
+    };
+    degrees.retain(|&(g, _)| !ctx.dag.group(g).has_param);
+    stats.sharable = degrees.len();
+
+    let mut candidates: Vec<(PhysNodeId, f64)> = Vec::new();
+    for &(g, d) in &degrees {
+        for &v in pdag.variants(g) {
+            if !opts.sorted_candidates && !matches!(pdag.node(v).prop, mqo_physical::PhysProp::Any)
+            {
+                continue;
+            }
+            candidates.push((v, d));
+        }
+    }
+
+    let mut state = CostState::new(pdag);
+    let mut cur_total = state.total(pdag);
+    let mut space_used = 0.0f64;
+    // score used for ranking: plain benefit, or benefit per block under a
+    // space budget (§8)
+    let score = |benefit: f64, n: PhysNodeId| -> f64 {
+        match opts.space_budget_blocks {
+            Some(_) => benefit / pdag.node(n).blocks.max(1.0),
+            None => benefit,
+        }
+    };
+    let fits = |space_used: f64, n: PhysNodeId| -> bool {
+        match opts.space_budget_blocks {
+            Some(b) => space_used + pdag.node(n).blocks <= b + 1e-9,
+            None => true,
+        }
+    };
+
+    // Benefit of materializing `x` on top of the current set (restores
+    // the state before returning).
+    let probe = |state: &mut CostState,
+                 stats: &mut OptStats,
+                 cur_total: Cost,
+                 x: PhysNodeId|
+     -> f64 {
+        stats.benefit_recomputations += 1;
+        if opts.use_incremental {
+            state.add_mat(pdag, x, stats);
+            let t = state.total(pdag);
+            state.remove_mat(pdag, x, stats);
+            (cur_total - t).secs()
+        } else {
+            state.mat.insert(pdag, x);
+            state.recompute_full(pdag);
+            let t = state.total(pdag);
+            state.mat.remove(pdag, x);
+            state.recompute_full(pdag);
+            (cur_total - t).secs()
+        }
+    };
+
+    let commit = |state: &mut CostState, stats: &mut OptStats, x: PhysNodeId| {
+        if opts.use_incremental {
+            state.add_mat(pdag, x, stats);
+        } else {
+            state.mat.insert(pdag, x);
+            state.recompute_full(pdag);
+        }
+    };
+
+    if opts.use_monotonicity {
+        // ---- Monotonicity heuristic (§4.3): lazy benefit re-evaluation.
+        // Initial upper bound: cost of the node (no materializations)
+        // times its maximum degree of sharing.
+        let mut heap: BinaryHeap<HeapEntry> = candidates
+            .iter()
+            .filter(|&&(n, _)| fits(space_used, n))
+            .map(|&(n, d)| HeapEntry {
+                bound: score(state.table.node_cost[n.index()].secs() * d, n),
+                node: n,
+            })
+            .collect();
+        while let Some(top) = heap.pop() {
+            if top.bound <= 1e-9 {
+                break;
+            }
+            if !fits(space_used, top.node) {
+                continue; // budget exhausted for this candidate: drop it
+            }
+            let b = score(probe(&mut state, &mut stats, cur_total, top.node), top.node);
+            let next_bound = heap.peek().map(|e| e.bound).unwrap_or(f64::NEG_INFINITY);
+            if b >= next_bound - 1e-12 {
+                // fresh benefit still on top: this is the true argmax
+                if b > 1e-9 {
+                    commit(&mut state, &mut stats, top.node);
+                    space_used += pdag.node(top.node).blocks;
+                    cur_total = state.total(pdag);
+                } else {
+                    break; // best possible benefit is non-positive: stop
+                }
+            } else {
+                // re-insert with the fresh (tighter) bound
+                heap.push(HeapEntry {
+                    bound: b,
+                    node: top.node,
+                });
+            }
+        }
+    } else {
+        // ---- Plain greedy loop: recompute every candidate's benefit per
+        // round (the §6.3 ablation baseline).
+        let mut remaining = candidates;
+        loop {
+            let mut best: Option<(usize, f64)> = None;
+            for (i, &(n, _)) in remaining.iter().enumerate() {
+                if !fits(space_used, n) {
+                    continue;
+                }
+                let b = score(probe(&mut state, &mut stats, cur_total, n), n);
+                if b > best.map(|(_, bb)| bb).unwrap_or(0.0) {
+                    best = Some((i, b));
+                }
+            }
+            match best {
+                Some((i, b)) if b > 1e-9 => {
+                    let (n, _) = remaining.swap_remove(i);
+                    commit(&mut state, &mut stats, n);
+                    space_used += pdag.node(n).blocks;
+                    cur_total = state.total(pdag);
+                }
+                _ => break,
+            }
+        }
+    }
+
+    stats.materialized = state.mat.len();
+    let plan = ExtractedPlan::extract(pdag, &state.table, &state.mat);
+    let cost = state.total(pdag);
+    Optimized {
+        plan,
+        mat: state.mat,
+        cost,
+        stats,
+    }
+}

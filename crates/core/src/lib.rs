@@ -1,0 +1,211 @@
+//! Multi-query optimization algorithms (the paper's contribution).
+//!
+//! Four cost-based strategies over the shared AND-OR DAG:
+//!
+//! * [`Algorithm::Volcano`] — the baseline: each query individually
+//!   optimized, nothing shared.
+//! * [`Algorithm::VolcanoSH`] — Figure 2: take the consolidated Volcano
+//!   best plan and decide, bottom-up, which of its nodes to materialize
+//!   (`matcost/(numuses⁻−1) + reusecost < cost`), with the subsumption
+//!   pre-pass and undo.
+//! * [`Algorithm::VolcanoRU`] — Figure 3: optimize queries in sequence,
+//!   tracking nodes of earlier plans that would be worth materializing if
+//!   used once more; later queries may reuse them. Runs both the given
+//!   and the reverse order and keeps the cheaper result, then applies
+//!   Volcano-SH to the combined plan.
+//! * [`Algorithm::Greedy`] — Figure 4: iteratively materialize the
+//!   candidate with the greatest benefit, computed with the three
+//!   §4 optimizations: sharability pre-filtering, incremental cost
+//!   update (Figure 5), and the monotonicity heuristic.
+//!
+//! [`Algorithm::Exhaustive`] enumerates candidate subsets and serves as a
+//! ground-truth oracle for small inputs (it is doubly exponential in
+//! spirit; capped).
+
+mod consolidated;
+mod exhaustive;
+mod greedy;
+mod state;
+mod volcano;
+mod volcano_ru;
+mod volcano_sh;
+
+pub use consolidated::PlanGraph;
+pub use exhaustive::exhaustive;
+pub use greedy::{greedy, GreedyOptions};
+pub use state::CostState;
+pub use volcano::volcano;
+pub use volcano_ru::volcano_ru;
+pub use volcano_sh::volcano_sh;
+
+use mqo_catalog::Catalog;
+use mqo_cost::{Cost, CostParams};
+use mqo_dag::{Dag, DagConfig};
+use mqo_logical::Batch;
+use mqo_physical::{ExtractedPlan, MatSet, PhysicalDag};
+
+/// Which optimization strategy to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Algorithm {
+    /// Plain Volcano: no sharing (the paper's baseline).
+    Volcano,
+    /// Volcano-SH (paper §3.2).
+    VolcanoSH,
+    /// Volcano-RU (paper §3.3); both query orders, cheaper kept.
+    VolcanoRU,
+    /// Greedy (paper §4) with all optimizations enabled.
+    Greedy,
+    /// Exhaustive subset search (oracle; small inputs only).
+    Exhaustive,
+}
+
+impl Algorithm {
+    /// All practical algorithms in the order the paper reports them.
+    pub const ALL: [Algorithm; 4] = [
+        Algorithm::Volcano,
+        Algorithm::VolcanoSH,
+        Algorithm::VolcanoRU,
+        Algorithm::Greedy,
+    ];
+
+    /// Display name matching the paper.
+    pub fn name(self) -> &'static str {
+        match self {
+            Algorithm::Volcano => "Volcano",
+            Algorithm::VolcanoSH => "Volcano-SH",
+            Algorithm::VolcanoRU => "Volcano-RU",
+            Algorithm::Greedy => "Greedy",
+            Algorithm::Exhaustive => "Exhaustive",
+        }
+    }
+}
+
+/// Tuning knobs for the optimizer run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Options {
+    /// DAG construction configuration.
+    pub dag: DagConfig,
+    /// Cost model parameters.
+    pub params: CostParams,
+    /// Greedy-specific options (ablation switches of §6.3).
+    pub greedy: GreedyOptions,
+}
+
+impl Options {
+    /// Paper-default options.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// Counters and sizes recorded during an optimization run (feeds the
+/// paper's Figures 9 and 10 and the §6.3 ablations).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct OptStats {
+    /// Wall-clock optimization time in seconds (DAG build + search).
+    pub opt_time_secs: f64,
+    /// Logical DAG size: equivalence nodes.
+    pub dag_groups: usize,
+    /// Logical DAG size: operation nodes.
+    pub dag_ops: usize,
+    /// Physical DAG size: nodes.
+    pub phys_nodes: usize,
+    /// Physical DAG size: ops.
+    pub phys_ops: usize,
+    /// Number of sharable equivalence nodes (paper §4.1).
+    pub sharable: usize,
+    /// Greedy: number of benefit (re)computations — each triggers one
+    /// incremental cost recomputation (paper Figure 10, right).
+    pub benefit_recomputations: u64,
+    /// Incremental update: number of cost propagations across physical
+    /// equivalence nodes (paper Figure 10, left).
+    pub cost_propagations: u64,
+    /// Number of nodes chosen for materialization.
+    pub materialized: usize,
+}
+
+/// The result of one optimization run.
+#[derive(Debug, Clone)]
+pub struct Optimized {
+    /// The shared plan (materialized temps + per-query plans).
+    pub plan: ExtractedPlan,
+    /// The chosen materialized set.
+    pub mat: MatSet,
+    /// `bestcost(Q, M)`: estimated total cost in seconds.
+    pub cost: Cost,
+    /// Run statistics.
+    pub stats: OptStats,
+}
+
+/// Everything derived from a batch that the algorithms share: the
+/// expanded logical DAG and the fully instantiated physical DAG.
+pub struct OptContext<'a> {
+    /// The catalog.
+    pub catalog: &'a Catalog,
+    /// The expanded logical DAG.
+    pub dag: Dag,
+    /// The physical DAG.
+    pub pdag: PhysicalDag,
+    /// Cost parameters.
+    pub params: CostParams,
+}
+
+impl<'a> OptContext<'a> {
+    /// Expands the DAG and builds the physical DAG for a batch.
+    pub fn build(batch: &Batch, catalog: &'a Catalog, options: &Options) -> Self {
+        let dag = Dag::expand(batch, catalog, options.dag);
+        let pdag = PhysicalDag::build(&dag, catalog, options.params);
+        OptContext {
+            catalog,
+            dag,
+            pdag,
+            params: options.params,
+        }
+    }
+}
+
+/// Optimizes `batch` with the chosen algorithm. This is the main entry
+/// point of the library.
+///
+/// ```
+/// use mqo_catalog::Catalog;
+/// use mqo_core::{optimize, Algorithm, Options};
+/// use mqo_expr::{Atom, Predicate};
+/// use mqo_logical::{Batch, LogicalPlan, Query};
+///
+/// let mut cat = Catalog::new();
+/// let a = cat.table("a").rows(10_000.0).int_key("ak").build();
+/// let b = cat.table("b").rows(20_000.0).int_key("bk")
+///     .int_uniform("afk", 0, 9_999).build();
+/// let pred = Predicate::atom(Atom::eq_cols(cat.col("a", "ak"), cat.col("b", "afk")));
+/// let q = LogicalPlan::scan(a).join(LogicalPlan::scan(b), pred);
+/// let batch = Batch::of(vec![
+///     Query::new("q1", q.clone()),
+///     Query::new("q2", q),
+/// ]);
+/// let base = optimize(&batch, &cat, Algorithm::Volcano, &Options::new());
+/// let opt = optimize(&batch, &cat, Algorithm::Greedy, &Options::new());
+/// assert!(opt.cost <= base.cost);
+/// ```
+pub fn optimize(
+    batch: &Batch,
+    catalog: &Catalog,
+    algorithm: Algorithm,
+    options: &Options,
+) -> Optimized {
+    let start = std::time::Instant::now();
+    let ctx = OptContext::build(batch, catalog, options);
+    let mut result = match algorithm {
+        Algorithm::Volcano => volcano(&ctx),
+        Algorithm::VolcanoSH => volcano_sh(&ctx),
+        Algorithm::VolcanoRU => volcano_ru(&ctx),
+        Algorithm::Greedy => greedy(&ctx, options.greedy),
+        Algorithm::Exhaustive => exhaustive(&ctx),
+    };
+    result.stats.opt_time_secs = start.elapsed().as_secs_f64();
+    result.stats.dag_groups = ctx.dag.num_groups();
+    result.stats.dag_ops = ctx.dag.num_ops();
+    result.stats.phys_nodes = ctx.pdag.num_nodes();
+    result.stats.phys_ops = ctx.pdag.num_ops();
+    result
+}

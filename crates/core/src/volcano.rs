@@ -1,0 +1,21 @@
+//! The plain Volcano baseline: best plan per query, nothing shared.
+
+use crate::{OptContext, OptStats, Optimized};
+use mqo_physical::{CostTable, ExtractedPlan, MatSet};
+
+/// Optimizes each query independently (the paper's baseline). Because the
+/// charged cost of a shared node without materialization is its full
+/// recomputation cost at every use, the root cost under an empty
+/// materialized set is exactly the sum of the individual best-plan costs.
+pub fn volcano(ctx: &OptContext<'_>) -> Optimized {
+    let mat = MatSet::new();
+    let table = CostTable::compute(&ctx.pdag, &mat);
+    let plan = ExtractedPlan::extract(&ctx.pdag, &table, &mat);
+    let cost = table.total(&ctx.pdag, &mat);
+    Optimized {
+        plan,
+        mat,
+        cost,
+        stats: OptStats::default(),
+    }
+}

@@ -1,0 +1,92 @@
+//! The §8 future-work extension: greedy under a temporary-storage budget
+//! selects by benefit per unit space and never exceeds the budget.
+
+use mqo_catalog::{Catalog, ColStats, ColType};
+use mqo_core::{optimize, Algorithm, GreedyOptions, OptContext, Options};
+use mqo_expr::{AggExpr, AggFunc, Atom, Predicate, ScalarExpr};
+use mqo_logical::{Batch, LogicalPlan, Query};
+
+fn setup() -> (Catalog, Batch) {
+    let mut cat = Catalog::new();
+    let a = cat
+        .table("big_a")
+        .rows(200_000.0)
+        .int_key("bak")
+        .int_uniform("bav", 0, 499)
+        .clustered_on_first()
+        .build();
+    let b = cat
+        .table("big_b")
+        .rows(400_000.0)
+        .int_key("bbk")
+        .int_uniform("bafk", 0, 199_999)
+        .clustered_on_first()
+        .build();
+    let t1 = cat.derived_column("sb1", ColType::Float, ColStats::opaque(500.0));
+    let bav = cat.col("big_a", "bav");
+    let bbk = cat.col("big_b", "bbk");
+    let join = Predicate::atom(Atom::eq_cols(cat.col("big_a", "bak"), cat.col("big_b", "bafk")));
+    let q = LogicalPlan::scan(a).join(LogicalPlan::scan(b), join).aggregate(
+        vec![bav],
+        vec![AggExpr::new(AggFunc::Sum, ScalarExpr::col(bbk), t1)],
+    );
+    (
+        cat,
+        Batch::of(vec![Query::new("q1", q.clone()), Query::new("q2", q)]),
+    )
+}
+
+fn with_budget(budget: Option<f64>) -> Options {
+    let mut o = Options::new();
+    o.greedy = GreedyOptions {
+        space_budget_blocks: budget,
+        ..GreedyOptions::default()
+    };
+    o
+}
+
+#[test]
+fn zero_budget_degenerates_to_volcano() {
+    let (cat, batch) = setup();
+    let base = optimize(&batch, &cat, Algorithm::Volcano, &Options::new());
+    let g = optimize(&batch, &cat, Algorithm::Greedy, &with_budget(Some(0.0)));
+    assert_eq!(g.stats.materialized, 0);
+    assert!((g.cost.secs() - base.cost.secs()).abs() < 1e-9);
+}
+
+#[test]
+fn generous_budget_matches_unbudgeted_greedy() {
+    let (cat, batch) = setup();
+    let unbudgeted = optimize(&batch, &cat, Algorithm::Greedy, &Options::new());
+    let g = optimize(&batch, &cat, Algorithm::Greedy, &with_budget(Some(1e12)));
+    assert!((g.cost.secs() - unbudgeted.cost.secs()).abs() < 1e-6);
+    assert_eq!(g.stats.materialized, unbudgeted.stats.materialized);
+}
+
+#[test]
+fn budget_is_respected_and_cost_is_sandwiched() {
+    let (cat, batch) = setup();
+    let base = optimize(&batch, &cat, Algorithm::Volcano, &Options::new());
+    let unbudgeted = optimize(&batch, &cat, Algorithm::Greedy, &Options::new());
+    assert!(unbudgeted.stats.materialized > 0, "nothing shared — vacuous");
+
+    // find the unbudgeted plan's total footprint, then halve it
+    let opts = Options::new();
+    let ctx = OptContext::build(&batch, &cat, &opts);
+    let full_blocks: f64 = unbudgeted
+        .mat
+        .iter()
+        .map(|m| ctx.pdag.node(m).blocks)
+        .sum();
+    let budget = full_blocks / 2.0;
+    let g = optimize(&batch, &cat, Algorithm::Greedy, &with_budget(Some(budget)));
+    let used: f64 = g.mat.iter().map(|m| ctx.pdag.node(m).blocks).sum();
+    assert!(used <= budget + 1e-6, "budget violated: {used} > {budget}");
+    assert!(g.cost <= base.cost * 1.0001, "worse than volcano");
+    assert!(
+        g.cost >= unbudgeted.cost * 0.9999,
+        "budgeted cannot beat unbudgeted: {} < {}",
+        g.cost,
+        unbudgeted.cost
+    );
+}

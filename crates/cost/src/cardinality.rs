@@ -1,0 +1,141 @@
+//! Cardinality estimation for logical operators.
+//!
+//! The estimator is deliberately compositional: every DAG group gets its
+//! row estimate from one representative operation and that estimate is
+//! shared by all alternative expressions of the group (they are logically
+//! equivalent, so they must agree).
+
+use crate::selectivity::selectivity;
+use mqo_catalog::{Catalog, ColId, TableId};
+use mqo_expr::Predicate;
+
+/// Cardinality estimator over a catalog.
+#[derive(Debug, Clone, Copy)]
+pub struct Estimator<'a> {
+    catalog: &'a Catalog,
+}
+
+impl<'a> Estimator<'a> {
+    /// Creates an estimator reading statistics from `catalog`.
+    pub fn new(catalog: &'a Catalog) -> Self {
+        Self { catalog }
+    }
+
+    /// The catalog this estimator reads.
+    pub fn catalog(&self) -> &'a Catalog {
+        self.catalog
+    }
+
+    /// Rows in a base table.
+    pub fn scan_rows(&self, t: TableId) -> f64 {
+        self.catalog.table_ref(t).cardinality
+    }
+
+    /// Rows surviving a selection.
+    pub fn select_rows(&self, input_rows: f64, pred: &Predicate) -> f64 {
+        (input_rows * selectivity(pred, self.catalog)).max(1.0)
+    }
+
+    /// Rows produced by an inner join.
+    pub fn join_rows(&self, left_rows: f64, right_rows: f64, pred: &Predicate) -> f64 {
+        (left_rows * right_rows * selectivity(pred, self.catalog)).max(1.0)
+    }
+
+    /// Groups produced by an aggregation: the product of key distinct
+    /// counts, capped by the input cardinality. An empty key list is a
+    /// scalar aggregate (one row).
+    pub fn aggregate_rows(&self, input_rows: f64, keys: &[ColId]) -> f64 {
+        if keys.is_empty() {
+            return 1.0;
+        }
+        let key_product: f64 = keys
+            .iter()
+            .map(|k| self.distinct_in(*k, input_rows))
+            .product();
+        key_product.min(input_rows).max(1.0)
+    }
+
+    /// Distinct values of `col` within a result of `rows` rows: the base
+    /// distinct count capped by the result size.
+    pub fn distinct_in(&self, col: ColId, rows: f64) -> f64 {
+        self.catalog.column(col).stats.distinct.min(rows).max(1.0)
+    }
+
+    /// Bytes per row for a result with the given output columns.
+    pub fn row_width(&self, cols: &[ColId]) -> u32 {
+        cols.iter()
+            .map(|&c| self.catalog.column(c).ty.width())
+            .sum::<u32>()
+            .max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mqo_catalog::Catalog;
+    use mqo_expr::{Atom, CmpOp};
+
+    fn setup() -> Catalog {
+        let mut cat = Catalog::new();
+        cat.table("r")
+            .rows(10_000.0)
+            .int_key("rk")
+            .int_uniform("rg", 0, 9)
+            .build();
+        cat.table("s")
+            .rows(1_000.0)
+            .int_key("sk")
+            .int_uniform("rfk", 0, 9_999)
+            .build();
+        cat
+    }
+
+    #[test]
+    fn fk_join_yields_child_cardinality() {
+        let cat = setup();
+        let est = Estimator::new(&cat);
+        let pred = Predicate::atom(Atom::eq_cols(cat.col("r", "rk"), cat.col("s", "rfk")));
+        let rows = est.join_rows(10_000.0, 1_000.0, &pred);
+        // |R ⋈ S| = |R||S| / max(d) = 1e7 / 1e4 = 1e3
+        assert!((rows - 1_000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn select_scales_by_selectivity() {
+        let cat = setup();
+        let est = Estimator::new(&cat);
+        let pred = Predicate::atom(Atom::cmp(cat.col("r", "rg"), CmpOp::Eq, 3i64));
+        assert!((est.select_rows(10_000.0, &pred) - 1_000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn aggregate_capped_by_input() {
+        let cat = setup();
+        let est = Estimator::new(&cat);
+        // grouping 100 rows by a 10k-distinct key: at most 100 groups
+        assert_eq!(est.aggregate_rows(100.0, &[cat.col("r", "rk")]), 100.0);
+        // grouping by a 10-distinct key: 10 groups
+        assert_eq!(est.aggregate_rows(10_000.0, &[cat.col("r", "rg")]), 10.0);
+        // scalar aggregate
+        assert_eq!(est.aggregate_rows(10_000.0, &[]), 1.0);
+    }
+
+    #[test]
+    fn row_width_sums_column_widths() {
+        let cat = setup();
+        let est = Estimator::new(&cat);
+        let cols = [cat.col("r", "rk"), cat.col("r", "rg")];
+        assert_eq!(est.row_width(&cols), 16);
+        assert_eq!(est.row_width(&[]), 1);
+    }
+
+    #[test]
+    fn estimates_never_drop_below_one_row() {
+        let cat = setup();
+        let est = Estimator::new(&cat);
+        let pred = Predicate::atom(Atom::cmp(cat.col("r", "rk"), CmpOp::Eq, 1i64));
+        let tiny = est.select_rows(1.0, &pred);
+        assert!(tiny >= 1.0);
+    }
+}

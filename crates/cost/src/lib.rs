@@ -1,0 +1,18 @@
+//! Cost model and cardinality estimation.
+//!
+//! Parameters mirror the paper's §6 setup: 4 KB blocks, 10 ms seek,
+//! 2 ms/block sequential read, 4 ms/block write, 0.2 ms/block CPU, 6 MB of
+//! memory per operator, and pipelined (iterator-model) execution where
+//! intermediate results hit disk only when materialized for sharing.
+//!
+//! Estimation follows the classic System R assumptions (uniformity,
+//! independence, containment of value sets) — the same family of
+//! estimators the paper's Volcano-based optimizer used.
+
+mod cardinality;
+mod model;
+mod selectivity;
+
+pub use cardinality::Estimator;
+pub use model::{Cost, CostParams};
+pub use selectivity::{join_selectivity, selectivity};

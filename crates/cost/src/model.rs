@@ -1,0 +1,277 @@
+//! Cost units and the disk/CPU cost primitives shared by all physical
+//! operators.
+
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Mul, Sub};
+
+/// Estimated cost in seconds. A thin newtype so costs don't mix with other
+/// floats; `Cost::INFINITY` marks infeasible alternatives (e.g. an indexed
+/// join whose inner is not materialized).
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct Cost(pub f64);
+
+impl Cost {
+    /// Zero cost.
+    pub const ZERO: Cost = Cost(0.0);
+    /// Infeasible.
+    pub const INFINITY: Cost = Cost(f64::INFINITY);
+
+    /// Seconds as a plain float.
+    pub fn secs(self) -> f64 {
+        self.0
+    }
+
+    /// True for non-infinite cost.
+    pub fn is_finite(self) -> bool {
+        self.0.is_finite()
+    }
+
+    /// Pointwise minimum.
+    pub fn min(self, other: Cost) -> Cost {
+        Cost(self.0.min(other.0))
+    }
+}
+
+impl Add for Cost {
+    type Output = Cost;
+    fn add(self, rhs: Cost) -> Cost {
+        Cost(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Cost {
+    fn add_assign(&mut self, rhs: Cost) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Cost {
+    type Output = Cost;
+    fn sub(self, rhs: Cost) -> Cost {
+        Cost(self.0 - rhs.0)
+    }
+}
+
+impl Mul<f64> for Cost {
+    type Output = Cost;
+    fn mul(self, rhs: f64) -> Cost {
+        Cost(self.0 * rhs)
+    }
+}
+
+impl Sum for Cost {
+    fn sum<I: Iterator<Item = Cost>>(iter: I) -> Cost {
+        Cost(iter.map(|c| c.0).sum())
+    }
+}
+
+impl std::fmt::Display for Cost {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.0.is_infinite() {
+            write!(f, "inf")
+        } else {
+            write!(f, "{:.2}s", self.0)
+        }
+    }
+}
+
+/// Cost model parameters (defaults are the paper's).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostParams {
+    /// Disk block size in bytes.
+    pub block_size: u32,
+    /// Seek time in milliseconds.
+    pub seek_ms: f64,
+    /// Sequential read transfer time, ms per block.
+    pub read_ms: f64,
+    /// Sequential write transfer time, ms per block.
+    pub write_ms: f64,
+    /// CPU cost, ms per block of data processed.
+    pub cpu_ms: f64,
+    /// Memory available to each operator, bytes.
+    pub mem_bytes: u64,
+}
+
+impl Default for CostParams {
+    fn default() -> Self {
+        Self {
+            block_size: 4096,
+            seek_ms: 10.0,
+            read_ms: 2.0,
+            write_ms: 4.0,
+            cpu_ms: 0.2,
+            mem_bytes: 6 * 1024 * 1024,
+        }
+    }
+}
+
+impl CostParams {
+    /// The paper's configuration with a different per-operator memory size
+    /// (§6.4 runs 6 MB, 32 MB and 128 MB).
+    pub fn with_memory_mb(mb: u64) -> Self {
+        Self {
+            mem_bytes: mb * 1024 * 1024,
+            ..Self::default()
+        }
+    }
+
+    /// Number of blocks needed for `rows` rows of `row_bytes` each.
+    pub fn blocks(&self, rows: f64, row_bytes: u32) -> f64 {
+        if rows <= 0.0 {
+            return 1.0; // a result always occupies at least one block
+        }
+        let per_block = (self.block_size / row_bytes.max(1)).max(1) as f64;
+        (rows / per_block).ceil().max(1.0)
+    }
+
+    /// Operator memory in blocks.
+    pub fn mem_blocks(&self) -> f64 {
+        (self.mem_bytes / self.block_size as u64).max(3) as f64
+    }
+
+    /// Sequential scan: one seek plus per-block transfer and CPU.
+    pub fn seq_read(&self, blocks: f64) -> Cost {
+        Cost((self.seek_ms + blocks * (self.read_ms + self.cpu_ms)) / 1000.0)
+    }
+
+    /// Sequential write of a result: one seek plus per-block transfer.
+    pub fn seq_write(&self, blocks: f64) -> Cost {
+        Cost((self.seek_ms + blocks * self.write_ms) / 1000.0)
+    }
+
+    /// Pure CPU work over `blocks` blocks of data.
+    pub fn cpu(&self, blocks: f64) -> Cost {
+        Cost(blocks * self.cpu_ms / 1000.0)
+    }
+
+    /// External merge sort of a pipelined input of `blocks` blocks:
+    /// in-memory when it fits; otherwise run generation plus merge passes,
+    /// each writing and re-reading the data. The final pass pipelines its
+    /// output (no write).
+    pub fn sort(&self, blocks: f64) -> Cost {
+        let m = self.mem_blocks();
+        if blocks <= m {
+            // In-memory sort: CPU only (input reading is paid by the child).
+            return self.cpu(blocks);
+        }
+        let runs = (blocks / m).ceil();
+        let fan_in = (m - 1.0).max(2.0);
+        let merge_passes = (runs.ln() / fan_in.ln()).ceil().max(1.0);
+        // Run generation: write all runs. Each merge pass reads and writes
+        // everything except the last, which only reads (pipelined output).
+        let writes = merge_passes; // run-gen write + (passes-1) pass writes
+        let reads = merge_passes;
+        Cost(
+            (blocks * (writes * self.write_ms + reads * self.read_ms)
+                + blocks * (merge_passes + 1.0) * self.cpu_ms
+                + 2.0 * runs * self.seek_ms)
+                / 1000.0,
+        )
+    }
+
+    /// Probe of a clustered index (base table or sorted temp): one seek
+    /// plus the blocks holding the matching rows.
+    pub fn index_probe(&self, matching_blocks: f64) -> Cost {
+        Cost((self.seek_ms + matching_blocks.max(1.0) * (self.read_ms + self.cpu_ms)) / 1000.0)
+    }
+
+    /// Naive paged nested-loops join local cost given *re-readable* inner
+    /// (base table or temp): the inner is rescanned once per outer block
+    /// (the classic Volcano iterator NLJ — the paper's operator set has
+    /// no hash join, so NLJ is only ever attractive for tiny outers).
+    pub fn block_nlj(&self, outer_blocks: f64, inner_blocks: f64) -> Cost {
+        let passes = outer_blocks.ceil().max(1.0);
+        // Outer CPU is paid here; inner re-reads are full scans.
+        self.cpu(outer_blocks) + self.seq_read(inner_blocks) * passes
+    }
+
+    /// Cost of materializing a result of `blocks` blocks (paper's
+    /// `matcost`): sequential write.
+    pub fn matcost(&self, blocks: f64) -> Cost {
+        self.seq_write(blocks)
+    }
+
+    /// Cost of reusing a materialized result (paper's `reusecost`):
+    /// sequential read back.
+    pub fn reusecost(&self, blocks: f64) -> Cost {
+        self.seq_read(blocks)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_params_match_paper() {
+        let p = CostParams::default();
+        assert_eq!(p.block_size, 4096);
+        assert_eq!(p.seek_ms, 10.0);
+        assert_eq!(p.read_ms, 2.0);
+        assert_eq!(p.write_ms, 4.0);
+        assert_eq!(p.cpu_ms, 0.2);
+        assert_eq!(p.mem_bytes, 6 * 1024 * 1024);
+    }
+
+    #[test]
+    fn blocks_rounds_up_and_floors_at_one() {
+        let p = CostParams::default();
+        assert_eq!(p.blocks(0.0, 100), 1.0);
+        assert_eq!(p.blocks(1.0, 100), 1.0);
+        // 41 rows * 100B = 4100B > 4096 → 2 blocks (40 rows per block)
+        assert_eq!(p.blocks(41.0, 100), 2.0);
+        // wide row: 1 row per block
+        assert_eq!(p.blocks(10.0, 5000), 10.0);
+    }
+
+    #[test]
+    fn in_memory_sort_is_cpu_only() {
+        let p = CostParams::default();
+        let m = p.mem_blocks();
+        let c = p.sort(m - 1.0);
+        assert_eq!(c, p.cpu(m - 1.0));
+    }
+
+    #[test]
+    fn external_sort_costs_io() {
+        let p = CostParams::default();
+        let m = p.mem_blocks();
+        let c = p.sort(m * 4.0);
+        assert!(c > p.cpu(m * 4.0));
+        // sorting more data costs more
+        assert!(p.sort(m * 8.0) > c);
+    }
+
+    #[test]
+    fn nlj_passes_scale_with_outer() {
+        let p = CostParams::default();
+        let small = p.block_nlj(10.0, 1000.0);
+        let big = p.block_nlj(10_000.0, 1000.0);
+        assert!(big > small);
+        // one pass when the outer is a single block
+        let one_pass = p.block_nlj(1.0, 1000.0);
+        assert_eq!(one_pass, p.cpu(1.0) + p.seq_read(1000.0));
+    }
+
+    #[test]
+    fn mat_and_reuse_follow_read_write_asymmetry() {
+        let p = CostParams::default();
+        // write is 2x read per block, so matcost > reusecost for big results
+        assert!(p.matcost(1000.0) > p.reusecost(1000.0) * 0.9);
+    }
+
+    #[test]
+    fn cost_arithmetic() {
+        let a = Cost(1.0);
+        let b = Cost(2.0);
+        assert_eq!(a + b, Cost(3.0));
+        assert_eq!(b * 2.0, Cost(4.0));
+        assert_eq!(a.min(b), a);
+        assert!(Cost::INFINITY > b);
+        assert!(!Cost::INFINITY.is_finite());
+        let s: Cost = vec![a, b].into_iter().sum();
+        assert_eq!(s, Cost(3.0));
+        assert_eq!(format!("{}", Cost(1.234)), "1.23s");
+        assert_eq!(format!("{}", Cost::INFINITY), "inf");
+    }
+}

@@ -1,0 +1,163 @@
+//! Selectivity estimation for predicates.
+
+use mqo_catalog::{Catalog, ColId};
+use mqo_expr::{Atom, CmpOp, Predicate, Value};
+
+/// Fallback selectivity for range predicates when statistics cannot
+/// answer (System R's classic magic number).
+const DEFAULT_RANGE: f64 = 1.0 / 3.0;
+
+/// Estimated selectivity of `pred` (fraction of input rows retained),
+/// assuming independence between atoms and uniform value distributions.
+pub fn selectivity(pred: &Predicate, catalog: &Catalog) -> f64 {
+    // OR of ANDs: P(any disjunct) = 1 - Π(1 - P(disjunct)).
+    let mut miss_all = 1.0;
+    for d in pred.disjuncts() {
+        let s: f64 = d.atoms().iter().map(|a| atom_selectivity(a, catalog)).product();
+        miss_all *= 1.0 - s.clamp(0.0, 1.0);
+    }
+    (1.0 - miss_all).clamp(0.0, 1.0)
+}
+
+/// Selectivity of an equi-join predicate between two columns, using the
+/// containment-of-value-sets assumption: `1 / max(d_left, d_right)`.
+pub fn join_selectivity(left: ColId, right: ColId, catalog: &Catalog) -> f64 {
+    let dl = catalog.column(left).stats.distinct.max(1.0);
+    let dr = catalog.column(right).stats.distinct.max(1.0);
+    1.0 / dl.max(dr)
+}
+
+fn atom_selectivity(atom: &Atom, catalog: &Catalog) -> f64 {
+    match atom {
+        Atom::Cmp { col, op, val } => cmp_selectivity(*col, *op, Some(val), catalog),
+        // Parameterized comparisons: the constant is unknown at
+        // optimization time; estimate as an average constant.
+        Atom::Param { col, op, .. } => cmp_selectivity(*col, *op, None, catalog),
+        Atom::ColCmp { left, op, right } => match op {
+            CmpOp::Eq => join_selectivity(*left, *right, catalog),
+            CmpOp::Ne => 1.0 - join_selectivity(*left, *right, catalog),
+            _ => DEFAULT_RANGE,
+        },
+    }
+}
+
+fn cmp_selectivity(col: ColId, op: CmpOp, val: Option<&Value>, catalog: &Catalog) -> f64 {
+    let stats = &catalog.column(col).stats;
+    let eq = 1.0 / stats.distinct.max(1.0);
+    match op {
+        CmpOp::Eq => eq,
+        CmpOp::Ne => (1.0 - eq).max(0.0),
+        CmpOp::Lt | CmpOp::Le | CmpOp::Gt | CmpOp::Ge => {
+            let Some(v) = val.and_then(Value::stat_key) else {
+                return DEFAULT_RANGE;
+            };
+            let (Some(min), Some(max), Some(width)) = (stats.min, stats.max, stats.range_width())
+            else {
+                return DEFAULT_RANGE;
+            };
+            let frac_below = ((v - min) / width).clamp(0.0, 1.0);
+            let sel = match op {
+                CmpOp::Lt | CmpOp::Le => frac_below,
+                _ => 1.0 - frac_below,
+            };
+            // Half-open vs closed intervals differ by at most one value;
+            // fold that in for small domains so `=`-adjacent ranges are
+            // sane (σ_{A<=v} ⊇ σ_{A<v}).
+            let adj = match op {
+                CmpOp::Le | CmpOp::Ge => sel + eq,
+                _ => sel,
+            };
+            let _ = max;
+            adj.clamp(eq.min(1.0) * 0.5, 1.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mqo_catalog::Catalog;
+    use mqo_expr::{Atom, CmpOp, Predicate};
+
+    fn setup() -> Catalog {
+        let mut cat = Catalog::new();
+        cat.table("t")
+            .rows(1000.0)
+            .int_key("k") // 0..999, distinct 1000
+            .int_uniform("u", 0, 99) // distinct 100
+            .build();
+        cat
+    }
+
+    #[test]
+    fn equality_is_one_over_distinct() {
+        let cat = setup();
+        let p = Predicate::atom(Atom::cmp(cat.col("t", "u"), CmpOp::Eq, 5i64));
+        assert!((selectivity(&p, &cat) - 0.01).abs() < 1e-9);
+        let pk = Predicate::atom(Atom::cmp(cat.col("t", "k"), CmpOp::Eq, 5i64));
+        assert!((selectivity(&pk, &cat) - 0.001).abs() < 1e-9);
+    }
+
+    #[test]
+    fn range_uses_domain_fraction() {
+        let cat = setup();
+        let p = Predicate::atom(Atom::cmp(cat.col("t", "u"), CmpOp::Lt, 25i64));
+        let s = selectivity(&p, &cat);
+        assert!((s - 25.0 / 99.0).abs() < 0.02, "{s}");
+        let q = Predicate::atom(Atom::cmp(cat.col("t", "u"), CmpOp::Ge, 25i64));
+        let sq = selectivity(&q, &cat);
+        assert!(sq > 0.7 && sq <= 1.0, "{sq}");
+    }
+
+    #[test]
+    fn weaker_range_has_higher_selectivity() {
+        let cat = setup();
+        let narrow = Predicate::atom(Atom::cmp(cat.col("t", "u"), CmpOp::Lt, 10i64));
+        let wide = Predicate::atom(Atom::cmp(cat.col("t", "u"), CmpOp::Lt, 90i64));
+        assert!(selectivity(&narrow, &cat) < selectivity(&wide, &cat));
+    }
+
+    #[test]
+    fn conjunction_multiplies_disjunction_unions() {
+        let cat = setup();
+        let u = cat.col("t", "u");
+        let a = Atom::cmp(u, CmpOp::Eq, 1i64);
+        let b = Atom::cmp(u, CmpOp::Eq, 2i64);
+        let conj = Predicate::all(vec![a.clone(), Atom::cmp(cat.col("t", "k"), CmpOp::Eq, 7i64)]);
+        assert!((selectivity(&conj, &cat) - 0.01 * 0.001).abs() < 1e-9);
+        let disj = Predicate::atom(a).or(&Predicate::atom(b));
+        let s = selectivity(&disj, &cat);
+        assert!((s - (1.0 - 0.99 * 0.99)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn join_selectivity_containment() {
+        let cat = setup();
+        let s = join_selectivity(cat.col("t", "k"), cat.col("t", "u"), &cat);
+        assert!((s - 1.0 / 1000.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn param_equality_uses_distinct() {
+        let cat = setup();
+        let p = Predicate::atom(Atom::Param {
+            col: cat.col("t", "u"),
+            op: CmpOp::Eq,
+            param: mqo_expr::ParamId(0),
+        });
+        assert!((selectivity(&p, &cat) - 0.01).abs() < 1e-9);
+    }
+
+    #[test]
+    fn selectivity_always_in_unit_interval() {
+        let cat = setup();
+        let u = cat.col("t", "u");
+        for op in [CmpOp::Lt, CmpOp::Le, CmpOp::Eq, CmpOp::Ge, CmpOp::Gt, CmpOp::Ne] {
+            for v in [-50i64, 0, 50, 99, 200] {
+                let p = Predicate::atom(Atom::cmp(u, op, v));
+                let s = selectivity(&p, &cat);
+                assert!((0.0..=1.0).contains(&s), "{op:?} {v}: {s}");
+            }
+        }
+    }
+}

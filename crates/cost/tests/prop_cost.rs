@@ -1,0 +1,94 @@
+//! Property tests for the cost model: non-negativity, monotonicity in
+//! data volume, and the structural relations the optimizer's decision
+//! procedures rely on.
+
+use mqo_cost::{Cost, CostParams};
+use proptest::prelude::*;
+
+fn params() -> impl Strategy<Value = CostParams> {
+    (1u64..64).prop_map(CostParams::with_memory_mb)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 256, ..ProptestConfig::default() })]
+
+    /// All primitives are non-negative and finite for finite inputs.
+    #[test]
+    fn primitives_nonnegative(p in params(), blocks in 0.0f64..1e7) {
+        for c in [
+            p.seq_read(blocks),
+            p.seq_write(blocks),
+            p.cpu(blocks),
+            p.sort(blocks),
+            p.index_probe(blocks),
+            p.matcost(blocks),
+            p.reusecost(blocks),
+        ] {
+            prop_assert!(c >= Cost::ZERO, "{c}");
+            prop_assert!(c.is_finite());
+        }
+    }
+
+    /// More data never costs less.
+    #[test]
+    fn monotone_in_blocks(p in params(), a in 0.0f64..1e6, delta in 0.0f64..1e6) {
+        let b = a + delta;
+        prop_assert!(p.seq_read(b) >= p.seq_read(a));
+        prop_assert!(p.seq_write(b) >= p.seq_write(a));
+        prop_assert!(p.sort(b) >= p.sort(a) - Cost(1e-9), "sort({b}) < sort({a})");
+        prop_assert!(p.matcost(b) >= p.matcost(a));
+        prop_assert!(p.reusecost(b) >= p.reusecost(a));
+    }
+
+    /// Reuse is cheaper than recomputing anything that includes reading
+    /// the same volume plus any extra work — the premise behind
+    /// materialization benefits.
+    #[test]
+    fn reuse_cheaper_than_read_plus_work(p in params(), blocks in 1.0f64..1e6, extra in 0.0f64..1e5) {
+        let reuse = p.reusecost(blocks);
+        let recompute = p.seq_read(blocks) + p.cpu(extra);
+        prop_assert!(reuse <= recompute + Cost(1e-12));
+    }
+
+    /// The paper's write/read asymmetry: materializing costs more per
+    /// block than reusing (4ms vs 2ms transfers).
+    #[test]
+    fn write_read_asymmetry(blocks in 10.0f64..1e6) {
+        let p = CostParams::default();
+        // subtract the common seek and per-block CPU of the read side
+        let write_per_block = (p.matcost(blocks).secs() - 0.010) / blocks;
+        let read_per_block = (p.reusecost(blocks).secs() - 0.010) / blocks;
+        prop_assert!(write_per_block > read_per_block);
+    }
+
+    /// `blocks` rounds up, never returns zero, and is monotone in rows
+    /// and width.
+    #[test]
+    fn blocks_behaves(rows in 0.0f64..1e7, width in 1u32..4096) {
+        let p = CostParams::default();
+        let b = p.blocks(rows, width);
+        prop_assert!(b >= 1.0);
+        prop_assert!(p.blocks(rows + 1000.0, width) >= b);
+        prop_assert!(p.blocks(rows, (width * 2).min(4096)) >= b);
+        // enough capacity for all rows
+        let per_block = (p.block_size / width.max(1)).max(1) as f64;
+        prop_assert!(b * per_block >= rows.floor());
+    }
+
+    /// Sorting data that fits in memory is pure CPU; spilling costs I/O.
+    #[test]
+    fn sort_memory_boundary(p in params()) {
+        let m = p.mem_blocks();
+        prop_assert_eq!(p.sort(m), p.cpu(m));
+        let spilled = p.sort(m * 2.0);
+        prop_assert!(spilled > p.cpu(m * 2.0));
+    }
+
+    /// Larger memory never makes sorting or NLJ more expensive.
+    #[test]
+    fn memory_helps(blocks in 1.0f64..1e6, small_mb in 1u64..16, extra_mb in 0u64..112) {
+        let small = CostParams::with_memory_mb(small_mb);
+        let big = CostParams::with_memory_mb(small_mb + extra_mb);
+        prop_assert!(big.sort(blocks) <= small.sort(blocks) + Cost(1e-9));
+    }
+}

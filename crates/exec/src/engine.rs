@@ -1,0 +1,310 @@
+//! Plan interpreter: executes an [`ExtractedPlan`] against a database,
+//! materializing temps once (in topological order) and reading them at
+//! every other use — the compute-once/reuse-many discipline whose cost
+//! the optimizer reasons about.
+
+use crate::ops::{self, Params};
+use crate::table::{Database, Table};
+use mqo_catalog::Catalog;
+use mqo_expr::{ParamId, Value};
+use mqo_physical::{Algo, ChosenOp, ExtractedPlan, PhysNodeId, PhysProp, PhysicalDag};
+use mqo_util::FxHashMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// The result of executing a plan.
+#[derive(Debug)]
+pub struct ExecOutcome {
+    /// One result table per query, in batch order.
+    pub results: Vec<Table>,
+    /// Number of temps materialized.
+    pub temps_built: usize,
+    /// Total rows across all query results.
+    pub rows_out: usize,
+    /// Wall-clock execution time.
+    pub wall: Duration,
+}
+
+/// Executes `plan` against `db`. `params` bind any `Param` atoms (empty
+/// for non-parameterized batches).
+pub fn execute_plan(
+    catalog: &Catalog,
+    pdag: &PhysicalDag,
+    plan: &ExtractedPlan,
+    db: &Database,
+    params: &FxHashMap<ParamId, Value>,
+) -> ExecOutcome {
+    let start = Instant::now();
+    let mut ex = Executor {
+        catalog,
+        pdag,
+        plan,
+        db,
+        params: params.clone(),
+        temps: FxHashMap::default(),
+    };
+    for &m in &plan.materialized {
+        let mut t = ex.eval_def(m);
+        if let PhysProp::Sorted(keys) = &pdag.node(m).prop {
+            if !t.sorted_on.starts_with(keys) {
+                t.sort_by(keys);
+            }
+        }
+        ex.temps.insert(m, Arc::new(t));
+    }
+    let results: Vec<Table> = plan
+        .query_roots
+        .iter()
+        .map(|&q| ex.eval_use(q))
+        .collect();
+    let rows_out = results.iter().map(Table::len).sum();
+    ExecOutcome {
+        temps_built: plan.materialized.len(),
+        rows_out,
+        wall: start.elapsed(),
+        results,
+    }
+}
+
+/// Stateful plan evaluator (temps live across query evaluations).
+pub struct Executor<'a> {
+    catalog: &'a Catalog,
+    pdag: &'a PhysicalDag,
+    plan: &'a ExtractedPlan,
+    db: &'a Database,
+    params: Params,
+    temps: FxHashMap<PhysNodeId, Arc<Table>>,
+}
+
+impl Executor<'_> {
+    /// Evaluates a *use* of `n`: read the temp when the plan shares it.
+    fn eval_use(&mut self, n: PhysNodeId) -> Table {
+        if let Some(m) = self.plan.reuse_of(n) {
+            if let Some(t) = self.temps.get(&m) {
+                return t.as_ref().clone();
+            }
+        }
+        self.eval_def(n)
+    }
+
+    /// Evaluates the computing definition of `n`.
+    fn eval_def(&mut self, n: PhysNodeId) -> Table {
+        let op_id = match self.plan.choices.get(&n) {
+            Some(&ChosenOp::Compute(o)) => o,
+            Some(&ChosenOp::Reuse(m)) => {
+                let t = self
+                    .temps
+                    .get(&m)
+                    .unwrap_or_else(|| panic!("reuse of unmaterialized node {m}"));
+                return t.as_ref().clone();
+            }
+            None => panic!("plan has no choice for node {n}"),
+        };
+        let op = self.pdag.op(op_id);
+        let inputs = op.inputs.clone();
+        match op.algo.clone() {
+            Algo::TableScan { table } => {
+                let data = self.db.table(table);
+                let schema = data.schema.clone();
+                let sorted = data.sorted_on.clone();
+                let rows = ops::scan(Arc::clone(&data)).collect();
+                Table {
+                    schema,
+                    rows,
+                    sorted_on: sorted,
+                }
+            }
+            Algo::IndexedSelect { table, pred } => {
+                let data = self.db.table(table);
+                let sorted = data.sorted_on.clone();
+                let schema = data.schema.clone();
+                let col = sorted.first().copied().expect("clustered table");
+                let rows = ops::index_scan(data, pred, col, self.params.clone()).collect();
+                Table {
+                    schema,
+                    rows,
+                    sorted_on: sorted,
+                }
+            }
+            Algo::TempIndexedSelect { source, col, pred } => {
+                let temp = self.temp_sorted_on(source, col);
+                let schema = temp.schema.clone();
+                let sorted = temp.sorted_on.clone();
+                let rows = ops::index_scan(temp, pred, col, self.params.clone()).collect();
+                Table {
+                    schema,
+                    rows,
+                    sorted_on: sorted,
+                }
+            }
+            Algo::Filter { pred } => {
+                let input = self.eval_use(inputs[0]);
+                let schema = input.schema.clone();
+                let sorted = input.sorted_on.clone();
+                let rows = ops::filter(
+                    Box::new(input.rows.into_iter()),
+                    schema.clone(),
+                    pred,
+                    self.params.clone(),
+                )
+                .collect();
+                Table {
+                    schema,
+                    rows,
+                    sorted_on: sorted,
+                }
+            }
+            Algo::NestLoopsJoin { pred } => {
+                let outer = self.eval_use(inputs[0]);
+                let inner = self.eval_use(inputs[1]);
+                let mut schema = outer.schema.clone();
+                schema.extend(inner.schema.iter().copied());
+                let rows = ops::nl_join(
+                    Box::new(outer.rows.into_iter()),
+                    inner.rows,
+                    schema.clone(),
+                    pred,
+                    self.params.clone(),
+                )
+                .collect();
+                Table::new(schema, rows)
+            }
+            Algo::MergeJoin {
+                left_keys,
+                right_keys,
+                residual,
+            } => {
+                let mut left = self.eval_use(inputs[0]);
+                let mut right = self.eval_use(inputs[1]);
+                if !left.sorted_on.starts_with(&left_keys) {
+                    left.sort_by(&left_keys);
+                }
+                if !right.sorted_on.starts_with(&right_keys) {
+                    right.sort_by(&right_keys);
+                }
+                let mut schema = left.schema.clone();
+                schema.extend(right.schema.iter().copied());
+                let rows = ops::merge_join(
+                    left.rows,
+                    &left.schema,
+                    right.rows,
+                    &right.schema,
+                    &left_keys,
+                    &right_keys,
+                    &residual,
+                    &self.params,
+                );
+                Table {
+                    schema,
+                    rows,
+                    sorted_on: left_keys,
+                }
+            }
+            Algo::IndexedNLJoinBase {
+                table,
+                outer_key,
+                inner_key,
+                residual,
+            } => {
+                let outer = self.eval_use(inputs[0]);
+                let inner = self.db.table(table);
+                debug_assert_eq!(inner.sorted_on.first(), Some(&inner_key));
+                let mut schema = outer.schema.clone();
+                schema.extend(inner.schema.iter().copied());
+                let rows = ops::indexed_nl_join(
+                    Box::new(outer.rows.into_iter()),
+                    outer.schema.clone(),
+                    inner,
+                    outer_key,
+                    residual,
+                    self.params.clone(),
+                )
+                .collect();
+                Table::new(schema, rows)
+            }
+            Algo::IndexedNLJoinTemp {
+                source,
+                outer_key,
+                inner_key,
+                residual,
+            } => {
+                let outer = self.eval_use(inputs[0]);
+                let inner = self.temp_sorted_on(source, inner_key);
+                let mut schema = outer.schema.clone();
+                schema.extend(inner.schema.iter().copied());
+                let rows = ops::indexed_nl_join(
+                    Box::new(outer.rows.into_iter()),
+                    outer.schema.clone(),
+                    inner,
+                    outer_key,
+                    residual,
+                    self.params.clone(),
+                )
+                .collect();
+                Table::new(schema, rows)
+            }
+            Algo::Sort { keys } => {
+                let mut input = self.eval_use(inputs[0]);
+                input.sort_by(&keys);
+                input
+            }
+            Algo::SortAggregate { keys, aggs } => {
+                let mut input = self.eval_use(inputs[0]);
+                if !keys.is_empty() && !input.sorted_on.starts_with(&keys) {
+                    input.sort_by(&keys);
+                }
+                let rows = ops::sort_aggregate(input.rows, &input.schema, &keys, &aggs);
+                let mut schema = keys.clone();
+                schema.extend(aggs.iter().map(|a| a.output));
+                Table {
+                    schema,
+                    rows,
+                    sorted_on: keys,
+                }
+            }
+            Algo::Project { cols } => {
+                let input = self.eval_use(inputs[0]);
+                let rows = ops::project(
+                    Box::new(input.rows.into_iter()),
+                    &input.schema,
+                    &cols,
+                )
+                .collect();
+                let sorted: Vec<_> = input
+                    .sorted_on
+                    .iter()
+                    .take_while(|k| cols.contains(k))
+                    .copied()
+                    .collect();
+                Table {
+                    schema: cols,
+                    rows,
+                    sorted_on: sorted,
+                }
+            }
+            Algo::Root => panic!("root op is not executable"),
+        }
+    }
+
+    /// Finds the materialized temp of `source` sorted with leading `col`.
+    fn temp_sorted_on(&self, source: mqo_dag::GroupId, col: mqo_catalog::ColId) -> Arc<Table> {
+        for (&n, t) in &self.temps {
+            let node = self.pdag.node(n);
+            if node.group == source && node.prop.leading_col() == Some(col) {
+                return Arc::clone(t);
+            }
+        }
+        panic!("no materialized temp of group {source} sorted on c{col}");
+    }
+}
+
+// Catalog is currently only consulted by TableScan via Database, but the
+// field keeps the door open for richer metadata needs (kept deliberately).
+impl std::fmt::Debug for Executor<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Executor")
+            .field("temps", &self.temps.len())
+            .field("catalog_tables", &self.catalog.tables().len())
+            .finish()
+    }
+}

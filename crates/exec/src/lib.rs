@@ -1,0 +1,19 @@
+//! Execution engine: runs the optimizer's shared plans.
+//!
+//! The paper demonstrated its plans on Microsoft SQL Server by encoding
+//! sharing as temp-table DDL (§6, Figure 7) — and notes the measured
+//! benefit *understates* the potential because sharing could not be
+//! pipelined. This engine executes [`mqo_physical::ExtractedPlan`]s
+//! directly: pull-based iterators (the Volcano iterator model the cost
+//! model assumes), a temp store for materialized nodes (sorted temps act
+//! as clustered indexes), and a catalog-driven data generator whose
+//! output matches the optimizer's statistics.
+
+mod datagen;
+mod engine;
+mod ops;
+mod table;
+
+pub use datagen::generate_database;
+pub use engine::{execute_plan, ExecOutcome, Executor};
+pub use table::{normalize_result, results_approx_equal, Database, Row, Table};

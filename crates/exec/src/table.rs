@@ -1,0 +1,222 @@
+//! In-memory tables and rows.
+
+use mqo_catalog::{Catalog, ColId, TableId};
+use mqo_expr::Value;
+#[allow(unused_imports)]
+use std::cmp::Ordering;
+use mqo_util::FxHashMap;
+use std::sync::Arc;
+
+/// A tuple: one value per schema column.
+pub type Row = Vec<Value>;
+
+/// An in-memory table (base relation or materialized temp). Rows are
+/// stored sorted by `sorted_on` when present — a sorted table doubles as
+/// a clustered index on its leading sort column.
+#[derive(Debug, Clone)]
+pub struct Table {
+    /// Column layout of every row.
+    pub schema: Vec<ColId>,
+    /// The rows.
+    pub rows: Vec<Row>,
+    /// Sort keys the rows are ordered by (empty = unordered).
+    pub sorted_on: Vec<ColId>,
+}
+
+impl Table {
+    /// Creates an unordered table.
+    pub fn new(schema: Vec<ColId>, rows: Vec<Row>) -> Self {
+        Table {
+            schema,
+            rows,
+            sorted_on: Vec::new(),
+        }
+    }
+
+    /// Position of a column in the schema; panics if absent (schema
+    /// mismatches are programming errors caught by tests).
+    pub fn col_pos(&self, c: ColId) -> usize {
+        self.schema
+            .iter()
+            .position(|&x| x == c)
+            .unwrap_or_else(|| panic!("column c{c} not in schema {:?}", self.schema))
+    }
+
+    /// Sorts the rows by the given keys (ascending, Null first).
+    pub fn sort_by(&mut self, keys: &[ColId]) {
+        let pos: Vec<usize> = keys.iter().map(|&k| self.col_pos(k)).collect();
+        self.rows.sort_by(|a, b| {
+            pos.iter()
+                .map(|&p| a[p].sort_cmp(&b[p]))
+                .find(|o| *o != std::cmp::Ordering::Equal)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        self.sorted_on = keys.to_vec();
+    }
+
+    /// Half-open index range of rows whose leading sort column equals or
+    /// falls within `[lo, hi]` bounds (inclusive); requires the table to
+    /// be sorted. `None` bounds are unbounded.
+    pub fn range_on_sorted(&self, lo: Option<&Value>, hi: Option<&Value>) -> (usize, usize) {
+        assert!(
+            !self.sorted_on.is_empty(),
+            "range probe on unsorted table"
+        );
+        let p = self.col_pos(self.sorted_on[0]);
+        let start = match lo {
+            Some(v) => self
+                .rows
+                .partition_point(|r| r[p].sort_cmp(v) == std::cmp::Ordering::Less),
+            None => 0,
+        };
+        let end = match hi {
+            Some(v) => self
+                .rows
+                .partition_point(|r| r[p].sort_cmp(v) != std::cmp::Ordering::Greater),
+            None => self.rows.len(),
+        };
+        (start, end.max(start))
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+/// A database instance: one table per catalog table.
+#[derive(Debug, Clone, Default)]
+pub struct Database {
+    tables: FxHashMap<TableId, Arc<Table>>,
+}
+
+impl Database {
+    /// An empty database.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Installs a table, sorting it by its clustered column per the
+    /// catalog.
+    pub fn insert(&mut self, catalog: &Catalog, id: TableId, mut table: Table) {
+        if let Some(c) = catalog.table_ref(id).clustered_on {
+            table.sort_by(&[c]);
+        }
+        self.tables.insert(id, Arc::new(table));
+    }
+
+    /// Fetches a table.
+    pub fn table(&self, id: TableId) -> Arc<Table> {
+        self.tables
+            .get(&id)
+            .cloned()
+            .unwrap_or_else(|| panic!("no data loaded for table {id:?}"))
+    }
+
+    /// True if data for `id` is loaded.
+    pub fn contains(&self, id: TableId) -> bool {
+        self.tables.contains_key(&id)
+    }
+}
+
+/// Normalizes a result for comparison: projects columns in ascending
+/// `ColId` order and sorts rows, so logically equal results compare equal
+/// regardless of operator order. Used by differential tests (shared vs
+/// unshared execution).
+pub fn normalize_result(table: &Table) -> Vec<Row> {
+    let mut order: Vec<usize> = (0..table.schema.len()).collect();
+    order.sort_by_key(|&i| table.schema[i]);
+    let mut rows: Vec<Row> = table
+        .rows
+        .iter()
+        .map(|r| order.iter().map(|&i| r[i].clone()).collect())
+        .collect();
+    rows.sort_by(|a, b| {
+        a.iter()
+            .zip(b.iter())
+            .map(|(x, y)| x.sort_cmp(y))
+            .find(|o| *o != std::cmp::Ordering::Equal)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    rows
+}
+
+/// Approximate equality of two normalized results: floats compare within
+/// a relative epsilon (summation order may legally differ between plans),
+/// everything else exactly.
+pub fn results_approx_equal(a: &[Row], b: &[Row], rel_eps: f64) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    a.iter().zip(b.iter()).all(|(ra, rb)| {
+        ra.len() == rb.len()
+            && ra.iter().zip(rb.iter()).all(|(x, y)| match (x, y) {
+                (Value::Float(p), Value::Float(q)) => {
+                    let scale = p.abs().max(q.abs()).max(1.0);
+                    (p - q).abs() <= rel_eps * scale
+                }
+                _ => x == y,
+            })
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(i: u32) -> ColId {
+        ColId(i)
+    }
+
+    fn v(i: i64) -> Value {
+        Value::Int(i)
+    }
+
+    #[test]
+    fn sort_and_range_probe() {
+        let mut t = Table::new(
+            vec![c(0), c(1)],
+            vec![
+                vec![v(3), v(30)],
+                vec![v(1), v(10)],
+                vec![v(2), v(20)],
+                vec![v(2), v(21)],
+            ],
+        );
+        t.sort_by(&[c(0)]);
+        assert_eq!(t.sorted_on, vec![c(0)]);
+        let (s, e) = t.range_on_sorted(Some(&v(2)), Some(&v(2)));
+        assert_eq!(e - s, 2);
+        let (s, e) = t.range_on_sorted(Some(&v(2)), None);
+        assert_eq!(e - s, 3);
+        let (s, e) = t.range_on_sorted(None, Some(&v(1)));
+        assert_eq!((s, e), (0, 1));
+        let (s, e) = t.range_on_sorted(Some(&v(9)), Some(&v(100)));
+        assert_eq!(s, e);
+    }
+
+    #[test]
+    fn normalize_is_order_insensitive() {
+        let t1 = Table::new(
+            vec![c(1), c(0)],
+            vec![vec![v(10), v(1)], vec![v(20), v(2)]],
+        );
+        let t2 = Table::new(
+            vec![c(0), c(1)],
+            vec![vec![v(2), v(20)], vec![v(1), v(10)]],
+        );
+        assert_eq!(normalize_result(&t1), normalize_result(&t2));
+    }
+
+    #[test]
+    #[should_panic(expected = "not in schema")]
+    fn col_pos_panics_on_missing() {
+        let t = Table::new(vec![c(0)], vec![]);
+        t.col_pos(c(7));
+    }
+}

@@ -1,0 +1,17 @@
+//! Values, scalar expressions and predicates.
+//!
+//! Predicates are kept in a canonical OR-of-ANDs form with sorted,
+//! de-duplicated atoms so that structurally equal predicates compare and
+//! hash equal — the AND-OR DAG relies on this for detecting common
+//! subexpressions. The implication test ([`Predicate::implies`]) is the
+//! substrate for the paper's *subsumption derivations* (§2.1): computing
+//! `σ_{A<5}(E)` from `σ_{A<10}(E)`, and merging `σ_{A=5}`/`σ_{A=10}` into
+//! a shared disjunction node.
+
+mod predicate;
+mod scalar;
+mod value;
+
+pub use predicate::{Atom, CmpOp, Conjunct, ParamId, Predicate};
+pub use scalar::{AggExpr, AggFunc, ArithOp, ScalarExpr};
+pub use value::Value;

@@ -1,0 +1,652 @@
+//! Predicates in canonical OR-of-ANDs form, with a sound implication test.
+//!
+//! Implication powers the paper's subsumption derivations: if `p implies q`
+//! then `σ_p(E) ≡ σ_p(σ_q(E))`, so the optimizer may derive the stronger
+//! selection from the weaker one and share the weaker result.
+
+use crate::Value;
+use mqo_catalog::ColId;
+use mqo_util::id_type;
+use std::cmp::Ordering;
+
+id_type!(
+    /// Identifies a correlation/query parameter (nested-query variable).
+    ParamId
+);
+
+/// Comparison operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum CmpOp {
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `=`
+    Eq,
+    /// `>=`
+    Ge,
+    /// `>`
+    Gt,
+    /// `<>`
+    Ne,
+}
+
+impl CmpOp {
+    /// The operator with sides swapped: `a op b` ⇔ `b op.flip() a`.
+    pub fn flip(self) -> Self {
+        match self {
+            CmpOp::Lt => CmpOp::Gt,
+            CmpOp::Le => CmpOp::Ge,
+            CmpOp::Eq => CmpOp::Eq,
+            CmpOp::Ge => CmpOp::Le,
+            CmpOp::Gt => CmpOp::Lt,
+            CmpOp::Ne => CmpOp::Ne,
+        }
+    }
+
+    /// Applies the comparison given an `Ordering` between the operands.
+    pub fn matches(self, ord: Ordering) -> bool {
+        match self {
+            CmpOp::Lt => ord == Ordering::Less,
+            CmpOp::Le => ord != Ordering::Greater,
+            CmpOp::Eq => ord == Ordering::Equal,
+            CmpOp::Ge => ord != Ordering::Less,
+            CmpOp::Gt => ord == Ordering::Greater,
+            CmpOp::Ne => ord != Ordering::Equal,
+        }
+    }
+
+    fn symbol(self) -> &'static str {
+        match self {
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Eq => "=",
+            CmpOp::Ge => ">=",
+            CmpOp::Gt => ">",
+            CmpOp::Ne => "<>",
+        }
+    }
+}
+
+/// An atomic predicate.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Atom {
+    /// `col op constant`.
+    Cmp {
+        /// Column.
+        col: ColId,
+        /// Operator.
+        op: CmpOp,
+        /// Constant.
+        val: Value,
+    },
+    /// `left op right` between two columns (join predicates). Canonical
+    /// form keeps `left < right` by id, flipping the operator as needed.
+    ColCmp {
+        /// Lower-id column.
+        left: ColId,
+        /// Operator (as applied to `left op right`).
+        op: CmpOp,
+        /// Higher-id column.
+        right: ColId,
+    },
+    /// `col op :param` — a comparison against a correlation variable of an
+    /// enclosing query (nested-query extension, paper §5).
+    Param {
+        /// Column.
+        col: ColId,
+        /// Operator.
+        op: CmpOp,
+        /// Parameter.
+        param: ParamId,
+    },
+}
+
+// Value has no Ord; derive(PartialOrd, Ord) above requires it. We provide a
+// total order via sort_cmp so atoms can be sorted canonically.
+impl Atom {
+    /// `col op constant` helper (canonicalizes nothing; already canonical).
+    pub fn cmp(col: ColId, op: CmpOp, val: impl Into<Value>) -> Self {
+        Atom::Cmp {
+            col,
+            op,
+            val: val.into(),
+        }
+    }
+
+    /// Canonical column-column comparison.
+    pub fn col_cmp(a: ColId, op: CmpOp, b: ColId) -> Self {
+        if a <= b {
+            Atom::ColCmp {
+                left: a,
+                op,
+                right: b,
+            }
+        } else {
+            Atom::ColCmp {
+                left: b,
+                op: op.flip(),
+                right: a,
+            }
+        }
+    }
+
+    /// Equi-join atom.
+    pub fn eq_cols(a: ColId, b: ColId) -> Self {
+        Atom::col_cmp(a, CmpOp::Eq, b)
+    }
+
+    /// Columns referenced, appended to `out`.
+    pub fn collect_cols(&self, out: &mut Vec<ColId>) {
+        match self {
+            Atom::Cmp { col, .. } | Atom::Param { col, .. } => out.push(*col),
+            Atom::ColCmp { left, right, .. } => {
+                out.push(*left);
+                out.push(*right);
+            }
+        }
+    }
+
+    /// True if this atom references a query parameter.
+    pub fn has_param(&self) -> bool {
+        matches!(self, Atom::Param { .. })
+    }
+
+    /// Sound implication test between atoms: `self ⟹ other` for every
+    /// assignment. Incomplete (returns false on unknown cases), which only
+    /// costs sharing opportunities, never correctness.
+    pub fn implies(&self, other: &Atom) -> bool {
+        if self == other {
+            return true;
+        }
+        let (Atom::Cmp { col: c1, op: o1, val: v1 }, Atom::Cmp { col: c2, op: o2, val: v2 }) =
+            (self, other)
+        else {
+            return false;
+        };
+        if c1 != c2 {
+            return false;
+        }
+        let Some(ord) = v1.cmp_maybe(v2) else {
+            return false;
+        };
+        use CmpOp::*;
+        match (o1, o2) {
+            // {v1} ⊆ S(op2 v2): evaluate directly.
+            (Eq, _) => o2.matches(ord),
+            // (-∞, v1) ⊆ ...
+            (Lt, Lt) | (Lt, Le) => ord != Ordering::Greater, // v1 <= v2
+            (Lt, Ne) => ord != Ordering::Greater,            // v1 <= v2
+            // (-∞, v1] ⊆ ...
+            (Le, Le) => ord != Ordering::Greater,
+            (Le, Lt) | (Le, Ne) => ord == Ordering::Less, // v1 < v2
+            // (v1, ∞) ⊆ ...
+            (Gt, Gt) | (Gt, Ge) => ord != Ordering::Less, // v1 >= v2
+            (Gt, Ne) => ord != Ordering::Less,
+            // [v1, ∞) ⊆ ...
+            (Ge, Ge) => ord != Ordering::Less,
+            (Ge, Gt) | (Ge, Ne) => ord == Ordering::Greater, // v1 > v2
+            // domain \ {v1} ⊆ S(b) only if b = Ne v1, caught by equality.
+            (Ne, _) => false,
+            _ => false,
+        }
+    }
+
+    /// Evaluates against resolvers for columns and parameters.
+    pub fn eval(
+        &self,
+        resolve: &impl Fn(ColId) -> Value,
+        params: &impl Fn(ParamId) -> Value,
+    ) -> bool {
+        let (l, op, r) = match self {
+            Atom::Cmp { col, op, val } => (resolve(*col), *op, val.clone()),
+            Atom::ColCmp { left, op, right } => (resolve(*left), *op, resolve(*right)),
+            Atom::Param { col, op, param } => (resolve(*col), *op, params(*param)),
+        };
+        match l.cmp_maybe(&r) {
+            Some(ord) => op.matches(ord),
+            None => false,
+        }
+    }
+
+    /// Canonical sort key (Value lacks Ord, so we order via sort_cmp).
+    fn sort_key_cmp(&self, other: &Atom) -> Ordering {
+        fn rank(a: &Atom) -> u8 {
+            match a {
+                Atom::Cmp { .. } => 0,
+                Atom::ColCmp { .. } => 1,
+                Atom::Param { .. } => 2,
+            }
+        }
+        rank(self).cmp(&rank(other)).then_with(|| match (self, other) {
+            (
+                Atom::Cmp { col: c1, op: o1, val: v1 },
+                Atom::Cmp { col: c2, op: o2, val: v2 },
+            ) => c1.cmp(c2).then(o1.cmp(o2)).then(v1.sort_cmp(v2)),
+            (
+                Atom::ColCmp { left: l1, op: o1, right: r1 },
+                Atom::ColCmp { left: l2, op: o2, right: r2 },
+            ) => l1.cmp(l2).then(r1.cmp(r2)).then(o1.cmp(o2)),
+            (
+                Atom::Param { col: c1, op: o1, param: p1 },
+                Atom::Param { col: c2, op: o2, param: p2 },
+            ) => c1.cmp(c2).then(p1.cmp(p2)).then(o1.cmp(o2)),
+            _ => Ordering::Equal,
+        })
+    }
+}
+
+impl std::fmt::Display for Atom {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Atom::Cmp { col, op, val } => write!(f, "c{col}{}{val}", op.symbol()),
+            Atom::ColCmp { left, op, right } => write!(f, "c{left}{}c{right}", op.symbol()),
+            Atom::Param { col, op, param } => write!(f, "c{col}{}:p{param}", op.symbol()),
+        }
+    }
+}
+
+/// A conjunction of atoms, kept sorted and de-duplicated.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct Conjunct {
+    atoms: Vec<Atom>,
+}
+
+impl Conjunct {
+    /// Builds a conjunct, normalizing atom order.
+    pub fn new(mut atoms: Vec<Atom>) -> Self {
+        atoms.sort_by(|a, b| a.sort_key_cmp(b));
+        atoms.dedup();
+        Self { atoms }
+    }
+
+    /// The atoms, in canonical order.
+    pub fn atoms(&self) -> &[Atom] {
+        &self.atoms
+    }
+
+    /// True for the empty conjunction (logical TRUE).
+    pub fn is_true(&self) -> bool {
+        self.atoms.is_empty()
+    }
+
+    /// Sound implication: every atom of `other` is implied by some atom of
+    /// `self`.
+    pub fn implies(&self, other: &Conjunct) -> bool {
+        other
+            .atoms
+            .iter()
+            .all(|b| self.atoms.iter().any(|a| a.implies(b)))
+    }
+
+    /// Conjunction of two conjuncts.
+    pub fn and(&self, other: &Conjunct) -> Conjunct {
+        Conjunct::new(self.atoms.iter().chain(&other.atoms).cloned().collect())
+    }
+}
+
+/// A predicate: OR of conjuncts. The empty OR is FALSE; an OR containing an
+/// empty conjunct is TRUE.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Predicate {
+    disjuncts: Vec<Conjunct>,
+}
+
+impl Predicate {
+    /// Logical TRUE.
+    pub fn true_() -> Self {
+        Self {
+            disjuncts: vec![Conjunct::default()],
+        }
+    }
+
+    /// Logical FALSE.
+    pub fn false_() -> Self {
+        Self { disjuncts: vec![] }
+    }
+
+    /// A single-atom predicate.
+    pub fn atom(a: Atom) -> Self {
+        Self {
+            disjuncts: vec![Conjunct::new(vec![a])],
+        }
+    }
+
+    /// A conjunction of atoms.
+    pub fn all(atoms: Vec<Atom>) -> Self {
+        Self {
+            disjuncts: vec![Conjunct::new(atoms)],
+        }
+    }
+
+    /// A disjunction of conjuncts (normalized).
+    pub fn any(disjuncts: Vec<Conjunct>) -> Self {
+        let mut p = Self { disjuncts };
+        p.normalize();
+        p
+    }
+
+    /// The disjuncts.
+    pub fn disjuncts(&self) -> &[Conjunct] {
+        &self.disjuncts
+    }
+
+    /// True if this predicate is the constant TRUE.
+    pub fn is_true(&self) -> bool {
+        self.disjuncts.iter().any(|c| c.is_true())
+    }
+
+    /// True if this predicate is the constant FALSE.
+    pub fn is_false(&self) -> bool {
+        self.disjuncts.is_empty()
+    }
+
+    /// Conjunction (distributes over the disjuncts).
+    pub fn and(&self, other: &Predicate) -> Predicate {
+        let mut out = Vec::with_capacity(self.disjuncts.len() * other.disjuncts.len());
+        for a in &self.disjuncts {
+            for b in &other.disjuncts {
+                out.push(a.and(b));
+            }
+        }
+        Predicate::any(out)
+    }
+
+    /// Disjunction.
+    pub fn or(&self, other: &Predicate) -> Predicate {
+        Predicate::any(
+            self.disjuncts
+                .iter()
+                .chain(&other.disjuncts)
+                .cloned()
+                .collect(),
+        )
+    }
+
+    /// Sound implication: every disjunct of `self` implies some disjunct of
+    /// `other`.
+    pub fn implies(&self, other: &Predicate) -> bool {
+        self.disjuncts
+            .iter()
+            .all(|d| other.disjuncts.iter().any(|e| d.implies(e)))
+    }
+
+    /// Columns referenced anywhere in the predicate.
+    pub fn columns(&self) -> Vec<ColId> {
+        let mut out = Vec::new();
+        for d in &self.disjuncts {
+            for a in d.atoms() {
+                a.collect_cols(&mut out);
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// True if any atom references a query parameter.
+    pub fn has_param(&self) -> bool {
+        self.disjuncts
+            .iter()
+            .any(|d| d.atoms().iter().any(Atom::has_param))
+    }
+
+    /// Evaluates the predicate.
+    pub fn eval(
+        &self,
+        resolve: &impl Fn(ColId) -> Value,
+        params: &impl Fn(ParamId) -> Value,
+    ) -> bool {
+        self.disjuncts
+            .iter()
+            .any(|d| d.atoms().iter().all(|a| a.eval(resolve, params)))
+    }
+
+    /// If the predicate is a single constant comparison `col op v`, returns
+    /// it. Used by subsumption detection for range selections.
+    pub fn as_single_cmp(&self) -> Option<(ColId, CmpOp, &Value)> {
+        let [d] = self.disjuncts.as_slice() else {
+            return None;
+        };
+        let [Atom::Cmp { col, op, val }] = d.atoms() else {
+            return None;
+        };
+        Some((*col, *op, val))
+    }
+
+    /// If the predicate is a disjunction of equalities on one column
+    /// (`col=v1 ∨ col=v2 ∨ …`), returns the column and values. Single
+    /// equalities qualify with one value.
+    pub fn as_eq_disjunction(&self) -> Option<(ColId, Vec<Value>)> {
+        let mut col: Option<ColId> = None;
+        let mut vals = Vec::new();
+        for d in &self.disjuncts {
+            let [Atom::Cmp { col: c, op: CmpOp::Eq, val }] = d.atoms() else {
+                return None;
+            };
+            if *col.get_or_insert(*c) != *c {
+                return None;
+            }
+            vals.push(val.clone());
+        }
+        col.map(|c| (c, vals))
+    }
+
+    /// Normalization: sort & dedup disjuncts, apply absorption (drop a
+    /// disjunct that implies another — it is redundant in an OR), and
+    /// collapse to TRUE if any disjunct is empty.
+    fn normalize(&mut self) {
+        if self.is_true() {
+            self.disjuncts = vec![Conjunct::default()];
+            return;
+        }
+        self.disjuncts
+            .sort_by(|a, b| format!("{a:?}").cmp(&format!("{b:?}")));
+        self.disjuncts.dedup();
+        let ds = std::mem::take(&mut self.disjuncts);
+        let mut kept: Vec<Conjunct> = Vec::with_capacity(ds.len());
+        for d in ds {
+            // Absorption: d is redundant if it implies a kept disjunct;
+            // a kept disjunct is redundant if it implies d.
+            if kept.iter().any(|k| d.implies(k) && d != *k) {
+                continue;
+            }
+            kept.retain(|k| !(k.implies(&d) && *k != d));
+            kept.push(d);
+        }
+        self.disjuncts = kept;
+    }
+}
+
+impl std::fmt::Display for Predicate {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.is_true() {
+            return write!(f, "true");
+        }
+        if self.is_false() {
+            return write!(f, "false");
+        }
+        let ds: Vec<String> = self
+            .disjuncts
+            .iter()
+            .map(|d| {
+                d.atoms()
+                    .iter()
+                    .map(|a| a.to_string())
+                    .collect::<Vec<_>>()
+                    .join(" & ")
+            })
+            .collect();
+        write!(f, "{}", ds.join(" | "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(i: u32) -> ColId {
+        ColId(i)
+    }
+
+    #[test]
+    fn range_implication_matches_paper_example() {
+        // σ_{A<5} implies σ_{A<10}: the paper's canonical subsumption case.
+        let lt5 = Predicate::atom(Atom::cmp(c(0), CmpOp::Lt, 5i64));
+        let lt10 = Predicate::atom(Atom::cmp(c(0), CmpOp::Lt, 10i64));
+        assert!(lt5.implies(&lt10));
+        assert!(!lt10.implies(&lt5));
+    }
+
+    #[test]
+    fn eq_implies_range_and_disjunction() {
+        let eq5 = Predicate::atom(Atom::cmp(c(0), CmpOp::Eq, 5i64));
+        let lt10 = Predicate::atom(Atom::cmp(c(0), CmpOp::Lt, 10i64));
+        assert!(eq5.implies(&lt10));
+        let eq10 = Predicate::atom(Atom::cmp(c(0), CmpOp::Eq, 10i64));
+        let disj = eq5.or(&eq10);
+        assert!(eq5.implies(&disj));
+        assert!(eq10.implies(&disj));
+        assert!(!disj.implies(&eq5));
+    }
+
+    #[test]
+    fn ge_implication_direction() {
+        // NUM>=b implies NUM>=a when a<=b (scale-up workload subsumption).
+        let ge_hi = Predicate::atom(Atom::cmp(c(1), CmpOp::Ge, 70i64));
+        let ge_lo = Predicate::atom(Atom::cmp(c(1), CmpOp::Ge, 30i64));
+        assert!(ge_hi.implies(&ge_lo));
+        assert!(!ge_lo.implies(&ge_hi));
+    }
+
+    #[test]
+    fn conjunct_implication_is_per_atom() {
+        let p = Predicate::all(vec![
+            Atom::cmp(c(0), CmpOp::Lt, 5i64),
+            Atom::cmp(c(1), CmpOp::Eq, 3i64),
+        ]);
+        let q = Predicate::atom(Atom::cmp(c(0), CmpOp::Lt, 10i64));
+        assert!(p.implies(&q));
+        assert!(!q.implies(&p));
+    }
+
+    #[test]
+    fn different_columns_never_imply() {
+        let p = Predicate::atom(Atom::cmp(c(0), CmpOp::Lt, 5i64));
+        let q = Predicate::atom(Atom::cmp(c(1), CmpOp::Lt, 10i64));
+        assert!(!p.implies(&q));
+    }
+
+    #[test]
+    fn col_cmp_canonicalization() {
+        let a = Atom::col_cmp(c(5), CmpOp::Lt, c(2));
+        // stored as c2 > c5
+        assert_eq!(
+            a,
+            Atom::ColCmp {
+                left: c(2),
+                op: CmpOp::Gt,
+                right: c(5)
+            }
+        );
+        assert_eq!(Atom::eq_cols(c(5), c(2)), Atom::eq_cols(c(2), c(5)));
+    }
+
+    #[test]
+    fn structural_equality_after_normalization() {
+        let p1 = Predicate::all(vec![
+            Atom::cmp(c(0), CmpOp::Lt, 5i64),
+            Atom::eq_cols(c(1), c(2)),
+        ]);
+        let p2 = Predicate::all(vec![
+            Atom::eq_cols(c(2), c(1)),
+            Atom::cmp(c(0), CmpOp::Lt, 5i64),
+        ]);
+        assert_eq!(p1, p2);
+        use std::hash::{BuildHasher, RandomState};
+        let s = RandomState::new();
+        assert_eq!(s.hash_one(&p1), s.hash_one(&p2));
+    }
+
+    #[test]
+    fn absorption_drops_stronger_disjunct() {
+        let lt5 = Conjunct::new(vec![Atom::cmp(c(0), CmpOp::Lt, 5i64)]);
+        let lt10 = Conjunct::new(vec![Atom::cmp(c(0), CmpOp::Lt, 10i64)]);
+        let p = Predicate::any(vec![lt5, lt10.clone()]);
+        assert_eq!(p.disjuncts(), &[lt10]);
+    }
+
+    #[test]
+    fn and_distributes() {
+        let p = Predicate::atom(Atom::cmp(c(0), CmpOp::Eq, 1i64))
+            .or(&Predicate::atom(Atom::cmp(c(0), CmpOp::Eq, 2i64)));
+        let q = Predicate::atom(Atom::cmp(c(1), CmpOp::Gt, 7i64));
+        let r = p.and(&q);
+        assert_eq!(r.disjuncts().len(), 2);
+        assert!(r.disjuncts().iter().all(|d| d.atoms().len() == 2));
+    }
+
+    #[test]
+    fn eval_three_valued_null_is_false() {
+        let p = Predicate::atom(Atom::cmp(c(0), CmpOp::Lt, 5i64));
+        assert!(!p.eval(&|_| Value::Null, &|_| Value::Null));
+        assert!(p.eval(&|_| Value::Int(3), &|_| Value::Null));
+    }
+
+    #[test]
+    fn eval_param_atom() {
+        let p = Predicate::atom(Atom::Param {
+            col: c(0),
+            op: CmpOp::Eq,
+            param: ParamId(0),
+        });
+        assert!(p.eval(&|_| Value::Int(7), &|_| Value::Int(7)));
+        assert!(!p.eval(&|_| Value::Int(7), &|_| Value::Int(8)));
+    }
+
+    #[test]
+    fn as_single_cmp_and_eq_disjunction() {
+        let p = Predicate::atom(Atom::cmp(c(3), CmpOp::Ge, 42i64));
+        let (col, op, v) = p.as_single_cmp().unwrap();
+        assert_eq!((col, op), (c(3), CmpOp::Ge));
+        assert_eq!(*v, Value::Int(42));
+
+        let d = Predicate::atom(Atom::cmp(c(3), CmpOp::Eq, 1i64))
+            .or(&Predicate::atom(Atom::cmp(c(3), CmpOp::Eq, 2i64)));
+        let (col, vals) = d.as_eq_disjunction().unwrap();
+        assert_eq!(col, c(3));
+        assert_eq!(vals.len(), 2);
+
+        let mixed = Predicate::atom(Atom::cmp(c(3), CmpOp::Eq, 1i64))
+            .or(&Predicate::atom(Atom::cmp(c(4), CmpOp::Eq, 2i64)));
+        assert!(mixed.as_eq_disjunction().is_none());
+        assert!(mixed.as_single_cmp().is_none());
+    }
+
+    #[test]
+    fn true_false_identities() {
+        let p = Predicate::atom(Atom::cmp(c(0), CmpOp::Lt, 5i64));
+        assert!(p.and(&Predicate::true_()).eq(&p));
+        assert!(p.and(&Predicate::false_()).is_false());
+        assert!(p.or(&Predicate::false_()).eq(&p));
+        assert!(p.or(&Predicate::true_()).is_true());
+        // everything implies TRUE; FALSE implies everything
+        assert!(p.implies(&Predicate::true_()));
+        assert!(Predicate::false_().implies(&p));
+    }
+
+    #[test]
+    fn ne_implications() {
+        let lt5 = Atom::cmp(c(0), CmpOp::Lt, 5i64);
+        let ne9 = Atom::cmp(c(0), CmpOp::Ne, 9i64);
+        assert!(lt5.implies(&ne9));
+        let ne5 = Atom::cmp(c(0), CmpOp::Ne, 5i64);
+        assert!(!ne5.implies(&lt5));
+        assert!(ne5.implies(&ne5.clone()));
+        // Le v implies Ne w only when v < w
+        let le9 = Atom::cmp(c(0), CmpOp::Le, 9i64);
+        assert!(!le9.implies(&ne9));
+        let le8 = Atom::cmp(c(0), CmpOp::Le, 8i64);
+        assert!(le8.implies(&ne9));
+    }
+}

@@ -1,0 +1,252 @@
+//! Scalar expressions and aggregate functions.
+
+use crate::Value;
+use mqo_catalog::ColId;
+
+/// Binary arithmetic operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ArithOp {
+    /// Addition.
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Multiplication.
+    Mul,
+    /// Division (yields Null on division by zero).
+    Div,
+}
+
+/// A scalar expression over tuple columns.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum ScalarExpr {
+    /// Column reference.
+    Col(ColId),
+    /// Literal constant.
+    Const(Value),
+    /// Binary arithmetic.
+    BinOp {
+        /// Operator.
+        op: ArithOp,
+        /// Left operand.
+        left: Box<ScalarExpr>,
+        /// Right operand.
+        right: Box<ScalarExpr>,
+    },
+}
+
+impl ScalarExpr {
+    /// Column reference helper.
+    pub fn col(c: ColId) -> Self {
+        ScalarExpr::Col(c)
+    }
+
+    /// Constant helper.
+    pub fn constant(v: impl Into<Value>) -> Self {
+        ScalarExpr::Const(v.into())
+    }
+
+    /// Builds `self op other`.
+    pub fn bin(self, op: ArithOp, other: ScalarExpr) -> Self {
+        ScalarExpr::BinOp {
+            op,
+            left: Box::new(self),
+            right: Box::new(other),
+        }
+    }
+
+    /// Columns referenced by this expression, appended to `out`.
+    pub fn collect_cols(&self, out: &mut Vec<ColId>) {
+        match self {
+            ScalarExpr::Col(c) => out.push(*c),
+            ScalarExpr::Const(_) => {}
+            ScalarExpr::BinOp { left, right, .. } => {
+                left.collect_cols(out);
+                right.collect_cols(out);
+            }
+        }
+    }
+
+    /// Evaluates against a column resolver.
+    pub fn eval(&self, resolve: &impl Fn(ColId) -> Value) -> Value {
+        match self {
+            ScalarExpr::Col(c) => resolve(*c),
+            ScalarExpr::Const(v) => v.clone(),
+            ScalarExpr::BinOp { op, left, right } => {
+                let (l, r) = (left.eval(resolve), right.eval(resolve));
+                let (Some(x), Some(y)) = (l.as_f64(), r.as_f64()) else {
+                    return Value::Null;
+                };
+                let both_int = matches!((&l, &r), (Value::Int(_), Value::Int(_)));
+                let out = match op {
+                    ArithOp::Add => x + y,
+                    ArithOp::Sub => x - y,
+                    ArithOp::Mul => x * y,
+                    ArithOp::Div => {
+                        if y == 0.0 {
+                            return Value::Null;
+                        }
+                        x / y
+                    }
+                };
+                if both_int && out.fract() == 0.0 && *op != ArithOp::Div {
+                    Value::Int(out as i64)
+                } else {
+                    Value::Float(out)
+                }
+            }
+        }
+    }
+}
+
+/// Aggregate functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AggFunc {
+    /// Sum of the argument.
+    Sum,
+    /// Minimum of the argument.
+    Min,
+    /// Maximum of the argument.
+    Max,
+    /// Count of input rows (argument ignored).
+    Count,
+}
+
+/// An aggregate expression: `func(arg)`, producing the derived column
+/// `output` registered in the catalog.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct AggExpr {
+    /// Aggregate function.
+    pub func: AggFunc,
+    /// Argument expression (ignored for `Count`).
+    pub arg: ScalarExpr,
+    /// The derived column this aggregate produces.
+    pub output: ColId,
+}
+
+impl AggExpr {
+    /// Builds an aggregate expression.
+    pub fn new(func: AggFunc, arg: ScalarExpr, output: ColId) -> Self {
+        Self { func, arg, output }
+    }
+
+    /// Folds a new input value into the accumulator.
+    pub fn accumulate(&self, acc: &mut Option<Value>, row_val: Value) {
+        match self.func {
+            AggFunc::Count => {
+                let n = acc.take().and_then(|v| v.as_i64()).unwrap_or(0);
+                *acc = Some(Value::Int(n + 1));
+            }
+            AggFunc::Sum => {
+                let cur = acc.take().and_then(|v| v.as_f64()).unwrap_or(0.0);
+                if let Some(x) = row_val.as_f64() {
+                    *acc = Some(Value::Float(cur + x));
+                } else {
+                    *acc = Some(Value::Float(cur));
+                }
+            }
+            AggFunc::Min => {
+                let replace = match acc {
+                    Some(cur) => row_val.cmp_maybe(cur) == Some(std::cmp::Ordering::Less),
+                    None => !matches!(row_val, Value::Null),
+                };
+                if replace {
+                    *acc = Some(row_val);
+                }
+            }
+            AggFunc::Max => {
+                let replace = match acc {
+                    Some(cur) => row_val.cmp_maybe(cur) == Some(std::cmp::Ordering::Greater),
+                    None => !matches!(row_val, Value::Null),
+                };
+                if replace {
+                    *acc = Some(row_val);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn resolver(vals: &[(ColId, Value)]) -> impl Fn(ColId) -> Value + '_ {
+        move |c| {
+            vals.iter()
+                .find(|(id, _)| *id == c)
+                .map(|(_, v)| v.clone())
+                .unwrap_or(Value::Null)
+        }
+    }
+
+    #[test]
+    fn arithmetic_eval() {
+        let c0 = ColId(0);
+        let e = ScalarExpr::col(c0).bin(
+            ArithOp::Mul,
+            ScalarExpr::constant(1.0).bin(ArithOp::Sub, ScalarExpr::constant(0.1)),
+        );
+        let vals = [(c0, Value::Float(100.0))];
+        let v = e.eval(&resolver(&vals));
+        assert!((v.as_f64().unwrap() - 90.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn int_arithmetic_stays_int() {
+        let e = ScalarExpr::constant(2i64).bin(ArithOp::Add, ScalarExpr::constant(3i64));
+        assert_eq!(e.eval(&|_| Value::Null), Value::Int(5));
+    }
+
+    #[test]
+    fn division_by_zero_is_null() {
+        let e = ScalarExpr::constant(1i64).bin(ArithOp::Div, ScalarExpr::constant(0i64));
+        assert_eq!(e.eval(&|_| Value::Null), Value::Null);
+    }
+
+    #[test]
+    fn null_propagates() {
+        let c0 = ColId(0);
+        let e = ScalarExpr::col(c0).bin(ArithOp::Add, ScalarExpr::constant(1i64));
+        assert_eq!(e.eval(&|_| Value::Null), Value::Null);
+    }
+
+    #[test]
+    fn collect_cols_finds_all() {
+        let (a, b) = (ColId(3), ColId(5));
+        let e = ScalarExpr::col(a).bin(ArithOp::Mul, ScalarExpr::col(b));
+        let mut cols = vec![];
+        e.collect_cols(&mut cols);
+        assert_eq!(cols, vec![a, b]);
+    }
+
+    #[test]
+    fn aggregates_fold() {
+        let out = ColId(9);
+        let arg = ScalarExpr::col(ColId(0));
+        let cases: Vec<(AggFunc, Value)> = vec![
+            (AggFunc::Sum, Value::Float(6.0)),
+            (AggFunc::Min, Value::Int(1)),
+            (AggFunc::Max, Value::Int(3)),
+            (AggFunc::Count, Value::Int(3)),
+        ];
+        for (f, expected) in cases {
+            let agg = AggExpr::new(f, arg.clone(), out);
+            let mut acc = None;
+            for v in [1i64, 2, 3] {
+                agg.accumulate(&mut acc, Value::Int(v));
+            }
+            assert_eq!(acc.unwrap(), expected, "agg {f:?}");
+        }
+    }
+
+    #[test]
+    fn min_ignores_null() {
+        let agg = AggExpr::new(AggFunc::Min, ScalarExpr::col(ColId(0)), ColId(1));
+        let mut acc = None;
+        agg.accumulate(&mut acc, Value::Null);
+        assert_eq!(acc, None);
+        agg.accumulate(&mut acc, Value::Int(5));
+        agg.accumulate(&mut acc, Value::Null);
+        assert_eq!(acc, Some(Value::Int(5)));
+    }
+}

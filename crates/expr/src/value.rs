@@ -1,0 +1,198 @@
+//! Runtime values.
+
+use std::cmp::Ordering;
+use std::sync::Arc;
+
+/// A value as stored in tuples and predicate constants.
+///
+/// `Int`/`Float` compare numerically with each other; strings compare
+/// lexicographically. `Null` never compares (predicates over it are false),
+/// matching SQL three-valued logic folded down to two values.
+#[derive(Debug, Clone)]
+pub enum Value {
+    /// 64-bit integer.
+    Int(i64),
+    /// 64-bit float.
+    Float(f64),
+    /// Shared immutable string.
+    Str(Arc<str>),
+    /// SQL NULL.
+    Null,
+}
+
+impl Value {
+    /// Builds a string value.
+    pub fn str(s: &str) -> Self {
+        Value::Str(Arc::from(s))
+    }
+
+    /// Numeric view, if the value is numeric.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// Integer view, if the value is an integer.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// Total comparison used for sorting rows: Null sorts first, then
+    /// numerics, then strings. This is distinct from predicate comparison,
+    /// which treats Null as incomparable.
+    pub fn sort_cmp(&self, other: &Self) -> Ordering {
+        use Value::*;
+        match (self, other) {
+            (Null, Null) => Ordering::Equal,
+            (Null, _) => Ordering::Less,
+            (_, Null) => Ordering::Greater,
+            (Str(a), Str(b)) => a.cmp(b),
+            (Str(_), _) => Ordering::Greater,
+            (_, Str(_)) => Ordering::Less,
+            (a, b) => {
+                let (x, y) = (a.as_f64().unwrap(), b.as_f64().unwrap());
+                x.partial_cmp(&y).unwrap_or(Ordering::Equal)
+            }
+        }
+    }
+
+    /// Predicate-style comparison: `None` when either side is Null or the
+    /// types are incomparable.
+    pub fn cmp_maybe(&self, other: &Self) -> Option<Ordering> {
+        use Value::*;
+        match (self, other) {
+            (Null, _) | (_, Null) => None,
+            (Str(a), Str(b)) => Some(a.cmp(b)),
+            (Str(_), _) | (_, Str(_)) => None,
+            (a, b) => a.as_f64().unwrap().partial_cmp(&b.as_f64().unwrap()),
+        }
+    }
+
+    /// A numeric key usable for range statistics; strings map through their
+    /// first 8 bytes (big-endian), preserving order for fixed prefixes.
+    pub fn stat_key(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Float(f) => Some(*f),
+            Value::Str(s) => {
+                let mut buf = [0u8; 8];
+                let bytes = s.as_bytes();
+                let n = bytes.len().min(8);
+                buf[..n].copy_from_slice(&bytes[..n]);
+                Some(u64::from_be_bytes(buf) as f64)
+            }
+            Value::Null => None,
+        }
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp_maybe(other) == Some(Ordering::Equal)
+            || matches!((self, other), (Value::Null, Value::Null))
+    }
+}
+
+impl Eq for Value {}
+
+impl std::hash::Hash for Value {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        match self {
+            // Int and Float that compare equal must hash equal.
+            Value::Int(i) => (*i as f64).to_bits().hash(state),
+            Value::Float(f) => f.to_bits().hash(state),
+            Value::Str(s) => s.hash(state),
+            Value::Null => 0u8.hash(state),
+        }
+    }
+}
+
+impl std::fmt::Display for Value {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => write!(f, "{x}"),
+            Value::Str(s) => write!(f, "'{s}'"),
+            Value::Null => write!(f, "NULL"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::str(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numeric_cross_type_equality() {
+        assert_eq!(Value::Int(3), Value::Float(3.0));
+        assert_ne!(Value::Int(3), Value::Float(3.5));
+    }
+
+    #[test]
+    fn null_is_incomparable_in_predicates() {
+        assert_eq!(Value::Null.cmp_maybe(&Value::Int(1)), None);
+        assert_eq!(Value::Int(1).cmp_maybe(&Value::Null), None);
+        // but Null == Null for structural purposes (predicate identity)
+        assert_eq!(Value::Null, Value::Null);
+    }
+
+    #[test]
+    fn sort_cmp_totally_orders_mixed_values() {
+        let mut vals = vec![
+            Value::str("b"),
+            Value::Int(5),
+            Value::Null,
+            Value::Float(2.5),
+            Value::str("a"),
+        ];
+        vals.sort_by(|a, b| a.sort_cmp(b));
+        assert_eq!(
+            vals,
+            vec![
+                Value::Null,
+                Value::Float(2.5),
+                Value::Int(5),
+                Value::str("a"),
+                Value::str("b"),
+            ]
+        );
+    }
+
+    #[test]
+    fn stat_key_preserves_string_order() {
+        let a = Value::str("ASIA").stat_key().unwrap();
+        let b = Value::str("EUROPE").stat_key().unwrap();
+        assert!(a < b);
+    }
+
+    #[test]
+    fn hash_consistent_with_eq_across_types() {
+        use std::hash::{BuildHasher, RandomState};
+        let s = RandomState::new();
+        assert_eq!(s.hash_one(Value::Int(7)), s.hash_one(Value::Float(7.0)));
+    }
+}

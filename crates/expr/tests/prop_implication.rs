@@ -1,0 +1,107 @@
+//! Property tests: the predicate implication test must be *sound* —
+//! whenever `p.implies(q)`, every assignment satisfying `p` satisfies
+//! `q`. (Completeness is not required; unsound implication would produce
+//! wrong subsumption derivations and therefore wrong query results.)
+
+use mqo_catalog::ColId;
+use mqo_expr::{Atom, CmpOp, ParamId, Predicate, Value};
+use proptest::prelude::*;
+
+fn cmp_op() -> impl Strategy<Value = CmpOp> {
+    prop_oneof![
+        Just(CmpOp::Lt),
+        Just(CmpOp::Le),
+        Just(CmpOp::Eq),
+        Just(CmpOp::Ge),
+        Just(CmpOp::Gt),
+        Just(CmpOp::Ne),
+    ]
+}
+
+fn atom() -> impl Strategy<Value = Atom> {
+    // constants and columns from a small domain so collisions happen
+    (0u32..3, cmp_op(), -5i64..5).prop_map(|(c, op, v)| Atom::cmp(ColId(c), op, v))
+}
+
+fn predicate() -> impl Strategy<Value = Predicate> {
+    prop_oneof![
+        // single conjunct of 1..3 atoms
+        prop::collection::vec(atom(), 1..3).prop_map(Predicate::all),
+        // disjunction of two single-atom conjuncts
+        (atom(), atom()).prop_map(|(a, b)| Predicate::atom(a).or(&Predicate::atom(b))),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 512, ..ProptestConfig::default() })]
+
+    /// Soundness of implication over exhaustive small assignments.
+    #[test]
+    fn implication_is_sound(p in predicate(), q in predicate()) {
+        if p.implies(&q) {
+            // exhaust all assignments of columns 0..3 over -6..=6
+            for a in -6i64..=6 {
+                for b in -6i64..=6 {
+                    for c in -6i64..=6 {
+                        let resolve = |col: ColId| -> Value {
+                            Value::Int(match col.0 {
+                                0 => a,
+                                1 => b,
+                                _ => c,
+                            })
+                        };
+                        let params = |_: ParamId| Value::Null;
+                        if p.eval(&resolve, &params) {
+                            prop_assert!(
+                                q.eval(&resolve, &params),
+                                "{p} implies {q} but ({a},{b},{c}) separates them"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Implication is reflexive and respects conjunction weakening.
+    #[test]
+    fn implication_reflexive_and_weakened(atoms in prop::collection::vec(atom(), 1..4)) {
+        let p = Predicate::all(atoms.clone());
+        prop_assert!(p.implies(&p));
+        // dropping atoms weakens: p implies any sub-conjunction
+        for i in 0..atoms.len() {
+            let mut fewer = atoms.clone();
+            fewer.remove(i);
+            let q = Predicate::all(fewer);
+            prop_assert!(p.implies(&q), "{p} should imply weaker {q}");
+        }
+        prop_assert!(p.implies(&Predicate::true_()));
+        prop_assert!(Predicate::false_().implies(&p));
+    }
+
+    /// Normalization canonicalizes structurally equal predicates: `and`
+    /// is commutative at the structural level.
+    #[test]
+    fn and_is_structurally_commutative(a in predicate(), b in predicate()) {
+        prop_assert_eq!(a.and(&b), b.and(&a));
+    }
+
+    /// `or` is commutative and implication embeds each branch.
+    #[test]
+    fn or_embeds_branches(a in predicate(), b in predicate()) {
+        let d = a.or(&b);
+        prop_assert_eq!(a.or(&b), b.or(&a));
+        prop_assert!(a.implies(&d));
+        prop_assert!(b.implies(&d));
+    }
+
+    /// Evaluation of a conjunction equals the conjunction of evaluations.
+    #[test]
+    fn conjunct_eval_matches_atoms(atoms in prop::collection::vec(atom(), 1..4), vals in prop::collection::vec(-6i64..=6, 3)) {
+        let p = Predicate::all(atoms.clone());
+        let resolve = |col: ColId| Value::Int(vals[col.0 as usize % 3]);
+        let params = |_: ParamId| Value::Null;
+        let direct = atoms.iter().all(|a| a.eval(&resolve, &params));
+        prop_assert_eq!(p.eval(&resolve, &params), direct);
+    }
+}

@@ -1,0 +1,129 @@
+//! Physical algorithms (the paper's §6 operator set: relation scan,
+//! indexed select, merge join, nested-loops join, indexed join, sort-based
+//! aggregation), plus the `Sort` enforcer and the pseudo-root combiner.
+
+use mqo_catalog::{ColId, TableId};
+use mqo_dag::GroupId;
+use mqo_expr::{AggExpr, Predicate};
+
+/// A physical implementation algorithm. Carries everything the execution
+/// engine needs to run the operator.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Algo {
+    /// Full sequential scan of a base table; output is clustered order.
+    TableScan {
+        /// The table.
+        table: TableId,
+    },
+    /// Selection through the base table's clustered index (predicate
+    /// constrains the clustering column).
+    IndexedSelect {
+        /// The table.
+        table: TableId,
+        /// Full selection predicate (includes the index-range atom).
+        pred: Predicate,
+    },
+    /// Selection probing a *materialized temp* sorted on the predicate
+    /// column (temp-index extension). Feasible only when that temp is in
+    /// the materialized set.
+    TempIndexedSelect {
+        /// The materialized source group.
+        source: GroupId,
+        /// Column the temp must be sorted on.
+        col: ColId,
+        /// Full selection predicate.
+        pred: Predicate,
+    },
+    /// Pipelined filter; preserves input order.
+    Filter {
+        /// Selection predicate.
+        pred: Predicate,
+    },
+    /// Block nested-loops join (left input is the outer).
+    NestLoopsJoin {
+        /// Full join predicate.
+        pred: Predicate,
+    },
+    /// Merge join on equality keys; inputs sorted on the keys.
+    MergeJoin {
+        /// Left-side key columns (pairwise aligned with `right_keys`).
+        left_keys: Vec<ColId>,
+        /// Right-side key columns.
+        right_keys: Vec<ColId>,
+        /// Non-equi residual predicate (evaluated on matches).
+        residual: Predicate,
+    },
+    /// Indexed nested-loops join: inner is a base table clustered on the
+    /// join column; one probe per outer row.
+    IndexedNLJoinBase {
+        /// Inner base table.
+        table: TableId,
+        /// Outer join column.
+        outer_key: ColId,
+        /// Inner (clustering) join column.
+        inner_key: ColId,
+        /// Remaining predicate.
+        residual: Predicate,
+    },
+    /// Indexed nested-loops join against a *materialized temp* sorted on
+    /// the inner join column. Feasible only when that temp is materialized.
+    IndexedNLJoinTemp {
+        /// Materialized inner group.
+        source: GroupId,
+        /// Outer join column.
+        outer_key: ColId,
+        /// Inner join column (leading sort column of the temp).
+        inner_key: ColId,
+        /// Remaining predicate.
+        residual: Predicate,
+    },
+    /// Sort enforcer.
+    Sort {
+        /// Sort keys.
+        keys: Vec<ColId>,
+    },
+    /// Sort-based aggregation; input sorted on the group-by keys (scalar
+    /// aggregation accepts any order).
+    SortAggregate {
+        /// Group-by keys.
+        keys: Vec<ColId>,
+        /// Aggregate expressions.
+        aggs: Vec<AggExpr>,
+    },
+    /// Pipelined projection.
+    Project {
+        /// Output columns.
+        cols: Vec<ColId>,
+    },
+    /// Pseudo-root: combines all query roots; weights applied in costing.
+    Root,
+}
+
+impl Algo {
+    /// Short name for explain output.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Algo::TableScan { .. } => "TableScan",
+            Algo::IndexedSelect { .. } => "IndexedSelect",
+            Algo::TempIndexedSelect { .. } => "TempIndexedSelect",
+            Algo::Filter { .. } => "Filter",
+            Algo::NestLoopsJoin { .. } => "NestLoopsJoin",
+            Algo::MergeJoin { .. } => "MergeJoin",
+            Algo::IndexedNLJoinBase { .. } => "IndexedNLJoinBase",
+            Algo::IndexedNLJoinTemp { .. } => "IndexedNLJoinTemp",
+            Algo::Sort { .. } => "Sort",
+            Algo::SortAggregate { .. } => "SortAggregate",
+            Algo::Project { .. } => "Project",
+            Algo::Root => "Root",
+        }
+    }
+
+    /// True for the reuse-sensitive algorithms whose feasibility depends
+    /// on the materialized set.
+    pub fn is_temp_dependent(&self) -> bool {
+        matches!(
+            self,
+            Algo::TempIndexedSelect { .. } | Algo::IndexedNLJoinTemp { .. }
+        )
+    }
+}

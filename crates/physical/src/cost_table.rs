@@ -1,0 +1,356 @@
+//! Materialization-aware cost tables (paper §3.1).
+//!
+//! `bestcost(Q, S)` — the cost of the best plan given that the nodes in
+//! `S` are materialized — is a bottom-up pass over the physical DAG with
+//! the charged input cost `C(e) = min(cost(e), reusecost(e))` for
+//! materialized inputs. The table exposes its internals so `mqo-core` can
+//! update it *incrementally* when `S` changes (paper Figure 5).
+
+use crate::pdag::{PhysNodeId, PhysOpId, PhysicalDag};
+use mqo_catalog::ColId;
+use mqo_cost::Cost;
+use mqo_dag::GroupId;
+use mqo_util::{FxHashMap, FxHashSet};
+
+/// The set of materialized physical nodes.
+#[derive(Debug, Clone, Default)]
+pub struct MatSet {
+    set: FxHashSet<PhysNodeId>,
+    by_group: FxHashMap<GroupId, Vec<PhysNodeId>>,
+}
+
+impl MatSet {
+    /// An empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a node; returns false if already present.
+    pub fn insert(&mut self, pdag: &PhysicalDag, n: PhysNodeId) -> bool {
+        if !self.set.insert(n) {
+            return false;
+        }
+        self.by_group
+            .entry(pdag.node(n).group)
+            .or_default()
+            .push(n);
+        true
+    }
+
+    /// Removes a node; returns false if it was not present.
+    pub fn remove(&mut self, pdag: &PhysicalDag, n: PhysNodeId) -> bool {
+        if !self.set.remove(&n) {
+            return false;
+        }
+        let g = pdag.node(n).group;
+        if let Some(v) = self.by_group.get_mut(&g) {
+            v.retain(|&x| x != n);
+            if v.is_empty() {
+                self.by_group.remove(&g);
+            }
+        }
+        true
+    }
+
+    /// Membership test.
+    pub fn contains(&self, n: PhysNodeId) -> bool {
+        self.set.contains(&n)
+    }
+
+    /// Number of materialized nodes.
+    pub fn len(&self) -> usize {
+        self.set.len()
+    }
+
+    /// True when nothing is materialized.
+    pub fn is_empty(&self) -> bool {
+        self.set.is_empty()
+    }
+
+    /// Iterates the materialized nodes (unordered).
+    pub fn iter(&self) -> impl Iterator<Item = PhysNodeId> + '_ {
+        self.set.iter().copied()
+    }
+
+    /// Materialized variants of a logical group.
+    pub fn variants_of(&self, g: GroupId) -> &[PhysNodeId] {
+        self.by_group.get(&g).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// A materialized variant of `n`'s group whose property satisfies
+    /// `n`'s requirement, if any (the reuse source for `C(n)`).
+    pub fn reusable_for(&self, pdag: &PhysicalDag, n: PhysNodeId) -> Option<PhysNodeId> {
+        let node = pdag.node(n);
+        self.variants_of(node.group)
+            .iter()
+            .copied()
+            .find(|&m| pdag.node(m).prop.satisfies(&node.prop))
+    }
+
+    /// A materialized variant of `g` sorted with leading column `col`
+    /// (a usable temp index), if any.
+    pub fn sorted_on(&self, pdag: &PhysicalDag, g: GroupId, col: ColId) -> Option<PhysNodeId> {
+        self.variants_of(g)
+            .iter()
+            .copied()
+            .find(|&m| pdag.node(m).prop.leading_col() == Some(col))
+    }
+}
+
+/// Per-node/per-op costs under a given materialized set.
+#[derive(Debug, Clone)]
+pub struct CostTable {
+    /// Cost of *computing* each node (cheapest op), self-reuse excluded.
+    pub node_cost: Vec<Cost>,
+    /// The op achieving `node_cost`.
+    pub best_op: Vec<Option<PhysOpId>>,
+    /// Full cost of each op (local + charged children).
+    pub op_cost: Vec<Cost>,
+}
+
+impl CostTable {
+    /// Full bottom-up computation of all costs under `mat` — the basic
+    /// Volcano search when `mat` is empty.
+    pub fn compute(pdag: &PhysicalDag, mat: &MatSet) -> CostTable {
+        let mut t = CostTable {
+            node_cost: vec![Cost::INFINITY; pdag.num_nodes()],
+            best_op: vec![None; pdag.num_nodes()],
+            op_cost: vec![Cost::INFINITY; pdag.num_ops()],
+        };
+        // Node ids are topologically ordered (children first).
+        for idx in 0..pdag.num_nodes() {
+            let n = PhysNodeId::from_index(idx);
+            t.recompute_node(pdag, mat, n);
+        }
+        t
+    }
+
+    /// The charged cost of consuming `n`: `min(cost(n), reusecost(n))`
+    /// when a satisfying variant is materialized (paper §3.1).
+    pub fn c_value(&self, pdag: &PhysicalDag, mat: &MatSet, n: PhysNodeId) -> Cost {
+        self.c_value_at(pdag, mat, n, u32::MAX)
+    }
+
+    /// [`CostTable::c_value`] at a consumer with topological number
+    /// `consumer_topo`: reuse is only legal from a temp numbered strictly
+    /// below the consumer. This makes the cost recursion well-founded —
+    /// without it, a materialized sorted node's own `Sort` enforcer could
+    /// "reuse" the node it is defining (reading its own temp).
+    pub fn c_value_at(
+        &self,
+        pdag: &PhysicalDag,
+        mat: &MatSet,
+        n: PhysNodeId,
+        consumer_topo: u32,
+    ) -> Cost {
+        let compute = self.node_cost[n.index()];
+        match mat.reusable_for(pdag, n) {
+            Some(m) if pdag.node(m).topo < consumer_topo => compute.min(pdag.reusecost(m)),
+            _ => compute,
+        }
+    }
+
+    /// Evaluates one op's full cost under `mat` using current child costs.
+    pub fn eval_op(&self, pdag: &PhysicalDag, mat: &MatSet, o: PhysOpId) -> Cost {
+        let op = pdag.op(o);
+        let consumer_topo = pdag.node(op.node).topo;
+        let mut cost = op.local;
+        if let Some(td) = op.temp_dep {
+            match mat.sorted_on(pdag, td.source, td.key) {
+                Some(m) if pdag.node(m).topo < consumer_topo => cost += td.extra,
+                _ => return Cost::INFINITY,
+            }
+        }
+        match &op.weights {
+            Some(ws) => {
+                for (i, &child) in op.inputs.iter().enumerate() {
+                    cost += self.c_value_at(pdag, mat, child, consumer_topo) * ws[i];
+                }
+            }
+            None => {
+                for &child in &op.inputs {
+                    cost += self.c_value_at(pdag, mat, child, consumer_topo);
+                }
+            }
+        }
+        cost
+    }
+
+    /// Recomputes all ops of `n` and its best op; returns true if the
+    /// node's computing cost changed.
+    pub fn recompute_node(&mut self, pdag: &PhysicalDag, mat: &MatSet, n: PhysNodeId) -> bool {
+        let old = self.node_cost[n.index()];
+        let mut best = Cost::INFINITY;
+        let mut best_op = None;
+        for &o in &pdag.node(n).ops {
+            let c = self.eval_op(pdag, mat, o);
+            self.op_cost[o.index()] = c;
+            if c < best {
+                best = c;
+                best_op = Some(o);
+            }
+        }
+        self.node_cost[n.index()] = best;
+        self.best_op[n.index()] = best_op;
+        old != best
+    }
+
+    /// The paper's `bestcost(Q, S)`: root cost plus, for every
+    /// materialized node, the cost of computing and materializing it once.
+    pub fn total(&self, pdag: &PhysicalDag, mat: &MatSet) -> Cost {
+        let mut c = self.node_cost[pdag.root().index()];
+        for m in mat.iter() {
+            c += self.node_cost[m.index()] + pdag.matcost(m);
+        }
+        c
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prop::PhysProp;
+    use mqo_catalog::Catalog;
+    use mqo_cost::CostParams;
+    use mqo_dag::{Dag, DagConfig};
+    use mqo_expr::{Atom, Predicate};
+    use mqo_logical::{Batch, LogicalPlan, Query};
+
+    fn setup() -> (Catalog, Batch) {
+        // Two identical queries sharing an expensive join whose aggregate
+        // is tiny — the canonical profitable-materialization case.
+        let mut cat = Catalog::new();
+        let a = cat
+            .table("a")
+            .rows(100_000.0)
+            .int_key("ak")
+            .int_uniform("av", 0, 99)
+            .clustered_on_first()
+            .build();
+        let b = cat
+            .table("b")
+            .rows(200_000.0)
+            .int_key("bk")
+            .int_uniform("afk", 0, 99_999)
+            .clustered_on_first()
+            .build();
+        let av = cat.col("a", "av");
+        let bk = cat.col("b", "bk");
+        let total = cat.derived_column(
+            "total",
+            mqo_catalog::ColType::Float,
+            mqo_catalog::ColStats::opaque(100.0),
+        );
+        let jab = Predicate::atom(Atom::eq_cols(cat.col("a", "ak"), cat.col("b", "afk")));
+        let mk = |_cat: &Catalog| {
+            LogicalPlan::scan(a)
+                .join(LogicalPlan::scan(b), jab.clone())
+                .aggregate(
+                    vec![av],
+                    vec![mqo_expr::AggExpr::new(
+                        mqo_expr::AggFunc::Sum,
+                        mqo_expr::ScalarExpr::col(bk),
+                        total,
+                    )],
+                )
+        };
+        let batch = Batch::of(vec![
+            Query::new("q1", mk(&cat)),
+            Query::new("q2", mk(&cat)),
+        ]);
+        (cat, batch)
+    }
+
+    #[test]
+    fn volcano_costs_are_finite_and_positive() {
+        let (cat, batch) = setup();
+        let dag = Dag::expand(&batch, &cat, DagConfig::default());
+        let pdag = PhysicalDag::build(&dag, &cat, CostParams::default());
+        let t = CostTable::compute(&pdag, &MatSet::new());
+        let root_cost = t.node_cost[pdag.root().index()];
+        assert!(root_cost.is_finite());
+        assert!(root_cost > Cost::ZERO);
+        // every node reachable in a plan has a best op
+        assert!(t.best_op[pdag.root().index()].is_some());
+    }
+
+    #[test]
+    fn materializing_shared_join_reduces_total() {
+        let (cat, batch) = setup();
+        let dag = Dag::expand(&batch, &cat, DagConfig::default());
+        let pdag = PhysicalDag::build(&dag, &cat, CostParams::default());
+        let base = CostTable::compute(&pdag, &MatSet::new());
+        let base_total = base.total(&pdag, &MatSet::new());
+
+        // materialize the shared aggregate group (Any variant)
+        let agg_group = dag.op_inputs(dag.root_op())[0];
+        let n = pdag.node_for(agg_group, &PhysProp::Any).unwrap();
+        let mut mat = MatSet::new();
+        mat.insert(&pdag, n);
+        let t = CostTable::compute(&pdag, &mat);
+        let total = t.total(&pdag, &mat);
+        assert!(
+            total < base_total,
+            "sharing identical queries must pay off: {total} !< {base_total}"
+        );
+    }
+
+    #[test]
+    fn reuse_never_increases_root_cost() {
+        let (cat, batch) = setup();
+        let dag = Dag::expand(&batch, &cat, DagConfig::default());
+        let pdag = PhysicalDag::build(&dag, &cat, CostParams::default());
+        let base = CostTable::compute(&pdag, &MatSet::new());
+        // materialize every sharable Any-variant: root cost can only drop
+        let mut mat = MatSet::new();
+        for (g, _) in mqo_dag::sharable_groups(&dag) {
+            if let Some(n) = pdag.node_for(g, &PhysProp::Any) {
+                mat.insert(&pdag, n);
+            }
+        }
+        let t = CostTable::compute(&pdag, &mat);
+        assert!(t.node_cost[pdag.root().index()] <= base.node_cost[pdag.root().index()]);
+    }
+
+    #[test]
+    fn mat_set_bookkeeping() {
+        let (cat, batch) = setup();
+        let dag = Dag::expand(&batch, &cat, DagConfig::default());
+        let pdag = PhysicalDag::build(&dag, &cat, CostParams::default());
+        let agg_group = dag.op_inputs(dag.root_op())[0];
+        let n = pdag.node_for(agg_group, &PhysProp::Any).unwrap();
+        let mut mat = MatSet::new();
+        assert!(mat.insert(&pdag, n));
+        assert!(!mat.insert(&pdag, n));
+        assert!(mat.contains(n));
+        assert_eq!(mat.variants_of(agg_group), &[n]);
+        assert_eq!(mat.reusable_for(&pdag, n), Some(n));
+        assert!(mat.remove(&pdag, n));
+        assert!(!mat.remove(&pdag, n));
+        assert!(mat.is_empty());
+    }
+
+    #[test]
+    fn sorted_mat_satisfies_any_requirement() {
+        let (cat, batch) = setup();
+        let dag = Dag::expand(&batch, &cat, DagConfig::default());
+        let pdag = PhysicalDag::build(&dag, &cat, CostParams::default());
+        let agg_group = dag.op_inputs(dag.root_op())[0];
+        let any = pdag.node_for(agg_group, &PhysProp::Any).unwrap();
+        // find some sorted variant of the aggregate group
+        let sorted = pdag
+            .variants(agg_group)
+            .iter()
+            .copied()
+            .find(|&v| v != any);
+        if let Some(s) = sorted {
+            let mut mat = MatSet::new();
+            mat.insert(&pdag, s);
+            assert_eq!(mat.reusable_for(&pdag, any), Some(s));
+            // but an Any mat does not satisfy the sorted requirement
+            let mut mat2 = MatSet::new();
+            mat2.insert(&pdag, any);
+            assert_eq!(mat2.reusable_for(&pdag, s), None);
+        }
+    }
+}

@@ -1,0 +1,33 @@
+//! Physical AND-OR DAG and the Volcano search strategy (paper §2.2, §3.1).
+//!
+//! Every logical equivalence node is refined into **physical nodes** — one
+//! per required physical property (no requirement, or a sort order drawn
+//! from the group's *interesting orders*). Implementation algorithms
+//! (relation scan, indexed select, filter, merge join, nested-loops join,
+//! indexed nested-loops join, sort-based aggregation) populate every
+//! physical node whose requirement their output satisfies; a `Sort`
+//! enforcer links `(g, Any) → (g, Sorted k)`. The physical DAG is fully
+//! instantiated and acyclic, so the basic Volcano "best plan per node"
+//! search is a single bottom-up pass — and, crucially for the paper's
+//! greedy heuristic, costs can be maintained *incrementally* when the
+//! materialized set changes (Figure 5; implemented in `mqo-core`).
+//!
+//! Materialization-aware costing follows §3.1: with a set `M` of
+//! materialized physical nodes, an input's charged cost is
+//! `C(e) = min(cost(e), reusecost(e))` where reuse reads the temp back
+//! sequentially; a *sorted* materialization doubles as a temporary
+//! clustered index, unlocking indexed selects and indexed joins against
+//! the temp (the §5 index extension: "index selection falls out as a
+//! special case of physical properties").
+
+mod algo;
+mod cost_table;
+mod extract;
+mod pdag;
+mod prop;
+
+pub use algo::Algo;
+pub use cost_table::{CostTable, MatSet};
+pub use extract::{ChosenOp, ExtractedPlan};
+pub use pdag::{PhysNode, PhysNodeId, PhysOp, PhysOpId, PhysicalDag, TempDep};
+pub use prop::PhysProp;

@@ -1,0 +1,98 @@
+//! Physical properties: sort orders.
+
+use mqo_catalog::ColId;
+
+/// A required (or delivered) physical property.
+///
+/// `Sorted(keys)` means the rows are ordered by `keys`, ascending,
+/// lexicographically. A delivered order *satisfies* a requirement when the
+/// required keys are a prefix of the delivered keys.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum PhysProp {
+    /// No requirement.
+    Any,
+    /// Sorted by the given columns (non-empty).
+    Sorted(Vec<ColId>),
+}
+
+impl PhysProp {
+    /// Builds a sorted property, normalizing the empty key list to `Any`.
+    pub fn sorted(keys: Vec<ColId>) -> Self {
+        if keys.is_empty() {
+            PhysProp::Any
+        } else {
+            PhysProp::Sorted(keys)
+        }
+    }
+
+    /// True if a stream with property `self` meets requirement `req`.
+    pub fn satisfies(&self, req: &PhysProp) -> bool {
+        match (self, req) {
+            (_, PhysProp::Any) => true,
+            (PhysProp::Any, PhysProp::Sorted(_)) => false,
+            (PhysProp::Sorted(have), PhysProp::Sorted(want)) => {
+                want.len() <= have.len() && have[..want.len()] == want[..]
+            }
+        }
+    }
+
+    /// The sort keys, if any.
+    pub fn keys(&self) -> &[ColId] {
+        match self {
+            PhysProp::Any => &[],
+            PhysProp::Sorted(k) => k,
+        }
+    }
+
+    /// The leading sort column, if any — a sorted temp acts as a clustered
+    /// index on this column.
+    pub fn leading_col(&self) -> Option<ColId> {
+        self.keys().first().copied()
+    }
+}
+
+impl std::fmt::Display for PhysProp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PhysProp::Any => write!(f, "any"),
+            PhysProp::Sorted(k) => {
+                let ks: Vec<String> = k.iter().map(|c| format!("c{c}")).collect();
+                write!(f, "sorted[{}]", ks.join(","))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(i: u32) -> ColId {
+        ColId(i)
+    }
+
+    #[test]
+    fn any_satisfies_only_any() {
+        assert!(PhysProp::Any.satisfies(&PhysProp::Any));
+        assert!(!PhysProp::Any.satisfies(&PhysProp::Sorted(vec![c(1)])));
+    }
+
+    #[test]
+    fn prefix_satisfaction() {
+        let ab = PhysProp::Sorted(vec![c(1), c(2)]);
+        let a = PhysProp::Sorted(vec![c(1)]);
+        let b = PhysProp::Sorted(vec![c(2)]);
+        assert!(ab.satisfies(&a));
+        assert!(!a.satisfies(&ab));
+        assert!(!ab.satisfies(&b));
+        assert!(ab.satisfies(&PhysProp::Any));
+        assert!(ab.satisfies(&ab));
+    }
+
+    #[test]
+    fn sorted_constructor_normalizes_empty() {
+        assert_eq!(PhysProp::sorted(vec![]), PhysProp::Any);
+        assert_eq!(PhysProp::sorted(vec![c(3)]).leading_col(), Some(c(3)));
+        assert_eq!(PhysProp::Any.leading_col(), None);
+    }
+}

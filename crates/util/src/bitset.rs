@@ -1,0 +1,172 @@
+//! A compact, growable bitset used for base-relation sets.
+//!
+//! Queries in this workspace touch at most a few dozen base relations, so
+//! the common case is a single `u64` word; the representation stays inline
+//! until more than 64 bits are needed.
+
+/// Growable set of small `usize` elements backed by `u64` words.
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct BitSet {
+    words: Vec<u64>,
+}
+
+impl BitSet {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a set containing exactly `bit`.
+    pub fn singleton(bit: usize) -> Self {
+        let mut s = Self::new();
+        s.insert(bit);
+        s
+    }
+
+    /// Inserts `bit`; returns true if it was newly inserted.
+    pub fn insert(&mut self, bit: usize) -> bool {
+        let (w, b) = (bit / 64, bit % 64);
+        if w >= self.words.len() {
+            self.words.resize(w + 1, 0);
+        }
+        let was = self.words[w] & (1 << b) != 0;
+        self.words[w] |= 1 << b;
+        !was
+    }
+
+    /// True if `bit` is a member.
+    pub fn contains(&self, bit: usize) -> bool {
+        let (w, b) = (bit / 64, bit % 64);
+        self.words.get(w).is_some_and(|word| word & (1 << b) != 0)
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// True if the set has no members.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Set union.
+    pub fn union(&self, other: &Self) -> Self {
+        let mut words = vec![0; self.words.len().max(other.words.len())];
+        for (i, w) in words.iter_mut().enumerate() {
+            *w = self.words.get(i).copied().unwrap_or(0) | other.words.get(i).copied().unwrap_or(0);
+        }
+        let mut s = Self { words };
+        s.normalize();
+        s
+    }
+
+    /// True if `self` and `other` share at least one member.
+    pub fn intersects(&self, other: &Self) -> bool {
+        self.words
+            .iter()
+            .zip(other.words.iter())
+            .any(|(a, b)| a & b != 0)
+    }
+
+    /// True if every member of `self` is in `other`.
+    pub fn is_subset(&self, other: &Self) -> bool {
+        self.words
+            .iter()
+            .enumerate()
+            .all(|(i, w)| w & !other.words.get(i).copied().unwrap_or(0) == 0)
+    }
+
+    /// Iterates members in increasing order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            let mut bits = w;
+            std::iter::from_fn(move || {
+                if bits == 0 {
+                    None
+                } else {
+                    let b = bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    Some(wi * 64 + b)
+                }
+            })
+        })
+    }
+
+    /// Drops trailing zero words so equal sets compare/hash equal.
+    fn normalize(&mut self) {
+        while self.words.last() == Some(&0) {
+            self.words.pop();
+        }
+    }
+}
+
+impl FromIterator<usize> for BitSet {
+    fn from_iter<T: IntoIterator<Item = usize>>(iter: T) -> Self {
+        let mut s = Self::new();
+        for b in iter {
+            s.insert(b);
+        }
+        s
+    }
+}
+
+impl std::fmt::Debug for BitSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_contains_len() {
+        let mut s = BitSet::new();
+        assert!(s.is_empty());
+        assert!(s.insert(3));
+        assert!(!s.insert(3));
+        assert!(s.insert(130));
+        assert!(s.contains(3));
+        assert!(s.contains(130));
+        assert!(!s.contains(4));
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn union_and_subset() {
+        let a: BitSet = [1, 2, 65].into_iter().collect();
+        let b: BitSet = [2, 3].into_iter().collect();
+        let u = a.union(&b);
+        assert_eq!(u.iter().collect::<Vec<_>>(), vec![1, 2, 3, 65]);
+        assert!(a.is_subset(&u));
+        assert!(b.is_subset(&u));
+        assert!(!u.is_subset(&a));
+        assert!(a.intersects(&b));
+        let c = BitSet::singleton(77);
+        assert!(!a.intersects(&c));
+    }
+
+    #[test]
+    fn equal_content_equal_hash_despite_growth() {
+        use std::hash::{BuildHasher, RandomState};
+        let mut a = BitSet::new();
+        a.insert(200);
+        // Force growth then compare against union-produced set with the
+        // same content: trailing words must not affect Eq/Hash.
+        let b = BitSet::singleton(200).union(&BitSet::new());
+        assert_eq!(a.iter().collect::<Vec<_>>(), b.iter().collect::<Vec<_>>());
+        a.words.resize(4, 0);
+        a.normalize();
+        assert_eq!(a, b);
+        let s = RandomState::new();
+        assert_eq!(s.hash_one(&a), s.hash_one(&b));
+    }
+
+    #[test]
+    fn iter_is_sorted() {
+        let s: BitSet = [9, 1, 70, 3].into_iter().collect();
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![1, 3, 9, 70]);
+    }
+}

@@ -1,0 +1,106 @@
+//! FxHash-style hasher (the algorithm used by rustc).
+//!
+//! Our hash maps are keyed by small integer ids and short byte strings;
+//! SipHash's DoS resistance buys nothing here and costs measurably on the
+//! DAG hot paths (operation-key lookups during expansion). This is the
+//! standard multiply-rotate-xor construction.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// `HashMap` with the Fx hasher.
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, BuildHasherDefault<FxHasher>>;
+/// `HashSet` with the Fx hasher.
+pub type FxHashSet<K> = std::collections::HashSet<K, BuildHasherDefault<FxHasher>>;
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// A fast, non-cryptographic hasher suitable for integer-heavy keys.
+#[derive(Default, Clone)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.add_to_hash(u64::from_le_bytes(chunk.try_into().unwrap()));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rem.len()].copy_from_slice(rem);
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.add_to_hash(n as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add_to_hash(n as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add_to_hash(n);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add_to_hash(n as u64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distinct_keys_distinct_hashes() {
+        let mut h1 = FxHasher::default();
+        h1.write_u64(1);
+        let mut h2 = FxHasher::default();
+        h2.write_u64(2);
+        assert_ne!(h1.finish(), h2.finish());
+    }
+
+    #[test]
+    fn byte_stream_matches_chunked_writes() {
+        // Same byte content must hash identically regardless of how it is
+        // split across `write` calls of whole 8-byte words.
+        let bytes: Vec<u8> = (0..32).collect();
+        let mut h1 = FxHasher::default();
+        h1.write(&bytes);
+        let mut h2 = FxHasher::default();
+        h2.write(&bytes[..16]);
+        h2.write(&bytes[16..]);
+        assert_eq!(h1.finish(), h2.finish());
+    }
+
+    #[test]
+    fn map_roundtrip() {
+        let mut m: FxHashMap<u32, &str> = FxHashMap::default();
+        m.insert(7, "seven");
+        m.insert(11, "eleven");
+        assert_eq!(m.get(&7), Some(&"seven"));
+        assert_eq!(m.get(&11), Some(&"eleven"));
+        assert_eq!(m.get(&13), None);
+    }
+}

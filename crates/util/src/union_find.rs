@@ -1,0 +1,133 @@
+//! Union-find (disjoint sets) with path halving and union by size.
+//!
+//! DAG unification merges equivalence nodes; stale group ids held by
+//! operation nodes are resolved through this structure.
+
+/// Disjoint-set forest over dense `usize` elements.
+#[derive(Debug, Clone, Default)]
+pub struct UnionFind {
+    parent: Vec<u32>,
+    size: Vec<u32>,
+}
+
+impl UnionFind {
+    /// Creates an empty forest.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of elements ever added.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// True if no element was added yet.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Adds a new singleton element and returns its index.
+    pub fn push(&mut self) -> usize {
+        let id = self.parent.len();
+        self.parent.push(id as u32);
+        self.size.push(1);
+        id
+    }
+
+    /// Finds the representative of `x`, compressing paths along the way.
+    pub fn find(&mut self, mut x: usize) -> usize {
+        loop {
+            let p = self.parent[x] as usize;
+            if p == x {
+                return x;
+            }
+            // Path halving: point x at its grandparent.
+            let gp = self.parent[p];
+            self.parent[x] = gp;
+            x = gp as usize;
+        }
+    }
+
+    /// Finds the representative without mutating (no path compression).
+    pub fn find_const(&self, mut x: usize) -> usize {
+        while self.parent[x] as usize != x {
+            x = self.parent[x] as usize;
+        }
+        x
+    }
+
+    /// Unions the sets of `a` and `b`; returns the surviving representative.
+    ///
+    /// The larger set's representative survives, which keeps find chains
+    /// short when unification cascades.
+    pub fn union(&mut self, a: usize, b: usize) -> usize {
+        let ra = self.find(a);
+        let rb = self.find(b);
+        if ra == rb {
+            return ra;
+        }
+        let (win, lose) = if self.size[ra] >= self.size[rb] {
+            (ra, rb)
+        } else {
+            (rb, ra)
+        };
+        self.parent[lose] = win as u32;
+        self.size[win] += self.size[lose];
+        win
+    }
+
+    /// True if `a` and `b` are in the same set.
+    pub fn same(&mut self, a: usize, b: usize) -> bool {
+        self.find(a) == self.find(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn singletons_are_their_own_roots() {
+        let mut uf = UnionFind::new();
+        let a = uf.push();
+        let b = uf.push();
+        assert_eq!(uf.find(a), a);
+        assert_eq!(uf.find(b), b);
+        assert!(!uf.same(a, b));
+    }
+
+    #[test]
+    fn union_merges_and_is_idempotent() {
+        let mut uf = UnionFind::new();
+        let ids: Vec<usize> = (0..8).map(|_| uf.push()).collect();
+        uf.union(ids[0], ids[1]);
+        uf.union(ids[2], ids[3]);
+        assert!(uf.same(ids[0], ids[1]));
+        assert!(!uf.same(ids[1], ids[2]));
+        let r1 = uf.union(ids[1], ids[3]);
+        let r2 = uf.union(ids[0], ids[2]);
+        assert_eq!(r1, r2);
+        assert!(uf.same(ids[0], ids[3]));
+    }
+
+    #[test]
+    fn larger_set_representative_survives() {
+        let mut uf = UnionFind::new();
+        let ids: Vec<usize> = (0..4).map(|_| uf.push()).collect();
+        let big = uf.union(ids[0], ids[1]); // size 2
+        let merged = uf.union(big, ids[2]); // 2 vs 1: big survives
+        assert_eq!(merged, big);
+    }
+
+    #[test]
+    fn find_const_agrees_with_find() {
+        let mut uf = UnionFind::new();
+        let ids: Vec<usize> = (0..16).map(|_| uf.push()).collect();
+        for w in ids.windows(2) {
+            uf.union(w[0], w[1]);
+        }
+        for &i in &ids {
+            assert_eq!(uf.find_const(i), uf.find(i));
+        }
+    }
+}

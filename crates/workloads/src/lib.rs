@@ -1,0 +1,22 @@
+//! Workloads reproducing the paper's experimental setup (§6).
+//!
+//! * [`Tpcd`] — a TPC-D-like schema with the benchmark's scale-1 row
+//!   counts and the stand-alone queries of Experiment 1 (Q2 correlated,
+//!   Q2-D decorrelated, the `not in` variant, Q11, Q15) plus the batch
+//!   queries of Experiment 2 (Q3, Q5, Q7, Q9, Q10 → composites BQ1..BQ5).
+//!   The SQL text is not reproduced verbatim — the algorithms consume
+//!   logical plans — but each query's join graph, selection structure and
+//!   the *source of common subexpressions* match the originals
+//!   (substitution documented in `DESIGN.md`).
+//! * [`Scaleup`] — the §6.2 synthetic schema: relations `PSP1..PSP22`
+//!   (20k–40k tuples, 25 tuples/block, no indexes), chain-join component
+//!   queries `SQ1..SQ18` (each a pair differing in a selection constant),
+//!   composites `CQ1..CQ5`.
+//! * [`no_overlap`] — the §6.4 batch with renamed relations and zero
+//!   sharing, used to measure pure optimizer overhead.
+
+mod scaleup;
+mod tpcd;
+
+pub use scaleup::Scaleup;
+pub use tpcd::{no_overlap, Tpcd};

@@ -1,0 +1,189 @@
+//! The §6.2 scale-up workload: relations `PSP1..PSP22` with schema
+//! `(P, SP, NUM)`, chain-join component queries `SQ1..SQ18` and
+//! composites `CQ1..CQ5`.
+
+use mqo_catalog::{Catalog, ColStats, ColType, TableId};
+use mqo_expr::{Atom, CmpOp, Predicate};
+use mqo_logical::{Batch, LogicalPlan, Query};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Number of PSP relations (the paper uses 22).
+pub const NUM_RELATIONS: usize = 22;
+/// Number of component queries (the paper uses 18).
+pub const NUM_COMPONENTS: usize = 18;
+
+/// The scale-up workload.
+pub struct Scaleup {
+    /// Catalog with `PSP1..PSP22`.
+    pub catalog: Catalog,
+    tables: Vec<TableId>,
+    /// Per-component selection constants `(a_i, b_i)`, `a_i ≠ b_i`.
+    consts: Vec<(i64, i64)>,
+}
+
+impl Scaleup {
+    /// Builds the PSP relations: 20 000–40 000 tuples each (seeded
+    /// pseudo-random, as in the paper), 25 tuples per 4 KB block (the
+    /// `pad` column sizes the tuple at ~160 bytes), no indexes.
+    pub fn new(seed: u64) -> Scaleup {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut cat = Catalog::new();
+        let mut tables = Vec::with_capacity(NUM_RELATIONS);
+        for i in 1..=NUM_RELATIONS {
+            let rows = rng.random_range(20_000..=40_000) as f64;
+            let t = cat
+                .table(&format!("psp{i}"))
+                .rows(rows)
+                .column(
+                    "p",
+                    ColType::Int,
+                    ColStats::uniform_int(0, 39_999, rows.min(40_000.0)),
+                )
+                .column(
+                    "sp",
+                    ColType::Int,
+                    ColStats::uniform_int(0, 39_999, rows.min(40_000.0)),
+                )
+                .int_uniform("num", 0, 99)
+                .column("pad", ColType::Str(136), ColStats::opaque(rows))
+                .build();
+            tables.push(t);
+        }
+        // Mostly unselective constants (the paper calls them "arbitrary
+        // values"): the component pair differs in constant but both
+        // queries remain dominated by the shared 4-relation subchain.
+        let consts: Vec<(i64, i64)> = (0..NUM_COMPONENTS)
+            .map(|_| {
+                let a = rng.random_range(2..=15);
+                let b = a + rng.random_range(3..=15);
+                (a, b)
+            })
+            .collect();
+        Scaleup {
+            catalog: cat,
+            tables,
+            consts,
+        }
+    }
+
+    /// Chain join `PSPlo ⋈ PSPlo+1 ⋈ … ⋈ PSPhi` on `PSPj.SP = PSPj+1.P`,
+    /// with `σ(PSPlo.NUM ≥ bound)` on the first relation.
+    fn chain(&self, lo: usize, hi: usize, bound: i64) -> LogicalPlan {
+        let name = |i: usize| format!("psp{}", i + 1);
+        let mut plan = LogicalPlan::scan(self.tables[lo]).select(Predicate::atom(Atom::cmp(
+            self.catalog.col(&name(lo), "num"),
+            CmpOp::Ge,
+            bound,
+        )));
+        for j in lo + 1..=hi {
+            let pred = Predicate::atom(Atom::eq_cols(
+                self.catalog.col(&name(j - 1), "sp"),
+                self.catalog.col(&name(j), "p"),
+            ));
+            plan = plan.join(LogicalPlan::scan(self.tables[j]), pred);
+        }
+        plan
+    }
+
+    /// Component query `SQi` (1-based): a *pair* of 5-relation chain
+    /// queries over `PSPi..PSPi+4` differing only in the selection
+    /// constant on `PSPi.NUM`.
+    pub fn sq(&self, i: usize) -> Vec<Query> {
+        assert!((1..=NUM_COMPONENTS).contains(&i));
+        let (a, b) = self.consts[i - 1];
+        let lo = i - 1;
+        let hi = lo + 4;
+        vec![
+            Query::new(format!("SQ{i}a"), self.chain(lo, hi, a)),
+            Query::new(format!("SQ{i}b"), self.chain(lo, hi, b)),
+        ]
+    }
+
+    /// Composite query `CQi` (1-based, 1..=5): components `SQ1..SQ(4i−2)`
+    /// — `CQi` touches `4i+2` relations and carries `32i−16` join and
+    /// `8i−4` selection predicates, as in the paper.
+    pub fn cq(&self, i: usize) -> Batch {
+        assert!((1..=5).contains(&i), "CQ1..CQ5");
+        let mut qs = Vec::new();
+        for k in 1..=(4 * i - 2) {
+            qs.extend(self.sq(k));
+        }
+        Batch::of(qs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mqo_logical::validate;
+
+    #[test]
+    fn relations_match_paper_parameters() {
+        let w = Scaleup::new(7);
+        assert_eq!(w.tables.len(), 22);
+        for i in 1..=NUM_RELATIONS {
+            let t = w.catalog.table_by_name(&format!("psp{i}")).unwrap();
+            assert!((20_000.0..=40_000.0).contains(&t.cardinality));
+            // ~25 tuples per 4KB block
+            let width = w.catalog.tuple_width(t.id);
+            let per_block = 4096 / width;
+            assert!(per_block == 25, "width {width} gives {per_block}/block");
+            assert!(t.clustered_on.is_none(), "no indexes in scale-up setup");
+        }
+    }
+
+    #[test]
+    fn cq_shape_matches_paper() {
+        let w = Scaleup::new(7);
+        for i in 1..=5 {
+            let b = w.cq(i);
+            // 4i−2 components, two queries each
+            assert_eq!(b.len(), 2 * (4 * i - 2));
+            // relations used: PSP1 .. PSP(4i+2)
+            let mut max_rel = 0usize;
+            for q in &b.queries {
+                validate(&q.plan, &w.catalog).unwrap();
+                for t in q.plan.tables() {
+                    let name = &w.catalog.table_ref(t).name;
+                    let n: usize = name[3..].parse().unwrap();
+                    max_rel = max_rel.max(n);
+                }
+                // each query: 4 join predicates, 1 selection
+                let mut joins = 0;
+                let mut selects = 0;
+                q.plan.walk(&mut |p| match p {
+                    LogicalPlan::Join { .. } => joins += 1,
+                    LogicalPlan::Select { .. } => selects += 1,
+                    _ => {}
+                });
+                assert_eq!(joins, 4);
+                assert_eq!(selects, 1);
+            }
+            assert_eq!(max_rel, 4 * i + 2);
+        }
+    }
+
+    #[test]
+    fn component_pairs_differ_only_in_constant() {
+        let w = Scaleup::new(7);
+        let pair = w.sq(3);
+        assert_eq!(pair.len(), 2);
+        assert_eq!(pair[0].plan.tables(), pair[1].plan.tables());
+        assert_ne!(pair[0].plan, pair[1].plan);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = Scaleup::new(9);
+        let b = Scaleup::new(9);
+        for i in 1..=NUM_RELATIONS {
+            let n = format!("psp{i}");
+            assert_eq!(
+                a.catalog.table_by_name(&n).unwrap().cardinality,
+                b.catalog.table_by_name(&n).unwrap().cardinality
+            );
+        }
+        assert_eq!(a.consts, b.consts);
+    }
+}

@@ -1,0 +1,955 @@
+//! TPC-D-like schema and queries.
+
+use mqo_catalog::{Catalog, ColId, ColStats, ColType, TableId};
+use mqo_expr::{AggExpr, AggFunc, ArithOp, Atom, CmpOp, ParamId, Predicate, ScalarExpr};
+use mqo_logical::{Batch, LogicalPlan, Query};
+
+/// The TPC-D-like workload: schema + statistics at a chosen scale factor
+/// plus the paper's query batches.
+pub struct Tpcd {
+    /// The catalog (owns all column ids the queries reference).
+    pub catalog: Catalog,
+    /// Scale factor (1.0 = the paper's 1 GB configuration).
+    pub scale: f64,
+    region: TableId,
+    nation: TableId,
+    supplier: TableId,
+    customer: TableId,
+    part: TableId,
+    partsupp: TableId,
+    orders: TableId,
+    lineitem: TableId,
+    // derived columns for aggregates
+    min_cost: ColId,
+    value: ColId,
+    rev: ColId,
+    maxrev: ColId,
+    rev3: ColId,
+    rev5: ColId,
+    rev7: ColId,
+    rev9: ColId,
+    rev10: ColId,
+}
+
+impl Tpcd {
+    /// Builds the schema at the given scale factor. Row counts follow the
+    /// TPC-D specification: `region` 5, `nation` 25, `supplier` 10k·SF,
+    /// `customer` 150k·SF, `part` 200k·SF, `partsupp` 800k·SF, `orders`
+    /// 1.5M·SF, `lineitem` 6M·SF; all tables clustered on their primary
+    /// key (the paper's Experiment-1 setup).
+    pub fn new(scale: f64) -> Tpcd {
+        assert!(scale > 0.0);
+        let s = scale;
+        let mut cat = Catalog::new();
+        let sup_n = (10_000.0 * s).max(10.0);
+        let cust_n = (150_000.0 * s).max(50.0);
+        let part_n = (200_000.0 * s).max(50.0);
+        let ps_n = (800_000.0 * s).max(100.0);
+        let ord_n = (1_500_000.0 * s).max(100.0);
+        let li_n = (6_000_000.0 * s).max(200.0);
+
+        let region = cat
+            .table("region")
+            .rows(5.0)
+            .int_key("r_regionkey")
+            .column("r_name", ColType::Str(12), ColStats::opaque(5.0))
+            .clustered_on_first()
+            .build();
+        let nation = cat
+            .table("nation")
+            .rows(25.0)
+            .int_key("n_nationkey")
+            .column("n_name", ColType::Str(16), ColStats::opaque(25.0))
+            .int_uniform("n_regionkey", 0, 4)
+            .clustered_on_first()
+            .build();
+        let supplier = cat
+            .table("supplier")
+            .rows(sup_n)
+            .int_key("s_suppkey")
+            .int_uniform("s_nationkey", 0, 24)
+            .column(
+                "s_acctbal",
+                ColType::Float,
+                ColStats::uniform_float(-1000.0, 10_000.0, sup_n),
+            )
+            .column("s_pad", ColType::Str(120), ColStats::opaque(sup_n))
+            .clustered_on_first()
+            .build();
+        let customer = cat
+            .table("customer")
+            .rows(cust_n)
+            .int_key("c_custkey")
+            .int_uniform("c_nationkey", 0, 24)
+            .column("c_mktsegment", ColType::Str(10), ColStats::opaque(5.0))
+            .column("c_pad", ColType::Str(140), ColStats::opaque(cust_n))
+            .clustered_on_first()
+            .build();
+        let part = cat
+            .table("part")
+            .rows(part_n)
+            .int_key("p_partkey")
+            .int_uniform("p_size", 1, 50)
+            .column(
+                "p_retailprice",
+                ColType::Float,
+                ColStats::uniform_float(900.0, 2_100.0, 1_200.0),
+            )
+            .column("p_pad", ColType::Str(120), ColStats::opaque(part_n))
+            .clustered_on_first()
+            .build();
+        let partsupp = cat
+            .table("partsupp")
+            .rows(ps_n)
+            .column(
+                "ps_partkey",
+                ColType::Int,
+                ColStats::uniform_int(0, part_n as i64 - 1, part_n),
+            )
+            .column(
+                "ps_suppkey",
+                ColType::Int,
+                ColStats::uniform_int(0, sup_n as i64 - 1, sup_n),
+            )
+            .column(
+                "ps_supplycost",
+                ColType::Float,
+                ColStats::uniform_float(1.0, 1_000.0, 1_000.0),
+            )
+            .int_uniform("ps_availqty", 1, 9_999)
+            .column("ps_pad", ColType::Str(100), ColStats::opaque(ps_n))
+            .clustered_on_first()
+            .build();
+        let orders = cat
+            .table("orders")
+            .rows(ord_n)
+            .int_key("o_orderkey")
+            .column(
+                "o_custkey",
+                ColType::Int,
+                ColStats::uniform_int(0, cust_n as i64 - 1, cust_n),
+            )
+            .int_uniform("o_orderdate", 0, 2_405) // days of 1992-01-01..1998-08-02
+            .int_uniform("o_shippriority", 0, 1)
+            .column("o_pad", ColType::Str(70), ColStats::opaque(ord_n))
+            .clustered_on_first()
+            .build();
+        let lineitem = cat
+            .table("lineitem")
+            .rows(li_n)
+            .column(
+                "l_orderkey",
+                ColType::Int,
+                ColStats::uniform_int(0, ord_n as i64 - 1, ord_n),
+            )
+            .column(
+                "l_partkey",
+                ColType::Int,
+                ColStats::uniform_int(0, part_n as i64 - 1, part_n),
+            )
+            .column(
+                "l_suppkey",
+                ColType::Int,
+                ColStats::uniform_int(0, sup_n as i64 - 1, sup_n),
+            )
+            .column(
+                "l_extendedprice",
+                ColType::Float,
+                ColStats::uniform_float(900.0, 105_000.0, 100_000.0),
+            )
+            .column(
+                "l_discount",
+                ColType::Float,
+                ColStats::uniform_float(0.0, 0.1, 11.0),
+            )
+            .int_uniform("l_shipdate", 0, 2_526)
+            .column("l_returnflag", ColType::Str(1), ColStats::opaque(3.0))
+            .int_uniform("l_quantity", 1, 50)
+            .column("l_pad", ColType::Str(40), ColStats::opaque(li_n))
+            .clustered_on_first()
+            .build();
+
+        let min_cost = cat.derived_column("min_cost", ColType::Float, ColStats::uniform_float(1.0, 1_000.0, 1_000.0));
+        let value = cat.derived_column("value", ColType::Float, ColStats::opaque(part_n));
+        let rev = cat.derived_column("rev", ColType::Float, ColStats::opaque(sup_n));
+        let maxrev = cat.derived_column("maxrev", ColType::Float, ColStats::opaque(1.0));
+        let rev3 = cat.derived_column("rev3", ColType::Float, ColStats::opaque(ord_n));
+        let rev5 = cat.derived_column("rev5", ColType::Float, ColStats::opaque(25.0));
+        let rev7 = cat.derived_column("rev7", ColType::Float, ColStats::opaque(25.0));
+        let rev9 = cat.derived_column("rev9", ColType::Float, ColStats::opaque(25.0));
+        let rev10 = cat.derived_column("rev10", ColType::Float, ColStats::opaque(cust_n));
+
+        Tpcd {
+            catalog: cat,
+            scale,
+            region,
+            nation,
+            supplier,
+            customer,
+            part,
+            partsupp,
+            orders,
+            lineitem,
+            min_cost,
+            value,
+            rev,
+            maxrev,
+            rev3,
+            rev5,
+            rev7,
+            rev9,
+            rev10,
+        }
+    }
+
+    fn col(&self, t: &str, c: &str) -> ColId {
+        self.catalog.col(t, c)
+    }
+
+    /// Projects a plan to named columns of a table — the paper's queries
+    /// are SQL with explicit SELECT lists, so intermediate results carry
+    /// only the referenced attributes (this is what makes materialized
+    /// intermediates compact enough to share profitably).
+    fn keep(&self, plan: LogicalPlan, table: &str, cols: &[&str]) -> LogicalPlan {
+        plan.project(cols.iter().map(|c| self.col(table, c)).collect())
+    }
+
+    /// `partsupp ⋈ supplier ⋈ nation ⋈ σ_{r_name='EUROPE'}(region)` — the
+    /// invariant shared by Q2's outer query and its nested subquery.
+    fn q2_inner_invariant(&self) -> LogicalPlan {
+        let ps_sup = Predicate::atom(Atom::eq_cols(
+            self.col("partsupp", "ps_suppkey"),
+            self.col("supplier", "s_suppkey"),
+        ));
+        let sup_nat = Predicate::atom(Atom::eq_cols(
+            self.col("supplier", "s_nationkey"),
+            self.col("nation", "n_nationkey"),
+        ));
+        let nat_reg = Predicate::atom(Atom::eq_cols(
+            self.col("nation", "n_regionkey"),
+            self.col("region", "r_regionkey"),
+        ));
+        let region_sel = self.keep(
+            LogicalPlan::scan(self.region).select(Predicate::atom(Atom::cmp(
+                self.col("region", "r_name"),
+                CmpOp::Eq,
+                "r_name_000001",
+            ))),
+            "region",
+            &["r_regionkey"],
+        );
+        let partsupp = self.keep(
+            LogicalPlan::scan(self.partsupp),
+            "partsupp",
+            &["ps_partkey", "ps_suppkey", "ps_supplycost"],
+        );
+        let supplier = self.keep(
+            LogicalPlan::scan(self.supplier),
+            "supplier",
+            &["s_suppkey", "s_nationkey"],
+        );
+        let nation = self.keep(
+            LogicalPlan::scan(self.nation),
+            "nation",
+            &["n_nationkey", "n_regionkey"],
+        );
+        partsupp
+            .join(supplier, ps_sup)
+            .join(nation, sup_nat)
+            .join(region_sel, nat_reg)
+    }
+
+    /// The inner subquery only consumes `(ps_partkey, ps_supplycost)`;
+    /// projecting the invariant down to those two columns is what makes
+    /// materializing it cheap to reuse (the paper's optimizer likewise
+    /// considered projected intermediates).
+    fn q2_inner_projected(&self) -> LogicalPlan {
+        self.q2_inner_invariant().project(vec![
+            self.col("partsupp", "ps_partkey"),
+            self.col("partsupp", "ps_supplycost"),
+        ])
+    }
+
+    /// Number of invocations of Q2's nested subquery: one per part
+    /// surviving `p_size = 15`.
+    fn q2_invocations(&self) -> f64 {
+        (self.catalog.table_ref(self.part).cardinality / 50.0).max(1.0)
+    }
+
+    /// TPC-D Q2 analogue with *correlated* evaluation: the outer query
+    /// plus the nested min-cost subquery as a weight-`n` parameterized
+    /// query (correlation `ps_partkey = :p`, paper §5).
+    pub fn q2(&self) -> Batch {
+        let outer = self
+            .keep(
+                LogicalPlan::scan(self.part).select(Predicate::atom(Atom::cmp(
+                    self.col("part", "p_size"),
+                    CmpOp::Eq,
+                    15i64,
+                ))),
+                "part",
+                &["p_partkey"],
+            )
+            .join(
+                self.q2_inner_invariant(),
+                Predicate::atom(Atom::eq_cols(
+                    self.col("part", "p_partkey"),
+                    self.col("partsupp", "ps_partkey"),
+                )),
+            );
+        let inner = self
+            .q2_inner_projected()
+            .select(Predicate::atom(Atom::Param {
+                col: self.col("partsupp", "ps_partkey"),
+                op: CmpOp::Eq,
+                param: ParamId(0),
+            }))
+            .aggregate(
+                vec![],
+                vec![AggExpr::new(
+                    AggFunc::Min,
+                    ScalarExpr::col(self.col("partsupp", "ps_supplycost")),
+                    self.min_cost,
+                )],
+            );
+        Batch::of(vec![
+            Query::new("Q2-outer", outer),
+            Query::invoked("Q2-inner", inner, self.q2_invocations()),
+        ])
+    }
+
+    /// The §6.1 modified Q2: the correlation becomes `ps_partkey <> :p`
+    /// (the `not in` form), which defeats decorrelation; only invariant
+    /// materialization helps.
+    pub fn q2_notin(&self) -> Batch {
+        let mut batch = self.q2();
+        let inner = self
+            .q2_inner_projected()
+            .select(Predicate::atom(Atom::Param {
+                col: self.col("partsupp", "ps_partkey"),
+                op: CmpOp::Ne,
+                param: ParamId(0),
+            }))
+            .aggregate(
+                vec![],
+                vec![AggExpr::new(
+                    AggFunc::Min,
+                    ScalarExpr::col(self.col("partsupp", "ps_supplycost")),
+                    self.min_cost,
+                )],
+            );
+        batch.queries[1] = Query::invoked("Q2!=inner", inner, self.q2_invocations());
+        batch
+    }
+
+    /// Q2-D: the manually decorrelated Q2 — a batch whose two queries
+    /// share `partsupp ⋈ supplier ⋈ nation ⋈ σ(region)`.
+    pub fn q2d(&self) -> Batch {
+        // t = min cost per part over the shared join
+        let t = self.q2_inner_invariant().aggregate(
+            vec![self.col("partsupp", "ps_partkey")],
+            vec![AggExpr::new(
+                AggFunc::Min,
+                ScalarExpr::col(self.col("partsupp", "ps_supplycost")),
+                self.min_cost,
+            )],
+        );
+        let qa = Query::new("Q2D-minexpr", t.clone());
+        // outer block: σ(part) ⋈ shared join ⋈ t on supplycost = min_cost
+        let outer = self
+            .keep(
+                LogicalPlan::scan(self.part).select(Predicate::atom(Atom::cmp(
+                    self.col("part", "p_size"),
+                    CmpOp::Eq,
+                    15i64,
+                ))),
+                "part",
+                &["p_partkey"],
+            )
+            .join(
+                self.q2_inner_invariant(),
+                Predicate::atom(Atom::eq_cols(
+                    self.col("part", "p_partkey"),
+                    self.col("partsupp", "ps_partkey"),
+                )),
+            )
+            .project(vec![
+                self.col("part", "p_partkey"),
+                self.col("partsupp", "ps_supplycost"),
+                self.col("supplier", "s_suppkey"),
+            ])
+            .join(
+                t.project(vec![self.min_cost]),
+                Predicate::atom(Atom::eq_cols(
+                    self.col("partsupp", "ps_supplycost"),
+                    self.min_cost,
+                )),
+            );
+        let qb = Query::new("Q2D-outer", outer);
+        Batch::of(vec![qa, qb])
+    }
+
+    /// Q11 analogue: value of German suppliers' stock grouped by part,
+    /// and the grand total — two queries sharing
+    /// `partsupp ⋈ supplier ⋈ σ(nation)` with an aggregate-subsumption
+    /// opportunity between the group-by and the scalar total.
+    pub fn q11(&self) -> Batch {
+        let join = self
+            .keep(
+                LogicalPlan::scan(self.partsupp),
+                "partsupp",
+                &["ps_partkey", "ps_suppkey", "ps_supplycost", "ps_availqty"],
+            )
+            .join(
+                self.keep(
+                    LogicalPlan::scan(self.supplier),
+                    "supplier",
+                    &["s_suppkey", "s_nationkey"],
+                ),
+                Predicate::atom(Atom::eq_cols(
+                    self.col("partsupp", "ps_suppkey"),
+                    self.col("supplier", "s_suppkey"),
+                )),
+            )
+            .join(
+                self.keep(
+                    LogicalPlan::scan(self.nation).select(Predicate::atom(Atom::cmp(
+                        self.col("nation", "n_name"),
+                        CmpOp::Eq,
+                        "n_name_000007",
+                    ))),
+                    "nation",
+                    &["n_nationkey"],
+                ),
+                Predicate::atom(Atom::eq_cols(
+                    self.col("supplier", "s_nationkey"),
+                    self.col("nation", "n_nationkey"),
+                )),
+            );
+        let agg_expr = ScalarExpr::col(self.col("partsupp", "ps_supplycost")).bin(
+            ArithOp::Mul,
+            ScalarExpr::col(self.col("partsupp", "ps_availqty")),
+        );
+        let by_part = join.clone().aggregate(
+            vec![self.col("partsupp", "ps_partkey")],
+            vec![AggExpr::new(AggFunc::Sum, agg_expr.clone(), self.value)],
+        );
+        let total = join.aggregate(
+            vec![],
+            vec![AggExpr::new(AggFunc::Sum, agg_expr, self.value)],
+        );
+        Batch::of(vec![
+            Query::new("Q11-by-part", by_part),
+            Query::new("Q11-total", total),
+        ])
+    }
+
+    /// The revenue view of Q15: supplier revenue over a 90-day shipping
+    /// window.
+    fn revenue_view(&self) -> LogicalPlan {
+        let d0 = 1_000i64;
+        self.keep(
+            LogicalPlan::scan(self.lineitem).select(Predicate::all(vec![
+                Atom::cmp(self.col("lineitem", "l_shipdate"), CmpOp::Ge, d0),
+                Atom::cmp(self.col("lineitem", "l_shipdate"), CmpOp::Lt, d0 + 90),
+            ])),
+            "lineitem",
+            &["l_suppkey", "l_extendedprice", "l_discount"],
+        )
+            .aggregate(
+                vec![self.col("lineitem", "l_suppkey")],
+                vec![AggExpr::new(
+                    AggFunc::Sum,
+                    ScalarExpr::col(self.col("lineitem", "l_extendedprice")).bin(
+                        ArithOp::Mul,
+                        ScalarExpr::constant(1.0).bin(
+                            ArithOp::Sub,
+                            ScalarExpr::col(self.col("lineitem", "l_discount")),
+                        ),
+                    ),
+                    self.rev,
+                )],
+            )
+    }
+
+    /// Q15 analogue: the `revenue` view used twice — once to find the
+    /// maximum, once joined with `supplier`.
+    pub fn q15(&self) -> Batch {
+        let max_rev = self.revenue_view().aggregate(
+            vec![],
+            vec![AggExpr::new(
+                AggFunc::Max,
+                ScalarExpr::col(self.rev),
+                self.maxrev,
+            )],
+        );
+        let top_suppliers = self
+            .keep(LogicalPlan::scan(self.supplier), "supplier", &["s_suppkey"])
+            .join(
+            self.revenue_view(),
+            Predicate::atom(Atom::eq_cols(
+                self.col("supplier", "s_suppkey"),
+                self.col("lineitem", "l_suppkey"),
+            )),
+        );
+        Batch::of(vec![
+            Query::new("Q15-maxrev", max_rev),
+            Query::new("Q15-join", top_suppliers),
+        ])
+    }
+
+    // ------------------------------------------------------------------
+    // Experiment 2: batch queries (each instantiated at two constants)
+
+    fn q3_like(&self, date: i64) -> LogicalPlan {
+        self.keep(
+            LogicalPlan::scan(self.customer).select(Predicate::atom(Atom::cmp(
+                self.col("customer", "c_mktsegment"),
+                CmpOp::Eq,
+                "c_mktsegment_000001",
+            ))),
+            "customer",
+            &["c_custkey"],
+        )
+            .join(
+                self.keep(
+                    LogicalPlan::scan(self.orders).select(Predicate::atom(Atom::cmp(
+                        self.col("orders", "o_orderdate"),
+                        CmpOp::Lt,
+                        date,
+                    ))),
+                    "orders",
+                    &["o_orderkey", "o_custkey"],
+                ),
+                Predicate::atom(Atom::eq_cols(
+                    self.col("customer", "c_custkey"),
+                    self.col("orders", "o_custkey"),
+                )),
+            )
+            .join(
+                self.keep(
+                    LogicalPlan::scan(self.lineitem).select(Predicate::atom(Atom::cmp(
+                        self.col("lineitem", "l_shipdate"),
+                        CmpOp::Gt,
+                        date,
+                    ))),
+                    "lineitem",
+                    &["l_orderkey", "l_extendedprice"],
+                ),
+                Predicate::atom(Atom::eq_cols(
+                    self.col("orders", "o_orderkey"),
+                    self.col("lineitem", "l_orderkey"),
+                )),
+            )
+            .aggregate(
+                vec![self.col("orders", "o_orderkey")],
+                vec![AggExpr::new(
+                    AggFunc::Sum,
+                    ScalarExpr::col(self.col("lineitem", "l_extendedprice")),
+                    self.rev3,
+                )],
+            )
+    }
+
+    fn q5_like(&self, date: i64) -> LogicalPlan {
+        self.keep(LogicalPlan::scan(self.customer), "customer", &["c_custkey"])
+            .join(
+                self.keep(
+                    LogicalPlan::scan(self.orders).select(Predicate::all(vec![
+                        Atom::cmp(self.col("orders", "o_orderdate"), CmpOp::Ge, date),
+                        Atom::cmp(self.col("orders", "o_orderdate"), CmpOp::Lt, date + 365),
+                    ])),
+                    "orders",
+                    &["o_orderkey", "o_custkey"],
+                ),
+                Predicate::atom(Atom::eq_cols(
+                    self.col("customer", "c_custkey"),
+                    self.col("orders", "o_custkey"),
+                )),
+            )
+            .join(
+                self.keep(
+                    LogicalPlan::scan(self.lineitem),
+                    "lineitem",
+                    &["l_orderkey", "l_suppkey", "l_extendedprice"],
+                ),
+                Predicate::atom(Atom::eq_cols(
+                    self.col("orders", "o_orderkey"),
+                    self.col("lineitem", "l_orderkey"),
+                )),
+            )
+            .join(
+                self.keep(
+                    LogicalPlan::scan(self.supplier),
+                    "supplier",
+                    &["s_suppkey", "s_nationkey"],
+                ),
+                Predicate::atom(Atom::eq_cols(
+                    self.col("lineitem", "l_suppkey"),
+                    self.col("supplier", "s_suppkey"),
+                )),
+            )
+            .join(
+                self.keep(
+                    LogicalPlan::scan(self.nation),
+                    "nation",
+                    &["n_nationkey", "n_regionkey"],
+                ).join(
+                    self.keep(
+                        LogicalPlan::scan(self.region).select(Predicate::atom(Atom::cmp(
+                            self.col("region", "r_name"),
+                            CmpOp::Eq,
+                            "r_name_000002",
+                        ))),
+                        "region",
+                        &["r_regionkey"],
+                    ),
+                    Predicate::atom(Atom::eq_cols(
+                        self.col("nation", "n_regionkey"),
+                        self.col("region", "r_regionkey"),
+                    )),
+                ),
+                Predicate::atom(Atom::eq_cols(
+                    self.col("supplier", "s_nationkey"),
+                    self.col("nation", "n_nationkey"),
+                )),
+            )
+            .aggregate(
+                vec![self.col("nation", "n_nationkey")],
+                vec![AggExpr::new(
+                    AggFunc::Sum,
+                    ScalarExpr::col(self.col("lineitem", "l_extendedprice")),
+                    self.rev5,
+                )],
+            )
+    }
+
+    fn q7_like(&self, date: i64) -> LogicalPlan {
+        self.keep(
+            LogicalPlan::scan(self.supplier),
+            "supplier",
+            &["s_suppkey", "s_nationkey"],
+        )
+            .join(
+                self.keep(
+                    LogicalPlan::scan(self.lineitem).select(Predicate::all(vec![
+                        Atom::cmp(self.col("lineitem", "l_shipdate"), CmpOp::Ge, date),
+                        Atom::cmp(self.col("lineitem", "l_shipdate"), CmpOp::Le, date + 730),
+                    ])),
+                    "lineitem",
+                    &["l_orderkey", "l_suppkey", "l_extendedprice"],
+                ),
+                Predicate::atom(Atom::eq_cols(
+                    self.col("supplier", "s_suppkey"),
+                    self.col("lineitem", "l_suppkey"),
+                )),
+            )
+            .join(
+                self.keep(
+                    LogicalPlan::scan(self.orders),
+                    "orders",
+                    &["o_orderkey", "o_custkey"],
+                ),
+                Predicate::atom(Atom::eq_cols(
+                    self.col("lineitem", "l_orderkey"),
+                    self.col("orders", "o_orderkey"),
+                )),
+            )
+            .join(
+                self.keep(LogicalPlan::scan(self.customer), "customer", &["c_custkey"]),
+                Predicate::atom(Atom::eq_cols(
+                    self.col("orders", "o_custkey"),
+                    self.col("customer", "c_custkey"),
+                )),
+            )
+            .join(
+                self.keep(LogicalPlan::scan(self.nation), "nation", &["n_nationkey"]),
+                Predicate::atom(Atom::eq_cols(
+                    self.col("supplier", "s_nationkey"),
+                    self.col("nation", "n_nationkey"),
+                )),
+            )
+            .aggregate(
+                vec![self.col("nation", "n_nationkey")],
+                vec![AggExpr::new(
+                    AggFunc::Sum,
+                    ScalarExpr::col(self.col("lineitem", "l_extendedprice")),
+                    self.rev7,
+                )],
+            )
+    }
+
+    fn q9_like(&self, price: f64) -> LogicalPlan {
+        self.keep(
+            LogicalPlan::scan(self.part).select(Predicate::atom(Atom::cmp(
+                self.col("part", "p_retailprice"),
+                CmpOp::Ge,
+                price,
+            ))),
+            "part",
+            &["p_partkey"],
+        )
+            .join(
+                self.keep(
+                    LogicalPlan::scan(self.lineitem),
+                    "lineitem",
+                    &["l_partkey", "l_suppkey", "l_extendedprice"],
+                ),
+                Predicate::atom(Atom::eq_cols(
+                    self.col("part", "p_partkey"),
+                    self.col("lineitem", "l_partkey"),
+                )),
+            )
+            .join(
+                self.keep(
+                    LogicalPlan::scan(self.supplier),
+                    "supplier",
+                    &["s_suppkey", "s_nationkey"],
+                ),
+                Predicate::atom(Atom::eq_cols(
+                    self.col("lineitem", "l_suppkey"),
+                    self.col("supplier", "s_suppkey"),
+                )),
+            )
+            .join(
+                self.keep(LogicalPlan::scan(self.nation), "nation", &["n_nationkey"]),
+                Predicate::atom(Atom::eq_cols(
+                    self.col("supplier", "s_nationkey"),
+                    self.col("nation", "n_nationkey"),
+                )),
+            )
+            .aggregate(
+                vec![self.col("nation", "n_nationkey")],
+                vec![AggExpr::new(
+                    AggFunc::Sum,
+                    ScalarExpr::col(self.col("lineitem", "l_extendedprice")),
+                    self.rev9,
+                )],
+            )
+    }
+
+    fn q10_like(&self, date: i64) -> LogicalPlan {
+        self.keep(
+            LogicalPlan::scan(self.customer),
+            "customer",
+            &["c_custkey", "c_nationkey"],
+        )
+            .join(
+                self.keep(
+                    LogicalPlan::scan(self.orders).select(Predicate::all(vec![
+                        Atom::cmp(self.col("orders", "o_orderdate"), CmpOp::Ge, date),
+                        Atom::cmp(self.col("orders", "o_orderdate"), CmpOp::Lt, date + 90),
+                    ])),
+                    "orders",
+                    &["o_orderkey", "o_custkey"],
+                ),
+                Predicate::atom(Atom::eq_cols(
+                    self.col("customer", "c_custkey"),
+                    self.col("orders", "o_custkey"),
+                )),
+            )
+            .join(
+                self.keep(
+                    LogicalPlan::scan(self.lineitem).select(Predicate::atom(Atom::cmp(
+                        self.col("lineitem", "l_returnflag"),
+                        CmpOp::Eq,
+                        "l_returnflag_000002",
+                    ))),
+                    "lineitem",
+                    &["l_orderkey", "l_extendedprice"],
+                ),
+                Predicate::atom(Atom::eq_cols(
+                    self.col("orders", "o_orderkey"),
+                    self.col("lineitem", "l_orderkey"),
+                )),
+            )
+            .join(
+                self.keep(LogicalPlan::scan(self.nation), "nation", &["n_nationkey"]),
+                Predicate::atom(Atom::eq_cols(
+                    self.col("customer", "c_nationkey"),
+                    self.col("nation", "n_nationkey"),
+                )),
+            )
+            .aggregate(
+                vec![self.col("customer", "c_custkey")],
+                vec![AggExpr::new(
+                    AggFunc::Sum,
+                    ScalarExpr::col(self.col("lineitem", "l_extendedprice")),
+                    self.rev10,
+                )],
+            )
+    }
+
+    /// One of the paper's batch component queries, instantiated twice
+    /// with different selection constants.
+    fn component_pair(&self, i: usize) -> Vec<Query> {
+        match i {
+            0 => vec![
+                Query::new("Q3a", self.q3_like(1_200)),
+                Query::new("Q3b", self.q3_like(1_500)),
+            ],
+            1 => vec![
+                Query::new("Q5a", self.q5_like(365)),
+                Query::new("Q5b", self.q5_like(730)),
+            ],
+            2 => vec![
+                Query::new("Q7a", self.q7_like(730)),
+                Query::new("Q7b", self.q7_like(1_095)),
+            ],
+            3 => vec![
+                Query::new("Q9a", self.q9_like(1_500.0)),
+                Query::new("Q9b", self.q9_like(1_800.0)),
+            ],
+            4 => vec![
+                Query::new("Q10a", self.q10_like(600)),
+                Query::new("Q10b", self.q10_like(900)),
+            ],
+            _ => panic!("component index out of range"),
+        }
+    }
+
+    /// Composite batch query `BQi` (Experiment 2): the first `i` of
+    /// {Q3, Q5, Q7, Q9, Q10}, each repeated at two selection constants.
+    pub fn bq(&self, i: usize) -> Batch {
+        assert!((1..=5).contains(&i), "BQ1..BQ5");
+        let mut qs = Vec::new();
+        for k in 0..i {
+            qs.extend(self.component_pair(k));
+        }
+        Batch::of(qs)
+    }
+
+    /// All stand-alone Experiment-1 batches with their paper names.
+    pub fn standalone(&self) -> Vec<(&'static str, Batch)> {
+        vec![
+            ("Q2", self.q2()),
+            ("Q2-D", self.q2d()),
+            ("Q11", self.q11()),
+            ("Q15", self.q15()),
+        ]
+    }
+}
+
+/// The §6.4 no-sharing control: the five batch queries over disjoint
+/// renamed copies of the schema — MQO finds nothing sharable and must
+/// cost (almost) nothing extra.
+pub fn no_overlap() -> (Catalog, Batch) {
+    let mut cat = Catalog::new();
+    let mut queries = Vec::new();
+    for (qi, name) in ["q3", "q5", "q7", "q9", "q10"].iter().enumerate() {
+        // a private 3-relation chain per query: a ⋈ b ⋈ c with a filter
+        let a = cat
+            .table(&format!("{name}_a"))
+            .rows(150_000.0)
+            .int_key("ak")
+            .int_uniform("av", 0, 999)
+            .clustered_on_first()
+            .build();
+        let b = cat
+            .table(&format!("{name}_b"))
+            .rows(300_000.0)
+            .int_key("bk")
+            .int_uniform("afk", 0, 149_999)
+            .clustered_on_first()
+            .build();
+        let c = cat
+            .table(&format!("{name}_c"))
+            .rows(75_000.0)
+            .int_key("ck")
+            .int_uniform("bfk", 0, 299_999)
+            .clustered_on_first()
+            .build();
+        let jab = Predicate::atom(Atom::eq_cols(
+            cat.col(&format!("{name}_a"), "ak"),
+            cat.col(&format!("{name}_b"), "afk"),
+        ));
+        let jbc = Predicate::atom(Atom::eq_cols(
+            cat.col(&format!("{name}_b"), "bk"),
+            cat.col(&format!("{name}_c"), "bfk"),
+        ));
+        let plan = LogicalPlan::scan(a)
+            .select(Predicate::atom(Atom::cmp(
+                cat.col(&format!("{name}_a"), "av"),
+                CmpOp::Lt,
+                (100 + 50 * qi) as i64,
+            )))
+            .join(LogicalPlan::scan(b), jab)
+            .join(LogicalPlan::scan(c), jbc);
+        queries.push(Query::new(format!("{name}-iso"), plan));
+    }
+    (cat, Batch::of(queries))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mqo_logical::validate;
+
+    #[test]
+    fn all_tpcd_queries_validate() {
+        let w = Tpcd::new(1.0);
+        let mut batches: Vec<(String, Batch)> = w
+            .standalone()
+            .into_iter()
+            .map(|(n, b)| (n.to_string(), b))
+            .collect();
+        batches.push(("Q2!=".into(), w.q2_notin()));
+        for i in 1..=5 {
+            batches.push((format!("BQ{i}"), w.bq(i)));
+        }
+        for (name, batch) in batches {
+            assert!(!batch.is_empty(), "{name} empty");
+            for q in &batch.queries {
+                validate(&q.plan, &w.catalog)
+                    .unwrap_or_else(|e| panic!("{name}/{}: {e}", q.label));
+            }
+        }
+    }
+
+    #[test]
+    fn scale_controls_cardinalities() {
+        let w1 = Tpcd::new(1.0);
+        let w100 = Tpcd::new(100.0);
+        let li1 = w1.catalog.table_ref(w1.lineitem).cardinality;
+        let li100 = w100.catalog.table_ref(w100.lineitem).cardinality;
+        assert!((li100 / li1 - 100.0).abs() < 1e-9);
+        assert_eq!(li1, 6_000_000.0);
+    }
+
+    #[test]
+    fn q2_inner_is_weighted_and_parameterized() {
+        let w = Tpcd::new(1.0);
+        let b = w.q2();
+        assert_eq!(b.len(), 2);
+        assert_eq!(b.queries[1].weight, 4_000.0);
+        // the inner query has a Param select somewhere
+        let mut has_param = false;
+        b.queries[1].plan.walk(&mut |p| {
+            if let LogicalPlan::Select { pred, .. } = p {
+                has_param |= pred.has_param();
+            }
+        });
+        assert!(has_param);
+    }
+
+    #[test]
+    fn bq_sizes_grow_by_pairs() {
+        let w = Tpcd::new(1.0);
+        for i in 1..=5 {
+            assert_eq!(w.bq(i).len(), 2 * i);
+        }
+    }
+
+    #[test]
+    fn no_overlap_has_disjoint_tables() {
+        let (cat, batch) = no_overlap();
+        let mut seen = std::collections::HashSet::new();
+        for q in &batch.queries {
+            for t in q.plan.tables() {
+                assert!(seen.insert(t), "table shared between queries");
+            }
+            validate(&q.plan, &cat).unwrap();
+        }
+        assert_eq!(batch.len(), 5);
+    }
+}

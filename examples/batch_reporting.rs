@@ -1,0 +1,48 @@
+//! Batch reporting: optimize a batch of TPC-D-like reporting queries (the
+//! paper's Experiment 2 workload) with all four algorithms and compare.
+//!
+//! Run with: `cargo run --release --example batch_reporting`
+
+use mqo::core::{optimize, Algorithm, OptContext, Options};
+use mqo::workloads::Tpcd;
+
+fn main() {
+    let w = Tpcd::new(1.0);
+    let batch = w.bq(3); // Q3, Q5, Q7 — each at two selection constants
+    let opts = Options::new();
+
+    println!(
+        "batch of {} queries over the TPC-D-like schema (scale 1)\n",
+        batch.len()
+    );
+    println!(
+        "{:<12} {:>14} {:>12} {:>8} {:>12}",
+        "algorithm", "est. cost [s]", "opt [ms]", "temps", "vs Volcano"
+    );
+    let mut base = None;
+    for alg in Algorithm::ALL {
+        let r = optimize(&batch, &w.catalog, alg, &opts);
+        let b = *base.get_or_insert(r.cost.secs());
+        println!(
+            "{:<12} {:>14.2} {:>12.2} {:>8} {:>11.1}%",
+            alg.name(),
+            r.cost.secs(),
+            r.stats.opt_time_secs * 1e3,
+            r.stats.materialized,
+            100.0 * (1.0 - r.cost.secs() / b)
+        );
+    }
+
+    // Show what Greedy decided to share.
+    let greedy = optimize(&batch, &w.catalog, Algorithm::Greedy, &opts);
+    let ctx = OptContext::build(&batch, &w.catalog, &opts);
+    println!("\nGreedy materializes {} result(s):", greedy.plan.materialized.len());
+    for &m in &greedy.plan.materialized {
+        let node = ctx.pdag.node(m);
+        let group = ctx.dag.group(node.group);
+        println!(
+            "  group g{} ({} rows, {} blocks) with property {}",
+            node.group, group.rows as u64, node.blocks as u64, node.prop
+        );
+    }
+}

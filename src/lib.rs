@@ -1,0 +1,16 @@
+//! Umbrella crate for the MQO workspace: re-exports the public API of
+//! every member crate so examples and downstream users can depend on one
+//! crate (`mqo`).
+//!
+//! See `README.md` for a tour and `DESIGN.md` for the system inventory.
+
+pub use mqo_catalog as catalog;
+pub use mqo_core as core;
+pub use mqo_cost as cost;
+pub use mqo_dag as dag;
+pub use mqo_exec as exec;
+pub use mqo_expr as expr;
+pub use mqo_logical as logical;
+pub use mqo_physical as physical;
+pub use mqo_util as util;
+pub use mqo_workloads as workloads;
