@@ -26,9 +26,7 @@ fn bench_shared_vs_unshared(c: &mut Criterion) {
         });
         group.bench_function(format!("{name}/mqo"), |b| {
             b.iter(|| {
-                black_box(
-                    execute_plan(&w.catalog, &ctx.pdag, &greedy.plan, &db, &params).rows_out,
-                )
+                black_box(execute_plan(&w.catalog, &ctx.pdag, &greedy.plan, &db, &params).rows_out)
             });
         });
     }

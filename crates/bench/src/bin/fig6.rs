@@ -48,6 +48,8 @@ fn main() {
                 format!("{:.1}x", base / r.cost.secs()),
             ]);
         }
-        t.print("Section 6.1: modified Q2 (`not in`, <> correlation) — paper reports ~9x for Greedy");
+        t.print(
+            "Section 6.1: modified Q2 (`not in`, <> correlation) — paper reports ~9x for Greedy",
+        );
     }
 }

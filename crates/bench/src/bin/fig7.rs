@@ -30,11 +30,7 @@ fn main() {
     let params = FxHashMap::default();
 
     let mut t = TextTable::new(&["query", "No-MQO [ms]", "MQO [ms]", "speedup", "temps"]);
-    let batches = vec![
-        ("Q2-D", w.q2d()),
-        ("Q11", w.q11()),
-        ("Q15", w.q15()),
-    ];
+    let batches = vec![("Q2-D", w.q2d()), ("Q11", w.q11()), ("Q15", w.q15())];
     for (name, batch) in batches {
         let base = optimize(&batch, &w.catalog, Algorithm::Volcano, &opts);
         let gre = optimize(&batch, &w.catalog, Algorithm::Greedy, &opts);

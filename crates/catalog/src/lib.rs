@@ -215,7 +215,11 @@ impl TableBuilder<'_> {
     pub fn int_key(self, name: &str) -> Self {
         let rows = self.cardinality;
         assert!(rows > 0.0, "set rows() before int_key()");
-        self.column(name, ColType::Int, ColStats::uniform_int(0, rows as i64 - 1, rows))
+        self.column(
+            name,
+            ColType::Int,
+            ColStats::uniform_int(0, rows as i64 - 1, rows),
+        )
     }
 
     /// Adds an integer column uniform over `[lo, hi]`.

@@ -5,9 +5,7 @@
 use crate::OptStats;
 use mqo_cost::Cost;
 use mqo_dag::Dag;
-use mqo_physical::{
-    ChosenOp, CostTable, ExtractedPlan, MatSet, PhysNodeId, PhysOpId, PhysicalDag,
-};
+use mqo_physical::{ChosenOp, CostTable, ExtractedPlan, MatSet, PhysNodeId, PhysOpId, PhysicalDag};
 use mqo_util::FxHashMap;
 
 /// One node of the consolidated plan.
@@ -337,14 +335,9 @@ pub fn sh_decide(
     for idx in 0..graph.nodes.len() {
         let op = pdag.op(graph.nodes[idx].op);
         if let Some(td) = op.temp_dep {
-            let source = graph
-                .nodes
-                .iter()
-                .map(|n| n.phys)
-                .find(|&p| {
-                    pdag.node(p).group == td.source
-                        && pdag.node(p).prop.leading_col() == Some(td.key)
-                });
+            let source = graph.nodes.iter().map(|n| n.phys).find(|&p| {
+                pdag.node(p).group == td.source && pdag.node(p).prop.leading_col() == Some(td.key)
+            });
             if let Some(src) = source {
                 mat.insert(pdag, src);
             }
@@ -480,8 +473,7 @@ pub fn sh_decide(
         let keep = graph.nodes[idx].children.iter().any(|&ch| {
             let ch_phys = graph.nodes[ch].phys;
             mat.contains(ch_phys) && {
-                let switched =
-                    pdag.op(graph.nodes[idx].op).local + pdag.reusecost(ch_phys);
+                let switched = pdag.op(graph.nodes[idx].op).local + pdag.reusecost(ch_phys);
                 switched < base_table.op_cost[orig_op.index()]
             }
         });

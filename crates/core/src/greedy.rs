@@ -125,26 +125,23 @@ pub fn greedy(ctx: &OptContext<'_>, opts: GreedyOptions) -> Optimized {
 
     // Benefit of materializing `x` on top of the current set (restores
     // the state before returning).
-    let probe = |state: &mut CostState,
-                 stats: &mut OptStats,
-                 cur_total: Cost,
-                 x: PhysNodeId|
-     -> f64 {
-        stats.benefit_recomputations += 1;
-        if opts.use_incremental {
-            state.add_mat(pdag, x, stats);
-            let t = state.total(pdag);
-            state.remove_mat(pdag, x, stats);
-            (cur_total - t).secs()
-        } else {
-            state.mat.insert(pdag, x);
-            state.recompute_full(pdag);
-            let t = state.total(pdag);
-            state.mat.remove(pdag, x);
-            state.recompute_full(pdag);
-            (cur_total - t).secs()
-        }
-    };
+    let probe =
+        |state: &mut CostState, stats: &mut OptStats, cur_total: Cost, x: PhysNodeId| -> f64 {
+            stats.benefit_recomputations += 1;
+            if opts.use_incremental {
+                state.add_mat(pdag, x, stats);
+                let t = state.total(pdag);
+                state.remove_mat(pdag, x, stats);
+                (cur_total - t).secs()
+            } else {
+                state.mat.insert(pdag, x);
+                state.recompute_full(pdag);
+                let t = state.total(pdag);
+                state.mat.remove(pdag, x);
+                state.recompute_full(pdag);
+                (cur_total - t).secs()
+            }
+        };
 
     let commit = |state: &mut CostState, stats: &mut OptStats, x: PhysNodeId| {
         if opts.use_incremental {

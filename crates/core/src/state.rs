@@ -61,8 +61,8 @@ impl CostState {
         let mut heap: BinaryHeap<Reverse<(u32, PhysNodeId)>> = BinaryHeap::new();
         let mut queued = vec![false; pdag.num_nodes()];
         let push = |heap: &mut BinaryHeap<Reverse<(u32, PhysNodeId)>>,
-                        queued: &mut Vec<bool>,
-                        node: PhysNodeId| {
+                    queued: &mut Vec<bool>,
+                    node: PhysNodeId| {
             if !queued[node.index()] {
                 queued[node.index()] = true;
                 heap.push(Reverse((pdag.node(node).topo, node)));

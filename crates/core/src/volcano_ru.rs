@@ -23,7 +23,11 @@ pub fn volcano_ru(ctx: &OptContext<'_>) -> Optimized {
     let fallback = volcano(ctx);
     let mut best = [forward, reverse, fallback]
         .into_iter()
-        .min_by(|a, b| a.cost.partial_cmp(&b.cost).unwrap_or(std::cmp::Ordering::Equal))
+        .min_by(|a, b| {
+            a.cost
+                .partial_cmp(&b.cost)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        })
         .expect("three candidates");
     best.stats.materialized = best.mat.len();
     best
@@ -38,7 +42,10 @@ fn run_order(ctx: &OptContext<'_>, reversed: bool) -> Optimized {
     let root_op = pick_root_op(pdag);
     let mut queries: Vec<(PhysNodeId, f64)> = {
         let op = pdag.op(root_op);
-        let ws = op.weights.clone().unwrap_or_else(|| vec![1.0; op.inputs.len()]);
+        let ws = op
+            .weights
+            .clone()
+            .unwrap_or_else(|| vec![1.0; op.inputs.len()]);
         op.inputs.iter().copied().zip(ws).collect()
     };
     if reversed {

@@ -36,7 +36,10 @@ fn example_11() -> (Catalog, Batch) {
     let q2 = LogicalPlan::scan(r)
         .join(LogicalPlan::scan(t), rt)
         .join(LogicalPlan::scan(s), rs);
-    (cat, Batch::of(vec![Query::new("q1", q1), Query::new("q2", q2)]))
+    (
+        cat,
+        Batch::of(vec![Query::new("q1", q1), Query::new("q2", q2)]),
+    )
 }
 
 /// A pair of identical aggregate queries over an expensive join.
@@ -60,10 +63,12 @@ fn shared_aggregate() -> (Catalog, Batch) {
     let bk = cat.col("b", "bk");
     let tot = cat.derived_column("tot", ColType::Float, ColStats::opaque(500.0));
     let jab = Predicate::atom(Atom::eq_cols(cat.col("a", "ak"), cat.col("b", "afk")));
-    let q = LogicalPlan::scan(a).join(LogicalPlan::scan(b), jab).aggregate(
-        vec![av],
-        vec![AggExpr::new(AggFunc::Sum, ScalarExpr::col(bk), tot)],
-    );
+    let q = LogicalPlan::scan(a)
+        .join(LogicalPlan::scan(b), jab)
+        .aggregate(
+            vec![av],
+            vec![AggExpr::new(AggFunc::Sum, ScalarExpr::col(bk), tot)],
+        );
     (
         cat,
         Batch::of(vec![Query::new("q1", q.clone()), Query::new("q2", q)]),
@@ -74,7 +79,11 @@ fn shared_aggregate() -> (Catalog, Batch) {
 fn all_heuristics_beat_or_match_volcano() {
     for (cat, batch) in [example_11(), shared_aggregate()] {
         let base = optimize(&batch, &cat, Algorithm::Volcano, &opts());
-        for alg in [Algorithm::VolcanoSH, Algorithm::VolcanoRU, Algorithm::Greedy] {
+        for alg in [
+            Algorithm::VolcanoSH,
+            Algorithm::VolcanoRU,
+            Algorithm::Greedy,
+        ] {
             let r = optimize(&batch, &cat, alg, &opts());
             assert!(
                 r.cost <= base.cost * 1.0001,

@@ -39,7 +39,10 @@ fn setup() -> (Catalog, Batch) {
     };
     let join_q = LogicalPlan::scan(users).join(
         LogicalPlan::scan(ev).select(Predicate::atom(Atom::cmp(day, CmpOp::Ge, 100i64))),
-        Predicate::atom(Atom::eq_cols(cat.col("users", "us_key"), cat.col("events", "ev_key"))),
+        Predicate::atom(Atom::eq_cols(
+            cat.col("users", "us_key"),
+            cat.col("events", "ev_key"),
+        )),
     );
     (
         cat,

@@ -25,11 +25,16 @@ fn setup() -> (Catalog, Batch) {
     let t1 = cat.derived_column("sb1", ColType::Float, ColStats::opaque(500.0));
     let bav = cat.col("big_a", "bav");
     let bbk = cat.col("big_b", "bbk");
-    let join = Predicate::atom(Atom::eq_cols(cat.col("big_a", "bak"), cat.col("big_b", "bafk")));
-    let q = LogicalPlan::scan(a).join(LogicalPlan::scan(b), join).aggregate(
-        vec![bav],
-        vec![AggExpr::new(AggFunc::Sum, ScalarExpr::col(bbk), t1)],
-    );
+    let join = Predicate::atom(Atom::eq_cols(
+        cat.col("big_a", "bak"),
+        cat.col("big_b", "bafk"),
+    ));
+    let q = LogicalPlan::scan(a)
+        .join(LogicalPlan::scan(b), join)
+        .aggregate(
+            vec![bav],
+            vec![AggExpr::new(AggFunc::Sum, ScalarExpr::col(bbk), t1)],
+        );
     (
         cat,
         Batch::of(vec![Query::new("q1", q.clone()), Query::new("q2", q)]),
@@ -68,16 +73,15 @@ fn budget_is_respected_and_cost_is_sandwiched() {
     let (cat, batch) = setup();
     let base = optimize(&batch, &cat, Algorithm::Volcano, &Options::new());
     let unbudgeted = optimize(&batch, &cat, Algorithm::Greedy, &Options::new());
-    assert!(unbudgeted.stats.materialized > 0, "nothing shared — vacuous");
+    assert!(
+        unbudgeted.stats.materialized > 0,
+        "nothing shared — vacuous"
+    );
 
     // find the unbudgeted plan's total footprint, then halve it
     let opts = Options::new();
     let ctx = OptContext::build(&batch, &cat, &opts);
-    let full_blocks: f64 = unbudgeted
-        .mat
-        .iter()
-        .map(|m| ctx.pdag.node(m).blocks)
-        .sum();
+    let full_blocks: f64 = unbudgeted.mat.iter().map(|m| ctx.pdag.node(m).blocks).sum();
     let budget = full_blocks / 2.0;
     let g = optimize(&batch, &cat, Algorithm::Greedy, &with_budget(Some(budget)));
     let used: f64 = g.mat.iter().map(|m| ctx.pdag.node(m).blocks).sum();

@@ -13,7 +13,11 @@ pub fn selectivity(pred: &Predicate, catalog: &Catalog) -> f64 {
     // OR of ANDs: P(any disjunct) = 1 - Π(1 - P(disjunct)).
     let mut miss_all = 1.0;
     for d in pred.disjuncts() {
-        let s: f64 = d.atoms().iter().map(|a| atom_selectivity(a, catalog)).product();
+        let s: f64 = d
+            .atoms()
+            .iter()
+            .map(|a| atom_selectivity(a, catalog))
+            .product();
         miss_all *= 1.0 - s.clamp(0.0, 1.0);
     }
     (1.0 - miss_all).clamp(0.0, 1.0)
@@ -123,7 +127,10 @@ mod tests {
         let u = cat.col("t", "u");
         let a = Atom::cmp(u, CmpOp::Eq, 1i64);
         let b = Atom::cmp(u, CmpOp::Eq, 2i64);
-        let conj = Predicate::all(vec![a.clone(), Atom::cmp(cat.col("t", "k"), CmpOp::Eq, 7i64)]);
+        let conj = Predicate::all(vec![
+            a.clone(),
+            Atom::cmp(cat.col("t", "k"), CmpOp::Eq, 7i64),
+        ]);
         assert!((selectivity(&conj, &cat) - 0.01 * 0.001).abs() < 1e-9);
         let disj = Predicate::atom(a).or(&Predicate::atom(b));
         let s = selectivity(&disj, &cat);
@@ -152,7 +159,14 @@ mod tests {
     fn selectivity_always_in_unit_interval() {
         let cat = setup();
         let u = cat.col("t", "u");
-        for op in [CmpOp::Lt, CmpOp::Le, CmpOp::Eq, CmpOp::Ge, CmpOp::Gt, CmpOp::Ne] {
+        for op in [
+            CmpOp::Lt,
+            CmpOp::Le,
+            CmpOp::Eq,
+            CmpOp::Ge,
+            CmpOp::Gt,
+            CmpOp::Ne,
+        ] {
             for v in [-50i64, 0, 50, 99, 200] {
                 let p = Predicate::atom(Atom::cmp(u, op, v));
                 let s = selectivity(&p, &cat);

@@ -193,10 +193,8 @@ mod tests {
             .join(LogicalPlan::scan(b), jab.clone())
             .join(LogicalPlan::scan(c), jbc.clone());
         // a ⋈ (b ⋈ c)
-        let q2 = LogicalPlan::scan(a).join(
-            LogicalPlan::scan(b).join(LogicalPlan::scan(c), jbc),
-            jab,
-        );
+        let q2 =
+            LogicalPlan::scan(a).join(LogicalPlan::scan(b).join(LogicalPlan::scan(c), jbc), jab);
         (cat, q1, q2)
     }
 
@@ -236,7 +234,11 @@ mod tests {
         // J(bc,a) — 4 alternatives (no cross products).
         let root_in = dag.op_inputs(dag.root_op())[0];
         let n = dag.group_ops(root_in).count();
-        assert!(n >= 4, "expected ≥4 join alternatives, got {n}\n{}", dag.dump());
+        assert!(
+            n >= 4,
+            "expected ≥4 join alternatives, got {n}\n{}",
+            dag.dump()
+        );
     }
 
     #[test]

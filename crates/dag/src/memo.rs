@@ -196,7 +196,11 @@ impl Dag {
 
     /// Resolved input groups of an operation.
     pub fn op_inputs(&self, o: OpId) -> Vec<GroupId> {
-        self.ops[o.index()].inputs.iter().map(|&g| self.find(g)).collect()
+        self.ops[o.index()]
+            .inputs
+            .iter()
+            .map(|&g| self.find(g))
+            .collect()
     }
 
     /// Resolved owning group of an operation.
@@ -353,7 +357,13 @@ impl Dag {
             return (self.op_group(existing), existing, false);
         }
         let g = self.new_group(props());
-        self.insert_op(kind, resolved, Some(g), from_subsumption, from_commutativity)
+        self.insert_op(
+            kind,
+            resolved,
+            Some(g),
+            from_subsumption,
+            from_commutativity,
+        )
     }
 
     /// Looks an expression up without inserting.
@@ -455,13 +465,10 @@ impl Dag {
         let root = self.root();
         let mut order = Vec::new();
         let mut state: FxHashMap<GroupId, u8> = FxHashMap::default(); // 1=visiting, 2=done
-        // Iterative DFS with an explicit stack of (group, child_cursor).
+                                                                      // Iterative DFS with an explicit stack of (group, child_cursor).
         let mut stack: Vec<(GroupId, Vec<GroupId>, usize)> = Vec::new();
         let children_of = |dag: &Dag, g: GroupId| -> Vec<GroupId> {
-            let mut cs: Vec<GroupId> = dag
-                .group_ops(g)
-                .flat_map(|o| dag.op_inputs(o))
-                .collect();
+            let mut cs: Vec<GroupId> = dag.group_ops(g).flat_map(|o| dag.op_inputs(o)).collect();
             cs.sort_unstable();
             cs.dedup();
             cs
@@ -502,11 +509,16 @@ impl Dag {
         let mut s = String::new();
         for &g in &self.topo_order {
             let grp = self.group(g);
-            let _ = write!(s, "g{} rows={:.0} cols={} ops:", g, grp.rows, grp.cols.len());
+            let _ = write!(
+                s,
+                "g{} rows={:.0} cols={} ops:",
+                g,
+                grp.rows,
+                grp.cols.len()
+            );
             for o in self.group_ops(g) {
                 let op = self.op(o);
-                let ins: Vec<String> =
-                    self.op_inputs(o).iter().map(|i| format!("g{i}")).collect();
+                let ins: Vec<String> = self.op_inputs(o).iter().map(|i| format!("g{i}")).collect();
                 let _ = write!(s, " [{} {}({})]", o, op.kind.name(), ins.join(","));
             }
             let _ = writeln!(s);
@@ -543,11 +555,21 @@ mod tests {
     #[test]
     fn insert_dedupes_identical_expressions() {
         let mut dag = Dag::empty(DagConfig::default());
-        let (ga, _, new_a) =
-            dag.insert_expr(OpKind::Scan(TableId(0)), vec![], || props(10.0, 0), false, false);
+        let (ga, _, new_a) = dag.insert_expr(
+            OpKind::Scan(TableId(0)),
+            vec![],
+            || props(10.0, 0),
+            false,
+            false,
+        );
         assert!(new_a);
-        let (ga2, _, new_a2) =
-            dag.insert_expr(OpKind::Scan(TableId(0)), vec![], || props(10.0, 0), false, false);
+        let (ga2, _, new_a2) = dag.insert_expr(
+            OpKind::Scan(TableId(0)),
+            vec![],
+            || props(10.0, 0),
+            false,
+            false,
+        );
         assert!(!new_a2);
         assert_eq!(ga, ga2);
     }
@@ -557,10 +579,20 @@ mod tests {
         // Two distinct groups for "A⋈B" (as if from two query trees),
         // then the same expression inserted into both → they unify.
         let mut dag = Dag::empty(DagConfig::default());
-        let (a, _, _) =
-            dag.insert_expr(OpKind::Scan(TableId(0)), vec![], || props(10.0, 0), false, false);
-        let (b, _, _) =
-            dag.insert_expr(OpKind::Scan(TableId(1)), vec![], || props(10.0, 1), false, false);
+        let (a, _, _) = dag.insert_expr(
+            OpKind::Scan(TableId(0)),
+            vec![],
+            || props(10.0, 0),
+            false,
+            false,
+        );
+        let (b, _, _) = dag.insert_expr(
+            OpKind::Scan(TableId(1)),
+            vec![],
+            || props(10.0, 1),
+            false,
+            false,
+        );
         let p = Predicate::true_();
         // group 1 contains Join(a,b)
         let g1 = dag.new_group(join_props(100.0, &[0, 1]));
@@ -585,21 +617,60 @@ mod tests {
         // Unifying gx1/gx2 must re-key top1/top2 into the same expression
         // and cascade-merge their groups.
         let mut dag = Dag::empty(DagConfig::default());
-        let (r0, _, _) =
-            dag.insert_expr(OpKind::Scan(TableId(0)), vec![], || props(10.0, 0), false, false);
-        let (r1, _, _) =
-            dag.insert_expr(OpKind::Scan(TableId(1)), vec![], || props(10.0, 1), false, false);
-        let (r2, _, _) =
-            dag.insert_expr(OpKind::Scan(TableId(2)), vec![], || props(10.0, 2), false, false);
+        let (r0, _, _) = dag.insert_expr(
+            OpKind::Scan(TableId(0)),
+            vec![],
+            || props(10.0, 0),
+            false,
+            false,
+        );
+        let (r1, _, _) = dag.insert_expr(
+            OpKind::Scan(TableId(1)),
+            vec![],
+            || props(10.0, 1),
+            false,
+            false,
+        );
+        let (r2, _, _) = dag.insert_expr(
+            OpKind::Scan(TableId(2)),
+            vec![],
+            || props(10.0, 2),
+            false,
+            false,
+        );
         let p = Predicate::true_();
         let gx1 = dag.new_group(join_props(100.0, &[0, 1]));
-        dag.insert_op(OpKind::Join(p.clone()), vec![r0, r1], Some(gx1), false, false);
+        dag.insert_op(
+            OpKind::Join(p.clone()),
+            vec![r0, r1],
+            Some(gx1),
+            false,
+            false,
+        );
         let gx2 = dag.new_group(join_props(100.0, &[0, 1]));
-        dag.insert_op(OpKind::Join(p.clone()), vec![r1, r0], Some(gx2), false, false);
+        dag.insert_op(
+            OpKind::Join(p.clone()),
+            vec![r1, r0],
+            Some(gx2),
+            false,
+            false,
+        );
         let top1 = dag.new_group(join_props(1000.0, &[0, 1, 2]));
-        dag.insert_op(OpKind::Join(p.clone()), vec![gx1, r2], Some(top1), false, false);
+        dag.insert_op(
+            OpKind::Join(p.clone()),
+            vec![gx1, r2],
+            Some(top1),
+            false,
+            false,
+        );
         let top2 = dag.new_group(join_props(1000.0, &[0, 1, 2]));
-        dag.insert_op(OpKind::Join(p.clone()), vec![gx2, r2], Some(top2), false, false);
+        dag.insert_op(
+            OpKind::Join(p.clone()),
+            vec![gx2, r2],
+            Some(top2),
+            false,
+            false,
+        );
         assert_ne!(dag.find(top1), dag.find(top2));
         dag.merge(gx1, gx2);
         // tops collapse: same expression J(gx, r2)
@@ -611,10 +682,20 @@ mod tests {
     #[test]
     fn topo_orders_children_first() {
         let mut dag = Dag::empty(DagConfig::default());
-        let (a, _, _) =
-            dag.insert_expr(OpKind::Scan(TableId(0)), vec![], || props(10.0, 0), false, false);
-        let (b, _, _) =
-            dag.insert_expr(OpKind::Scan(TableId(1)), vec![], || props(10.0, 1), false, false);
+        let (a, _, _) = dag.insert_expr(
+            OpKind::Scan(TableId(0)),
+            vec![],
+            || props(10.0, 0),
+            false,
+            false,
+        );
+        let (b, _, _) = dag.insert_expr(
+            OpKind::Scan(TableId(1)),
+            vec![],
+            || props(10.0, 1),
+            false,
+            false,
+        );
         let p = Predicate::true_();
         let (j, _, _) = dag.insert_expr(
             OpKind::Join(p),
@@ -637,10 +718,20 @@ mod tests {
     #[test]
     fn parents_filter_dead_and_dedup() {
         let mut dag = Dag::empty(DagConfig::default());
-        let (a, _, _) =
-            dag.insert_expr(OpKind::Scan(TableId(0)), vec![], || props(10.0, 0), false, false);
-        let (b, _, _) =
-            dag.insert_expr(OpKind::Scan(TableId(1)), vec![], || props(10.0, 1), false, false);
+        let (a, _, _) = dag.insert_expr(
+            OpKind::Scan(TableId(0)),
+            vec![],
+            || props(10.0, 0),
+            false,
+            false,
+        );
+        let (b, _, _) = dag.insert_expr(
+            OpKind::Scan(TableId(1)),
+            vec![],
+            || props(10.0, 1),
+            false,
+            false,
+        );
         let p = Predicate::true_();
         let gx1 = dag.new_group(join_props(100.0, &[0, 1]));
         dag.insert_op(OpKind::Join(p.clone()), vec![a, b], Some(gx1), false, false);

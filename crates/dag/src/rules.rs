@@ -108,10 +108,7 @@ fn associate(
         let mut pool: Vec<Atom> = outer_conj.atoms().to_vec();
         pool.extend(child_conj.atoms().iter().cloned());
         let cols_a = col_set(dag, a);
-        let cols_bc: FxHashSet<ColId> = col_set(dag, b)
-            .union(&col_set(dag, c))
-            .copied()
-            .collect();
+        let cols_bc: FxHashSet<ColId> = col_set(dag, b).union(&col_set(dag, c)).copied().collect();
         let (inner_atoms, outer_atoms): (Vec<Atom>, Vec<Atom>) = pool
             .into_iter()
             .partition(|at| atom_cols(at).iter().all(|col| cols_bc.contains(col)));
@@ -136,7 +133,13 @@ fn associate(
         let inner_kind = OpKind::Join(inner_pred);
         let props = compute_props(dag, est, &inner_kind, &[b, c]);
         let (bc, _, _) = dag.insert_expr(inner_kind, vec![b, c], || props, false, false);
-        dag.insert_op(OpKind::Join(outer_pred), vec![a, bc], Some(group), false, false);
+        dag.insert_op(
+            OpKind::Join(outer_pred),
+            vec![a, bc],
+            Some(group),
+            false,
+            false,
+        );
     }
 }
 
@@ -200,7 +203,13 @@ fn push_down(
         let l2 = side(l, pl, dag);
         let r2 = side(r, pr, dag);
         if rest.is_empty() {
-            dag.insert_op(OpKind::Join(join_pred), vec![l2, r2], Some(group), false, false);
+            dag.insert_op(
+                OpKind::Join(join_pred),
+                vec![l2, r2],
+                Some(group),
+                false,
+                false,
+            );
         } else {
             let jk = OpKind::Join(join_pred);
             let props = compute_props(dag, est, &jk, &[l2, r2]);
@@ -248,7 +257,13 @@ fn push_through_project(
         let sel_kind = OpKind::Select(pred.clone());
         let props = compute_props(dag, est, &sel_kind, &[e]);
         let (sel_g, _, _) = dag.insert_expr(sel_kind, vec![e], || props, false, false);
-        dag.insert_op(OpKind::Project(cols), vec![sel_g], Some(group), false, false);
+        dag.insert_op(
+            OpKind::Project(cols),
+            vec![sel_g],
+            Some(group),
+            false,
+            false,
+        );
     }
 }
 
@@ -343,11 +358,16 @@ mod tests {
             dag.group_ops(g).any(|o| {
                 matches!(dag.op(o).kind, OpKind::Select(_))
                     && dag.op_inputs(o).iter().all(|&i| {
-                        dag.group_ops(i).any(|oo| matches!(dag.op(oo).kind, OpKind::Scan(_)))
+                        dag.group_ops(i)
+                            .any(|oo| matches!(dag.op(oo).kind, OpKind::Scan(_)))
                     })
             })
         });
-        assert!(sel_scan, "pushdown did not create σ over scan\n{}", dag.dump());
+        assert!(
+            sel_scan,
+            "pushdown did not create σ over scan\n{}",
+            dag.dump()
+        );
     }
 
     #[test]

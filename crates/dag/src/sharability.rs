@@ -199,7 +199,11 @@ mod tests {
         let g_rs = find_rel(&[r.index(), s.index()]);
         let g_rt = find_rel(&[r.index(), t.index()]);
         assert!(degrees[&g_rs] > 1.0, "R⋈S sharable: {}", degrees[&g_rs]);
-        assert!(degrees[&g_rt] <= 1.0, "R⋈T not sharable: {}", degrees[&g_rt]);
+        assert!(
+            degrees[&g_rt] <= 1.0,
+            "R⋈T not sharable: {}",
+            degrees[&g_rt]
+        );
         // base relation R is used by both queries
         let g_r = find_rel(&[r.index()]);
         assert!(degrees[&g_r] >= 2.0);

@@ -66,7 +66,13 @@ fn add_select_derivations(dag: &mut Dag, est: &Estimator<'_>) {
                 }
                 // i strictly stronger than j: σ_i(E) = σ_i(σ_j(E))
                 if pred_i.implies(&pred_j) && !pred_j.implies(&pred_i) {
-                    dag.insert_op(OpKind::Select(pred_i.clone()), vec![gj], Some(gi), true, false);
+                    dag.insert_op(
+                        OpKind::Select(pred_i.clone()),
+                        vec![gj],
+                        Some(gi),
+                        true,
+                        false,
+                    );
                 }
             }
         }
@@ -133,7 +139,10 @@ fn add_aggregate_derivations(dag: &mut Dag, est: &Estimator<'_>) {
         let (keys, aggs) = (keys.clone(), aggs.clone());
         let input = dag.op_inputs(oid)[0];
         let group = dag.op_group(oid);
-        by_site.entry((input, aggs)).or_default().push((keys, group));
+        by_site
+            .entry((input, aggs))
+            .or_default()
+            .push((keys, group));
     }
     for ((input, aggs), mut entries) in by_site {
         entries.sort();
@@ -244,7 +253,11 @@ mod tests {
     fn aggregates_gain_union_groupby_derivations() {
         let mut cat = setup();
         let e = cat.table_by_name("e").unwrap().id;
-        let (dno, age, sal) = (cat.col("e", "dno"), cat.col("e", "age"), cat.col("e", "sal"));
+        let (dno, age, sal) = (
+            cat.col("e", "dno"),
+            cat.col("e", "age"),
+            cat.col("e", "sal"),
+        );
         let s1 = cat.derived_column("s1", ColType::Float, ColStats::opaque(1000.0));
         let q1 = LogicalPlan::scan(e).aggregate(
             vec![dno],

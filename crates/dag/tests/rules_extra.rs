@@ -57,9 +57,7 @@ fn range_subsumption_chains_across_three_queries() {
     let cat = catalog();
     let r = cat.table_by_name("r").unwrap().id;
     let rv = cat.col("r", "rv");
-    let mk = |b: i64| {
-        LogicalPlan::scan(r).select(Predicate::atom(Atom::cmp(rv, CmpOp::Ge, b)))
-    };
+    let mk = |b: i64| LogicalPlan::scan(r).select(Predicate::atom(Atom::cmp(rv, CmpOp::Ge, b)));
     let batch = Batch::of(vec![
         Query::new("a", mk(10)),
         Query::new("b", mk(40)),
@@ -81,9 +79,18 @@ fn equality_and_range_subsumption_coexist() {
     let r = cat.table_by_name("r").unwrap().id;
     let rv = cat.col("r", "rv");
     let batch = Batch::of(vec![
-        Query::new("e1", LogicalPlan::scan(r).select(Predicate::atom(Atom::cmp(rv, CmpOp::Eq, 5i64)))),
-        Query::new("e2", LogicalPlan::scan(r).select(Predicate::atom(Atom::cmp(rv, CmpOp::Eq, 9i64)))),
-        Query::new("w", LogicalPlan::scan(r).select(Predicate::atom(Atom::cmp(rv, CmpOp::Lt, 50i64)))),
+        Query::new(
+            "e1",
+            LogicalPlan::scan(r).select(Predicate::atom(Atom::cmp(rv, CmpOp::Eq, 5i64))),
+        ),
+        Query::new(
+            "e2",
+            LogicalPlan::scan(r).select(Predicate::atom(Atom::cmp(rv, CmpOp::Eq, 9i64))),
+        ),
+        Query::new(
+            "w",
+            LogicalPlan::scan(r).select(Predicate::atom(Atom::cmp(rv, CmpOp::Lt, 50i64))),
+        ),
     ]);
     let dag = Dag::expand(&batch, &cat, DagConfig::default());
     // disjunction node σ_{rv=5 ∨ rv=9} must exist
@@ -96,7 +103,11 @@ fn equality_and_range_subsumption_coexist() {
         .iter()
         .filter(|&&o| dag.op(o).from_subsumption)
         .count();
-    assert!(eq_from_range >= 4, "derivations: {eq_from_range}\n{}", dag.dump());
+    assert!(
+        eq_from_range >= 4,
+        "derivations: {eq_from_range}\n{}",
+        dag.dump()
+    );
 }
 
 #[test]

@@ -9,7 +9,7 @@ use crate::table::{Database, Row, Table};
 use mqo_catalog::{Catalog, ColType, Column};
 use mqo_expr::Value;
 use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use rand::{Rng, SeedableRng};
 
 /// Generates data for every catalog table.
 ///
@@ -83,11 +83,7 @@ mod tests {
             .rows(1_000.0)
             .int_key("k")
             .int_uniform("u", 5, 14)
-            .column(
-                "name",
-                ColType::Str(16),
-                mqo_catalog::ColStats::opaque(8.0),
-            )
+            .column("name", ColType::Str(16), mqo_catalog::ColStats::opaque(8.0))
             .clustered_on_first()
             .build();
         cat
@@ -125,11 +121,8 @@ mod tests {
         let db = generate_database(&cat, 7, usize::MAX);
         let t = db.table(cat.table_by_name("t").unwrap().id);
         let np = t.col_pos(cat.col("t", "name"));
-        let distinct: std::collections::HashSet<String> = t
-            .rows
-            .iter()
-            .map(|r| format!("{}", r[np]))
-            .collect();
+        let distinct: std::collections::HashSet<String> =
+            t.rows.iter().map(|r| format!("{}", r[np])).collect();
         assert!(distinct.len() <= 8);
         assert!(distinct.len() >= 4, "pool badly undersampled");
     }

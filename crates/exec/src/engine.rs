@@ -52,11 +52,7 @@ pub fn execute_plan(
         }
         ex.temps.insert(m, Arc::new(t));
     }
-    let results: Vec<Table> = plan
-        .query_roots
-        .iter()
-        .map(|&q| ex.eval_use(q))
-        .collect();
+    let results: Vec<Table> = plan.query_roots.iter().map(|&q| ex.eval_use(q)).collect();
     let rows_out = results.iter().map(Table::len).sum();
     ExecOutcome {
         temps_built: plan.materialized.len(),
@@ -264,12 +260,8 @@ impl Executor<'_> {
             }
             Algo::Project { cols } => {
                 let input = self.eval_use(inputs[0]);
-                let rows = ops::project(
-                    Box::new(input.rows.into_iter()),
-                    &input.schema,
-                    &cols,
-                )
-                .collect();
+                let rows =
+                    ops::project(Box::new(input.rows.into_iter()), &input.schema, &cols).collect();
                 let sorted: Vec<_> = input
                     .sorted_on
                     .iter()

@@ -328,12 +328,15 @@ mod tests {
 
     #[test]
     fn index_scan_uses_bounds_and_rechecks() {
-        let mut t = Table::new(vec![c(0), c(1)], vec![
-            vec![v(1), v(0)],
-            vec![v(2), v(1)],
-            vec![v(3), v(0)],
-            vec![v(4), v(1)],
-        ]);
+        let mut t = Table::new(
+            vec![c(0), c(1)],
+            vec![
+                vec![v(1), v(0)],
+                vec![v(2), v(1)],
+                vec![v(3), v(0)],
+                vec![v(4), v(1)],
+            ],
+        );
         t.sort_by(&[c(0)]);
         let pred = Predicate::all(vec![
             Atom::cmp(c(0), CmpOp::Ge, 2i64),
@@ -405,11 +408,10 @@ mod tests {
 
     #[test]
     fn indexed_join_probes_sorted_inner() {
-        let mut inner = Table::new(vec![c(2), c(3)], vec![
-            vec![v(1), v(10)],
-            vec![v(2), v(20)],
-            vec![v(2), v(21)],
-        ]);
+        let mut inner = Table::new(
+            vec![c(2), c(3)],
+            vec![vec![v(1), v(10)], vec![v(2), v(20)], vec![v(2), v(21)]],
+        );
         inner.sort_by(&[c(2)]);
         let outer = vec![vec![v(2)], vec![v(9)]];
         let got: Vec<Row> = indexed_nl_join(
@@ -428,11 +430,7 @@ mod tests {
     #[test]
     fn sort_aggregate_groups_runs() {
         let out_col = c(9);
-        let input = vec![
-            vec![v(1), v(10)],
-            vec![v(1), v(20)],
-            vec![v(2), v(5)],
-        ];
+        let input = vec![vec![v(1), v(10)], vec![v(1), v(20)], vec![v(2), v(5)]];
         let aggs = vec![AggExpr::new(AggFunc::Sum, ScalarExpr::col(c(1)), out_col)];
         let out = sort_aggregate(input, &[c(0), c(1)], &[c(0)], &aggs);
         assert_eq!(out.len(), 2);
@@ -443,11 +441,7 @@ mod tests {
 
     #[test]
     fn scalar_aggregate_on_empty_input() {
-        let aggs = vec![AggExpr::new(
-            AggFunc::Count,
-            ScalarExpr::col(c(0)),
-            c(9),
-        )];
+        let aggs = vec![AggExpr::new(AggFunc::Count, ScalarExpr::col(c(0)), c(9))];
         let out = sort_aggregate(vec![], &[c(0)], &[], &aggs);
         assert_eq!(out, vec![vec![v(0)]]);
         // grouped aggregate over empty input: no groups

@@ -2,9 +2,9 @@
 
 use mqo_catalog::{Catalog, ColId, TableId};
 use mqo_expr::Value;
+use mqo_util::FxHashMap;
 #[allow(unused_imports)]
 use std::cmp::Ordering;
-use mqo_util::FxHashMap;
 use std::sync::Arc;
 
 /// A tuple: one value per schema column.
@@ -58,10 +58,7 @@ impl Table {
     /// falls within `[lo, hi]` bounds (inclusive); requires the table to
     /// be sorted. `None` bounds are unbounded.
     pub fn range_on_sorted(&self, lo: Option<&Value>, hi: Option<&Value>) -> (usize, usize) {
-        assert!(
-            !self.sorted_on.is_empty(),
-            "range probe on unsorted table"
-        );
+        assert!(!self.sorted_on.is_empty(), "range probe on unsorted table");
         let p = self.col_pos(self.sorted_on[0]);
         let start = match lo {
             Some(v) => self
@@ -202,14 +199,8 @@ mod tests {
 
     #[test]
     fn normalize_is_order_insensitive() {
-        let t1 = Table::new(
-            vec![c(1), c(0)],
-            vec![vec![v(10), v(1)], vec![v(20), v(2)]],
-        );
-        let t2 = Table::new(
-            vec![c(0), c(1)],
-            vec![vec![v(2), v(20)], vec![v(1), v(10)]],
-        );
+        let t1 = Table::new(vec![c(1), c(0)], vec![vec![v(10), v(1)], vec![v(20), v(2)]]);
+        let t2 = Table::new(vec![c(0), c(1)], vec![vec![v(2), v(20)], vec![v(1), v(10)]]);
         assert_eq!(normalize_result(&t1), normalize_result(&t2));
     }
 

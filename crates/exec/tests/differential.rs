@@ -83,7 +83,11 @@ fn shared_plans_return_identical_results() {
     assert_eq!(base_out.results.len(), 2);
     assert!(base_out.rows_out > 0, "workload returned nothing");
 
-    for alg in [Algorithm::VolcanoSH, Algorithm::VolcanoRU, Algorithm::Greedy] {
+    for alg in [
+        Algorithm::VolcanoSH,
+        Algorithm::VolcanoRU,
+        Algorithm::Greedy,
+    ] {
         let r = ctx_plan(alg);
         let ctx = mqo_core::OptContext::build(&batch, &cat, &opts);
         let out = execute_plan(&cat, &ctx.pdag, &r.plan, &db, &params);
@@ -150,9 +154,8 @@ fn aggregate_results_match_manual_computation() {
     for d in &dim.rows {
         for f in &fact.rows {
             if d[dkp] == f[dfkp] {
-                *expected
-                    .entry(d[dcatp].as_i64().unwrap())
-                    .or_default() += f[valp].as_f64().unwrap();
+                *expected.entry(d[dcatp].as_i64().unwrap()).or_default() +=
+                    f[valp].as_f64().unwrap();
             }
         }
     }

@@ -159,8 +159,18 @@ impl Atom {
         if self == other {
             return true;
         }
-        let (Atom::Cmp { col: c1, op: o1, val: v1 }, Atom::Cmp { col: c2, op: o2, val: v2 }) =
-            (self, other)
+        let (
+            Atom::Cmp {
+                col: c1,
+                op: o1,
+                val: v1,
+            },
+            Atom::Cmp {
+                col: c2,
+                op: o2,
+                val: v2,
+            },
+        ) = (self, other)
         else {
             return false;
         };
@@ -218,21 +228,47 @@ impl Atom {
                 Atom::Param { .. } => 2,
             }
         }
-        rank(self).cmp(&rank(other)).then_with(|| match (self, other) {
-            (
-                Atom::Cmp { col: c1, op: o1, val: v1 },
-                Atom::Cmp { col: c2, op: o2, val: v2 },
-            ) => c1.cmp(c2).then(o1.cmp(o2)).then(v1.sort_cmp(v2)),
-            (
-                Atom::ColCmp { left: l1, op: o1, right: r1 },
-                Atom::ColCmp { left: l2, op: o2, right: r2 },
-            ) => l1.cmp(l2).then(r1.cmp(r2)).then(o1.cmp(o2)),
-            (
-                Atom::Param { col: c1, op: o1, param: p1 },
-                Atom::Param { col: c2, op: o2, param: p2 },
-            ) => c1.cmp(c2).then(p1.cmp(p2)).then(o1.cmp(o2)),
-            _ => Ordering::Equal,
-        })
+        rank(self)
+            .cmp(&rank(other))
+            .then_with(|| match (self, other) {
+                (
+                    Atom::Cmp {
+                        col: c1,
+                        op: o1,
+                        val: v1,
+                    },
+                    Atom::Cmp {
+                        col: c2,
+                        op: o2,
+                        val: v2,
+                    },
+                ) => c1.cmp(c2).then(o1.cmp(o2)).then(v1.sort_cmp(v2)),
+                (
+                    Atom::ColCmp {
+                        left: l1,
+                        op: o1,
+                        right: r1,
+                    },
+                    Atom::ColCmp {
+                        left: l2,
+                        op: o2,
+                        right: r2,
+                    },
+                ) => l1.cmp(l2).then(r1.cmp(r2)).then(o1.cmp(o2)),
+                (
+                    Atom::Param {
+                        col: c1,
+                        op: o1,
+                        param: p1,
+                    },
+                    Atom::Param {
+                        col: c2,
+                        op: o2,
+                        param: p2,
+                    },
+                ) => c1.cmp(c2).then(p1.cmp(p2)).then(o1.cmp(o2)),
+                _ => Ordering::Equal,
+            })
     }
 }
 
@@ -421,7 +457,12 @@ impl Predicate {
         let mut col: Option<ColId> = None;
         let mut vals = Vec::new();
         for d in &self.disjuncts {
-            let [Atom::Cmp { col: c, op: CmpOp::Eq, val }] = d.atoms() else {
+            let [Atom::Cmp {
+                col: c,
+                op: CmpOp::Eq,
+                val,
+            }] = d.atoms()
+            else {
                 return None;
             };
             if *col.get_or_insert(*c) != *c {
@@ -578,8 +619,11 @@ mod tests {
 
     #[test]
     fn and_distributes() {
-        let p = Predicate::atom(Atom::cmp(c(0), CmpOp::Eq, 1i64))
-            .or(&Predicate::atom(Atom::cmp(c(0), CmpOp::Eq, 2i64)));
+        let p = Predicate::atom(Atom::cmp(c(0), CmpOp::Eq, 1i64)).or(&Predicate::atom(Atom::cmp(
+            c(0),
+            CmpOp::Eq,
+            2i64,
+        )));
         let q = Predicate::atom(Atom::cmp(c(1), CmpOp::Gt, 7i64));
         let r = p.and(&q);
         assert_eq!(r.disjuncts().len(), 2);
@@ -611,8 +655,11 @@ mod tests {
         assert_eq!((col, op), (c(3), CmpOp::Ge));
         assert_eq!(*v, Value::Int(42));
 
-        let d = Predicate::atom(Atom::cmp(c(3), CmpOp::Eq, 1i64))
-            .or(&Predicate::atom(Atom::cmp(c(3), CmpOp::Eq, 2i64)));
+        let d = Predicate::atom(Atom::cmp(c(3), CmpOp::Eq, 1i64)).or(&Predicate::atom(Atom::cmp(
+            c(3),
+            CmpOp::Eq,
+            2i64,
+        )));
         let (col, vals) = d.as_eq_disjunction().unwrap();
         assert_eq!(col, c(3));
         assert_eq!(vals.len(), 2);

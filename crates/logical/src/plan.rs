@@ -167,7 +167,12 @@ impl LogicalPlan {
                     .iter()
                     .map(|a| format!("{:?}->{}", a.func, catalog.column(a.output).name))
                     .collect();
-                let _ = writeln!(out, "{pad}Aggregate [{}] {}", keys.join(","), aggs.join(","));
+                let _ = writeln!(
+                    out,
+                    "{pad}Aggregate [{}] {}",
+                    keys.join(","),
+                    aggs.join(",")
+                );
                 input.explain_into(catalog, depth + 1, out);
             }
             LogicalPlan::Project { cols, input } => {
@@ -270,13 +275,23 @@ impl Batch {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mqo_catalog::{Catalog, ColType, ColStats};
+    use mqo_catalog::{Catalog, ColStats, ColType};
     use mqo_expr::{AggFunc, Atom, CmpOp, ScalarExpr};
 
     fn setup() -> (Catalog, TableId, TableId) {
         let mut cat = Catalog::new();
-        let r = cat.table("r").rows(100.0).int_key("rk").int_uniform("rv", 0, 9).build();
-        let s = cat.table("s").rows(200.0).int_key("sk").int_uniform("rfk", 0, 99).build();
+        let r = cat
+            .table("r")
+            .rows(100.0)
+            .int_key("rk")
+            .int_uniform("rv", 0, 9)
+            .build();
+        let s = cat
+            .table("s")
+            .rows(200.0)
+            .int_key("sk")
+            .int_uniform("rfk", 0, 99)
+            .build();
         (cat, r, s)
     }
 
@@ -286,8 +301,15 @@ mod tests {
         let rk = cat.col("r", "rk");
         let rfk = cat.col("s", "rfk");
         let plan = LogicalPlan::scan(r)
-            .join(LogicalPlan::scan(s), Predicate::atom(Atom::eq_cols(rk, rfk)))
-            .select(Predicate::atom(Atom::cmp(cat.col("r", "rv"), CmpOp::Lt, 5i64)));
+            .join(
+                LogicalPlan::scan(s),
+                Predicate::atom(Atom::eq_cols(rk, rfk)),
+            )
+            .select(Predicate::atom(Atom::cmp(
+                cat.col("r", "rv"),
+                CmpOp::Lt,
+                5i64,
+            )));
         assert_eq!(plan.node_count(), 4);
         assert_eq!(plan.tables(), vec![r, s]);
     }
@@ -298,8 +320,10 @@ mod tests {
         let rk = cat.col("r", "rk");
         let rfk = cat.col("s", "rfk");
         let total = cat.derived_column("total", ColType::Float, ColStats::opaque(50.0));
-        let join = LogicalPlan::scan(r)
-            .join(LogicalPlan::scan(s), Predicate::atom(Atom::eq_cols(rk, rfk)));
+        let join = LogicalPlan::scan(r).join(
+            LogicalPlan::scan(s),
+            Predicate::atom(Atom::eq_cols(rk, rfk)),
+        );
         assert_eq!(join.output_cols(&cat).len(), 4);
         let agg = join.aggregate(
             vec![rk],
@@ -337,8 +361,10 @@ mod tests {
         let (cat, r, s) = setup();
         let rk = cat.col("r", "rk");
         let rfk = cat.col("s", "rfk");
-        let plan = LogicalPlan::scan(r)
-            .join(LogicalPlan::scan(s), Predicate::atom(Atom::eq_cols(rk, rfk)));
+        let plan = LogicalPlan::scan(r).join(
+            LogicalPlan::scan(s),
+            Predicate::atom(Atom::eq_cols(rk, rfk)),
+        );
         let text = plan.explain(&cat);
         assert!(text.contains("Scan r"));
         assert!(text.contains("Scan s"));

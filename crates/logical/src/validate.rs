@@ -131,8 +131,11 @@ mod tests {
     fn unbound_column_detected() {
         let cat = setup();
         let r = cat.table_by_name("r").unwrap().id;
-        let plan = LogicalPlan::scan(r)
-            .select(Predicate::atom(Atom::cmp(cat.col("s", "sk"), CmpOp::Lt, 5i64)));
+        let plan = LogicalPlan::scan(r).select(Predicate::atom(Atom::cmp(
+            cat.col("s", "sk"),
+            CmpOp::Lt,
+            5i64,
+        )));
         assert!(matches!(
             validate(&plan, &cat),
             Err(ValidationError::UnboundColumn { .. })
@@ -185,7 +188,11 @@ mod tests {
         // project away rk, then reference it: invalid
         let plan = LogicalPlan::scan(r)
             .project(vec![])
-            .select(Predicate::atom(Atom::cmp(cat.col("r", "rk"), CmpOp::Eq, 1i64)));
+            .select(Predicate::atom(Atom::cmp(
+                cat.col("r", "rk"),
+                CmpOp::Eq,
+                1i64,
+            )));
         assert!(validate(&plan, &cat).is_err());
     }
 }

@@ -30,10 +30,7 @@ impl MatSet {
         if !self.set.insert(n) {
             return false;
         }
-        self.by_group
-            .entry(pdag.node(n).group)
-            .or_default()
-            .push(n);
+        self.by_group.entry(pdag.node(n).group).or_default().push(n);
         true
     }
 
@@ -254,10 +251,7 @@ mod tests {
                     )],
                 )
         };
-        let batch = Batch::of(vec![
-            Query::new("q1", mk(&cat)),
-            Query::new("q2", mk(&cat)),
-        ]);
+        let batch = Batch::of(vec![Query::new("q1", mk(&cat)), Query::new("q2", mk(&cat))]);
         (cat, batch)
     }
 
@@ -338,11 +332,7 @@ mod tests {
         let agg_group = dag.op_inputs(dag.root_op())[0];
         let any = pdag.node_for(agg_group, &PhysProp::Any).unwrap();
         // find some sorted variant of the aggregate group
-        let sorted = pdag
-            .variants(agg_group)
-            .iter()
-            .copied()
-            .find(|&v| v != any);
+        let sorted = pdag.variants(agg_group).iter().copied().find(|&v| v != any);
         if let Some(s) = sorted {
             let mut mat = MatSet::new();
             mat.insert(&pdag, s);

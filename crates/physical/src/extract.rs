@@ -149,8 +149,7 @@ impl Extractor<'_> {
     fn visit_use(&mut self, n: PhysNodeId, consumer_topo: u32) {
         if let Some(m) = self.mat.reusable_for(self.pdag, n) {
             let reuse = self.pdag.reusecost(m);
-            if self.pdag.node(m).topo < consumer_topo && reuse <= self.table.node_cost[n.index()]
-            {
+            if self.pdag.node(m).topo < consumer_topo && reuse <= self.table.node_cost[n.index()] {
                 if m != n {
                     self.choices.entry(n).or_insert(ChosenOp::Reuse(m));
                 }
@@ -229,18 +228,17 @@ mod tests {
             mqo_catalog::ColStats::opaque(100.0),
         );
         let jab = Predicate::atom(Atom::eq_cols(cat.col("a", "ak"), cat.col("b", "afk")));
-        let q = LogicalPlan::scan(a).join(LogicalPlan::scan(b), jab).aggregate(
-            vec![av],
-            vec![mqo_expr::AggExpr::new(
-                mqo_expr::AggFunc::Sum,
-                mqo_expr::ScalarExpr::col(bk),
-                total,
-            )],
-        );
-        let batch = Batch::of(vec![
-            Query::new("q1", q.clone()),
-            Query::new("q2", q),
-        ]);
+        let q = LogicalPlan::scan(a)
+            .join(LogicalPlan::scan(b), jab)
+            .aggregate(
+                vec![av],
+                vec![mqo_expr::AggExpr::new(
+                    mqo_expr::AggFunc::Sum,
+                    mqo_expr::ScalarExpr::col(bk),
+                    total,
+                )],
+            );
+        let batch = Batch::of(vec![Query::new("q1", q.clone()), Query::new("q2", q)]);
         let dag = Dag::expand(&batch, &cat, DagConfig::default());
         let pdag = PhysicalDag::build(&dag, &cat, CostParams::default());
         (cat, dag, pdag)

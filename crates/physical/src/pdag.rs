@@ -329,7 +329,11 @@ impl<'a> Builder<'a> {
                 self.out.nodes[i.index()].parents.push(id);
             }
             if let Some(td) = temp_dep {
-                self.out.temp_watchers.entry(td.source).or_default().push(id);
+                self.out
+                    .temp_watchers
+                    .entry(td.source)
+                    .or_default()
+                    .push(id);
             }
         }
     }
@@ -358,12 +362,13 @@ impl<'a> Builder<'a> {
                 OpKind::Scan(t) => return Some(*t),
                 OpKind::Project(_) => {
                     let input = self.dag.op_inputs(o)[0];
-                    let scan = self.dag.group_ops(input).find_map(|oo| {
-                        match self.dag.op(oo).kind {
-                            OpKind::Scan(t) => Some(t),
-                            _ => None,
-                        }
-                    });
+                    let scan =
+                        self.dag
+                            .group_ops(input)
+                            .find_map(|oo| match self.dag.op(oo).kind {
+                                OpKind::Scan(t) => Some(t),
+                                _ => None,
+                            });
                     if scan.is_some() {
                         return scan;
                     }
@@ -465,17 +470,19 @@ impl<'a> Builder<'a> {
             None => PhysProp::Any,
         };
         let local = self.params.seq_read(blocks);
-        self.add_op(g, &order, Algo::TableScan { table: t }, vec![], lop, local, None, None);
+        self.add_op(
+            g,
+            &order,
+            Algo::TableScan { table: t },
+            vec![],
+            lop,
+            local,
+            None,
+            None,
+        );
     }
 
-    fn ops_for_select(
-        &mut self,
-        g: GroupId,
-        lop: OpId,
-        p: &Predicate,
-        h: GroupId,
-        g_blocks: f64,
-    ) {
+    fn ops_for_select(&mut self, g: GroupId, lop: OpId, p: &Predicate, h: GroupId, g_blocks: f64) {
         let in_blocks = self.group_blocks(h);
         // (a) pipelined filter over every input variant
         for v in self.out.by_group[&h].clone() {
@@ -498,12 +505,9 @@ impl<'a> Builder<'a> {
         };
         let Some(c) = pred_col else { return };
         let range_like = p.disjuncts().iter().all(|d| {
-            d.atoms().iter().all(|a| {
-                matches!(
-                    a,
-                    Atom::Cmp { .. } | Atom::Param { .. }
-                )
-            })
+            d.atoms()
+                .iter()
+                .all(|a| matches!(a, Atom::Cmp { .. } | Atom::Param { .. }))
         });
         if !range_like {
             return;
@@ -573,7 +577,9 @@ impl<'a> Builder<'a> {
         {
             let passes = l_blocks.ceil().max(1.0);
             let inner_base = self.bare_scan(r).is_some();
-            let mut local = self.params.cpu(l_blocks + g_blocks + (passes - 1.0) * r_blocks);
+            let mut local = self
+                .params
+                .cpu(l_blocks + g_blocks + (passes - 1.0) * r_blocks);
             if passes > 1.0 {
                 local += self.params.seq_read(r_blocks) * (passes - 1.0);
                 if !inner_base {
@@ -581,7 +587,10 @@ impl<'a> Builder<'a> {
                     local += self.params.seq_write(r_blocks);
                 }
             }
-            let (ln, rn) = (self.node_of(l, &PhysProp::Any), self.node_of(r, &PhysProp::Any));
+            let (ln, rn) = (
+                self.node_of(l, &PhysProp::Any),
+                self.node_of(r, &PhysProp::Any),
+            );
             self.add_op(
                 g,
                 &PhysProp::Any,
@@ -691,11 +700,7 @@ impl<'a> Builder<'a> {
             // satisfies-fanout
             let op_id = PhysOpId::from_index(self.out.ops.len());
             // Use the group's first logical op as provenance.
-            let lop = self
-                .dag
-                .group_ops(g)
-                .next()
-                .expect("group has ops");
+            let lop = self.dag.group_ops(g).next().expect("group has ops");
             self.out.ops.push(PhysOp {
                 algo: Algo::Sort { keys },
                 node: target,
@@ -724,12 +729,7 @@ impl<'a> Builder<'a> {
 
 /// Extracts aligned equi-join column pairs `(left col, right col)` from a
 /// conjunctive join predicate.
-pub(crate) fn equi_pairs(
-    dag: &Dag,
-    p: &Predicate,
-    l: GroupId,
-    r: GroupId,
-) -> Vec<(ColId, ColId)> {
+pub(crate) fn equi_pairs(dag: &Dag, p: &Predicate, l: GroupId, r: GroupId) -> Vec<(ColId, ColId)> {
     let [conj] = p.disjuncts() else {
         return vec![];
     };

@@ -29,10 +29,12 @@ fn setup() -> (Catalog, Dag, PhysicalDag) {
     let pav = cat.col("pa", "pav");
     let pbk = cat.col("pb", "pbk");
     let join = Predicate::atom(Atom::eq_cols(cat.col("pa", "pak"), cat.col("pb", "pafk")));
-    let q1 = LogicalPlan::scan(a).join(LogicalPlan::scan(b), join.clone()).aggregate(
-        vec![pav],
-        vec![AggExpr::new(AggFunc::Sum, ScalarExpr::col(pbk), tot)],
-    );
+    let q1 = LogicalPlan::scan(a)
+        .join(LogicalPlan::scan(b), join.clone())
+        .aggregate(
+            vec![pav],
+            vec![AggExpr::new(AggFunc::Sum, ScalarExpr::col(pbk), tot)],
+        );
     let q2 = LogicalPlan::scan(a)
         .join(LogicalPlan::scan(b), join)
         .select(Predicate::atom(Atom::cmp(pav, CmpOp::Lt, 20i64)));
@@ -67,9 +69,10 @@ fn every_sorted_node_has_a_sort_enforcer() {
     let (_, _, pdag) = setup();
     for node in pdag.nodes() {
         if let PhysProp::Sorted(keys) = &node.prop {
-            let has_enforcer = node.ops.iter().any(|&o| {
-                matches!(&pdag.op(o).algo, Algo::Sort { keys: k } if k == keys)
-            });
+            let has_enforcer = node
+                .ops
+                .iter()
+                .any(|&o| matches!(&pdag.op(o).algo, Algo::Sort { keys: k } if k == keys));
             assert!(has_enforcer, "sorted node without enforcer: {}", node.prop);
         }
     }
@@ -90,7 +93,10 @@ fn merge_join_inputs_require_matching_sort() {
             assert_eq!(left_keys.len(), right_keys.len());
             let l = pdag.node(op.inputs[0]);
             let r = pdag.node(op.inputs[1]);
-            assert!(PhysProp::Sorted(left_keys.clone()).satisfies(&l.prop) || l.prop.satisfies(&PhysProp::Sorted(left_keys.clone())));
+            assert!(
+                PhysProp::Sorted(left_keys.clone()).satisfies(&l.prop)
+                    || l.prop.satisfies(&PhysProp::Sorted(left_keys.clone()))
+            );
             assert!(r.prop.satisfies(&PhysProp::Sorted(right_keys.clone())));
         }
     }

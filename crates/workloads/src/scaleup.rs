@@ -6,7 +6,7 @@ use mqo_catalog::{Catalog, ColStats, ColType, TableId};
 use mqo_expr::{Atom, CmpOp, Predicate};
 use mqo_logical::{Batch, LogicalPlan, Query};
 use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use rand::{Rng, SeedableRng};
 
 /// Number of PSP relations (the paper uses 22).
 pub const NUM_RELATIONS: usize = 22;
@@ -55,8 +55,8 @@ impl Scaleup {
         // queries remain dominated by the shared 4-relation subchain.
         let consts: Vec<(i64, i64)> = (0..NUM_COMPONENTS)
             .map(|_| {
-                let a = rng.random_range(2..=15);
-                let b = a + rng.random_range(3..=15);
+                let a = rng.random_range(2i64..=15);
+                let b = a + rng.random_range(3i64..=15);
                 (a, b)
             })
             .collect();

@@ -169,7 +169,11 @@ impl Tpcd {
             .clustered_on_first()
             .build();
 
-        let min_cost = cat.derived_column("min_cost", ColType::Float, ColStats::uniform_float(1.0, 1_000.0, 1_000.0));
+        let min_cost = cat.derived_column(
+            "min_cost",
+            ColType::Float,
+            ColStats::uniform_float(1.0, 1_000.0, 1_000.0),
+        );
         let value = cat.derived_column("value", ColType::Float, ColStats::opaque(part_n));
         let rev = cat.derived_column("rev", ColType::Float, ColStats::opaque(sup_n));
         let maxrev = cat.derived_column("maxrev", ColType::Float, ColStats::opaque(1.0));
@@ -456,20 +460,20 @@ impl Tpcd {
             "lineitem",
             &["l_suppkey", "l_extendedprice", "l_discount"],
         )
-            .aggregate(
-                vec![self.col("lineitem", "l_suppkey")],
-                vec![AggExpr::new(
-                    AggFunc::Sum,
-                    ScalarExpr::col(self.col("lineitem", "l_extendedprice")).bin(
-                        ArithOp::Mul,
-                        ScalarExpr::constant(1.0).bin(
-                            ArithOp::Sub,
-                            ScalarExpr::col(self.col("lineitem", "l_discount")),
-                        ),
+        .aggregate(
+            vec![self.col("lineitem", "l_suppkey")],
+            vec![AggExpr::new(
+                AggFunc::Sum,
+                ScalarExpr::col(self.col("lineitem", "l_extendedprice")).bin(
+                    ArithOp::Mul,
+                    ScalarExpr::constant(1.0).bin(
+                        ArithOp::Sub,
+                        ScalarExpr::col(self.col("lineitem", "l_discount")),
                     ),
-                    self.rev,
-                )],
-            )
+                ),
+                self.rev,
+            )],
+        )
     }
 
     /// Q15 analogue: the `revenue` view used twice — once to find the
@@ -486,12 +490,12 @@ impl Tpcd {
         let top_suppliers = self
             .keep(LogicalPlan::scan(self.supplier), "supplier", &["s_suppkey"])
             .join(
-            self.revenue_view(),
-            Predicate::atom(Atom::eq_cols(
-                self.col("supplier", "s_suppkey"),
-                self.col("lineitem", "l_suppkey"),
-            )),
-        );
+                self.revenue_view(),
+                Predicate::atom(Atom::eq_cols(
+                    self.col("supplier", "s_suppkey"),
+                    self.col("lineitem", "l_suppkey"),
+                )),
+            );
         Batch::of(vec![
             Query::new("Q15-maxrev", max_rev),
             Query::new("Q15-join", top_suppliers),
@@ -511,44 +515,44 @@ impl Tpcd {
             "customer",
             &["c_custkey"],
         )
-            .join(
-                self.keep(
-                    LogicalPlan::scan(self.orders).select(Predicate::atom(Atom::cmp(
-                        self.col("orders", "o_orderdate"),
-                        CmpOp::Lt,
-                        date,
-                    ))),
-                    "orders",
-                    &["o_orderkey", "o_custkey"],
-                ),
-                Predicate::atom(Atom::eq_cols(
-                    self.col("customer", "c_custkey"),
-                    self.col("orders", "o_custkey"),
-                )),
-            )
-            .join(
-                self.keep(
-                    LogicalPlan::scan(self.lineitem).select(Predicate::atom(Atom::cmp(
-                        self.col("lineitem", "l_shipdate"),
-                        CmpOp::Gt,
-                        date,
-                    ))),
-                    "lineitem",
-                    &["l_orderkey", "l_extendedprice"],
-                ),
-                Predicate::atom(Atom::eq_cols(
-                    self.col("orders", "o_orderkey"),
-                    self.col("lineitem", "l_orderkey"),
-                )),
-            )
-            .aggregate(
-                vec![self.col("orders", "o_orderkey")],
-                vec![AggExpr::new(
-                    AggFunc::Sum,
-                    ScalarExpr::col(self.col("lineitem", "l_extendedprice")),
-                    self.rev3,
-                )],
-            )
+        .join(
+            self.keep(
+                LogicalPlan::scan(self.orders).select(Predicate::atom(Atom::cmp(
+                    self.col("orders", "o_orderdate"),
+                    CmpOp::Lt,
+                    date,
+                ))),
+                "orders",
+                &["o_orderkey", "o_custkey"],
+            ),
+            Predicate::atom(Atom::eq_cols(
+                self.col("customer", "c_custkey"),
+                self.col("orders", "o_custkey"),
+            )),
+        )
+        .join(
+            self.keep(
+                LogicalPlan::scan(self.lineitem).select(Predicate::atom(Atom::cmp(
+                    self.col("lineitem", "l_shipdate"),
+                    CmpOp::Gt,
+                    date,
+                ))),
+                "lineitem",
+                &["l_orderkey", "l_extendedprice"],
+            ),
+            Predicate::atom(Atom::eq_cols(
+                self.col("orders", "o_orderkey"),
+                self.col("lineitem", "l_orderkey"),
+            )),
+        )
+        .aggregate(
+            vec![self.col("orders", "o_orderkey")],
+            vec![AggExpr::new(
+                AggFunc::Sum,
+                ScalarExpr::col(self.col("lineitem", "l_extendedprice")),
+                self.rev3,
+            )],
+        )
     }
 
     fn q5_like(&self, date: i64) -> LogicalPlan {
@@ -594,7 +598,8 @@ impl Tpcd {
                     LogicalPlan::scan(self.nation),
                     "nation",
                     &["n_nationkey", "n_regionkey"],
-                ).join(
+                )
+                .join(
                     self.keep(
                         LogicalPlan::scan(self.region).select(Predicate::atom(Atom::cmp(
                             self.col("region", "r_name"),
@@ -630,53 +635,53 @@ impl Tpcd {
             "supplier",
             &["s_suppkey", "s_nationkey"],
         )
-            .join(
-                self.keep(
-                    LogicalPlan::scan(self.lineitem).select(Predicate::all(vec![
-                        Atom::cmp(self.col("lineitem", "l_shipdate"), CmpOp::Ge, date),
-                        Atom::cmp(self.col("lineitem", "l_shipdate"), CmpOp::Le, date + 730),
-                    ])),
-                    "lineitem",
-                    &["l_orderkey", "l_suppkey", "l_extendedprice"],
-                ),
-                Predicate::atom(Atom::eq_cols(
-                    self.col("supplier", "s_suppkey"),
-                    self.col("lineitem", "l_suppkey"),
-                )),
-            )
-            .join(
-                self.keep(
-                    LogicalPlan::scan(self.orders),
-                    "orders",
-                    &["o_orderkey", "o_custkey"],
-                ),
-                Predicate::atom(Atom::eq_cols(
-                    self.col("lineitem", "l_orderkey"),
-                    self.col("orders", "o_orderkey"),
-                )),
-            )
-            .join(
-                self.keep(LogicalPlan::scan(self.customer), "customer", &["c_custkey"]),
-                Predicate::atom(Atom::eq_cols(
-                    self.col("orders", "o_custkey"),
-                    self.col("customer", "c_custkey"),
-                )),
-            )
-            .join(
-                self.keep(LogicalPlan::scan(self.nation), "nation", &["n_nationkey"]),
-                Predicate::atom(Atom::eq_cols(
-                    self.col("supplier", "s_nationkey"),
-                    self.col("nation", "n_nationkey"),
-                )),
-            )
-            .aggregate(
-                vec![self.col("nation", "n_nationkey")],
-                vec![AggExpr::new(
-                    AggFunc::Sum,
-                    ScalarExpr::col(self.col("lineitem", "l_extendedprice")),
-                    self.rev7,
-                )],
-            )
+        .join(
+            self.keep(
+                LogicalPlan::scan(self.lineitem).select(Predicate::all(vec![
+                    Atom::cmp(self.col("lineitem", "l_shipdate"), CmpOp::Ge, date),
+                    Atom::cmp(self.col("lineitem", "l_shipdate"), CmpOp::Le, date + 730),
+                ])),
+                "lineitem",
+                &["l_orderkey", "l_suppkey", "l_extendedprice"],
+            ),
+            Predicate::atom(Atom::eq_cols(
+                self.col("supplier", "s_suppkey"),
+                self.col("lineitem", "l_suppkey"),
+            )),
+        )
+        .join(
+            self.keep(
+                LogicalPlan::scan(self.orders),
+                "orders",
+                &["o_orderkey", "o_custkey"],
+            ),
+            Predicate::atom(Atom::eq_cols(
+                self.col("lineitem", "l_orderkey"),
+                self.col("orders", "o_orderkey"),
+            )),
+        )
+        .join(
+            self.keep(LogicalPlan::scan(self.customer), "customer", &["c_custkey"]),
+            Predicate::atom(Atom::eq_cols(
+                self.col("orders", "o_custkey"),
+                self.col("customer", "c_custkey"),
+            )),
+        )
+        .join(
+            self.keep(LogicalPlan::scan(self.nation), "nation", &["n_nationkey"]),
+            Predicate::atom(Atom::eq_cols(
+                self.col("supplier", "s_nationkey"),
+                self.col("nation", "n_nationkey"),
+            )),
+        )
+        .aggregate(
+            vec![self.col("nation", "n_nationkey")],
+            vec![AggExpr::new(
+                AggFunc::Sum,
+                ScalarExpr::col(self.col("lineitem", "l_extendedprice")),
+                self.rev7,
+            )],
+        )
     }
 
     fn q9_like(&self, price: f64) -> LogicalPlan {
@@ -689,43 +694,43 @@ impl Tpcd {
             "part",
             &["p_partkey"],
         )
-            .join(
-                self.keep(
-                    LogicalPlan::scan(self.lineitem),
-                    "lineitem",
-                    &["l_partkey", "l_suppkey", "l_extendedprice"],
-                ),
-                Predicate::atom(Atom::eq_cols(
-                    self.col("part", "p_partkey"),
-                    self.col("lineitem", "l_partkey"),
-                )),
-            )
-            .join(
-                self.keep(
-                    LogicalPlan::scan(self.supplier),
-                    "supplier",
-                    &["s_suppkey", "s_nationkey"],
-                ),
-                Predicate::atom(Atom::eq_cols(
-                    self.col("lineitem", "l_suppkey"),
-                    self.col("supplier", "s_suppkey"),
-                )),
-            )
-            .join(
-                self.keep(LogicalPlan::scan(self.nation), "nation", &["n_nationkey"]),
-                Predicate::atom(Atom::eq_cols(
-                    self.col("supplier", "s_nationkey"),
-                    self.col("nation", "n_nationkey"),
-                )),
-            )
-            .aggregate(
-                vec![self.col("nation", "n_nationkey")],
-                vec![AggExpr::new(
-                    AggFunc::Sum,
-                    ScalarExpr::col(self.col("lineitem", "l_extendedprice")),
-                    self.rev9,
-                )],
-            )
+        .join(
+            self.keep(
+                LogicalPlan::scan(self.lineitem),
+                "lineitem",
+                &["l_partkey", "l_suppkey", "l_extendedprice"],
+            ),
+            Predicate::atom(Atom::eq_cols(
+                self.col("part", "p_partkey"),
+                self.col("lineitem", "l_partkey"),
+            )),
+        )
+        .join(
+            self.keep(
+                LogicalPlan::scan(self.supplier),
+                "supplier",
+                &["s_suppkey", "s_nationkey"],
+            ),
+            Predicate::atom(Atom::eq_cols(
+                self.col("lineitem", "l_suppkey"),
+                self.col("supplier", "s_suppkey"),
+            )),
+        )
+        .join(
+            self.keep(LogicalPlan::scan(self.nation), "nation", &["n_nationkey"]),
+            Predicate::atom(Atom::eq_cols(
+                self.col("supplier", "s_nationkey"),
+                self.col("nation", "n_nationkey"),
+            )),
+        )
+        .aggregate(
+            vec![self.col("nation", "n_nationkey")],
+            vec![AggExpr::new(
+                AggFunc::Sum,
+                ScalarExpr::col(self.col("lineitem", "l_extendedprice")),
+                self.rev9,
+            )],
+        )
     }
 
     fn q10_like(&self, date: i64) -> LogicalPlan {
@@ -734,50 +739,50 @@ impl Tpcd {
             "customer",
             &["c_custkey", "c_nationkey"],
         )
-            .join(
-                self.keep(
-                    LogicalPlan::scan(self.orders).select(Predicate::all(vec![
-                        Atom::cmp(self.col("orders", "o_orderdate"), CmpOp::Ge, date),
-                        Atom::cmp(self.col("orders", "o_orderdate"), CmpOp::Lt, date + 90),
-                    ])),
-                    "orders",
-                    &["o_orderkey", "o_custkey"],
-                ),
-                Predicate::atom(Atom::eq_cols(
-                    self.col("customer", "c_custkey"),
-                    self.col("orders", "o_custkey"),
-                )),
-            )
-            .join(
-                self.keep(
-                    LogicalPlan::scan(self.lineitem).select(Predicate::atom(Atom::cmp(
-                        self.col("lineitem", "l_returnflag"),
-                        CmpOp::Eq,
-                        "l_returnflag_000002",
-                    ))),
-                    "lineitem",
-                    &["l_orderkey", "l_extendedprice"],
-                ),
-                Predicate::atom(Atom::eq_cols(
-                    self.col("orders", "o_orderkey"),
-                    self.col("lineitem", "l_orderkey"),
-                )),
-            )
-            .join(
-                self.keep(LogicalPlan::scan(self.nation), "nation", &["n_nationkey"]),
-                Predicate::atom(Atom::eq_cols(
-                    self.col("customer", "c_nationkey"),
-                    self.col("nation", "n_nationkey"),
-                )),
-            )
-            .aggregate(
-                vec![self.col("customer", "c_custkey")],
-                vec![AggExpr::new(
-                    AggFunc::Sum,
-                    ScalarExpr::col(self.col("lineitem", "l_extendedprice")),
-                    self.rev10,
-                )],
-            )
+        .join(
+            self.keep(
+                LogicalPlan::scan(self.orders).select(Predicate::all(vec![
+                    Atom::cmp(self.col("orders", "o_orderdate"), CmpOp::Ge, date),
+                    Atom::cmp(self.col("orders", "o_orderdate"), CmpOp::Lt, date + 90),
+                ])),
+                "orders",
+                &["o_orderkey", "o_custkey"],
+            ),
+            Predicate::atom(Atom::eq_cols(
+                self.col("customer", "c_custkey"),
+                self.col("orders", "o_custkey"),
+            )),
+        )
+        .join(
+            self.keep(
+                LogicalPlan::scan(self.lineitem).select(Predicate::atom(Atom::cmp(
+                    self.col("lineitem", "l_returnflag"),
+                    CmpOp::Eq,
+                    "l_returnflag_000002",
+                ))),
+                "lineitem",
+                &["l_orderkey", "l_extendedprice"],
+            ),
+            Predicate::atom(Atom::eq_cols(
+                self.col("orders", "o_orderkey"),
+                self.col("lineitem", "l_orderkey"),
+            )),
+        )
+        .join(
+            self.keep(LogicalPlan::scan(self.nation), "nation", &["n_nationkey"]),
+            Predicate::atom(Atom::eq_cols(
+                self.col("customer", "c_nationkey"),
+                self.col("nation", "n_nationkey"),
+            )),
+        )
+        .aggregate(
+            vec![self.col("customer", "c_custkey")],
+            vec![AggExpr::new(
+                AggFunc::Sum,
+                ScalarExpr::col(self.col("lineitem", "l_extendedprice")),
+                self.rev10,
+            )],
+        )
     }
 
     /// One of the paper's batch component queries, instantiated twice
@@ -900,8 +905,7 @@ mod tests {
         for (name, batch) in batches {
             assert!(!batch.is_empty(), "{name} empty");
             for q in &batch.queries {
-                validate(&q.plan, &w.catalog)
-                    .unwrap_or_else(|e| panic!("{name}/{}: {e}", q.label));
+                validate(&q.plan, &w.catalog).unwrap_or_else(|e| panic!("{name}/{}: {e}", q.label));
             }
         }
     }

@@ -36,7 +36,10 @@ fn main() {
     // Show what Greedy decided to share.
     let greedy = optimize(&batch, &w.catalog, Algorithm::Greedy, &opts);
     let ctx = OptContext::build(&batch, &w.catalog, &opts);
-    println!("\nGreedy materializes {} result(s):", greedy.plan.materialized.len());
+    println!(
+        "\nGreedy materializes {} result(s):",
+        greedy.plan.materialized.len()
+    );
     for &m in &greedy.plan.materialized {
         let node = ctx.pdag.node(m);
         let group = ctx.dag.group(node.group);

@@ -18,7 +18,10 @@ fn main() {
     let w = Tpcd::new(1.0);
     let opts = Options::new();
 
-    for (name, batch) in [("Q2 (correlated, =)", w.q2()), ("Q2 (`not in`, <>)", w.q2_notin())] {
+    for (name, batch) in [
+        ("Q2 (correlated, =)", w.q2()),
+        ("Q2 (`not in`, <>)", w.q2_notin()),
+    ] {
         let volcano = optimize(&batch, &w.catalog, Algorithm::Volcano, &opts);
         let greedy = optimize(&batch, &w.catalog, Algorithm::Greedy, &opts);
         println!("=== {name} ===");
@@ -26,8 +29,12 @@ fn main() {
             "  inner subquery invoked {}x (weight of the parameterized query)",
             batch.queries[1].weight
         );
-        println!("  Volcano: {}   Greedy: {}   ({:.1}x)", volcano.cost, greedy.cost,
-            volcano.cost.secs() / greedy.cost.secs());
+        println!(
+            "  Volcano: {}   Greedy: {}   ({:.1}x)",
+            volcano.cost,
+            greedy.cost,
+            volcano.cost.secs() / greedy.cost.secs()
+        );
         let ctx = OptContext::build(&batch, &w.catalog, &opts);
         for &m in &greedy.plan.materialized {
             let node = ctx.pdag.node(m);

@@ -1,0 +1,170 @@
+//! The [`Strategy`] trait and combinators: ranges, tuples, [`Just`],
+//! map/flat-map, unions, and boxing.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::ops::{Range, RangeInclusive};
+
+/// A recipe for generating random values of `Self::Value`.
+///
+/// Unlike real proptest there is no value tree and no shrinking: a
+/// strategy simply produces a value from an RNG.
+pub trait Strategy {
+    /// The type of value this strategy generates.
+    type Value;
+
+    /// Generates one value.
+    fn new_value(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Transforms generated values with `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Builds a dependent strategy from each generated value.
+    fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    /// Erases the concrete strategy type.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Box::new(self))
+    }
+}
+
+/// Always generates a clone of the given value.
+#[derive(Debug, Clone, Copy)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn new_value(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Result of [`Strategy::prop_map`].
+#[derive(Debug, Clone, Copy)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, U> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+    fn new_value(&self, rng: &mut StdRng) -> U {
+        (self.f)(self.inner.new_value(rng))
+    }
+}
+
+/// Result of [`Strategy::prop_flat_map`].
+#[derive(Debug, Clone, Copy)]
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, T> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    T: Strategy,
+    F: Fn(S::Value) -> T,
+{
+    type Value = T::Value;
+    fn new_value(&self, rng: &mut StdRng) -> T::Value {
+        (self.f)(self.inner.new_value(rng)).new_value(rng)
+    }
+}
+
+/// A type-erased strategy (see [`Strategy::boxed`]).
+pub struct BoxedStrategy<T>(Box<dyn Strategy<Value = T>>);
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn new_value(&self, rng: &mut StdRng) -> T {
+        self.0.new_value(rng)
+    }
+}
+
+/// Uniform choice among boxed strategies (built by `prop_oneof!`).
+pub struct Union<T> {
+    options: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// Builds a union; panics if `options` is empty.
+    pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+        Union { options }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn new_value(&self, rng: &mut StdRng) -> T {
+        let i = rng.random_range(0..self.options.len());
+        self.options[i].new_value(rng)
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut StdRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut StdRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn new_value(&self, rng: &mut StdRng) -> f64 {
+        rng.random_range(self.clone())
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident . $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn new_value(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.new_value(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+    (A.0, B.1, C.2, D.3, E.4, F.5)
+}

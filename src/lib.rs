@@ -2,7 +2,11 @@
 //! every member crate so examples and downstream users can depend on one
 //! crate (`mqo`).
 //!
-//! See `README.md` for a tour and `DESIGN.md` for the system inventory.
+//! The crate documentation below is `README.md` verbatim, so the
+//! README's code snippets run as doc-tests; `DESIGN.md` holds the
+//! system inventory and the paper-section-to-code map.
+//!
+#![doc = include_str!("../README.md")]
 
 pub use mqo_catalog as catalog;
 pub use mqo_core as core;

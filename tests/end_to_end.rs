@@ -47,25 +47,35 @@ fn mixed_batch() -> (Catalog, Batch) {
     let sa_day = cat.col("sales", "sa_day");
     let st_region = cat.col("store", "st_region");
 
-    let sales_recent =
-        |cut: i64| LogicalPlan::scan(sales).select(Predicate::atom(Atom::cmp(sa_day, CmpOp::Ge, cut)));
+    let sales_recent = |cut: i64| {
+        LogicalPlan::scan(sales).select(Predicate::atom(Atom::cmp(sa_day, CmpOp::Ge, cut)))
+    };
     // q1: quantity by region, recent sales
     let q1 = LogicalPlan::scan(store)
-        .join(sales_recent(180), Predicate::atom(Atom::eq_cols(st_key, sa_store)))
+        .join(
+            sales_recent(180),
+            Predicate::atom(Atom::eq_cols(st_key, sa_store)),
+        )
         .aggregate(
             vec![st_region],
             vec![AggExpr::new(AggFunc::Sum, ScalarExpr::col(sa_qty), total_q)],
         );
     // q2: same join, more recent window (subsumption candidate)
     let q2 = LogicalPlan::scan(store)
-        .join(sales_recent(300), Predicate::atom(Atom::eq_cols(st_key, sa_store)))
+        .join(
+            sales_recent(300),
+            Predicate::atom(Atom::eq_cols(st_key, sa_store)),
+        )
         .aggregate(
             vec![st_region],
             vec![AggExpr::new(AggFunc::Sum, ScalarExpr::col(sa_qty), total_q)],
         );
     // q3: item-side join, projected
     let q3 = LogicalPlan::scan(item)
-        .join(sales_recent(180), Predicate::atom(Atom::eq_cols(it_key, sa_item)))
+        .join(
+            sales_recent(180),
+            Predicate::atom(Atom::eq_cols(it_key, sa_item)),
+        )
         .project(vec![cat.col("item", "it_cat"), sa_qty]);
     (
         cat,
@@ -193,7 +203,10 @@ fn memory_sweep_preserves_relative_gains() {
         ratios.iter().cloned().fold(f64::MAX, f64::min),
         ratios.iter().cloned().fold(0.0, f64::max),
     );
-    assert!(hi / lo < 2.0, "relative gains unstable across memory: {ratios:?}");
+    assert!(
+        hi / lo < 2.0,
+        "relative gains unstable across memory: {ratios:?}"
+    );
 }
 
 #[test]

@@ -27,10 +27,7 @@ fn chain_workload() -> impl Strategy<Value = ChainWorkload> {
             (
                 Just(n_tables),
                 prop::collection::vec(200u32..2_000, n_tables),
-                prop::collection::vec(
-                    (0usize..n_tables, 2usize..n_tables, 0i64..90),
-                    1..4,
-                ),
+                prop::collection::vec((0usize..n_tables, 2usize..n_tables, 0i64..90), 1..4),
             )
         })
         .prop_map(|(n_tables, rows, raw)| {
@@ -64,18 +61,22 @@ fn build(w: &ChainWorkload) -> (Catalog, Batch) {
     let mut queries = Vec::new();
     for (qi, &(lo, len, bound)) in w.queries.iter().enumerate() {
         let hi = (lo + len - 1).min(w.n_tables - 1);
-        let mut plan = LogicalPlan::scan(cat.table_by_name(&format!("c{lo}")).unwrap().id)
-            .select(Predicate::atom(Atom::cmp(
+        let mut plan = LogicalPlan::scan(cat.table_by_name(&format!("c{lo}")).unwrap().id).select(
+            Predicate::atom(Atom::cmp(
                 cat.col(&format!("c{lo}"), "num"),
                 CmpOp::Ge,
                 bound,
-            )));
+            )),
+        );
         for j in lo + 1..=hi {
             let pred = Predicate::atom(Atom::eq_cols(
                 cat.col(&format!("c{}", j - 1), "sp"),
                 cat.col(&format!("c{j}"), "p"),
             ));
-            plan = plan.join(LogicalPlan::scan(cat.table_by_name(&format!("c{j}")).unwrap().id), pred);
+            plan = plan.join(
+                LogicalPlan::scan(cat.table_by_name(&format!("c{j}")).unwrap().id),
+                pred,
+            );
         }
         queries.push(Query::new(format!("q{qi}"), plan));
     }
