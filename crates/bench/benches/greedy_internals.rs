@@ -3,7 +3,8 @@
 //! whole algorithm with each optimization toggled.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use mqo_core::{optimize, Algorithm, CostState, GreedyOptions, OptStats, Options};
+use mqo_bench::bench_optimizer;
+use mqo_core::{CostState, GreedyOptions, OptStats, Optimizer, Options};
 use mqo_dag::{sharable_groups, Dag, DagConfig};
 use mqo_physical::{CostTable, PhysProp, PhysicalDag};
 use mqo_workloads::Scaleup;
@@ -50,42 +51,53 @@ fn bench_incremental_vs_full(c: &mut Criterion) {
 
 fn bench_greedy_ablations(c: &mut Criterion) {
     let w = Scaleup::new(2_000);
-    let batch = w.cq(2);
+    // the context does not depend on GreedyOptions: prepare once, search
+    // under each ablation config
+    let ctx = Optimizer::new(&w.catalog).prepare(&w.cq(2));
     let mut group = c.benchmark_group("greedy_ablations");
     group.sample_size(10);
     let configs = [
-        ("all_on", GreedyOptions::default()),
+        ("all_on", GreedyOptions::new()),
         (
             "no_monotonicity",
-            GreedyOptions {
-                use_monotonicity: false,
-                ..GreedyOptions::default()
-            },
+            GreedyOptions::new().with_monotonicity(false),
         ),
         (
             "no_sharability",
-            GreedyOptions {
-                use_sharability: false,
-                ..GreedyOptions::default()
-            },
+            GreedyOptions::new().with_sharability(false),
         ),
         (
             "no_incremental",
-            GreedyOptions {
-                use_incremental: false,
-                ..GreedyOptions::default()
-            },
+            GreedyOptions::new().with_incremental(false),
         ),
     ];
     for (name, g) in configs {
-        let mut opts = Options::new();
-        opts.greedy = g;
+        let optimizer = Optimizer::with_options(&w.catalog, Options::new().with_greedy(g));
         group.bench_function(format!("CQ2/{name}"), |b| {
-            b.iter(|| black_box(optimize(&batch, &w.catalog, Algorithm::Greedy, &opts).cost));
+            b.iter(|| black_box(optimizer.search(&ctx, "Greedy").unwrap().cost));
         });
     }
     group.finish();
 }
 
-criterion_group!(benches, bench_incremental_vs_full, bench_greedy_ablations);
+fn bench_greedy_vs_ks15(c: &mut Criterion) {
+    let w = Scaleup::new(2_000);
+    let optimizer = bench_optimizer(&w.catalog);
+    let ctx = optimizer.prepare(&w.cq(2));
+    let mut group = c.benchmark_group("greedy_vs_ks15");
+    group.sample_size(10);
+    for strategy in ["Greedy", "KS15-Greedy"] {
+        group.bench_function(format!("CQ2/{strategy}"), |b| {
+            b.iter(|| black_box(optimizer.search(&ctx, strategy).unwrap().cost));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_incremental_vs_full,
+    bench_greedy_ablations,
+    bench_greedy_vs_ks15
+);
 criterion_main!(benches);

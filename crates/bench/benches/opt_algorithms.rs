@@ -1,21 +1,23 @@
-//! Criterion micro-benchmarks: end-to-end optimization time of each
-//! algorithm on representative workloads (the timing side of Figures
-//! 6, 8 and 9).
+//! Criterion micro-benchmarks: per-strategy search time of each strategy
+//! on representative workloads (the timing side of Figures 6, 8 and 9).
+//! The staged session API lets each batch's context be prepared once
+//! outside the timed loop, so the numbers isolate the search stage.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use mqo_core::{optimize, Algorithm, Options};
+use mqo_bench::{bench_optimizer, COMPARED};
 use mqo_workloads::{Scaleup, Tpcd};
 use std::hint::black_box;
 
 fn bench_standalone(c: &mut Criterion) {
     let w = Tpcd::new(1.0);
-    let opts = Options::new();
+    let optimizer = bench_optimizer(&w.catalog);
     let mut group = c.benchmark_group("fig6_standalone");
     group.sample_size(10);
     for (name, batch) in w.standalone() {
-        for alg in Algorithm::ALL {
-            group.bench_function(format!("{name}/{}", alg.name()), |b| {
-                b.iter(|| black_box(optimize(&batch, &w.catalog, alg, &opts).cost));
+        let ctx = optimizer.prepare(&batch);
+        for strategy in COMPARED {
+            group.bench_function(format!("{name}/{strategy}"), |b| {
+                b.iter(|| black_box(optimizer.search(&ctx, strategy).unwrap().cost));
             });
         }
     }
@@ -24,14 +26,14 @@ fn bench_standalone(c: &mut Criterion) {
 
 fn bench_batched(c: &mut Criterion) {
     let w = Tpcd::new(1.0);
-    let opts = Options::new();
+    let optimizer = bench_optimizer(&w.catalog);
     let mut group = c.benchmark_group("fig8_batched");
     group.sample_size(10);
     for i in [1usize, 3, 5] {
-        let batch = w.bq(i);
-        for alg in [Algorithm::Volcano, Algorithm::Greedy] {
-            group.bench_function(format!("BQ{i}/{}", alg.name()), |b| {
-                b.iter(|| black_box(optimize(&batch, &w.catalog, alg, &opts).cost));
+        let ctx = optimizer.prepare(&w.bq(i));
+        for strategy in ["Volcano", "Greedy", "KS15-Greedy"] {
+            group.bench_function(format!("BQ{i}/{strategy}"), |b| {
+                b.iter(|| black_box(optimizer.search(&ctx, strategy).unwrap().cost));
             });
         }
     }
@@ -40,14 +42,14 @@ fn bench_batched(c: &mut Criterion) {
 
 fn bench_scaleup(c: &mut Criterion) {
     let w = Scaleup::new(2_000);
-    let opts = Options::new();
+    let optimizer = bench_optimizer(&w.catalog);
     let mut group = c.benchmark_group("fig9_scaleup");
     group.sample_size(10);
     for i in [1usize, 3, 5] {
-        let batch = w.cq(i);
-        for alg in [Algorithm::Volcano, Algorithm::Greedy] {
-            group.bench_function(format!("CQ{i}/{}", alg.name()), |b| {
-                b.iter(|| black_box(optimize(&batch, &w.catalog, alg, &opts).cost));
+        let ctx = optimizer.prepare(&w.cq(i));
+        for strategy in ["Volcano", "Greedy", "KS15-Greedy"] {
+            group.bench_function(format!("CQ{i}/{strategy}"), |b| {
+                b.iter(|| black_box(optimizer.search(&ctx, strategy).unwrap().cost));
             });
         }
     }

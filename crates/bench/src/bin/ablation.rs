@@ -7,21 +7,27 @@
 //! * `shar`  — sharability pre-filter on/off: optimization time (paper:
 //!   30s → 46s at CQ2... reported as a significant increase).
 //! * `incr`  — incremental cost update vs full recomputation per benefit.
+//!
+//! Each batch's DAG is prepared once; the ablation configs only change
+//! `GreedyOptions`, which the DAG stages don't depend on, so every
+//! config searches the same shared context (previously each config
+//! re-expanded the DAG from scratch).
 
 use mqo_bench::{ms, secs, TextTable};
-use mqo_core::{optimize, Algorithm, GreedyOptions, Options};
+use mqo_core::{GreedyOptions, OptContext, Optimized, Optimizer, Options};
 use mqo_workloads::Scaleup;
+
+/// Re-searches a prepared context with the given ablation switches.
+fn run(optimizer: &mut Optimizer<'_>, ctx: &OptContext<'_>, g: GreedyOptions) -> Optimized {
+    *optimizer.options_mut() = Options::new().with_greedy(g);
+    optimizer.search(ctx, "Greedy").expect("built-in")
+}
 
 fn main() {
     let which = std::env::args().nth(1).unwrap_or_else(|| "all".into());
     let w = Scaleup::new(2_000);
     let max_cq = if which == "all" { 4 } else { 5 };
-
-    let run = |i: usize, g: GreedyOptions| {
-        let mut o = Options::new();
-        o.greedy = g;
-        optimize(&w.cq(i), &w.catalog, Algorithm::Greedy, &o)
-    };
+    let mut optimizer = Optimizer::new(&w.catalog);
 
     if which == "mono" || which == "all" {
         let mut t = TextTable::new(&[
@@ -34,18 +40,17 @@ fn main() {
             "cost off",
         ]);
         for i in 1..=max_cq {
-            let on = run(i, GreedyOptions::default());
+            let ctx = optimizer.prepare(&w.cq(i));
+            let on = run(&mut optimizer, &ctx, GreedyOptions::new());
             let off = run(
-                i,
-                GreedyOptions {
-                    use_monotonicity: false,
-                    ..GreedyOptions::default()
-                },
+                &mut optimizer,
+                &ctx,
+                GreedyOptions::new().with_monotonicity(false),
             );
             t.row(vec![
                 format!("CQ{i}"),
-                ms(on.stats.opt_time_secs),
-                ms(off.stats.opt_time_secs),
+                ms(on.stats.search_time_secs),
+                ms(off.stats.search_time_secs),
                 on.stats.benefit_recomputations.to_string(),
                 off.stats.benefit_recomputations.to_string(),
                 secs(on.cost.secs()),
@@ -66,18 +71,17 @@ fn main() {
             "cost off",
         ]);
         for i in 1..=max_cq {
-            let on = run(i, GreedyOptions::default());
+            let ctx = optimizer.prepare(&w.cq(i));
+            let on = run(&mut optimizer, &ctx, GreedyOptions::new());
             let off = run(
-                i,
-                GreedyOptions {
-                    use_sharability: false,
-                    ..GreedyOptions::default()
-                },
+                &mut optimizer,
+                &ctx,
+                GreedyOptions::new().with_sharability(false),
             );
             t.row(vec![
                 format!("CQ{i}"),
-                ms(on.stats.opt_time_secs),
-                ms(off.stats.opt_time_secs),
+                ms(on.stats.search_time_secs),
+                ms(off.stats.search_time_secs),
                 on.stats.sharable.to_string(),
                 off.stats.sharable.to_string(),
                 secs(on.cost.secs()),
@@ -90,18 +94,17 @@ fn main() {
     if which == "incr" || which == "all" {
         let mut t = TextTable::new(&["batch", "time incr(ms)", "time full(ms)", "cost equal"]);
         for i in 1..=max_cq.min(3) {
-            let on = run(i, GreedyOptions::default());
+            let ctx = optimizer.prepare(&w.cq(i));
+            let on = run(&mut optimizer, &ctx, GreedyOptions::new());
             let off = run(
-                i,
-                GreedyOptions {
-                    use_incremental: false,
-                    ..GreedyOptions::default()
-                },
+                &mut optimizer,
+                &ctx,
+                GreedyOptions::new().with_incremental(false),
             );
             t.row(vec![
                 format!("CQ{i}"),
-                ms(on.stats.opt_time_secs),
-                ms(off.stats.opt_time_secs),
+                ms(on.stats.search_time_secs),
+                ms(off.stats.search_time_secs),
                 ((on.cost.secs() - off.cost.secs()).abs() < 1e-6).to_string(),
             ]);
         }

@@ -7,8 +7,8 @@
 //! * `noshare`  — the renamed-relation batch: MQO overhead with zero
 //!   sharing (paper: Volcano 650ms vs Greedy 820ms, ≈25%).
 
-use mqo_bench::{ms, run_all, secs, TextTable};
-use mqo_core::{optimize, Algorithm, Options};
+use mqo_bench::{bench_optimizer, bench_optimizer_with, ms, run_all, secs, TextTable};
+use mqo_core::Options;
 use mqo_cost::CostParams;
 use mqo_workloads::{no_overlap, Tpcd};
 
@@ -25,11 +25,14 @@ fn main() {
             "gain (Volcano/Greedy)",
         ]);
         for mb in [6u64, 32, 128] {
-            let mut opts = Options::new();
-            opts.params = CostParams::with_memory_mb(mb);
+            // physicalization depends on the cost parameters, so each
+            // memory size is its own session (and its own contexts)
+            let opts = Options::new().with_params(CostParams::with_memory_mb(mb));
+            let optimizer = bench_optimizer_with(&w.catalog, opts);
             for (name, batch) in [("Q11", w.q11()), ("BQ3", w.bq(3))] {
-                let base = optimize(&batch, &w.catalog, Algorithm::Volcano, &opts);
-                let g = optimize(&batch, &w.catalog, Algorithm::Greedy, &opts);
+                let ctx = optimizer.prepare(&batch);
+                let base = optimizer.search(&ctx, "Volcano").unwrap();
+                let g = optimizer.search(&ctx, "Greedy").unwrap();
                 t.row(vec![
                     format!("{mb}MB"),
                     name.to_string(),
@@ -48,19 +51,20 @@ fn main() {
             "Volcano cost",
             "Greedy cost",
             "savings [s]",
-            "Greedy opt time (ms)",
+            "Greedy search (ms)",
         ]);
         for scale in [1.0, 10.0, 100.0] {
             let w = Tpcd::new(scale);
-            let batch = w.bq(5);
-            let base = optimize(&batch, &w.catalog, Algorithm::Volcano, &Options::new());
-            let g = optimize(&batch, &w.catalog, Algorithm::Greedy, &Options::new());
+            let optimizer = bench_optimizer(&w.catalog);
+            let ctx = optimizer.prepare(&w.bq(5));
+            let base = optimizer.search(&ctx, "Volcano").unwrap();
+            let g = optimizer.search(&ctx, "Greedy").unwrap();
             t.row(vec![
                 format!("{scale}"),
                 secs(base.cost.secs()),
                 secs(g.cost.secs()),
                 secs(base.cost.secs() - g.cost.secs()),
-                ms(g.stats.opt_time_secs),
+                ms(g.stats.search_time_secs),
             ]);
         }
         t.print("Section 6.4: BQ5 at growing scale (absolute benefit grows; optimization time does not)");
@@ -68,12 +72,15 @@ fn main() {
 
     if which == "noshare" || which == "all" {
         let (cat, batch) = no_overlap();
-        let results = run_all(&batch, &cat, &Options::new());
-        let mut t = TextTable::new(&["algorithm", "opt time (ms)", "cost", "materialized"]);
-        for (alg, r) in &results {
+        let optimizer = bench_optimizer(&cat);
+        let ctx = optimizer.prepare(&batch);
+        let results =
+            run_all(&optimizer, &ctx).expect("bench_optimizer registers every compared strategy");
+        let mut t = TextTable::new(&["algorithm", "search (ms)", "cost", "materialized"]);
+        for (name, r) in &results {
             t.row(vec![
-                alg.name().to_string(),
-                ms(r.stats.opt_time_secs),
+                name.to_string(),
+                ms(r.stats.search_time_secs),
                 secs(r.cost.secs()),
                 r.stats.materialized.to_string(),
             ]);

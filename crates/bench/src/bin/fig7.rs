@@ -1,5 +1,6 @@
 //! Figure 7: actual execution of the stand-alone TPCD queries, with and
-//! without multi-query optimization.
+//! without multi-query optimization — now also comparing the Greedy and
+//! KS15 shared plans.
 //!
 //! The paper ran the plans on Microsoft SQL Server 6.5 by encoding
 //! sharing in SQL; we execute the optimizer's plans directly on this
@@ -8,10 +9,11 @@
 //! laptop-sized; statistics are set to the same scale so plans and data
 //! agree. Q2 is represented by its decorrelated form Q2-D (correlated
 //! re-invocation is an optimizer-level construct; SQL Server likewise
-//! decorrelated it, §6.1).
+//! decorrelated it, §6.1). All plans come from ONE prepared context per
+//! batch, so they can be executed against that context's physical DAG
+//! directly — no rebuild.
 
-use mqo_bench::TextTable;
-use mqo_core::{optimize, Algorithm, OptContext, Options};
+use mqo_bench::{bench_optimizer, TextTable};
 use mqo_exec::{execute_plan, generate_database};
 use mqo_util::FxHashMap;
 use mqo_workloads::Tpcd;
@@ -25,18 +27,25 @@ fn main() {
         .and_then(|s| s.parse().ok())
         .unwrap_or(0.004);
     let w = Tpcd::new(scale);
-    let opts = Options::new();
+    let optimizer = bench_optimizer(&w.catalog);
     let db = generate_database(&w.catalog, 42, usize::MAX);
     let params = FxHashMap::default();
 
-    let mut t = TextTable::new(&["query", "No-MQO [ms]", "MQO [ms]", "speedup", "temps"]);
+    let mut t = TextTable::new(&[
+        "query",
+        "No-MQO [ms]",
+        "Greedy [ms]",
+        "KS15 [ms]",
+        "Greedy speedup",
+        "KS15 speedup",
+        "temps G/K",
+    ]);
     let batches = vec![("Q2-D", w.q2d()), ("Q11", w.q11()), ("Q15", w.q15())];
     for (name, batch) in batches {
-        let base = optimize(&batch, &w.catalog, Algorithm::Volcano, &opts);
-        let gre = optimize(&batch, &w.catalog, Algorithm::Greedy, &opts);
-        // plans embed physical-op ids of their own physical DAG; rebuild
-        // the context to execute
-        let ctx = OptContext::build(&batch, &w.catalog, &opts);
+        let ctx = optimizer.prepare(&batch); // one DAG for all three plans
+        let base = optimizer.search(&ctx, "Volcano").unwrap();
+        let gre = optimizer.search(&ctx, "Greedy").unwrap();
+        let ks = optimizer.search(&ctx, "KS15-Greedy").unwrap();
         // warm up once, then measure the median of 3 runs
         let measure = |plan: &mqo_physical::ExtractedPlan| -> (f64, usize) {
             let _ = execute_plan(&w.catalog, &ctx.pdag, plan, &db, &params);
@@ -52,17 +61,20 @@ fn main() {
             (times[1], out.temps_built)
         };
         let (base_ms, _) = measure(&base.plan);
-        let (mqo_ms, temps) = measure(&gre.plan);
+        let (gre_ms, gre_temps) = measure(&gre.plan);
+        let (ks_ms, ks_temps) = measure(&ks.plan);
         t.row(vec![
             name.to_string(),
             format!("{:.1}", base_ms * 1e3),
-            format!("{:.1}", mqo_ms * 1e3),
-            format!("{:.2}x", base_ms / mqo_ms),
-            temps.to_string(),
+            format!("{:.1}", gre_ms * 1e3),
+            format!("{:.1}", ks_ms * 1e3),
+            format!("{:.2}x", base_ms / gre_ms),
+            format!("{:.2}x", base_ms / ks_ms),
+            format!("{gre_temps}/{ks_temps}"),
         ]);
     }
     t.print(&format!(
-        "Figure 7: execution on the bundled engine (scale {scale}), No-MQO vs MQO"
+        "Figure 7: execution on the bundled engine (scale {scale}), No-MQO vs Greedy vs KS15"
     ));
     println!("(paper, SQL Server 6.5: Q2 513->415s, Q2-D 345->262s, Q11 808->424s, Q15 63->42s)");
 }

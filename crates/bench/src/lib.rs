@@ -7,14 +7,48 @@
 //! `EXPERIMENTS.md` compares.
 
 use mqo_catalog::Catalog;
-use mqo_core::{optimize, Algorithm, Optimized, Options};
-use mqo_logical::Batch;
+use mqo_core::{OptContext, Optimized, Optimizer, Options};
+use mqo_ks15::Ks15Greedy;
+use std::sync::Arc;
 
-/// Runs the four practical algorithms on a batch.
-pub fn run_all(batch: &Batch, catalog: &Catalog, options: &Options) -> Vec<(Algorithm, Optimized)> {
-    Algorithm::ALL
+/// The strategies every comparison table reports, in column order: the
+/// paper's four practical algorithms plus the KS15 bi-directional greedy
+/// (registered through the public extension point, not a built-in).
+pub const COMPARED: [&str; 5] = [
+    "Volcano",
+    "Volcano-SH",
+    "Volcano-RU",
+    "Greedy",
+    "KS15-Greedy",
+];
+
+/// An [`Optimizer`] session with the built-ins plus [`Ks15Greedy`].
+pub fn bench_optimizer(catalog: &Catalog) -> Optimizer<'_> {
+    bench_optimizer_with(catalog, Options::new())
+}
+
+/// Like [`bench_optimizer`], with explicit options.
+pub fn bench_optimizer_with(catalog: &Catalog, options: Options) -> Optimizer<'_> {
+    let mut optimizer = Optimizer::with_options(catalog, options);
+    optimizer
+        .register(Arc::new(Ks15Greedy))
+        .expect("KS15-Greedy is not a built-in name");
+    optimizer
+}
+
+/// Runs every [`COMPARED`] strategy over one prepared context — the DAG
+/// is expanded once per batch and shared across strategies.
+///
+/// Fails with [`StrategyError::Unknown`](mqo_core::StrategyError) if the
+/// session is missing a compared strategy (KS15 is not a built-in; use
+/// [`bench_optimizer`] to get a session with all of them registered).
+pub fn run_all(
+    optimizer: &Optimizer<'_>,
+    ctx: &OptContext<'_>,
+) -> Result<Vec<(&'static str, Optimized)>, mqo_core::StrategyError> {
+    COMPARED
         .iter()
-        .map(|&a| (a, optimize(batch, catalog, a, options)))
+        .map(|&name| Ok((name, optimizer.search(ctx, name)?)))
         .collect()
 }
 

@@ -2,9 +2,24 @@
 //! strategy the paper's §4 motivates against. Used as an oracle in tests
 //! and to sanity-check greedy on tiny inputs.
 
-use crate::{OptContext, OptStats, Optimized};
+use crate::{OptContext, OptStats, Optimized, Options, Strategy};
 use mqo_dag::sharable_groups;
 use mqo_physical::{CostTable, ExtractedPlan, MatSet, PhysNodeId};
+
+/// The exhaustive oracle strategy (registry name `"Exhaustive"`): wraps
+/// [`exhaustive`]. Small inputs only.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Exhaustive;
+
+impl Strategy for Exhaustive {
+    fn name(&self) -> &str {
+        "Exhaustive"
+    }
+
+    fn search(&self, ctx: &OptContext<'_>, _options: &Options) -> Optimized {
+        exhaustive(ctx)
+    }
+}
 
 /// Maximum number of candidate nodes considered: `2^MAX_CANDIDATES`
 /// subsets are enumerated.

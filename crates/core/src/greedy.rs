@@ -4,12 +4,27 @@
 //! monotonicity heuristic (§4.3).
 
 use crate::state::CostState;
-use crate::{OptContext, OptStats, Optimized};
+use crate::{OptContext, OptStats, Optimized, Options, Strategy};
 use mqo_cost::Cost;
 use mqo_dag::sharable_groups;
 use mqo_physical::{ExtractedPlan, PhysNodeId};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
+
+/// The greedy strategy (registry name `"Greedy"`): wraps [`greedy`],
+/// drawing its ablation switches from [`Options::greedy`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Greedy;
+
+impl Strategy for Greedy {
+    fn name(&self) -> &str {
+        "Greedy"
+    }
+
+    fn search(&self, ctx: &OptContext<'_>, options: &Options) -> Optimized {
+        greedy(ctx, options.greedy)
+    }
+}
 
 /// Ablation switches for the greedy algorithm (§6.3 experiments).
 #[derive(Debug, Clone, Copy)]
@@ -43,6 +58,43 @@ impl Default for GreedyOptions {
             sorted_candidates: true,
             space_budget_blocks: None,
         }
+    }
+}
+
+impl GreedyOptions {
+    /// Paper-default switches (everything on, no space budget).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Toggles the sharability pre-filter (§4.1).
+    pub fn with_sharability(mut self, on: bool) -> Self {
+        self.use_sharability = on;
+        self
+    }
+
+    /// Toggles the monotonicity heuristic (§4.3).
+    pub fn with_monotonicity(mut self, on: bool) -> Self {
+        self.use_monotonicity = on;
+        self
+    }
+
+    /// Toggles the incremental cost update (§4.2, Figure 5).
+    pub fn with_incremental(mut self, on: bool) -> Self {
+        self.use_incremental = on;
+        self
+    }
+
+    /// Toggles sorted variants as materialization candidates (§5).
+    pub fn with_sorted_candidates(mut self, on: bool) -> Self {
+        self.sorted_candidates = on;
+        self
+    }
+
+    /// Sets the temporary-storage budget in blocks (§8 future work).
+    pub fn with_space_budget_blocks(mut self, blocks: Option<f64>) -> Self {
+        self.space_budget_blocks = blocks;
+        self
     }
 }
 

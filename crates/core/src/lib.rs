@@ -1,42 +1,57 @@
-//! Multi-query optimization algorithms (the paper's contribution).
+//! Multi-query optimization strategies (the paper's contribution).
 //!
-//! Four cost-based strategies over the shared AND-OR DAG:
+//! The crate is organized around an **open dispatch**: every algorithm is
+//! a [`Strategy`] — `name()` plus `search(&OptContext, &Options) ->
+//! Optimized` — and a [`Registry`] maps names to instances. The
+//! [`Optimizer`] session owns catalog, options and registry and exposes
+//! the pipeline in stages (`expand` → `physicalize` → `search` →
+//! `extract`), so one expanded DAG is searched by many strategies and
+//! the stages can be timed separately. New strategies plug in from
+//! *outside* this crate (see `mqo-ks15`) via [`Optimizer::register`].
 //!
-//! * [`Algorithm::Volcano`] — the baseline: each query individually
-//!   optimized, nothing shared.
-//! * [`Algorithm::VolcanoSH`] — Figure 2: take the consolidated Volcano
-//!   best plan and decide, bottom-up, which of its nodes to materialize
+//! Five strategies ship built in:
+//!
+//! * [`Volcano`] — the baseline: each query individually optimized,
+//!   nothing shared.
+//! * [`VolcanoSh`] — Figure 2: take the consolidated Volcano best plan
+//!   and decide, bottom-up, which of its nodes to materialize
 //!   (`matcost/(numuses⁻−1) + reusecost < cost`), with the subsumption
 //!   pre-pass and undo.
-//! * [`Algorithm::VolcanoRU`] — Figure 3: optimize queries in sequence,
-//!   tracking nodes of earlier plans that would be worth materializing if
-//!   used once more; later queries may reuse them. Runs both the given
-//!   and the reverse order and keeps the cheaper result, then applies
+//! * [`VolcanoRu`] — Figure 3: optimize queries in sequence, tracking
+//!   nodes of earlier plans that would be worth materializing if used
+//!   once more; later queries may reuse them. Runs both the given and
+//!   the reverse order and keeps the cheaper result, then applies
 //!   Volcano-SH to the combined plan.
-//! * [`Algorithm::Greedy`] — Figure 4: iteratively materialize the
-//!   candidate with the greatest benefit, computed with the three
-//!   §4 optimizations: sharability pre-filtering, incremental cost
-//!   update (Figure 5), and the monotonicity heuristic.
+//! * [`Greedy`] — Figure 4: iteratively materialize the candidate with
+//!   the greatest benefit, computed with the three §4 optimizations:
+//!   sharability pre-filtering, incremental cost update (Figure 5), and
+//!   the monotonicity heuristic.
+//! * [`Exhaustive`] — enumerates candidate subsets and serves as a
+//!   ground-truth oracle for small inputs (it is doubly exponential in
+//!   spirit; capped).
 //!
-//! [`Algorithm::Exhaustive`] enumerates candidate subsets and serves as a
-//! ground-truth oracle for small inputs (it is doubly exponential in
-//! spirit; capped).
+//! The closed [`Algorithm`] enum and [`optimize`] remain as a thin legacy
+//! shim over the session API.
 
 mod consolidated;
 mod exhaustive;
 mod greedy;
+mod optimizer;
 mod state;
+mod strategy;
 mod volcano;
 mod volcano_ru;
 mod volcano_sh;
 
 pub use consolidated::PlanGraph;
-pub use exhaustive::exhaustive;
-pub use greedy::{greedy, GreedyOptions};
+pub use exhaustive::{exhaustive, Exhaustive};
+pub use greedy::{greedy, Greedy, GreedyOptions};
+pub use optimizer::{Expanded, Optimizer};
 pub use state::CostState;
-pub use volcano::volcano;
-pub use volcano_ru::volcano_ru;
-pub use volcano_sh::volcano_sh;
+pub use strategy::{Registry, Strategy, StrategyError};
+pub use volcano::{volcano, Volcano};
+pub use volcano_ru::{volcano_ru, VolcanoRu};
+pub use volcano_sh::{volcano_sh, VolcanoSh};
 
 use mqo_catalog::Catalog;
 use mqo_cost::{Cost, CostParams};
@@ -44,7 +59,14 @@ use mqo_dag::{Dag, DagConfig};
 use mqo_logical::Batch;
 use mqo_physical::{ExtractedPlan, MatSet, PhysicalDag};
 
-/// Which optimization strategy to run.
+/// Which built-in optimization strategy to run.
+///
+/// **Legacy path.** This enum predates the open [`Strategy`]/[`Registry`]
+/// dispatch and is kept so existing call sites compile unchanged; each
+/// variant is a thin shim onto the registry name returned by
+/// [`Algorithm::name`]. New code should use [`Optimizer`] directly —
+/// it reuses one expanded DAG across strategies and admits strategies
+/// this enum will never know about.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Algorithm {
     /// Plain Volcano: no sharing (the paper's baseline).
@@ -68,7 +90,8 @@ impl Algorithm {
         Algorithm::Greedy,
     ];
 
-    /// Display name matching the paper.
+    /// Display name matching the paper; also the [`Registry`] key of the
+    /// corresponding built-in strategy.
     pub fn name(self) -> &'static str {
         match self {
             Algorithm::Volcano => "Volcano",
@@ -96,14 +119,36 @@ impl Options {
     pub fn new() -> Self {
         Self::default()
     }
+
+    /// Replaces the DAG construction configuration.
+    pub fn with_dag(mut self, dag: DagConfig) -> Self {
+        self.dag = dag;
+        self
+    }
+
+    /// Replaces the cost model parameters.
+    pub fn with_params(mut self, params: CostParams) -> Self {
+        self.params = params;
+        self
+    }
+
+    /// Replaces the greedy ablation switches.
+    pub fn with_greedy(mut self, greedy: GreedyOptions) -> Self {
+        self.greedy = greedy;
+        self
+    }
 }
 
 /// Counters and sizes recorded during an optimization run (feeds the
 /// paper's Figures 9 and 10 and the §6.3 ablations).
 #[derive(Debug, Clone, Copy, Default)]
 pub struct OptStats {
-    /// Wall-clock optimization time in seconds (DAG build + search).
-    pub opt_time_secs: f64,
+    /// Wall-clock time of the strategy-independent stages — DAG
+    /// expansion plus physical refinement — in seconds. Shared by every
+    /// strategy searching the same [`OptContext`].
+    pub dag_time_secs: f64,
+    /// Wall-clock time of this strategy's search stage, in seconds.
+    pub search_time_secs: f64,
     /// Logical DAG size: equivalence nodes.
     pub dag_groups: usize,
     /// Logical DAG size: operation nodes.
@@ -124,6 +169,13 @@ pub struct OptStats {
     pub materialized: usize,
 }
 
+impl OptStats {
+    /// Total optimization time: DAG stages plus search.
+    pub fn total_time_secs(&self) -> f64 {
+        self.dag_time_secs + self.search_time_secs
+    }
+}
+
 /// The result of one optimization run.
 #[derive(Debug, Clone)]
 pub struct Optimized {
@@ -137,7 +189,7 @@ pub struct Optimized {
     pub stats: OptStats,
 }
 
-/// Everything derived from a batch that the algorithms share: the
+/// Everything derived from a batch that the strategies share: the
 /// expanded logical DAG and the fully instantiated physical DAG.
 pub struct OptContext<'a> {
     /// The catalog.
@@ -148,24 +200,28 @@ pub struct OptContext<'a> {
     pub pdag: PhysicalDag,
     /// Cost parameters.
     pub params: CostParams,
+    /// Wall-clock seconds spent expanding + physicalizing (stamped onto
+    /// [`OptStats::dag_time_secs`] of every search over this context).
+    pub dag_time_secs: f64,
 }
 
 impl<'a> OptContext<'a> {
     /// Expands the DAG and builds the physical DAG for a batch.
+    ///
+    /// Equivalent to [`Optimizer::prepare`] with the same options;
+    /// retained for call sites that never touch the session API.
     pub fn build(batch: &Batch, catalog: &'a Catalog, options: &Options) -> Self {
-        let dag = Dag::expand(batch, catalog, options.dag);
-        let pdag = PhysicalDag::build(&dag, catalog, options.params);
-        OptContext {
-            catalog,
-            dag,
-            pdag,
-            params: options.params,
-        }
+        Optimizer::with_options(catalog, *options).prepare(batch)
     }
 }
 
-/// Optimizes `batch` with the chosen algorithm. This is the main entry
-/// point of the library.
+/// Optimizes `batch` with the chosen built-in algorithm.
+///
+/// **Legacy path**: one-shot entry point kept for compatibility. It
+/// delegates to an ephemeral [`Optimizer`] session, so each call expands
+/// the DAG afresh; to run several strategies over one batch, prepare the
+/// context once with [`Optimizer::prepare`] and call
+/// [`Optimizer::search`] per strategy instead.
 ///
 /// ```
 /// use mqo_catalog::Catalog;
@@ -193,19 +249,9 @@ pub fn optimize(
     algorithm: Algorithm,
     options: &Options,
 ) -> Optimized {
-    let start = std::time::Instant::now();
-    let ctx = OptContext::build(batch, catalog, options);
-    let mut result = match algorithm {
-        Algorithm::Volcano => volcano(&ctx),
-        Algorithm::VolcanoSH => volcano_sh(&ctx),
-        Algorithm::VolcanoRU => volcano_ru(&ctx),
-        Algorithm::Greedy => greedy(&ctx, options.greedy),
-        Algorithm::Exhaustive => exhaustive(&ctx),
-    };
-    result.stats.opt_time_secs = start.elapsed().as_secs_f64();
-    result.stats.dag_groups = ctx.dag.num_groups();
-    result.stats.dag_ops = ctx.dag.num_ops();
-    result.stats.phys_nodes = ctx.pdag.num_nodes();
-    result.stats.phys_ops = ctx.pdag.num_ops();
-    result
+    let optimizer = Optimizer::with_options(catalog, *options);
+    let ctx = optimizer.prepare(batch);
+    optimizer
+        .search(&ctx, algorithm.name())
+        .expect("built-in strategies are always registered")
 }

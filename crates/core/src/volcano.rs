@@ -1,7 +1,21 @@
 //! The plain Volcano baseline: best plan per query, nothing shared.
 
-use crate::{OptContext, OptStats, Optimized};
+use crate::{OptContext, OptStats, Optimized, Options, Strategy};
 use mqo_physical::{CostTable, ExtractedPlan, MatSet};
+
+/// The baseline strategy (registry name `"Volcano"`): wraps [`volcano`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Volcano;
+
+impl Strategy for Volcano {
+    fn name(&self) -> &str {
+        "Volcano"
+    }
+
+    fn search(&self, ctx: &OptContext<'_>, _options: &Options) -> Optimized {
+        volcano(ctx)
+    }
+}
 
 /// Optimizes each query independently (the paper's baseline). Because the
 /// charged cost of a shared node without materialization is its full

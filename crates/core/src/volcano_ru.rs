@@ -3,9 +3,24 @@
 use crate::consolidated::{sh_decide, subsumption_prepass, PlanGraph};
 use crate::state::CostState;
 use crate::volcano::volcano;
-use crate::{OptContext, OptStats, Optimized};
+use crate::{OptContext, OptStats, Optimized, Options, Strategy};
 use mqo_physical::{MatSet, PhysNodeId, PhysicalDag};
 use mqo_util::FxHashMap;
+
+/// The Volcano-RU strategy (registry name `"Volcano-RU"`): wraps
+/// [`volcano_ru`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct VolcanoRu;
+
+impl Strategy for VolcanoRu {
+    fn name(&self) -> &str {
+        "Volcano-RU"
+    }
+
+    fn search(&self, ctx: &OptContext<'_>, _options: &Options) -> Optimized {
+        volcano_ru(ctx)
+    }
+}
 
 /// Volcano-RU: optimize the queries in sequence; after each query, note
 /// which nodes of its best plan would be worth materializing *if used

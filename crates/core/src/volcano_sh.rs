@@ -1,8 +1,23 @@
 //! Volcano-SH (paper §3.2, Figure 2).
 
 use crate::consolidated::{sh_decide, subsumption_prepass, PlanGraph};
-use crate::{OptContext, OptStats, Optimized};
+use crate::{OptContext, OptStats, Optimized, Options, Strategy};
 use mqo_physical::{CostTable, MatSet};
+
+/// The Volcano-SH strategy (registry name `"Volcano-SH"`): wraps
+/// [`volcano_sh`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct VolcanoSh;
+
+impl Strategy for VolcanoSh {
+    fn name(&self) -> &str {
+        "Volcano-SH"
+    }
+
+    fn search(&self, ctx: &OptContext<'_>, _options: &Options) -> Optimized {
+        volcano_sh(ctx)
+    }
+}
 
 /// Volcano-SH: run basic Volcano, consolidate the per-query best plans
 /// into one DAG-structured plan, then decide bottom-up which of its nodes

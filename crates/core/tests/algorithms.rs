@@ -249,11 +249,7 @@ fn monotonicity_ablation_preserves_plan_quality() {
     // "virtually the same cost".
     let (cat, batch) = shared_aggregate();
     let with = optimize(&batch, &cat, Algorithm::Greedy, &opts());
-    let mut o = opts();
-    o.greedy = GreedyOptions {
-        use_monotonicity: false,
-        ..GreedyOptions::default()
-    };
+    let o = opts().with_greedy(GreedyOptions::new().with_monotonicity(false));
     let without = optimize(&batch, &cat, Algorithm::Greedy, &o);
     assert!((with.cost.secs() - without.cost.secs()).abs() < 1e-6);
     // and the heuristic computes no MORE benefits than the plain loop
@@ -264,11 +260,7 @@ fn monotonicity_ablation_preserves_plan_quality() {
 fn sharability_ablation_preserves_plan_quality() {
     let (cat, batch) = example_11();
     let with = optimize(&batch, &cat, Algorithm::Greedy, &opts());
-    let mut o = opts();
-    o.greedy = GreedyOptions {
-        use_sharability: false,
-        ..GreedyOptions::default()
-    };
+    let o = opts().with_greedy(GreedyOptions::new().with_sharability(false));
     let without = optimize(&batch, &cat, Algorithm::Greedy, &o);
     assert!((with.cost.secs() - without.cost.secs()).abs() < 1e-6);
     // sharability filtering must not lose candidates that matter, but it
@@ -280,11 +272,7 @@ fn sharability_ablation_preserves_plan_quality() {
 fn incremental_ablation_same_answer() {
     let (cat, batch) = shared_aggregate();
     let with = optimize(&batch, &cat, Algorithm::Greedy, &opts());
-    let mut o = opts();
-    o.greedy = GreedyOptions {
-        use_incremental: false,
-        ..GreedyOptions::default()
-    };
+    let o = opts().with_greedy(GreedyOptions::new().with_incremental(false));
     let without = optimize(&batch, &cat, Algorithm::Greedy, &o);
     assert!((with.cost.secs() - without.cost.secs()).abs() < 1e-6);
 }
@@ -306,5 +294,8 @@ fn stats_are_populated() {
     assert!(g.stats.phys_nodes > 0);
     assert!(g.stats.benefit_recomputations > 0);
     assert!(g.stats.cost_propagations > 0);
-    assert!(g.stats.opt_time_secs > 0.0);
+    // the staged API splits timing: DAG stages vs strategy search
+    assert!(g.stats.dag_time_secs > 0.0);
+    assert!(g.stats.search_time_secs > 0.0);
+    assert!(g.stats.total_time_secs() >= g.stats.dag_time_secs);
 }

@@ -42,12 +42,7 @@ fn setup() -> (Catalog, Batch) {
 }
 
 fn with_budget(budget: Option<f64>) -> Options {
-    let mut o = Options::new();
-    o.greedy = GreedyOptions {
-        space_budget_blocks: budget,
-        ..GreedyOptions::default()
-    };
-    o
+    Options::new().with_greedy(GreedyOptions::new().with_space_budget_blocks(budget))
 }
 
 #[test]

@@ -1,41 +1,61 @@
 //! Batch reporting: optimize a batch of TPC-D-like reporting queries (the
-//! paper's Experiment 2 workload) with all four algorithms and compare.
+//! paper's Experiment 2 workload) with every registered strategy and
+//! compare — including the KS15 bi-directional greedy, which plugs into
+//! the session through the public `Strategy` registry rather than any
+//! built-in dispatch.
 //!
 //! Run with: `cargo run --release --example batch_reporting`
 
-use mqo::core::{optimize, Algorithm, OptContext, Options};
+use mqo::core::Optimizer;
+use mqo::ks15::Ks15Greedy;
 use mqo::workloads::Tpcd;
+use std::sync::Arc;
 
 fn main() {
     let w = Tpcd::new(1.0);
     let batch = w.bq(3); // Q3, Q5, Q7 — each at two selection constants
-    let opts = Options::new();
 
+    // The extension point: KS15 registers like any built-in.
+    let mut optimizer = Optimizer::new(&w.catalog);
+    optimizer.register(Arc::new(Ks15Greedy)).unwrap();
+
+    // One expanded DAG, searched by every registered strategy.
+    let ctx = optimizer.prepare(&batch);
     println!(
-        "batch of {} queries over the TPC-D-like schema (scale 1)\n",
+        "batch of {} queries over the TPC-D-like schema (scale 1)",
         batch.len()
     );
     println!(
-        "{:<12} {:>14} {:>12} {:>8} {:>12}",
-        "algorithm", "est. cost [s]", "opt [ms]", "temps", "vs Volcano"
+        "DAG prepared once in {:.2} ms, shared by {} strategies\n",
+        ctx.dag_time_secs * 1e3,
+        optimizer.registry().len()
     );
+    println!(
+        "{:<12} {:>14} {:>12} {:>8} {:>12}",
+        "strategy", "est. cost [s]", "search [ms]", "temps", "vs Volcano"
+    );
+    let names: Vec<String> = optimizer
+        .registry()
+        .names()
+        .filter(|&n| n != "Exhaustive") // oracle: too slow at this size
+        .map(String::from)
+        .collect();
     let mut base = None;
-    for alg in Algorithm::ALL {
-        let r = optimize(&batch, &w.catalog, alg, &opts);
+    for name in &names {
+        let r = optimizer.search(&ctx, name).unwrap();
         let b = *base.get_or_insert(r.cost.secs());
         println!(
             "{:<12} {:>14.2} {:>12.2} {:>8} {:>11.1}%",
-            alg.name(),
+            name,
             r.cost.secs(),
-            r.stats.opt_time_secs * 1e3,
+            r.stats.search_time_secs * 1e3,
             r.stats.materialized,
             100.0 * (1.0 - r.cost.secs() / b)
         );
     }
 
-    // Show what Greedy decided to share.
-    let greedy = optimize(&batch, &w.catalog, Algorithm::Greedy, &opts);
-    let ctx = OptContext::build(&batch, &w.catalog, &opts);
+    // Show what Greedy decided to share (same context — no rebuild).
+    let greedy = optimizer.search(&ctx, "Greedy").unwrap();
     println!(
         "\nGreedy materializes {} result(s):",
         greedy.plan.materialized.len()

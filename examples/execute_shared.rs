@@ -2,9 +2,13 @@
 //! plan on generated data, verify the results agree, and report the
 //! actual speedup (the mechanism behind the paper's Figure 7).
 //!
+//! The staged session API pays off here: the plans and the physical DAG
+//! they reference come from one prepared context, so execution needs no
+//! context rebuild.
+//!
 //! Run with: `cargo run --release --example execute_shared`
 
-use mqo::core::{optimize, Algorithm, OptContext, Options};
+use mqo::core::Optimizer;
 use mqo::exec::{execute_plan, generate_database, normalize_result, results_approx_equal};
 use mqo::util::FxHashMap;
 use mqo::workloads::Tpcd;
@@ -13,15 +17,15 @@ fn main() {
     // Small scale so data generation stays fast; statistics match data.
     let w = Tpcd::new(0.01);
     let batch = w.q11();
-    let opts = Options::new();
 
     println!("generating data for {} tables…", w.catalog.tables().len());
     let db = generate_database(&w.catalog, 7, usize::MAX);
     let params = FxHashMap::default();
 
-    let volcano = optimize(&batch, &w.catalog, Algorithm::Volcano, &opts);
-    let greedy = optimize(&batch, &w.catalog, Algorithm::Greedy, &opts);
-    let ctx = OptContext::build(&batch, &w.catalog, &opts);
+    let optimizer = Optimizer::new(&w.catalog);
+    let ctx = optimizer.prepare(&batch); // one DAG for both strategies
+    let volcano = optimizer.search(&ctx, "Volcano").unwrap();
+    let greedy = optimizer.search(&ctx, "Greedy").unwrap();
 
     let unshared = execute_plan(&w.catalog, &ctx.pdag, &volcano.plan, &db, &params);
     let shared = execute_plan(&w.catalog, &ctx.pdag, &greedy.plan, &db, &params);

@@ -10,20 +10,21 @@
 //!
 //! Run with: `cargo run --release --example nested_query`
 
-use mqo::core::{optimize, Algorithm, OptContext, Options};
+use mqo::core::Optimizer;
 use mqo::physical::PhysProp;
 use mqo::workloads::Tpcd;
 
 fn main() {
     let w = Tpcd::new(1.0);
-    let opts = Options::new();
+    let optimizer = Optimizer::new(&w.catalog);
 
     for (name, batch) in [
         ("Q2 (correlated, =)", w.q2()),
         ("Q2 (`not in`, <>)", w.q2_notin()),
     ] {
-        let volcano = optimize(&batch, &w.catalog, Algorithm::Volcano, &opts);
-        let greedy = optimize(&batch, &w.catalog, Algorithm::Greedy, &opts);
+        let ctx = optimizer.prepare(&batch); // one DAG per batch
+        let volcano = optimizer.search(&ctx, "Volcano").unwrap();
+        let greedy = optimizer.search(&ctx, "Greedy").unwrap();
         println!("=== {name} ===");
         println!(
             "  inner subquery invoked {}x (weight of the parameterized query)",
@@ -35,7 +36,6 @@ fn main() {
             greedy.cost,
             volcano.cost.secs() / greedy.cost.secs()
         );
-        let ctx = OptContext::build(&batch, &w.catalog, &opts);
         for &m in &greedy.plan.materialized {
             let node = ctx.pdag.node(m);
             let sorted = !matches!(node.prop, PhysProp::Any);

@@ -1,14 +1,16 @@
-//! Quickstart: the paper's Example 1.1.
+//! Quickstart: the paper's Example 1.1, on the staged `Optimizer`
+//! session API.
 //!
 //! Q1 = (R ⋈ S) ⋈ P and Q2 = (R ⋈ T) ⋈ S. The individually optimal plans
 //! share nothing; a multi-query optimizer may pick the *locally
 //! suboptimal* plan (R ⋈ S) ⋈ T for Q2 so that R ⋈ S can be computed
-//! once, materialized, and reused.
+//! once, materialized, and reused. The session prepares the shared
+//! AND-OR DAG once and both strategies search it.
 //!
 //! Run with: `cargo run --release --example quickstart`
 
 use mqo::catalog::Catalog;
-use mqo::core::{optimize, Algorithm, OptContext, Options};
+use mqo::core::Optimizer;
 use mqo::expr::{Atom, Predicate};
 use mqo::logical::{Batch, LogicalPlan, Query};
 
@@ -43,12 +45,17 @@ fn main() {
     let q2 = r_sel().join(scan("t"), rt).join(scan("s"), rs);
     let batch = Batch::of(vec![Query::new("Q1", q1), Query::new("Q2", q2)]);
 
-    // --- Optimize without and with multi-query optimization ------------
-    let opts = Options::new();
-    let volcano = optimize(&batch, &cat, Algorithm::Volcano, &opts);
-    let greedy = optimize(&batch, &cat, Algorithm::Greedy, &opts);
+    // --- One session, one expanded DAG, two strategies -----------------
+    let optimizer = Optimizer::new(&cat);
+    let ctx = optimizer.prepare(&batch); // expand + physicalize ONCE
+    let volcano = optimizer.search(&ctx, "Volcano").unwrap();
+    let greedy = optimizer.search(&ctx, "Greedy").unwrap();
 
     println!("Example 1.1 — two queries with a hidden common subexpression\n");
+    println!(
+        "DAG prepared once in {:.1} ms, searched by both strategies",
+        ctx.dag_time_secs * 1e3
+    );
     println!("Volcano (no sharing):   estimated cost {}", volcano.cost);
     println!("Greedy  (MQO):          estimated cost {}", greedy.cost);
     println!(
@@ -57,7 +64,7 @@ fn main() {
         greedy.stats.materialized
     );
 
-    let ctx = OptContext::build(&batch, &cat, &opts);
+    // Plans and context came from the same session: explain directly.
     println!("--- Greedy's shared plan ---");
     println!("{}", greedy.plan.explain(&ctx.pdag, &cat));
     println!("--- Volcano's independent plans ---");

@@ -10,7 +10,7 @@
 //! Run with: `cargo run --release --example view_refresh`
 
 use mqo::catalog::{Catalog, ColStats, ColType};
-use mqo::core::{optimize, Algorithm, OptContext, Options};
+use mqo::core::Optimizer;
 use mqo::expr::{AggExpr, AggFunc, Atom, CmpOp, Predicate, ScalarExpr};
 use mqo::logical::{Batch, LogicalPlan, Query};
 
@@ -91,9 +91,11 @@ fn main() {
         Query::new("refresh revenue_by_category", refresh_by_category),
     ]);
 
-    let opts = Options::new();
-    let volcano = optimize(&batch, &cat, Algorithm::Volcano, &opts);
-    let greedy = optimize(&batch, &cat, Algorithm::Greedy, &opts);
+    // One session, one expanded DAG, both strategies.
+    let optimizer = Optimizer::new(&cat);
+    let ctx = optimizer.prepare(&batch);
+    let volcano = optimizer.search(&ctx, "Volcano").unwrap();
+    let greedy = optimizer.search(&ctx, "Greedy").unwrap();
     println!("refreshing 3 materialized views over one sales delta\n");
     println!("independent refresh (Volcano): {}", volcano.cost);
     println!("shared refresh (Greedy):       {}", greedy.cost);
@@ -101,7 +103,6 @@ fn main() {
         "saved {:.0}% by computing the delta join once\n",
         100.0 * (1.0 - greedy.cost.secs() / volcano.cost.secs())
     );
-    let ctx = OptContext::build(&batch, &cat, &opts);
     for &m in &greedy.plan.materialized {
         let n = ctx.pdag.node(m);
         println!(

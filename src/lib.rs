@@ -14,6 +14,7 @@ pub use mqo_cost as cost;
 pub use mqo_dag as dag;
 pub use mqo_exec as exec;
 pub use mqo_expr as expr;
+pub use mqo_ks15 as ks15;
 pub use mqo_logical as logical;
 pub use mqo_physical as physical;
 pub use mqo_util as util;
