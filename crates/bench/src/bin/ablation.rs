@@ -18,8 +18,12 @@ use mqo_core::{GreedyOptions, OptContext, Optimized, Optimizer, Options};
 use mqo_workloads::Scaleup;
 
 /// Re-searches a prepared context with the given ablation switches.
+/// Pinned to one probe thread: the §4.3 parallel heap path probes
+/// speculative top-K waves, which would make the `benefit
+/// recomputations` columns vary with the host's core count — the
+/// ablation's whole point is reproducible counters.
 fn run(optimizer: &mut Optimizer<'_>, ctx: &OptContext<'_>, g: GreedyOptions) -> Optimized {
-    *optimizer.options_mut() = Options::new().with_greedy(g);
+    *optimizer.options_mut() = Options::new().with_greedy(g).with_threads(1);
     optimizer.search(ctx, "Greedy").expect("built-in")
 }
 
@@ -82,8 +86,11 @@ fn main() {
                 format!("CQ{i}"),
                 ms(on.stats.search_time_secs),
                 ms(off.stats.search_time_secs),
-                on.stats.sharable.to_string(),
-                off.stats.sharable.to_string(),
+                // the probed pool: sharable variants vs everything
+                // (`sharable` itself now reports the honest §4.1 count
+                // in both runs)
+                on.stats.candidates.to_string(),
+                off.stats.candidates.to_string(),
                 secs(on.cost.secs()),
                 secs(off.cost.secs()),
             ]);

@@ -2,17 +2,40 @@
 //! optimizations: sharability pre-filtering (§4.1), incremental cost
 //! update (§4.2/Figure 5, see [`crate::CostState`]), and the
 //! monotonicity heuristic (§4.3).
+//!
+//! # Parallel benefit probing
+//!
+//! Nearly all of greedy's time goes into *probing*: computing the
+//! benefit of each candidate on top of the current materialized set.
+//! Probes within one iteration are independent — each tries one node and
+//! restores the state — so they shard across a
+//! [`ScopedWorkerPool`](mqo_util::ScopedWorkerPool). Every worker owns a
+//! [`CostState`] replica kept in sync with the primary by broadcasting
+//! each committed materialization; a probe wave sends each worker a
+//! contiguous shard of the candidates and merges the returned benefits
+//! and [`OptStats`] counters (see [`OptStats::merge_counters`]), so
+//! `benefit_recomputations`/`cost_propagations` stay exact.
+//!
+//! Parallelism never changes the answer: benefits are pure functions of
+//! `(materialized set, node)`, the merged wave replays the sequential
+//! selection rule, and the §4.3 heap replays the sequential
+//! pop/probe/reinsert decisions against a cache of wave-probed fresh
+//! benefits. Plan, cost, and materialized set are identical at every
+//! thread count, and `threads = 1` runs the plain sequential loops.
 
 use crate::state::CostState;
 use crate::{OptContext, OptStats, Optimized, Options, Strategy};
 use mqo_cost::Cost;
 use mqo_dag::sharable_groups;
-use mqo_physical::{ExtractedPlan, PhysNodeId};
+use mqo_physical::{ExtractedPlan, PhysNodeId, PhysicalDag};
+use mqo_util::{FxHashMap, ScopedWorkerPool};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
 /// The greedy strategy (registry name `"Greedy"`): wraps [`greedy`],
-/// drawing its ablation switches from [`Options::greedy`].
+/// drawing its ablation switches from [`Options::greedy`] and falling
+/// back to [`Options::threads`] when no greedy-specific thread count is
+/// set.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct Greedy;
 
@@ -22,7 +45,11 @@ impl Strategy for Greedy {
     }
 
     fn search(&self, ctx: &OptContext<'_>, options: &Options) -> Optimized {
-        greedy(ctx, options.greedy)
+        let mut g = options.greedy;
+        if g.threads == 0 {
+            g.threads = options.threads;
+        }
+        greedy(ctx, g)
     }
 }
 
@@ -45,8 +72,14 @@ pub struct GreedyOptions {
     pub sorted_candidates: bool,
     /// Temporary-storage budget in blocks (paper §8 future work): when
     /// set, candidates are ranked by benefit *per unit space* and
-    /// materialization stops once the budget is exhausted.
+    /// materialization stops once the budget is exhausted. Temp space is
+    /// charged in whole blocks (a sub-block result still occupies one).
     pub space_budget_blocks: Option<f64>,
+    /// Worker threads for benefit probing: `1` = sequential, `0` = auto
+    /// ([`Options::threads`] for the registered strategy, else the
+    /// `MQO_THREADS` environment variable, else available parallelism).
+    /// The result is identical at every thread count.
+    pub threads: usize,
 }
 
 impl Default for GreedyOptions {
@@ -57,6 +90,7 @@ impl Default for GreedyOptions {
             use_incremental: true,
             sorted_candidates: true,
             space_budget_blocks: None,
+            threads: 0,
         }
     }
 }
@@ -96,9 +130,19 @@ impl GreedyOptions {
         self.space_budget_blocks = blocks;
         self
     }
+
+    /// Sets the probe-worker thread count (`0` = auto, `1` = sequential).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
 }
 
+/// Benefits below this are treated as zero.
+const EPS: f64 = 1e-9;
+
 /// Heap entry ordered by benefit upper bound.
+#[derive(Debug)]
 struct HeapEntry {
     bound: f64,
     node: PhysNodeId,
@@ -106,7 +150,7 @@ struct HeapEntry {
 
 impl PartialEq for HeapEntry {
     fn eq(&self, other: &Self) -> bool {
-        self.bound == other.bound && self.node == other.node
+        self.cmp(other) == Ordering::Equal
     }
 }
 impl Eq for HeapEntry {}
@@ -117,24 +161,104 @@ impl PartialOrd for HeapEntry {
 }
 impl Ord for HeapEntry {
     fn cmp(&self, other: &Self) -> Ordering {
+        // total_cmp keeps the order total even for NaN bounds (a NaN cost
+        // can reach the heap through degenerate statistics); the old
+        // partial_cmp fallback made NaN compare Equal to everything,
+        // breaking BinaryHeap's invariants.
         self.bound
-            .partial_cmp(&other.bound)
-            .unwrap_or(Ordering::Equal)
+            .total_cmp(&other.bound)
             .then_with(|| self.node.cmp(&other.node))
     }
 }
 
-/// Runs the greedy heuristic: iteratively materialize the candidate node
-/// with the largest benefit until no candidate improves the plan.
-pub fn greedy(ctx: &OptContext<'_>, opts: GreedyOptions) -> Optimized {
-    let pdag = &ctx.pdag;
-    let mut stats = OptStats::default();
+/// One unit of work for a probe worker.
+#[derive(Clone)]
+enum ProbeJob {
+    /// Probe a shard of candidates against the worker's replica.
+    /// `base` is the shard's offset in the wave's node list.
+    Wave {
+        base: usize,
+        nodes: Vec<PhysNodeId>,
+        cur_total: Cost,
+    },
+    /// A node was committed: apply it to the replica so later probes see
+    /// the same materialized set as the primary state.
+    Commit(PhysNodeId),
+}
 
-    // ---- Candidate set (sharability optimization, §4.1) ----
-    let mut degrees: Vec<(mqo_dag::GroupId, f64)> = if opts.use_sharability {
-        sharable_groups(&ctx.dag)
+/// A probe shard's answer: raw benefits aligned with the shard's nodes,
+/// plus the counters accrued computing them.
+struct WaveOut {
+    base: usize,
+    benefits: Vec<f64>,
+    stats: OptStats,
+}
+
+/// Benefit of materializing `x` on top of `state` (restores the state
+/// before returning). The single probe primitive shared by the
+/// sequential loop and every pool worker.
+fn probe_on(
+    pdag: &PhysicalDag,
+    state: &mut CostState,
+    stats: &mut OptStats,
+    cur_total: Cost,
+    x: PhysNodeId,
+    incremental: bool,
+) -> f64 {
+    stats.benefit_recomputations += 1;
+    if incremental {
+        state.add_mat(pdag, x, stats);
+        let t = state.total(pdag);
+        state.remove_mat(pdag, x, stats);
+        (cur_total - t).secs()
     } else {
+        state.mat.insert(pdag, x);
+        state.recompute_full(pdag);
+        let t = state.total(pdag);
+        state.mat.remove(pdag, x);
+        state.recompute_full(pdag);
+        (cur_total - t).secs()
+    }
+}
+
+/// Commits `x` into `state`.
+fn commit_on(
+    pdag: &PhysicalDag,
+    state: &mut CostState,
+    stats: &mut OptStats,
+    x: PhysNodeId,
+    incremental: bool,
+) {
+    if incremental {
+        state.add_mat(pdag, x, stats);
+    } else {
+        state.mat.insert(pdag, x);
+        state.recompute_full(pdag);
+    }
+}
+
+/// Builds the candidate pool: `(physical node, degree of sharing)` pairs,
+/// in topological group order, variants in `pdag` order. Also records the
+/// `sharable`/`candidates` counters.
+fn collect_candidates(
+    ctx: &OptContext<'_>,
+    opts: GreedyOptions,
+    stats: &mut OptStats,
+) -> Vec<(PhysNodeId, f64)> {
+    let pdag = &ctx.pdag;
+    let degrees: Vec<(mqo_dag::GroupId, f64)> = if opts.use_sharability {
+        let d = sharable_groups(&ctx.dag);
+        stats.sharable = d.len();
+        d
+    } else {
+        // Ablation: probe every non-root, non-parameterized node. The
+        // degree map still yields the honest §4.1 sharability count for
+        // the stats (the pool itself is the point of the ablation).
         let all = mqo_dag::degree_of_sharing(&ctx.dag);
+        stats.sharable = all
+            .iter()
+            .filter(|&(&g, &d)| g != ctx.dag.root() && d > 1.0 + EPS && !ctx.dag.group(g).has_param)
+            .count();
         ctx.dag
             .topo_order()
             .iter()
@@ -143,8 +267,6 @@ pub fn greedy(ctx: &OptContext<'_>, opts: GreedyOptions) -> Optimized {
             .map(|g| (g, all.get(&g).copied().unwrap_or(1.0).max(1.0)))
             .collect()
     };
-    degrees.retain(|&(g, _)| !ctx.dag.group(g).has_param);
-    stats.sharable = degrees.len();
 
     let mut candidates: Vec<(PhysNodeId, f64)> = Vec::new();
     for &(g, d) in &degrees {
@@ -156,51 +278,106 @@ pub fn greedy(ctx: &OptContext<'_>, opts: GreedyOptions) -> Optimized {
             candidates.push((v, d));
         }
     }
+    stats.candidates = candidates.len();
+    candidates
+}
 
-    let mut state = CostState::new(pdag);
+/// Temp storage is allocated in whole blocks: a sub-block result still
+/// occupies one. Ranking (`score`) and admission (`fits`) both charge
+/// this rounded footprint — charging raw blocks on admission while
+/// ranking per rounded block let sub-block nodes be ranked as a full
+/// block yet admitted at their true size.
+fn charged_blocks(pdag: &PhysicalDag, n: PhysNodeId) -> f64 {
+    pdag.node(n).blocks.max(1.0)
+}
+
+/// Runs the greedy heuristic: iteratively materialize the candidate node
+/// with the largest benefit until no candidate improves the plan.
+/// Probing parallelizes across [`GreedyOptions::threads`] workers; the
+/// result is identical at every thread count.
+pub fn greedy(ctx: &OptContext<'_>, opts: GreedyOptions) -> Optimized {
+    let mut stats = OptStats::default();
+    let candidates = collect_candidates(ctx, opts, &mut stats);
+    let threads = mqo_util::resolve_threads(opts.threads).min(candidates.len().max(1));
+    // The empty-set cost table — computed once; the primary state and
+    // every worker replica start from (clones of) this one rather than
+    // each redoing the full bottom-up computation.
+    let base = CostState::new(&ctx.pdag);
+    if threads <= 1 {
+        return greedy_sequential(ctx, opts, candidates, stats, base);
+    }
+    std::thread::scope(|scope| {
+        let pdag = &ctx.pdag;
+        let pool: ScopedWorkerPool<ProbeJob, WaveOut> = ScopedWorkerPool::spawn(scope, threads, {
+            let base = &base;
+            move |_| {
+                let mut replica = base.clone();
+                move |job| match job {
+                    ProbeJob::Wave {
+                        base,
+                        nodes,
+                        cur_total,
+                    } => {
+                        let mut stats = OptStats::default();
+                        let benefits = nodes
+                            .iter()
+                            .map(|&n| {
+                                probe_on(
+                                    pdag,
+                                    &mut replica,
+                                    &mut stats,
+                                    cur_total,
+                                    n,
+                                    opts.use_incremental,
+                                )
+                            })
+                            .collect();
+                        Some(WaveOut {
+                            base,
+                            benefits,
+                            stats,
+                        })
+                    }
+                    ProbeJob::Commit(n) => {
+                        // Replica sync; the primary's commit already
+                        // counted the propagation work, so this replay is
+                        // deliberately not merged into the run's stats.
+                        let mut scratch = OptStats::default();
+                        commit_on(pdag, &mut replica, &mut scratch, n, opts.use_incremental);
+                        None
+                    }
+                }
+            }
+        });
+        greedy_parallel(ctx, opts, candidates, stats, &pool, base)
+    })
+}
+
+/// The sequential loops — also the `threads = 1` reference the parallel
+/// path must match bit-for-bit.
+fn greedy_sequential(
+    ctx: &OptContext<'_>,
+    opts: GreedyOptions,
+    candidates: Vec<(PhysNodeId, f64)>,
+    mut stats: OptStats,
+    state: CostState,
+) -> Optimized {
+    let pdag = &ctx.pdag;
+    let mut state = state;
     let mut cur_total = state.total(pdag);
     let mut space_used = 0.0f64;
-    // score used for ranking: plain benefit, or benefit per block under a
-    // space budget (§8)
+    // score used for ranking: plain benefit, or benefit per (charged)
+    // block under a space budget (§8)
     let score = |benefit: f64, n: PhysNodeId| -> f64 {
         match opts.space_budget_blocks {
-            Some(_) => benefit / pdag.node(n).blocks.max(1.0),
+            Some(_) => benefit / charged_blocks(pdag, n),
             None => benefit,
         }
     };
     let fits = |space_used: f64, n: PhysNodeId| -> bool {
         match opts.space_budget_blocks {
-            Some(b) => space_used + pdag.node(n).blocks <= b + 1e-9,
+            Some(b) => space_used + charged_blocks(pdag, n) <= b + EPS,
             None => true,
-        }
-    };
-
-    // Benefit of materializing `x` on top of the current set (restores
-    // the state before returning).
-    let probe =
-        |state: &mut CostState, stats: &mut OptStats, cur_total: Cost, x: PhysNodeId| -> f64 {
-            stats.benefit_recomputations += 1;
-            if opts.use_incremental {
-                state.add_mat(pdag, x, stats);
-                let t = state.total(pdag);
-                state.remove_mat(pdag, x, stats);
-                (cur_total - t).secs()
-            } else {
-                state.mat.insert(pdag, x);
-                state.recompute_full(pdag);
-                let t = state.total(pdag);
-                state.mat.remove(pdag, x);
-                state.recompute_full(pdag);
-                (cur_total - t).secs()
-            }
-        };
-
-    let commit = |state: &mut CostState, stats: &mut OptStats, x: PhysNodeId| {
-        if opts.use_incremental {
-            state.add_mat(pdag, x, stats);
-        } else {
-            state.mat.insert(pdag, x);
-            state.recompute_full(pdag);
         }
     };
 
@@ -217,19 +394,32 @@ pub fn greedy(ctx: &OptContext<'_>, opts: GreedyOptions) -> Optimized {
             })
             .collect();
         while let Some(top) = heap.pop() {
-            if top.bound <= 1e-9 {
+            if top.bound.is_nan() {
+                continue; // degenerate bound: discard the candidate
+            }
+            if top.bound <= EPS {
                 break;
             }
             if !fits(space_used, top.node) {
                 continue; // budget exhausted for this candidate: drop it
             }
-            let b = score(probe(&mut state, &mut stats, cur_total, top.node), top.node);
+            let b = score(
+                probe_on(
+                    pdag,
+                    &mut state,
+                    &mut stats,
+                    cur_total,
+                    top.node,
+                    opts.use_incremental,
+                ),
+                top.node,
+            );
             let next_bound = heap.peek().map(|e| e.bound).unwrap_or(f64::NEG_INFINITY);
             if b >= next_bound - 1e-12 {
                 // fresh benefit still on top: this is the true argmax
-                if b > 1e-9 {
-                    commit(&mut state, &mut stats, top.node);
-                    space_used += pdag.node(top.node).blocks;
+                if b > EPS {
+                    commit_on(pdag, &mut state, &mut stats, top.node, opts.use_incremental);
+                    space_used += charged_blocks(pdag, top.node);
                     cur_total = state.total(pdag);
                 } else {
                     break; // best possible benefit is non-positive: stop
@@ -252,16 +442,26 @@ pub fn greedy(ctx: &OptContext<'_>, opts: GreedyOptions) -> Optimized {
                 if !fits(space_used, n) {
                     continue;
                 }
-                let b = score(probe(&mut state, &mut stats, cur_total, n), n);
+                let b = score(
+                    probe_on(
+                        pdag,
+                        &mut state,
+                        &mut stats,
+                        cur_total,
+                        n,
+                        opts.use_incremental,
+                    ),
+                    n,
+                );
                 if b > best.map(|(_, bb)| bb).unwrap_or(0.0) {
                     best = Some((i, b));
                 }
             }
             match best {
-                Some((i, b)) if b > 1e-9 => {
+                Some((i, b)) if b > EPS => {
                     let (n, _) = remaining.swap_remove(i);
-                    commit(&mut state, &mut stats, n);
-                    space_used += pdag.node(n).blocks;
+                    commit_on(pdag, &mut state, &mut stats, n, opts.use_incremental);
+                    space_used += charged_blocks(pdag, n);
                     cur_total = state.total(pdag);
                 }
                 _ => break,
@@ -269,6 +469,186 @@ pub fn greedy(ctx: &OptContext<'_>, opts: GreedyOptions) -> Optimized {
         }
     }
 
+    finish(ctx, state, stats)
+}
+
+/// The parallel loops: same decisions as [`greedy_sequential`], with
+/// probes sharded across the worker pool.
+fn greedy_parallel(
+    ctx: &OptContext<'_>,
+    opts: GreedyOptions,
+    candidates: Vec<(PhysNodeId, f64)>,
+    mut stats: OptStats,
+    pool: &ScopedWorkerPool<ProbeJob, WaveOut>,
+    state: CostState,
+) -> Optimized {
+    let pdag = &ctx.pdag;
+    let mut state = state;
+    let mut cur_total = state.total(pdag);
+    let mut space_used = 0.0f64;
+    let score = |benefit: f64, n: PhysNodeId| -> f64 {
+        match opts.space_budget_blocks {
+            Some(_) => benefit / charged_blocks(pdag, n),
+            None => benefit,
+        }
+    };
+    let fits = |space_used: f64, n: PhysNodeId| -> bool {
+        match opts.space_budget_blocks {
+            Some(b) => space_used + charged_blocks(pdag, n) <= b + EPS,
+            None => true,
+        }
+    };
+
+    // Probes one wave of nodes across the pool: contiguous shards, raw
+    // benefits back in input order, worker counters merged exactly once.
+    let wave = |stats: &mut OptStats, nodes: &[PhysNodeId], cur_total: Cost| -> Vec<f64> {
+        if nodes.is_empty() {
+            return Vec::new();
+        }
+        let shard = nodes.len().div_ceil(pool.len());
+        let mut sent = 0;
+        for (w, slice) in nodes.chunks(shard).enumerate() {
+            pool.send(
+                w,
+                ProbeJob::Wave {
+                    base: w * shard,
+                    nodes: slice.to_vec(),
+                    cur_total,
+                },
+            );
+            sent += 1;
+        }
+        let mut out = vec![0.0f64; nodes.len()];
+        for _ in 0..sent {
+            let resp = pool.recv();
+            out[resp.base..resp.base + resp.benefits.len()].copy_from_slice(&resp.benefits);
+            stats.merge_counters(&resp.stats);
+        }
+        out
+    };
+    // Commits on the primary (counted) and broadcasts to replicas (their
+    // replay is bookkeeping, not counted — see the module docs).
+    let commit_all = |state: &mut CostState, stats: &mut OptStats, n: PhysNodeId| {
+        commit_on(pdag, state, stats, n, opts.use_incremental);
+        pool.broadcast(ProbeJob::Commit(n));
+    };
+
+    if opts.use_monotonicity {
+        // §4.3 with wave probing: replay the sequential pop/probe/
+        // reinsert decisions, but satisfy probes from a cache filled by
+        // parallel waves over the top-K stale bounds. Benefits depend
+        // only on (materialized set, node), and the heap's strict total
+        // order makes pop order a function of its contents, so the
+        // decisions — and the chosen set — are exactly the sequential
+        // ones.
+        let wave_cap = pool.len() * 2;
+        let mut heap: BinaryHeap<HeapEntry> = candidates
+            .iter()
+            .filter(|&&(n, _)| fits(space_used, n))
+            .map(|&(n, d)| HeapEntry {
+                bound: score(state.table.node_cost[n.index()].secs() * d, n),
+                node: n,
+            })
+            .collect();
+        // scored fresh benefits under the current materialized set
+        let mut cache: FxHashMap<PhysNodeId, f64> = FxHashMap::default();
+        while let Some(top) = heap.pop() {
+            if top.bound.is_nan() {
+                continue; // degenerate bound: discard the candidate
+            }
+            if top.bound <= EPS {
+                break;
+            }
+            if !fits(space_used, top.node) {
+                continue;
+            }
+            let b = match cache.get(&top.node) {
+                Some(&b) => b,
+                None => {
+                    // Fill the cache with one wave over the top-K stale
+                    // entries, then retry. Everything popped goes back
+                    // unchanged, so the heap — and the replayed decision
+                    // sequence — is exactly as before the wave.
+                    heap.push(top);
+                    let mut collected: Vec<HeapEntry> = Vec::new();
+                    let mut to_probe: Vec<PhysNodeId> = Vec::new();
+                    while collected.len() < wave_cap {
+                        match heap.peek() {
+                            Some(e) if e.bound > EPS => {}
+                            _ => break,
+                        }
+                        let e = heap.pop().expect("peeked entry");
+                        if fits(space_used, e.node) && !cache.contains_key(&e.node) {
+                            to_probe.push(e.node);
+                        }
+                        collected.push(e);
+                    }
+                    for e in collected {
+                        heap.push(e);
+                    }
+                    let benefits = wave(&mut stats, &to_probe, cur_total);
+                    for (k, &n) in to_probe.iter().enumerate() {
+                        cache.insert(n, score(benefits[k], n));
+                    }
+                    continue;
+                }
+            };
+            let next_bound = heap.peek().map(|e| e.bound).unwrap_or(f64::NEG_INFINITY);
+            if b >= next_bound - 1e-12 {
+                if b > EPS {
+                    commit_all(&mut state, &mut stats, top.node);
+                    space_used += charged_blocks(pdag, top.node);
+                    cur_total = state.total(pdag);
+                    cache.clear(); // benefits are stale under the new set
+                } else {
+                    break;
+                }
+            } else {
+                heap.push(HeapEntry {
+                    bound: b,
+                    node: top.node,
+                });
+            }
+        }
+    } else {
+        // Ablation baseline: every remaining candidate probed per round —
+        // one full parallel wave per round, then the sequential selection
+        // rule over the merged benefits.
+        let mut remaining = candidates;
+        loop {
+            let fitting: Vec<(usize, PhysNodeId)> = remaining
+                .iter()
+                .enumerate()
+                .filter(|&(_, &(n, _))| fits(space_used, n))
+                .map(|(i, &(n, _))| (i, n))
+                .collect();
+            let nodes: Vec<PhysNodeId> = fitting.iter().map(|&(_, n)| n).collect();
+            let benefits = wave(&mut stats, &nodes, cur_total);
+            let mut best: Option<(usize, f64)> = None;
+            for (k, &(i, n)) in fitting.iter().enumerate() {
+                let b = score(benefits[k], n);
+                if b > best.map(|(_, bb)| bb).unwrap_or(0.0) {
+                    best = Some((i, b));
+                }
+            }
+            match best {
+                Some((i, b)) if b > EPS => {
+                    let (n, _) = remaining.swap_remove(i);
+                    commit_all(&mut state, &mut stats, n);
+                    space_used += charged_blocks(pdag, n);
+                    cur_total = state.total(pdag);
+                }
+                _ => break,
+            }
+        }
+    }
+
+    finish(ctx, state, stats)
+}
+
+/// Extracts the final plan from the converged state.
+fn finish(ctx: &OptContext<'_>, state: CostState, mut stats: OptStats) -> Optimized {
+    let pdag = &ctx.pdag;
     stats.materialized = state.mat.len();
     let plan = ExtractedPlan::extract(pdag, &state.table, &state.mat);
     let cost = state.total(pdag);
@@ -277,5 +657,128 @@ pub fn greedy(ctx: &OptContext<'_>, opts: GreedyOptions) -> Optimized {
         mat: state.mat,
         cost,
         stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entries(bounds: &[f64]) -> Vec<HeapEntry> {
+        bounds
+            .iter()
+            .enumerate()
+            .map(|(i, &b)| HeapEntry {
+                bound: b,
+                node: PhysNodeId::from_index(i),
+            })
+            .collect()
+    }
+
+    /// Regression for the NaN heap-ordering bug: a NaN-cost candidate
+    /// used to compare Equal to everything (`partial_cmp` fallback),
+    /// violating `Ord`'s contract and corrupting `BinaryHeap` order.
+    /// With `total_cmp`, the order is total: every entry pops exactly
+    /// once, in the `total_cmp`-descending order.
+    #[test]
+    fn heap_order_is_total_with_nan_bounds() {
+        let bounds = [3.0, f64::NAN, 1.0, f64::INFINITY, -2.0, f64::NAN, 0.0, -0.0];
+        let mut heap: BinaryHeap<HeapEntry> = entries(&bounds).into_iter().collect();
+        let mut popped: Vec<(f64, PhysNodeId)> = Vec::new();
+        while let Some(e) = heap.pop() {
+            popped.push((e.bound, e.node));
+        }
+        assert_eq!(popped.len(), bounds.len(), "every candidate pops once");
+        let mut expect: Vec<(f64, PhysNodeId)> = bounds
+            .iter()
+            .enumerate()
+            .map(|(i, &b)| (b, PhysNodeId::from_index(i)))
+            .collect();
+        expect.sort_by(|a, b| b.0.total_cmp(&a.0).then_with(|| b.1.cmp(&a.1)));
+        for (got, want) in popped.iter().zip(&expect) {
+            assert_eq!(got.0.total_cmp(&want.0), Ordering::Equal);
+            assert_eq!(got.1, want.1);
+        }
+    }
+
+    /// Replays the §4.3 pop/probe/reinsert loop (exactly the rules of
+    /// the real loops: NaN bounds are discarded on pop, non-positive
+    /// bounds end the search) with a candidate whose probe yields NaN.
+    /// The loop must terminate and still commit the genuine candidates
+    /// in benefit order — under the old `partial_cmp` ordering the NaN
+    /// entry corrupted the heap; under plain `total_cmp` without the
+    /// discard rule it livelocked (NaN sorts above +inf, and
+    /// `bound <= EPS` is false for NaN, so it re-entered forever).
+    fn drive_heap_loop(initial: &[f64], fresh: &[f64]) -> Vec<PhysNodeId> {
+        let mut heap: BinaryHeap<HeapEntry> = entries(initial).into_iter().collect();
+        let mut committed = Vec::new();
+        let mut pops = 0;
+        while let Some(top) = heap.pop() {
+            pops += 1;
+            assert!(pops < 100, "heap loop failed to terminate");
+            if top.bound.is_nan() {
+                continue;
+            }
+            if top.bound <= EPS {
+                break;
+            }
+            let b = fresh[top.node.index()];
+            let next = heap.peek().map(|e| e.bound).unwrap_or(f64::NEG_INFINITY);
+            if b >= next - 1e-12 {
+                if b > EPS {
+                    committed.push(top.node);
+                } else {
+                    break;
+                }
+            } else {
+                heap.push(HeapEntry {
+                    bound: b,
+                    node: top.node,
+                });
+            }
+        }
+        committed
+    }
+
+    #[test]
+    fn nan_candidate_does_not_derail_the_heap_loop() {
+        // node 0 probes to NaN, node 1 to 5.0, node 2 to 1.0
+        let fresh = [f64::NAN, 5.0, 1.0];
+        let n = |i: usize| PhysNodeId::from_index(i);
+        // NaN arrives as an *initial bound*: discarded on first pop (it
+        // sorts above +inf under total_cmp), the rest proceed normally.
+        assert_eq!(
+            drive_heap_loop(&[f64::NAN, 10.0, 8.0], &fresh),
+            vec![n(1), n(2)]
+        );
+        // NaN arrives via a *probe* of a finite stale bound: the entry
+        // re-enters with a NaN bound and is retired on its next pop.
+        assert_eq!(drive_heap_loop(&[9.0, 10.0, 8.0], &fresh), vec![n(1), n(2)]);
+    }
+
+    /// `PartialEq` must agree with `Ord` — in particular for NaN (where
+    /// `==` on f64 disagrees with `total_cmp`) and for `0.0`/`-0.0`
+    /// (where it disagrees the other way).
+    #[test]
+    fn heap_entry_eq_is_consistent_with_ord() {
+        let nan_a = HeapEntry {
+            bound: f64::NAN,
+            node: PhysNodeId::from_index(0),
+        };
+        let nan_b = HeapEntry {
+            bound: f64::NAN,
+            node: PhysNodeId::from_index(0),
+        };
+        assert_eq!(nan_a, nan_b);
+        let pos = HeapEntry {
+            bound: 0.0,
+            node: PhysNodeId::from_index(0),
+        };
+        let neg = HeapEntry {
+            bound: -0.0,
+            node: PhysNodeId::from_index(0),
+        };
+        assert_ne!(pos, neg);
+        assert_eq!(pos.cmp(&neg), Ordering::Greater);
     }
 }

@@ -112,6 +112,13 @@ pub struct Options {
     pub params: CostParams,
     /// Greedy-specific options (ablation switches of §6.3).
     pub greedy: GreedyOptions,
+    /// Worker threads for parallel work — benefit probing inside the
+    /// search strategies and [`Optimizer::search_all_parallel`]. `1`
+    /// forces the sequential paths; `0` (the default) means *auto*: the
+    /// `MQO_THREADS` environment variable if set, otherwise the
+    /// machine's available parallelism. Search results are identical at
+    /// every thread count.
+    pub threads: usize,
 }
 
 impl Options {
@@ -137,6 +144,15 @@ impl Options {
         self.greedy = greedy;
         self
     }
+
+    /// Sets the worker-thread count (`0` = auto, `1` = sequential) for
+    /// both the session ([`Optimizer::search_all_parallel`]) and the
+    /// greedy probe loops ([`GreedyOptions::threads`]).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self.greedy.threads = threads;
+        self
+    }
 }
 
 /// Counters and sizes recorded during an optimization run (feeds the
@@ -157,8 +173,15 @@ pub struct OptStats {
     pub phys_nodes: usize,
     /// Physical DAG size: ops.
     pub phys_ops: usize,
-    /// Number of sharable equivalence nodes (paper §4.1).
+    /// Number of sharable equivalence nodes (paper §4.1) — the honest
+    /// §4.1 count whether or not the pre-filter is enabled (the
+    /// no-sharability ablation used to report its full candidate pool
+    /// here, mislabeling the stat).
     pub sharable: usize,
+    /// Size of the physical candidate pool the strategy actually probed
+    /// (one entry per physical variant; grows when the sharability
+    /// pre-filter is disabled).
+    pub candidates: usize,
     /// Greedy: number of benefit (re)computations — each triggers one
     /// incremental cost recomputation (paper Figure 10, right).
     pub benefit_recomputations: u64,
@@ -173,6 +196,15 @@ impl OptStats {
     /// Total optimization time: DAG stages plus search.
     pub fn total_time_secs(&self) -> f64 {
         self.dag_time_secs + self.search_time_secs
+    }
+
+    /// Folds the work counters of a parallel worker's stats delta into
+    /// this one. Only the additive counters merge — timings and sizes
+    /// are stamped once by the session, and a probe worker's replica
+    /// bookkeeping must not double-count them.
+    pub fn merge_counters(&mut self, other: &OptStats) {
+        self.benefit_recomputations += other.benefit_recomputations;
+        self.cost_propagations += other.cost_propagations;
     }
 }
 

@@ -75,10 +75,17 @@ impl<'a> Optimizer<'a> {
 
     /// A session with explicit options and the built-in strategies.
     pub fn with_options(catalog: &'a Catalog, options: Options) -> Self {
+        Self::with_registry(catalog, options, Registry::builtin())
+    }
+
+    /// A session over a caller-curated [`Registry`] — e.g. a trimmed set
+    /// for [`Optimizer::search_all_parallel`], where an expensive oracle
+    /// strategy would dominate the batch.
+    pub fn with_registry(catalog: &'a Catalog, options: Options, registry: Registry) -> Self {
         Optimizer {
             catalog,
             options,
-            registry: Registry::builtin(),
+            registry,
         }
     }
 
@@ -163,6 +170,41 @@ impl<'a> Optimizer<'a> {
         result.stats.phys_nodes = ctx.pdag.num_nodes();
         result.stats.phys_ops = ctx.pdag.num_ops();
         result
+    }
+
+    /// Stage 3, fanned out: searches a prepared context with **every**
+    /// registered strategy concurrently, one scoped thread per strategy
+    /// (the [`Strategy`] contract — `Send + Sync`, batch state in the
+    /// shared read-only context — is what makes this safe). Results come
+    /// back in registration order with each strategy's name, exactly as
+    /// the sequential `search` calls would produce them; when
+    /// [`Options::threads`] resolves to `1`, the searches simply run in
+    /// sequence.
+    ///
+    /// Per-strategy search timings measure wall-clock while sharing the
+    /// machine, so they are only comparable *within* a run at low
+    /// contention; prefer sequential `search` calls for timing tables.
+    pub fn search_all_parallel(&self, ctx: &OptContext<'_>) -> Vec<(String, Optimized)> {
+        if mqo_util::resolve_threads(self.options.threads) <= 1 || self.registry.len() <= 1 {
+            return self
+                .registry
+                .iter()
+                .map(|s| (s.name().to_string(), self.search_with(ctx, s.as_ref())))
+                .collect();
+        }
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .registry
+                .iter()
+                .map(|s| {
+                    scope.spawn(move || (s.name().to_string(), self.search_with(ctx, s.as_ref())))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("strategy search panicked"))
+                .collect()
+        })
     }
 
     /// Stage 4: re-derives the executable shared plan for an arbitrary

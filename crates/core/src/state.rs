@@ -95,6 +95,64 @@ impl CostState {
     pub fn recompute_full(&mut self, pdag: &PhysicalDag) {
         self.table = CostTable::compute(pdag, &self.mat);
     }
+
+    /// Total-cost reduction from *removing* each of `nodes` (each probe
+    /// restores the set), sharded across `threads` scoped workers that
+    /// probe replicas cloned from `self`. A probe is a pure function of
+    /// the materialized set and the node, so the gains — and, because
+    /// replicas start from the same state, the merged
+    /// `benefit_recomputations`/`cost_propagations` counters — are
+    /// identical at every thread count. Used by descent passes (e.g. the
+    /// KS15 strategy's pruning step) that repeatedly ask "which member
+    /// is now deadweight?".
+    pub fn removal_gains_parallel(
+        &self,
+        pdag: &PhysicalDag,
+        nodes: &[PhysNodeId],
+        threads: usize,
+        stats: &mut OptStats,
+    ) -> Vec<f64> {
+        let before = self.total(pdag);
+        let probe_shard = |replica: &mut CostState, stats: &mut OptStats, shard: &[PhysNodeId]| {
+            shard
+                .iter()
+                .map(|&n| {
+                    stats.benefit_recomputations += 1;
+                    replica.remove_mat(pdag, n, stats);
+                    let after = replica.total(pdag);
+                    replica.add_mat(pdag, n, stats);
+                    (before - after).secs()
+                })
+                .collect::<Vec<f64>>()
+        };
+        let threads = threads.clamp(1, nodes.len().max(1));
+        if threads <= 1 {
+            let mut replica = self.clone();
+            return probe_shard(&mut replica, stats, nodes);
+        }
+        let shard = nodes.len().div_ceil(threads);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = nodes
+                .chunks(shard)
+                .map(|slice| {
+                    let probe_shard = &probe_shard;
+                    scope.spawn(move || {
+                        let mut replica = self.clone();
+                        let mut local = OptStats::default();
+                        let gains = probe_shard(&mut replica, &mut local, slice);
+                        (gains, local)
+                    })
+                })
+                .collect();
+            let mut out = Vec::with_capacity(nodes.len());
+            for h in handles {
+                let (gains, local) = h.join().expect("removal-gain probe worker panicked");
+                out.extend(gains);
+                stats.merge_counters(&local);
+            }
+            out
+        })
+    }
 }
 
 #[cfg(test)]

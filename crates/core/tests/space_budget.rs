@@ -89,3 +89,44 @@ fn budget_is_respected_and_cost_is_sandwiched() {
         unbudgeted.cost
     );
 }
+
+/// Pin: ranking (`score`) and admission (`fits`) charge the *same*
+/// footprint — whole blocks, at least one per temp. (The current cost
+/// model already floors node sizes at one block, so these are
+/// regression pins for the day it produces fractional footprints: the
+/// old code ranked sub-block nodes as a full block but admitted them at
+/// their raw size.)
+#[test]
+fn budget_exactly_charged_footprint_admits_the_full_set() {
+    let (cat, batch) = setup();
+    let unbudgeted = optimize(&batch, &cat, Algorithm::Greedy, &Options::new());
+    assert!(
+        unbudgeted.stats.materialized > 0,
+        "nothing shared - vacuous"
+    );
+    let opts = Options::new();
+    let ctx = OptContext::build(&batch, &cat, &opts);
+    // the charged footprint: whole blocks, minimum one per temp
+    let charged: f64 = unbudgeted
+        .mat
+        .iter()
+        .map(|m| ctx.pdag.node(m).blocks.max(1.0))
+        .sum();
+    let g = optimize(&batch, &cat, Algorithm::Greedy, &with_budget(Some(charged)));
+    assert_eq!(g.stats.materialized, unbudgeted.stats.materialized);
+    assert!((g.cost.secs() - unbudgeted.cost.secs()).abs() < 1e-9);
+}
+
+#[test]
+fn budget_below_one_block_admits_nothing() {
+    let (cat, batch) = setup();
+    let unbudgeted = optimize(&batch, &cat, Algorithm::Greedy, &Options::new());
+    assert!(
+        unbudgeted.stats.materialized > 0,
+        "nothing shared - vacuous"
+    );
+    // every temp is charged at least one whole block, by ranking AND by
+    // admission - a budget under one block must admit nothing
+    let g = optimize(&batch, &cat, Algorithm::Greedy, &with_budget(Some(0.99)));
+    assert_eq!(g.stats.materialized, 0);
+}

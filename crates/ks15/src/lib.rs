@@ -32,12 +32,12 @@
 //!
 //! Two pieces of MQO-specific housekeeping follow the sweep, in the
 //! spirit of KS15's pruning discussion: a **descent pass** repeatedly
-//! drops any member whose removal lowers the total cost (the double
-//! greedy decides each element once, so late removals can expose earlier
-//! ones as deadweight), and a **Volcano floor** falls back to the empty
-//! set if the chosen set somehow costs more than no sharing at all (the
-//! theoretical guarantee assumes non-negative `f`; real cost models owe
-//! nobody non-negativity).
+//! drops the member whose removal lowers the total cost the most (the
+//! double greedy decides each element once, so late removals can expose
+//! earlier ones as deadweight), and a **Volcano floor** falls back to
+//! the empty set if the chosen set somehow costs more than no sharing at
+//! all (the theoretical guarantee assumes non-negative `f`; real cost
+//! models owe nobody non-negativity).
 //!
 //! Both sides of the sweep reuse the paper's own §4.2 incremental cost
 //! propagation ([`CostState`]), so a probe costs an incremental update,
@@ -45,6 +45,16 @@
 //! title. `benefit_recomputations` and `cost_propagations` are counted
 //! exactly like the built-in greedy's, so Figure-10-style comparisons
 //! hold across the two.
+//!
+//! The descent pass re-probes every member per round, which is exactly
+//! the shape `mqo-core`'s parallel benefit probing accelerates: the
+//! removal gains of one round are independent, so
+//! [`CostState::removal_gains_parallel`] shards them across replicas.
+//! KS15 inherits its thread count through
+//! [`GreedyOptions`](mqo_core::GreedyOptions) (falling back to
+//! [`Options::threads`]); the chosen set is identical at every thread
+//! count — members are probed under one fixed state per round and the
+//! argmax is tie-broken by node id, never by probe timing.
 
 use mqo_core::{CostState, OptContext, OptStats, Optimized, Options, Strategy};
 use mqo_dag::sharable_groups;
@@ -77,15 +87,22 @@ impl Strategy for Ks15Greedy {
         "KS15-Greedy"
     }
 
-    fn search(&self, ctx: &OptContext<'_>, _options: &Options) -> Optimized {
+    fn search(&self, ctx: &OptContext<'_>, options: &Options) -> Optimized {
         let pdag = &ctx.pdag;
         let mut stats = OptStats::default();
+        // Probe-thread count: the greedy-specific setting wins, then the
+        // session-wide one, then auto (MQO_THREADS / machine).
+        let threads = mqo_util::resolve_threads(if options.greedy.threads != 0 {
+            options.greedy.threads
+        } else {
+            options.threads
+        });
 
         // Candidate pool: every physical variant of every sharable,
-        // non-parameterized group (§4.1 pre-filter — KS15 inherits it),
+        // non-parameterized group (`sharable_groups` already excludes
+        // parameterized groups — §4.1 pre-filter, which KS15 inherits),
         // visited in decreasing degree of sharing.
         let mut degrees = sharable_groups(&ctx.dag);
-        degrees.retain(|&(g, _)| !ctx.dag.group(g).has_param);
         degrees.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(Ordering::Equal));
         // `sharable` counts equivalence groups (as the built-in greedy
         // does), keeping the counter comparable across strategies; the
@@ -95,6 +112,7 @@ impl Strategy for Ks15Greedy {
         for &(g, _) in &degrees {
             candidates.extend(pdag.variants(g).iter().copied());
         }
+        stats.candidates = candidates.len();
 
         // X starts empty, Y starts with every candidate materialized.
         let mut x = CostState::new(pdag);
@@ -124,19 +142,27 @@ impl Strategy for Ks15Greedy {
             }
         }
 
-        // Descent pass: drop members whose removal lowers the total.
-        let mut improved = true;
-        while improved {
-            improved = false;
-            for n in x.mat.iter().collect::<Vec<_>>() {
-                stats.benefit_recomputations += 1;
-                let before = x.total(pdag);
-                x.remove_mat(pdag, n, &mut stats);
-                if (before - x.total(pdag)).secs() > EPS {
-                    improved = true;
-                } else {
-                    x.add_mat(pdag, n, &mut stats);
+        // Descent pass: steepest single-removal descent. Each round
+        // probes every member's removal gain in one (parallel) wave under
+        // the current state, then drops the best improving member —
+        // deterministic at every thread count: node-id order fixes both
+        // the wave order and the argmax tie-break.
+        loop {
+            let mut members: Vec<PhysNodeId> = x.mat.iter().collect();
+            if members.is_empty() {
+                break;
+            }
+            members.sort();
+            let gains = x.removal_gains_parallel(pdag, &members, threads, &mut stats);
+            let mut best: Option<(PhysNodeId, f64)> = None;
+            for (k, &n) in members.iter().enumerate() {
+                if gains[k] > EPS && gains[k] > best.map(|(_, g)| g).unwrap_or(EPS) {
+                    best = Some((n, gains[k]));
                 }
+            }
+            match best {
+                Some((n, _)) => x.remove_mat(pdag, n, &mut stats),
+                None => break,
             }
         }
 

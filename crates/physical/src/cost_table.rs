@@ -13,9 +13,18 @@ use mqo_dag::GroupId;
 use mqo_util::{FxHashMap, FxHashSet};
 
 /// The set of materialized physical nodes.
+///
+/// Iteration order is canonical — ascending node id — regardless of the
+/// insert/remove history. This matters beyond aesthetics: [`CostTable::
+/// total`] sums floating-point costs over the set, and a history-
+/// dependent order (the old hash-set iteration) made `bestcost` differ
+/// in the last bit between runs that reached the same set along
+/// different probe paths, breaking exact result reproducibility.
 #[derive(Debug, Clone, Default)]
 pub struct MatSet {
     set: FxHashSet<PhysNodeId>,
+    /// The members in ascending node-id order (the iteration order).
+    sorted: Vec<PhysNodeId>,
     by_group: FxHashMap<GroupId, Vec<PhysNodeId>>,
 }
 
@@ -30,6 +39,8 @@ impl MatSet {
         if !self.set.insert(n) {
             return false;
         }
+        let at = self.sorted.binary_search(&n).unwrap_err();
+        self.sorted.insert(at, n);
         self.by_group.entry(pdag.node(n).group).or_default().push(n);
         true
     }
@@ -39,6 +50,8 @@ impl MatSet {
         if !self.set.remove(&n) {
             return false;
         }
+        let at = self.sorted.binary_search(&n).expect("set and sorted agree");
+        self.sorted.remove(at);
         let g = pdag.node(n).group;
         if let Some(v) = self.by_group.get_mut(&g) {
             v.retain(|&x| x != n);
@@ -64,9 +77,9 @@ impl MatSet {
         self.set.is_empty()
     }
 
-    /// Iterates the materialized nodes (unordered).
+    /// Iterates the materialized nodes in ascending node-id order.
     pub fn iter(&self) -> impl Iterator<Item = PhysNodeId> + '_ {
-        self.set.iter().copied()
+        self.sorted.iter().copied()
     }
 
     /// Materialized variants of a logical group.

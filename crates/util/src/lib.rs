@@ -2,15 +2,18 @@
 //!
 //! Keeps the rest of the workspace dependency-free: a fast FxHash-style
 //! hasher (integer keys dominate our maps), a macro for `u32` id newtypes,
-//! a union-find used by DAG unification, and a compact bitset used for
-//! relation sets.
+//! a union-find used by DAG unification, a compact bitset used for
+//! relation sets, and a scoped worker pool used by the parallel benefit
+//! probing in `mqo-core`.
 
 pub mod bitset;
 pub mod fxhash;
+pub mod pool;
 pub mod union_find;
 
 pub use bitset::BitSet;
 pub use fxhash::{FxHashMap, FxHashSet, FxHasher};
+pub use pool::{available_parallelism, resolve_threads, ScopedWorkerPool};
 pub use union_find::UnionFind;
 
 /// Declares a `u32`-backed id newtype with `index()`/`from(usize)` helpers.

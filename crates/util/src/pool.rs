@@ -1,0 +1,214 @@
+//! A minimal scoped worker pool over `std::thread::scope` (no external
+//! thread-pool dependency — the workspace builds offline).
+//!
+//! The pool is built for *stateful* workers: each worker owns local
+//! mutable state (e.g. a cost-table replica) created once at spawn and
+//! carried across jobs. Jobs are addressed to a specific worker
+//! ([`ScopedWorkerPool::send`]) or broadcast to all
+//! ([`ScopedWorkerPool::broadcast`]); each worker drains its own FIFO
+//! queue, so per-worker job order is preserved — a broadcast state
+//! update sent before a job is always applied before that job runs.
+//!
+//! Because the pool lives inside a [`std::thread::scope`], worker
+//! closures may freely borrow from the enclosing stack frame (the DAG,
+//! the options, …). Workers exit when the pool is dropped (the job
+//! senders close); create the pool inside the scope closure so it is
+//! dropped before the scope joins.
+
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::thread::Scope;
+
+/// `std::thread::available_parallelism()` with a fallback of 1.
+pub fn available_parallelism() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Resolves a requested thread count: a positive request wins; `0` means
+/// *auto* — the `MQO_THREADS` environment variable if set to a positive
+/// integer, otherwise [`available_parallelism`].
+pub fn resolve_threads(requested: usize) -> usize {
+    if requested > 0 {
+        return requested;
+    }
+    if let Ok(s) = std::env::var("MQO_THREADS") {
+        if let Ok(n) = s.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    available_parallelism()
+}
+
+/// A fixed set of scoped worker threads, each running a stateful job
+/// handler. `Job`s flow to workers over per-worker channels; handler
+/// outputs (for jobs that produce one) flow back over a shared channel
+/// read with [`ScopedWorkerPool::recv`].
+pub struct ScopedWorkerPool<Job, Out> {
+    jobs: Vec<Sender<Job>>,
+    out: Receiver<Out>,
+}
+
+impl<Job: Send, Out: Send> ScopedWorkerPool<Job, Out> {
+    /// Spawns `threads` workers (at least one) on `scope`. `make_worker`
+    /// runs on the calling thread once per worker and returns the
+    /// worker's job handler, which owns any worker-local state. A handler
+    /// returning `Some(out)` sends `out` back to the pool owner; `None`
+    /// is a fire-and-forget job (e.g. a state update).
+    pub fn spawn<'scope, F, W>(
+        scope: &'scope Scope<'scope, '_>,
+        threads: usize,
+        mut make_worker: F,
+    ) -> Self
+    where
+        Job: 'scope,
+        Out: 'scope,
+        F: FnMut(usize) -> W,
+        W: FnMut(Job) -> Option<Out> + Send + 'scope,
+    {
+        let (out_tx, out) = channel();
+        let jobs = (0..threads.max(1))
+            .map(|i| {
+                let (tx, rx) = channel::<Job>();
+                let mut worker = make_worker(i);
+                let out_tx = out_tx.clone();
+                scope.spawn(move || {
+                    for job in rx {
+                        if let Some(resp) = worker(job) {
+                            if out_tx.send(resp).is_err() {
+                                return; // pool dropped mid-flight
+                            }
+                        }
+                    }
+                });
+                tx
+            })
+            .collect();
+        ScopedWorkerPool { jobs, out }
+    }
+
+    /// Number of workers.
+    pub fn len(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// Always false: the pool spawns at least one worker.
+    pub fn is_empty(&self) -> bool {
+        self.jobs.is_empty()
+    }
+
+    /// Queues a job on worker `worker` (indices `0..len()`).
+    pub fn send(&self, worker: usize, job: Job) {
+        self.jobs[worker]
+            .send(job)
+            .expect("worker thread exited with jobs pending");
+    }
+
+    /// Queues a copy of `job` on every worker, in worker order.
+    pub fn broadcast(&self, job: Job)
+    where
+        Job: Clone,
+    {
+        for tx in &self.jobs {
+            tx.send(job.clone())
+                .expect("worker thread exited with jobs pending");
+        }
+    }
+
+    /// Receives one handler output, blocking until available. Outputs
+    /// arrive in completion order, not submission order — tag jobs with
+    /// an index if order matters.
+    pub fn recv(&self) -> Out {
+        self.out
+            .recv()
+            .expect("all worker threads exited with results pending")
+    }
+
+    /// Receives exactly `n` outputs (completion order).
+    pub fn collect(&self, n: usize) -> Vec<Out> {
+        (0..n).map(|_| self.recv()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resolve_positive_request_wins() {
+        assert_eq!(resolve_threads(3), 3);
+        assert_eq!(resolve_threads(1), 1);
+    }
+
+    #[test]
+    fn resolve_auto_is_positive() {
+        // 0 resolves to MQO_THREADS or the machine's parallelism — both
+        // positive; exact value depends on the environment.
+        assert!(resolve_threads(0) >= 1);
+    }
+
+    #[test]
+    fn sharded_jobs_return_tagged_results() {
+        let items: Vec<u64> = (0..100).collect();
+        let total: u64 = items.iter().sum();
+        let got: u64 = std::thread::scope(|scope| {
+            let pool: ScopedWorkerPool<(usize, Vec<u64>), u64> =
+                ScopedWorkerPool::spawn(scope, 4, |_| {
+                    |(_, chunk): (usize, Vec<u64>)| Some(chunk.iter().sum())
+                });
+            assert_eq!(pool.len(), 4);
+            let mut sent = 0;
+            for (i, chunk) in items.chunks(25).enumerate() {
+                pool.send(i, (i, chunk.to_vec()));
+                sent += 1;
+            }
+            pool.collect(sent).into_iter().sum()
+        });
+        assert_eq!(got, total);
+    }
+
+    #[test]
+    fn workers_keep_state_and_apply_broadcasts_in_order() {
+        // Each worker accumulates broadcast increments into local state;
+        // a later query job must observe all earlier broadcasts (FIFO per
+        // worker).
+        std::thread::scope(|scope| {
+            let pool: ScopedWorkerPool<Option<u64>, u64> =
+                ScopedWorkerPool::spawn(scope, 3, |_| {
+                    let mut acc = 0u64;
+                    move |job: Option<u64>| match job {
+                        Some(x) => {
+                            acc += x;
+                            None
+                        }
+                        None => Some(acc),
+                    }
+                });
+            pool.broadcast(Some(5));
+            pool.broadcast(Some(7));
+            for w in 0..pool.len() {
+                pool.send(w, None);
+            }
+            let answers = pool.collect(pool.len());
+            assert_eq!(answers, vec![12, 12, 12]);
+        });
+    }
+
+    #[test]
+    fn workers_can_borrow_the_enclosing_frame() {
+        let data = vec![1u64, 2, 3, 4];
+        let sum: u64 = std::thread::scope(|scope| {
+            let pool: ScopedWorkerPool<usize, u64> = ScopedWorkerPool::spawn(scope, 2, |_| {
+                let data = &data;
+                move |i: usize| Some(data[i])
+            });
+            for i in 0..data.len() {
+                pool.send(i % 2, i);
+            }
+            pool.collect(data.len()).into_iter().sum()
+        });
+        assert_eq!(sum, 10);
+    }
+}

@@ -4,9 +4,16 @@
 //! the session through the public `Strategy` registry rather than any
 //! built-in dispatch.
 //!
+//! This example also shows the session's parallel side: a curated
+//! registry (`Optimizer::with_registry`, dropping the slow Exhaustive
+//! oracle) searched by every strategy concurrently over one shared DAG
+//! (`Optimizer::search_all_parallel`), with the greedy probe loops
+//! themselves parallelized under `Options::threads`. Results are
+//! identical at any thread count.
+//!
 //! Run with: `cargo run --release --example batch_reporting`
 
-use mqo::core::Optimizer;
+use mqo::core::{Optimizer, Options, Registry};
 use mqo::ks15::Ks15Greedy;
 use mqo::workloads::Tpcd;
 use std::sync::Arc;
@@ -15,47 +22,54 @@ fn main() {
     let w = Tpcd::new(1.0);
     let batch = w.bq(3); // Q3, Q5, Q7 — each at two selection constants
 
-    // The extension point: KS15 registers like any built-in.
-    let mut optimizer = Optimizer::new(&w.catalog);
-    optimizer.register(Arc::new(Ks15Greedy)).unwrap();
+    // A curated registry: the built-ins minus the Exhaustive oracle
+    // (too slow at this size), plus KS15 through the extension point.
+    let mut registry = Registry::empty();
+    for s in Registry::builtin().iter() {
+        if s.name() != "Exhaustive" {
+            registry.register(Arc::clone(s)).unwrap();
+        }
+    }
+    registry.register(Arc::new(Ks15Greedy)).unwrap();
 
-    // One expanded DAG, searched by every registered strategy.
+    // threads = 0 means auto: MQO_THREADS or the machine's parallelism.
+    let optimizer = Optimizer::with_registry(&w.catalog, Options::new().with_threads(0), registry);
+
+    // One expanded DAG, searched by every registered strategy at once.
     let ctx = optimizer.prepare(&batch);
     println!(
         "batch of {} queries over the TPC-D-like schema (scale 1)",
         batch.len()
     );
     println!(
-        "DAG prepared once in {:.2} ms, shared by {} strategies\n",
+        "DAG prepared once in {:.2} ms, searched concurrently by {} strategies\n",
         ctx.dag_time_secs * 1e3,
         optimizer.registry().len()
     );
+    let results = optimizer.search_all_parallel(&ctx);
+
     println!(
         "{:<12} {:>14} {:>12} {:>8} {:>12}",
         "strategy", "est. cost [s]", "search [ms]", "temps", "vs Volcano"
     );
-    let names: Vec<String> = optimizer
-        .registry()
-        .names()
-        .filter(|&n| n != "Exhaustive") // oracle: too slow at this size
-        .map(String::from)
-        .collect();
-    let mut base = None;
-    for name in &names {
-        let r = optimizer.search(&ctx, name).unwrap();
-        let b = *base.get_or_insert(r.cost.secs());
+    let base = results[0].1.cost.secs(); // registration order: Volcano first
+    for (name, r) in &results {
         println!(
             "{:<12} {:>14.2} {:>12.2} {:>8} {:>11.1}%",
             name,
             r.cost.secs(),
             r.stats.search_time_secs * 1e3,
             r.stats.materialized,
-            100.0 * (1.0 - r.cost.secs() / b)
+            100.0 * (1.0 - r.cost.secs() / base)
         );
     }
 
     // Show what Greedy decided to share (same context — no rebuild).
-    let greedy = optimizer.search(&ctx, "Greedy").unwrap();
+    let greedy = &results
+        .iter()
+        .find(|(name, _)| name == "Greedy")
+        .expect("Greedy is registered")
+        .1;
     println!(
         "\nGreedy materializes {} result(s):",
         greedy.plan.materialized.len()

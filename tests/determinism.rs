@@ -1,0 +1,184 @@
+//! Parallel benefit probing must never change the answer: Greedy and
+//! KS15 return the identical `(cost, mat, plan)` at every thread count,
+//! and the merged `OptStats` work counters of a parallel probe-all run
+//! equal the sequential ones exactly.
+
+use mqo::core::{GreedyOptions, Optimized, Optimizer, Options, Registry};
+use mqo::ks15::Ks15Greedy;
+use mqo::physical::ChosenOp;
+use mqo::workloads::{Scaleup, Tpcd};
+use std::sync::Arc;
+
+/// Everything observable about a search result, in comparable form:
+/// exact cost bits, the sorted materialized set, and the full extracted
+/// plan (choices sorted by node, query roots, topo-ordered temps).
+#[derive(Debug, PartialEq)]
+struct Fingerprint {
+    cost_bits: u64,
+    mat: Vec<usize>,
+    choices: Vec<(usize, ChosenOp)>,
+    query_roots: Vec<usize>,
+    plan_temps: Vec<usize>,
+}
+
+fn fingerprint(r: &Optimized) -> Fingerprint {
+    let mut mat: Vec<usize> = r.mat.iter().map(|n| n.index()).collect();
+    mat.sort_unstable();
+    let mut choices: Vec<(usize, ChosenOp)> = r
+        .plan
+        .choices
+        .iter()
+        .map(|(n, &c)| (n.index(), c))
+        .collect();
+    choices.sort_unstable_by_key(|&(n, _)| n);
+    Fingerprint {
+        cost_bits: r.cost.secs().to_bits(),
+        mat,
+        choices,
+        query_roots: r.plan.query_roots.iter().map(|n| n.index()).collect(),
+        plan_temps: r.plan.materialized.iter().map(|n| n.index()).collect(),
+    }
+}
+
+fn search_at(
+    catalog: &mqo::catalog::Catalog,
+    batch: &mqo::logical::Batch,
+    strategy: &str,
+    options: Options,
+) -> Optimized {
+    let mut optimizer = Optimizer::with_options(catalog, options);
+    optimizer.register(Arc::new(Ks15Greedy)).unwrap();
+    let ctx = optimizer.prepare(batch);
+    optimizer.search(&ctx, strategy).unwrap()
+}
+
+/// Greedy and KS15 must return the identical plan, cost and materialized
+/// set for threads ∈ {1, 2, 8} on both the scale-up (CQ) and TPCD-like
+/// workloads.
+#[test]
+fn greedy_and_ks15_identical_across_thread_counts() {
+    let scaleup = Scaleup::new(2_000);
+    let tpcd = Tpcd::new(1.0);
+    let batches = [
+        ("CQ2", &scaleup.catalog, scaleup.cq(2)),
+        ("BQ2", &tpcd.catalog, tpcd.bq(2)),
+    ];
+    for (name, catalog, batch) in &batches {
+        for strategy in ["Greedy", "KS15-Greedy"] {
+            let reference = fingerprint(&search_at(
+                catalog,
+                batch,
+                strategy,
+                Options::new().with_threads(1),
+            ));
+            for threads in [2usize, 8] {
+                let got = fingerprint(&search_at(
+                    catalog,
+                    batch,
+                    strategy,
+                    Options::new().with_threads(threads),
+                ));
+                assert_eq!(
+                    got, reference,
+                    "{strategy} diverged on {name} at {threads} threads"
+                );
+            }
+        }
+    }
+}
+
+/// The monotonicity ablation probes every remaining candidate per round,
+/// so the parallel wave does *exactly* the sequential probes: the merged
+/// worker counters must equal the sequential run's, not just correlate.
+#[test]
+fn parallel_probe_all_counters_equal_sequential() {
+    let w = Scaleup::new(2_000);
+    let batch = w.cq(2);
+    let opts = |threads: usize| {
+        Options::new()
+            .with_greedy(GreedyOptions::new().with_monotonicity(false))
+            .with_threads(threads)
+    };
+    let seq = search_at(&w.catalog, &batch, "Greedy", opts(1));
+    for threads in [2usize, 4] {
+        let par = search_at(&w.catalog, &batch, "Greedy", opts(threads));
+        assert_eq!(
+            par.stats.benefit_recomputations, seq.stats.benefit_recomputations,
+            "benefit probes lost or duplicated at {threads} threads"
+        );
+        assert_eq!(
+            par.stats.cost_propagations, seq.stats.cost_propagations,
+            "cost propagations diverged at {threads} threads"
+        );
+        assert_eq!(par.stats.materialized, seq.stats.materialized);
+        assert_eq!(par.stats.sharable, seq.stats.sharable);
+        assert_eq!(par.stats.candidates, seq.stats.candidates);
+        assert_eq!(fingerprint(&par), fingerprint(&seq));
+    }
+}
+
+/// KS15's descent-pass probes are sharded over replicas of one fixed
+/// state per round, so its counters are thread-count-invariant too.
+#[test]
+fn ks15_counters_equal_across_thread_counts() {
+    let w = Scaleup::new(2_000);
+    let batch = w.cq(2);
+    let seq = search_at(
+        &w.catalog,
+        &batch,
+        "KS15-Greedy",
+        Options::new().with_threads(1),
+    );
+    let par = search_at(
+        &w.catalog,
+        &batch,
+        "KS15-Greedy",
+        Options::new().with_threads(4),
+    );
+    assert_eq!(
+        par.stats.benefit_recomputations,
+        seq.stats.benefit_recomputations
+    );
+    assert_eq!(par.stats.cost_propagations, seq.stats.cost_propagations);
+}
+
+/// `search_all_parallel` returns what per-strategy `search` calls would,
+/// in registration order — concurrency must not reorder or alter results.
+#[test]
+fn search_all_parallel_matches_sequential_searches() {
+    let w = Scaleup::new(2_000);
+    let batch = w.cq(2);
+    // Curated registry (the `with_registry` constructor): skip the
+    // Exhaustive oracle, add KS15 through the public extension point.
+    let mut registry = Registry::empty();
+    for s in Registry::builtin().iter() {
+        if s.name() != "Exhaustive" {
+            registry.register(Arc::clone(s)).unwrap();
+        }
+    }
+    registry.register(Arc::new(Ks15Greedy)).unwrap();
+    let optimizer = Optimizer::with_registry(&w.catalog, Options::new().with_threads(4), registry);
+    let ctx = optimizer.prepare(&batch);
+
+    let parallel = optimizer.search_all_parallel(&ctx);
+    let names: Vec<&str> = parallel.iter().map(|(n, _)| n.as_str()).collect();
+    assert_eq!(
+        names,
+        [
+            "Volcano",
+            "Volcano-SH",
+            "Volcano-RU",
+            "Greedy",
+            "KS15-Greedy"
+        ],
+        "results must arrive in registration order"
+    );
+    for (name, result) in &parallel {
+        let solo = optimizer.search(&ctx, name).unwrap();
+        assert_eq!(
+            fingerprint(result),
+            fingerprint(&solo),
+            "{name} diverged under concurrent search"
+        );
+    }
+}
