@@ -1,9 +1,13 @@
 //! Criterion micro-benchmarks for the execution engine: shared vs
-//! unshared execution (the Figure 7 mechanism) and core operators.
+//! unshared execution (the Figure 7 mechanism), the vectorized vs
+//! row-at-a-time operator paths (`vec_exec`), the `MQO_BATCH_ROWS`
+//! knob, and the borrow-based `eval_pred` hot path.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use mqo_core::{optimize, Algorithm, OptContext, Options};
-use mqo_exec::{execute_plan, generate_database};
+use mqo_exec::ops::{self, Params};
+use mqo_exec::{execute_plan, execute_plan_with, generate_database, ExecMode, ExecOptions};
+use mqo_expr::{Atom, CmpOp, Predicate, Value};
 use mqo_util::FxHashMap;
 use mqo_workloads::Tpcd;
 use std::hint::black_box;
@@ -33,5 +37,98 @@ fn bench_shared_vs_unshared(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_shared_vs_unshared);
+/// Row path vs vectorized path on the TPC-D-derived executions at the
+/// default datagen scale — the headline number for the batched engine.
+fn bench_vec_exec(c: &mut Criterion) {
+    let w = Tpcd::new(0.004);
+    let opts = Options::new();
+    let db = generate_database(&w.catalog, 42, usize::MAX);
+    let params = FxHashMap::default();
+    let mut group = c.benchmark_group("vec_exec");
+    group.sample_size(10);
+    for (name, batch) in [("Q11", w.q11()), ("Q15", w.q15()), ("BQ2", w.bq(2))] {
+        let greedy = optimize(&batch, &w.catalog, Algorithm::Greedy, &opts);
+        let ctx = OptContext::build(&batch, &w.catalog, &opts);
+        for (mode_name, mode) in [("row", ExecMode::Row), ("vec", ExecMode::Vectorized)] {
+            group.bench_function(format!("{name}/{mode_name}"), |b| {
+                b.iter(|| {
+                    black_box(
+                        execute_plan_with(
+                            &w.catalog,
+                            &ctx.pdag,
+                            &greedy.plan,
+                            &db,
+                            &params,
+                            ExecOptions {
+                                mode,
+                                batch_rows: 1024,
+                            },
+                        )
+                        .rows_out,
+                    )
+                });
+            });
+        }
+    }
+    // the MQO_BATCH_ROWS knob, swept on one representative execution
+    let batch = w.q15();
+    let greedy = optimize(&batch, &w.catalog, Algorithm::Greedy, &opts);
+    let ctx = OptContext::build(&batch, &w.catalog, &opts);
+    for batch_rows in [1usize, 64, 1024, 8192] {
+        group.bench_function(format!("Q15/vec_batch{batch_rows}"), |b| {
+            b.iter(|| {
+                black_box(
+                    execute_plan_with(
+                        &w.catalog,
+                        &ctx.pdag,
+                        &greedy.plan,
+                        &db,
+                        &params,
+                        ExecOptions {
+                            mode: ExecMode::Vectorized,
+                            batch_rows,
+                        },
+                    )
+                    .rows_out,
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Pin for the borrow-based legacy `eval_pred`: a string equality atom
+/// used to heap-clone the cell per row per atom; resolution now borrows.
+fn bench_eval_pred_row(c: &mut Criterion) {
+    use mqo_catalog::ColId;
+    let schema = vec![ColId(0), ColId(1)];
+    let rows: Vec<Vec<Value>> = (0..1024)
+        .map(|i| vec![Value::str(&format!("name_{:06}", i % 8)), Value::Int(i)])
+        .collect();
+    let pred = Predicate::all(vec![
+        Atom::cmp(ColId(0), CmpOp::Eq, Value::str("name_000003")),
+        Atom::cmp(ColId(1), CmpOp::Ge, 10i64),
+    ]);
+    let params = Params::default();
+    let mut group = c.benchmark_group("eval_pred_row");
+    group.bench_function("str_eq_and_int_range/1024rows", |b| {
+        b.iter(|| {
+            let mut hits = 0usize;
+            for r in &rows {
+                if ops::eval_pred(&pred, &schema, r, &params) {
+                    hits += 1;
+                }
+            }
+            black_box(hits)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_shared_vs_unshared,
+    bench_vec_exec,
+    bench_eval_pred_row
+);
 criterion_main!(benches);

@@ -1,0 +1,545 @@
+//! Typed columnar storage.
+//!
+//! A [`Column`] stores one table column as a contiguous typed vector
+//! (`i64` / `f64` / `Arc<str>`) plus a packed null bitmap, so the
+//! vectorized operators can run comparisons over primitive slices with
+//! zero per-row [`Value`] clones. Columns built from rows with mixed
+//! value types (hand-written tests, rather than generated data) fall
+//! back to a `Vec<Value>` representation with identical semantics.
+//!
+//! All comparison helpers replicate the scalar semantics of
+//! [`Value::sort_cmp`] (total order: Null first, numerics through `f64`,
+//! then strings) and [`Value::cmp_maybe`] (SQL predicate order: `None`
+//! on Null or type mismatch) *exactly*, so the row-at-a-time and the
+//! batched execution paths produce bit-identical results.
+
+use mqo_expr::{CmpOp, Value};
+use std::cmp::Ordering;
+use std::sync::Arc;
+
+/// Packed null bitmap. Empty means "no nulls"; the word vector only
+/// grows up to the highest set bit, and bits past it read as not-null.
+#[derive(Debug, Clone, Default)]
+pub struct NullMask {
+    words: Vec<u64>,
+}
+
+impl NullMask {
+    /// True if row `i` is null.
+    #[inline]
+    pub fn is_null(&self, i: usize) -> bool {
+        self.words
+            .get(i >> 6)
+            .is_some_and(|w| (w >> (i & 63)) & 1 == 1)
+    }
+
+    /// Marks row `i` null.
+    pub fn set(&mut self, i: usize) {
+        let w = i >> 6;
+        if self.words.len() <= w {
+            self.words.resize(w + 1, 0);
+        }
+        self.words[w] |= 1 << (i & 63);
+    }
+
+    /// True if any row is null.
+    #[inline]
+    pub fn any(&self) -> bool {
+        self.words.iter().any(|&w| w != 0)
+    }
+}
+
+/// The typed payload of a [`Column`]. Null slots hold a placeholder
+/// (`0`, `0.0`, `""`) and are tracked by the column's [`NullMask`];
+/// the `Val` fallback stores `Value::Null` inline instead.
+#[derive(Debug, Clone)]
+pub enum ColumnData {
+    /// 64-bit integers.
+    Int(Vec<i64>),
+    /// 64-bit floats.
+    Float(Vec<f64>),
+    /// Shared immutable strings.
+    Str(Vec<Arc<str>>),
+    /// Mixed-type fallback: exact `Value`s, nulls inline.
+    Val(Vec<Value>),
+}
+
+/// A borrowed view of one cell — the zero-clone analogue of [`Value`]
+/// used by comparison kernels (no `Arc` refcount traffic for strings).
+#[derive(Debug, Clone, Copy)]
+pub enum Cell<'a> {
+    /// SQL NULL.
+    Null,
+    /// Integer cell.
+    Int(i64),
+    /// Float cell.
+    Float(f64),
+    /// String cell.
+    Str(&'a str),
+}
+
+impl<'a> Cell<'a> {
+    /// Borrowed view of a `Value`.
+    pub fn of(v: &'a Value) -> Self {
+        match v {
+            Value::Int(i) => Cell::Int(*i),
+            Value::Float(f) => Cell::Float(*f),
+            Value::Str(s) => Cell::Str(s),
+            Value::Null => Cell::Null,
+        }
+    }
+
+    /// Owning `Value` for this cell.
+    pub fn to_value(self) -> Value {
+        match self {
+            Cell::Null => Value::Null,
+            Cell::Int(i) => Value::Int(i),
+            Cell::Float(f) => Value::Float(f),
+            Cell::Str(s) => Value::str(s),
+        }
+    }
+
+    /// Numeric view, mirroring [`Value::as_f64`].
+    #[inline]
+    fn as_f64(self) -> Option<f64> {
+        match self {
+            Cell::Int(i) => Some(i as f64),
+            Cell::Float(f) => Some(f),
+            _ => None,
+        }
+    }
+
+    /// Total comparison, bit-identical to [`Value::sort_cmp`] (numerics
+    /// compare through `f64`, exactly as the scalar path does).
+    pub fn sort_cmp(self, other: Cell<'_>) -> Ordering {
+        use Cell::*;
+        match (self, other) {
+            (Null, Null) => Ordering::Equal,
+            (Null, _) => Ordering::Less,
+            (_, Null) => Ordering::Greater,
+            (Str(a), Str(b)) => a.cmp(b),
+            (Str(_), _) => Ordering::Greater,
+            (_, Str(_)) => Ordering::Less,
+            (a, b) => {
+                let (x, y) = (a.as_f64().unwrap(), b.as_f64().unwrap());
+                x.partial_cmp(&y).unwrap_or(Ordering::Equal)
+            }
+        }
+    }
+
+    /// Predicate comparison, bit-identical to [`Value::cmp_maybe`].
+    pub fn cmp_maybe(self, other: Cell<'_>) -> Option<Ordering> {
+        use Cell::*;
+        match (self, other) {
+            (Null, _) | (_, Null) => None,
+            (Str(a), Str(b)) => Some(a.cmp(b)),
+            (Str(_), _) | (_, Str(_)) => None,
+            (a, b) => a.as_f64().unwrap().partial_cmp(&b.as_f64().unwrap()),
+        }
+    }
+}
+
+/// One table column: typed data plus null bitmap.
+#[derive(Debug, Clone)]
+pub struct Column {
+    data: ColumnData,
+    nulls: NullMask,
+}
+
+impl Column {
+    /// Builds a column from exact values (type inferred; mixed types
+    /// fall back to the `Val` representation).
+    pub fn from_values(values: impl IntoIterator<Item = Value>) -> Column {
+        let mut b = ColumnBuilder::new();
+        for v in values {
+            b.push(v);
+        }
+        b.finish()
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn len(&self) -> usize {
+        match &self.data {
+            ColumnData::Int(d) => d.len(),
+            ColumnData::Float(d) => d.len(),
+            ColumnData::Str(d) => d.len(),
+            ColumnData::Val(d) => d.len(),
+        }
+    }
+
+    /// True if the column has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The typed payload.
+    pub fn data(&self) -> &ColumnData {
+        &self.data
+    }
+
+    /// True if row `i` is null.
+    #[inline]
+    pub fn is_null(&self, i: usize) -> bool {
+        match &self.data {
+            ColumnData::Val(d) => matches!(d[i], Value::Null),
+            _ => self.nulls.is_null(i),
+        }
+    }
+
+    /// True if any row is null.
+    pub fn has_nulls(&self) -> bool {
+        match &self.data {
+            ColumnData::Val(d) => d.iter().any(|v| matches!(v, Value::Null)),
+            _ => self.nulls.any(),
+        }
+    }
+
+    /// Borrowed view of row `i` (no clones).
+    #[inline]
+    pub fn cell(&self, i: usize) -> Cell<'_> {
+        match &self.data {
+            ColumnData::Val(d) => Cell::of(&d[i]),
+            _ if self.nulls.is_null(i) => Cell::Null,
+            ColumnData::Int(d) => Cell::Int(d[i]),
+            ColumnData::Float(d) => Cell::Float(d[i]),
+            ColumnData::Str(d) => Cell::Str(&d[i]),
+        }
+    }
+
+    /// Owning value of row `i` (an `Arc` refcount bump for strings).
+    pub fn get(&self, i: usize) -> Value {
+        match &self.data {
+            ColumnData::Val(d) => d[i].clone(),
+            _ if self.nulls.is_null(i) => Value::Null,
+            ColumnData::Int(d) => Value::Int(d[i]),
+            ColumnData::Float(d) => Value::Float(d[i]),
+            ColumnData::Str(d) => Value::Str(Arc::clone(&d[i])),
+        }
+    }
+
+    /// Total comparison of rows `i` and `j` of this column.
+    #[inline]
+    pub fn sort_cmp_rows(&self, i: usize, j: usize) -> Ordering {
+        match &self.data {
+            ColumnData::Int(d) if !self.nulls.any() => {
+                (d[i] as f64).partial_cmp(&(d[j] as f64)).unwrap()
+            }
+            ColumnData::Str(d) if !self.nulls.any() => d[i].cmp(&d[j]),
+            _ => self.cell(i).sort_cmp(self.cell(j)),
+        }
+    }
+
+    /// Total comparison of `self[i]` against `other[j]`.
+    #[inline]
+    pub fn sort_cmp_cells(&self, i: usize, other: &Column, j: usize) -> Ordering {
+        self.cell(i).sort_cmp(other.cell(j))
+    }
+
+    /// Total comparison of row `i` against a scalar.
+    #[inline]
+    pub fn sort_cmp_value(&self, i: usize, v: &Value) -> Ordering {
+        self.cell(i).sort_cmp(Cell::of(v))
+    }
+
+    /// Predicate comparison of row `i` against a scalar.
+    #[inline]
+    pub fn cmp_maybe_value(&self, i: usize, v: &Value) -> Option<Ordering> {
+        self.cell(i).cmp_maybe(Cell::of(v))
+    }
+
+    /// Retains in `sel` only the rows where `self[i] op v` holds under
+    /// SQL predicate semantics (Null never matches). The hot typed
+    /// combinations run as tight loops over primitive slices.
+    pub fn refine_cmp_value(&self, op: CmpOp, v: &Value, sel: &mut Vec<u32>) {
+        let nulls = self.nulls.any();
+        match (&self.data, v) {
+            (_, Value::Null) => sel.clear(),
+            (ColumnData::Int(d), _) if v.as_f64().is_some() => {
+                let y = v.as_f64().unwrap();
+                sel.retain(|&i| {
+                    let i = i as usize;
+                    !(nulls && self.nulls.is_null(i))
+                        && (d[i] as f64).partial_cmp(&y).is_some_and(|o| op.matches(o))
+                });
+            }
+            (ColumnData::Float(d), _) if v.as_f64().is_some() => {
+                let y = v.as_f64().unwrap();
+                sel.retain(|&i| {
+                    let i = i as usize;
+                    !(nulls && self.nulls.is_null(i))
+                        && d[i].partial_cmp(&y).is_some_and(|o| op.matches(o))
+                });
+            }
+            (ColumnData::Str(d), Value::Str(s)) => {
+                let s: &str = s;
+                sel.retain(|&i| {
+                    let i = i as usize;
+                    !(nulls && self.nulls.is_null(i)) && op.matches(d[i].as_ref().cmp(s))
+                });
+            }
+            (ColumnData::Val(d), _) => {
+                let rhs = Cell::of(v);
+                sel.retain(|&i| {
+                    Cell::of(&d[i as usize])
+                        .cmp_maybe(rhs)
+                        .is_some_and(|o| op.matches(o))
+                });
+            }
+            // type mismatch (Str column vs numeric constant or vice
+            // versa): cmp_maybe is None on every row
+            _ => sel.clear(),
+        }
+    }
+
+    /// Retains in `sel` only the rows where `self[i] op other[i]` holds
+    /// (both columns indexed by the same selection — a same-table
+    /// column-column predicate).
+    pub fn refine_cmp_col(&self, op: CmpOp, other: &Column, sel: &mut Vec<u32>) {
+        match (&self.data, &other.data) {
+            (ColumnData::Int(a), ColumnData::Int(b)) if !self.nulls.any() && !other.nulls.any() => {
+                sel.retain(|&i| {
+                    let i = i as usize;
+                    (a[i] as f64)
+                        .partial_cmp(&(b[i] as f64))
+                        .is_some_and(|o| op.matches(o))
+                });
+            }
+            _ => sel.retain(|&i| {
+                let i = i as usize;
+                self.cell(i)
+                    .cmp_maybe(other.cell(i))
+                    .is_some_and(|o| op.matches(o))
+            }),
+        }
+    }
+
+    /// New column with the rows of `idx`, in order.
+    pub fn gather(&self, idx: &[u32]) -> Column {
+        let mut nulls = NullMask::default();
+        if self.nulls.any() {
+            for (k, &i) in idx.iter().enumerate() {
+                if self.nulls.is_null(i as usize) {
+                    nulls.set(k);
+                }
+            }
+        }
+        let data = match &self.data {
+            ColumnData::Int(d) => ColumnData::Int(idx.iter().map(|&i| d[i as usize]).collect()),
+            ColumnData::Float(d) => ColumnData::Float(idx.iter().map(|&i| d[i as usize]).collect()),
+            ColumnData::Str(d) => {
+                ColumnData::Str(idx.iter().map(|&i| Arc::clone(&d[i as usize])).collect())
+            }
+            ColumnData::Val(d) => {
+                ColumnData::Val(idx.iter().map(|&i| d[i as usize].clone()).collect())
+            }
+        };
+        Column { data, nulls }
+    }
+}
+
+/// Incremental [`Column`] constructor with type inference: the first
+/// non-null value decides the typed representation; a later value of a
+/// different type degrades the whole column to the `Val` fallback.
+#[derive(Debug)]
+pub enum ColumnBuilder {
+    /// Nothing but nulls seen so far.
+    Pending {
+        /// Number of leading nulls.
+        nulls: usize,
+    },
+    /// Committed to a typed (or fallback) representation.
+    Building(Column),
+}
+
+impl Default for ColumnBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ColumnBuilder {
+    /// An empty builder.
+    pub fn new() -> Self {
+        ColumnBuilder::Pending { nulls: 0 }
+    }
+
+    /// Rows pushed so far.
+    pub fn len(&self) -> usize {
+        match self {
+            ColumnBuilder::Pending { nulls } => *nulls,
+            ColumnBuilder::Building(c) => c.len(),
+        }
+    }
+
+    /// True if nothing has been pushed.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn start(nulls: usize, data: ColumnData) -> Column {
+        let mut mask = NullMask::default();
+        for i in 0..nulls {
+            mask.set(i);
+        }
+        let mut col = Column { data, nulls: mask };
+        match &mut col.data {
+            ColumnData::Int(d) => d.resize(nulls, 0),
+            ColumnData::Float(d) => d.resize(nulls, 0.0),
+            ColumnData::Str(d) => d.resize(nulls, Arc::from("")),
+            ColumnData::Val(d) => d.resize(nulls, Value::Null),
+        }
+        col
+    }
+
+    /// Degrades the in-progress column to the `Val` representation.
+    fn degrade(col: &mut Column) {
+        let vals: Vec<Value> = (0..col.len()).map(|i| col.get(i)).collect();
+        col.data = ColumnData::Val(vals);
+        col.nulls = NullMask::default();
+    }
+
+    /// Appends one value.
+    pub fn push(&mut self, v: Value) {
+        match self {
+            ColumnBuilder::Pending { nulls } => match v {
+                Value::Null => *nulls += 1,
+                Value::Int(x) => {
+                    let mut c = Self::start(*nulls, ColumnData::Int(Vec::new()));
+                    if let ColumnData::Int(d) = &mut c.data {
+                        d.push(x);
+                    }
+                    *self = ColumnBuilder::Building(c);
+                }
+                Value::Float(x) => {
+                    let mut c = Self::start(*nulls, ColumnData::Float(Vec::new()));
+                    if let ColumnData::Float(d) = &mut c.data {
+                        d.push(x);
+                    }
+                    *self = ColumnBuilder::Building(c);
+                }
+                Value::Str(s) => {
+                    let mut c = Self::start(*nulls, ColumnData::Str(Vec::new()));
+                    if let ColumnData::Str(d) = &mut c.data {
+                        d.push(s);
+                    }
+                    *self = ColumnBuilder::Building(c);
+                }
+            },
+            ColumnBuilder::Building(c) => {
+                let at = c.len();
+                match (&mut c.data, v) {
+                    (ColumnData::Int(d), Value::Int(x)) => d.push(x),
+                    (ColumnData::Float(d), Value::Float(x)) => d.push(x),
+                    (ColumnData::Str(d), Value::Str(s)) => d.push(s),
+                    (ColumnData::Int(d), Value::Null) => {
+                        d.push(0);
+                        c.nulls.set(at);
+                    }
+                    (ColumnData::Float(d), Value::Null) => {
+                        d.push(0.0);
+                        c.nulls.set(at);
+                    }
+                    (ColumnData::Str(d), Value::Null) => {
+                        d.push(Arc::from(""));
+                        c.nulls.set(at);
+                    }
+                    (ColumnData::Val(d), v) => d.push(v),
+                    (_, v) => {
+                        Self::degrade(c);
+                        if let ColumnData::Val(d) = &mut c.data {
+                            d.push(v);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Finishes the column. An all-null (or empty) builder yields an
+    /// `Int` column with every row null — indistinguishable from any
+    /// other representation at the `Value` level.
+    pub fn finish(self) -> Column {
+        match self {
+            ColumnBuilder::Pending { nulls } => Self::start(nulls, ColumnData::Int(Vec::new())),
+            ColumnBuilder::Building(c) => c,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn typed_roundtrip_preserves_exact_values() {
+        let vals = vec![Value::Int(3), Value::Null, Value::Int(-7)];
+        let c = Column::from_values(vals.clone());
+        assert!(matches!(c.data(), ColumnData::Int(_)));
+        for (i, v) in vals.iter().enumerate() {
+            // strict variant equality, not just Value::eq
+            assert_eq!(format!("{:?}", c.get(i)), format!("{v:?}"));
+        }
+    }
+
+    #[test]
+    fn mixed_types_degrade_to_val() {
+        let vals = vec![Value::Int(1), Value::str("x"), Value::Null];
+        let c = Column::from_values(vals.clone());
+        assert!(matches!(c.data(), ColumnData::Val(_)));
+        for (i, v) in vals.iter().enumerate() {
+            assert_eq!(format!("{:?}", c.get(i)), format!("{v:?}"));
+        }
+    }
+
+    #[test]
+    fn leading_nulls_then_type() {
+        let c = Column::from_values(vec![Value::Null, Value::Null, Value::str("a")]);
+        assert!(c.is_null(0) && c.is_null(1) && !c.is_null(2));
+        assert_eq!(c.get(2), Value::str("a"));
+    }
+
+    #[test]
+    fn comparisons_match_value_semantics() {
+        let vals = [
+            Value::Null,
+            Value::Int(5),
+            Value::Float(5.0),
+            Value::Float(7.5),
+            Value::str("a"),
+        ];
+        let c = Column::from_values(vals.iter().cloned());
+        for (i, a) in vals.iter().enumerate() {
+            for b in &vals {
+                assert_eq!(c.sort_cmp_value(i, b), a.sort_cmp(b), "{a} vs {b}");
+                assert_eq!(c.cmp_maybe_value(i, b), a.cmp_maybe(b), "{a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn refine_cmp_value_filters_with_null_semantics() {
+        let c = Column::from_values(vec![
+            Value::Int(1),
+            Value::Null,
+            Value::Int(5),
+            Value::Int(9),
+        ]);
+        let mut sel: Vec<u32> = (0..4).collect();
+        c.refine_cmp_value(CmpOp::Ge, &Value::Int(5), &mut sel);
+        assert_eq!(sel, vec![2, 3]);
+        // Ne never matches Null either
+        let mut sel: Vec<u32> = (0..4).collect();
+        c.refine_cmp_value(CmpOp::Ne, &Value::Int(5), &mut sel);
+        assert_eq!(sel, vec![0, 3]);
+    }
+
+    #[test]
+    fn gather_carries_nulls() {
+        let c = Column::from_values(vec![Value::Int(1), Value::Null, Value::Int(3)]);
+        let g = c.gather(&[2, 1, 1, 0]);
+        assert_eq!(g.get(0), Value::Int(3));
+        assert!(g.is_null(1) && g.is_null(2));
+        assert_eq!(g.get(3), Value::Int(1));
+    }
+}

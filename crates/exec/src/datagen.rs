@@ -1,11 +1,15 @@
 //! Catalog-driven synthetic data generation.
 //!
-//! Generates rows whose distributions match the catalog statistics the
+//! Generates tables whose distributions match the catalog statistics the
 //! optimizer planned against: key columns are dense `0..n` sequences,
 //! uniform columns draw from `[min, max]`, and string columns draw from a
-//! pool of `distinct` values. Deterministic per seed.
+//! pool of `distinct` values. Deterministic per seed. Values are pushed
+//! straight into typed column builders — no per-row `Vec<Value>` is ever
+//! allocated — while keeping the legacy row-major RNG order, so the data
+//! is bit-identical to what the row-based generator produced.
 
-use crate::table::{Database, Row, Table};
+use crate::column::ColumnBuilder;
+use crate::table::{Database, Table};
 use mqo_catalog::{Catalog, ColType, Column};
 use mqo_expr::Value;
 use rand::rngs::StdRng;
@@ -22,15 +26,17 @@ pub fn generate_database(catalog: &Catalog, seed: u64, row_cap: usize) -> Databa
         let mut rng = StdRng::seed_from_u64(seed ^ (t.id.index() as u64).wrapping_mul(0x9e37_79b9));
         let n = (t.cardinality as usize).min(row_cap).max(1);
         let cols: Vec<&Column> = t.columns.iter().map(|&c| catalog.column(c)).collect();
-        let mut rows: Vec<Row> = Vec::with_capacity(n);
+        let mut builders: Vec<ColumnBuilder> =
+            (0..cols.len()).map(|_| ColumnBuilder::new()).collect();
         for i in 0..n {
-            let mut row = Row::with_capacity(cols.len());
-            for col in &cols {
-                row.push(gen_value(col, i, n, &mut rng));
+            for (b, col) in builders.iter_mut().zip(&cols) {
+                b.push(gen_value(col, i, n, &mut rng));
             }
-            rows.push(row);
         }
-        let table = Table::new(t.columns.clone(), rows);
+        let table = Table::from_columns(
+            t.columns.clone(),
+            builders.into_iter().map(ColumnBuilder::finish).collect(),
+        );
         db.insert(catalog, t.id, table);
     }
     db
@@ -98,8 +104,8 @@ mod tests {
         assert_eq!(t.sorted_on, vec![cat.col("t", "k")]);
         // key column is a dense 0..n sequence
         let kp = t.col_pos(cat.col("t", "k"));
-        for (i, r) in t.rows.iter().enumerate() {
-            assert_eq!(r[kp], Value::Int(i as i64));
+        for i in 0..t.len() {
+            assert_eq!(t.col(kp).get(i), Value::Int(i as i64));
         }
     }
 
@@ -109,8 +115,8 @@ mod tests {
         let db = generate_database(&cat, 7, usize::MAX);
         let t = db.table(cat.table_by_name("t").unwrap().id);
         let up = t.col_pos(cat.col("t", "u"));
-        for r in &t.rows {
-            let v = r[up].as_i64().unwrap();
+        for i in 0..t.len() {
+            let v = t.col(up).get(i).as_i64().unwrap();
             assert!((5..=14).contains(&v));
         }
     }
@@ -121,8 +127,9 @@ mod tests {
         let db = generate_database(&cat, 7, usize::MAX);
         let t = db.table(cat.table_by_name("t").unwrap().id);
         let np = t.col_pos(cat.col("t", "name"));
-        let distinct: std::collections::HashSet<String> =
-            t.rows.iter().map(|r| format!("{}", r[np])).collect();
+        let distinct: std::collections::HashSet<String> = (0..t.len())
+            .map(|i| format!("{}", t.col(np).get(i)))
+            .collect();
         assert!(distinct.len() <= 8);
         assert!(distinct.len() >= 4, "pool badly undersampled");
     }
@@ -133,9 +140,9 @@ mod tests {
         let a = generate_database(&cat, 1, usize::MAX);
         let b = generate_database(&cat, 1, usize::MAX);
         let id = cat.table_by_name("t").unwrap().id;
-        assert_eq!(a.table(id).rows, b.table(id).rows);
+        assert_eq!(a.table(id).to_rows(), b.table(id).to_rows());
         let c = generate_database(&cat, 2, usize::MAX);
-        assert_ne!(a.table(id).rows, c.table(id).rows);
+        assert_ne!(a.table(id).to_rows(), c.table(id).to_rows());
     }
 
     #[test]
@@ -143,5 +150,21 @@ mod tests {
         let cat = catalog();
         let db = generate_database(&cat, 1, 100);
         assert_eq!(db.table(cat.table_by_name("t").unwrap().id).len(), 100);
+    }
+
+    #[test]
+    fn generated_columns_are_typed() {
+        use crate::column::ColumnData;
+        let cat = catalog();
+        let db = generate_database(&cat, 3, usize::MAX);
+        let t = db.table(cat.table_by_name("t").unwrap().id);
+        assert!(matches!(
+            t.col(t.col_pos(cat.col("t", "k"))).data(),
+            ColumnData::Int(_)
+        ));
+        assert!(matches!(
+            t.col(t.col_pos(cat.col("t", "name"))).data(),
+            ColumnData::Str(_)
+        ));
     }
 }

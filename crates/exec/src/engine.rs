@@ -2,15 +2,77 @@
 //! materializing temps once (in topological order) and reading them at
 //! every other use — the compute-once/reuse-many discipline whose cost
 //! the optimizer reasons about.
+//!
+//! Two execution paths share this driver: the **vectorized** default
+//! (batched selection vectors over typed columns, [`crate::vops`]) and
+//! the legacy **row-at-a-time** path ([`crate::ops`], kept both as a
+//! migration shim and as the differential oracle for the batched
+//! operators). `MQO_EXEC_MODE=row|vec` and `MQO_BATCH_ROWS=n` select
+//! them from the environment; [`execute_plan_with`] does so explicitly.
 
 use crate::ops::{self, Params};
 use crate::table::{Database, Table};
+use crate::vops;
 use mqo_catalog::Catalog;
 use mqo_expr::{ParamId, Value};
 use mqo_physical::{Algo, ChosenOp, ExtractedPlan, PhysNodeId, PhysProp, PhysicalDag};
 use mqo_util::FxHashMap;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// Default number of rows per execution batch.
+pub const DEFAULT_BATCH_ROWS: usize = 1024;
+
+/// Which operator implementations the engine drives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecMode {
+    /// Legacy tuple-at-a-time pull operators (`ops`).
+    Row,
+    /// Batched columnar operators with selection vectors (`vops`).
+    Vectorized,
+}
+
+/// Execution-engine knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct ExecOptions {
+    /// Operator implementation to drive.
+    pub mode: ExecMode,
+    /// Rows per batch for the vectorized path (≥ 1; 1 is the degenerate
+    /// tuple-at-a-time batching the parity suite exercises).
+    pub batch_rows: usize,
+}
+
+impl Default for ExecOptions {
+    fn default() -> Self {
+        ExecOptions {
+            mode: ExecMode::Vectorized,
+            batch_rows: DEFAULT_BATCH_ROWS,
+        }
+    }
+}
+
+impl ExecOptions {
+    /// Reads `MQO_EXEC_MODE` (`row` | `vec`, default `vec`) and
+    /// `MQO_BATCH_ROWS` (a positive integer, default 1024). Both
+    /// panic on malformed values — a typo'd knob silently running the
+    /// default configuration would report green for a matrix leg that
+    /// never executed.
+    pub fn from_env() -> Self {
+        let mode = match std::env::var("MQO_EXEC_MODE").ok().as_deref() {
+            Some("row") => ExecMode::Row,
+            Some("vec") | Some("vectorized") | None | Some("") => ExecMode::Vectorized,
+            Some(other) => panic!("MQO_EXEC_MODE must be `row` or `vec`, got `{other}`"),
+        };
+        let batch_rows = match std::env::var("MQO_BATCH_ROWS").ok().as_deref() {
+            None | Some("") => DEFAULT_BATCH_ROWS,
+            Some(s) => match s.parse::<usize>() {
+                Ok(n) if n >= 1 => n,
+                _ => panic!("MQO_BATCH_ROWS must be a positive integer, got `{s}`"),
+            },
+        };
+        ExecOptions { mode, batch_rows }
+    }
+}
 
 /// The result of executing a plan.
 #[derive(Debug)]
@@ -25,14 +87,26 @@ pub struct ExecOutcome {
     pub wall: Duration,
 }
 
-/// Executes `plan` against `db`. `params` bind any `Param` atoms (empty
-/// for non-parameterized batches).
+/// Executes `plan` against `db` with engine knobs from the environment.
+/// `params` bind any `Param` atoms (empty for non-parameterized batches).
 pub fn execute_plan(
     catalog: &Catalog,
     pdag: &PhysicalDag,
     plan: &ExtractedPlan,
     db: &Database,
     params: &FxHashMap<ParamId, Value>,
+) -> ExecOutcome {
+    execute_plan_with(catalog, pdag, plan, db, params, ExecOptions::from_env())
+}
+
+/// Executes `plan` against `db` with explicit engine knobs.
+pub fn execute_plan_with(
+    catalog: &Catalog,
+    pdag: &PhysicalDag,
+    plan: &ExtractedPlan,
+    db: &Database,
+    params: &FxHashMap<ParamId, Value>,
+    exec: ExecOptions,
 ) -> ExecOutcome {
     let start = Instant::now();
     let mut ex = Executor {
@@ -42,6 +116,7 @@ pub fn execute_plan(
         db,
         params: params.clone(),
         temps: FxHashMap::default(),
+        exec,
     };
     for &m in &plan.materialized {
         let mut t = ex.eval_def(m);
@@ -70,10 +145,12 @@ pub struct Executor<'a> {
     db: &'a Database,
     params: Params,
     temps: FxHashMap<PhysNodeId, Arc<Table>>,
+    exec: ExecOptions,
 }
 
 impl Executor<'_> {
-    /// Evaluates a *use* of `n`: read the temp when the plan shares it.
+    /// Evaluates a *use* of `n`: read the temp when the plan shares it
+    /// (a zero-copy share of the temp's columns).
     fn eval_use(&mut self, n: PhysNodeId) -> Table {
         if let Some(m) = self.plan.reuse_of(n) {
             if let Some(t) = self.temps.get(&m) {
@@ -98,72 +175,97 @@ impl Executor<'_> {
         };
         let op = self.pdag.op(op_id);
         let inputs = op.inputs.clone();
+        let (mode, batch) = (self.exec.mode, self.exec.batch_rows);
         match op.algo.clone() {
             Algo::TableScan { table } => {
                 let data = self.db.table(table);
-                let schema = data.schema.clone();
-                let sorted = data.sorted_on.clone();
-                let rows = ops::scan(Arc::clone(&data)).collect();
-                Table {
-                    schema,
-                    rows,
-                    sorted_on: sorted,
+                match mode {
+                    ExecMode::Row => {
+                        let sorted = data.sorted_on.clone();
+                        let schema = data.schema.clone();
+                        let rows = ops::scan(Arc::clone(&data)).collect();
+                        let mut t = Table::new(schema, rows);
+                        t.sorted_on = sorted;
+                        t
+                    }
+                    // zero-copy: share the base table's columns
+                    ExecMode::Vectorized => data.as_ref().clone(),
                 }
             }
             Algo::IndexedSelect { table, pred } => {
                 let data = self.db.table(table);
                 let sorted = data.sorted_on.clone();
-                let schema = data.schema.clone();
                 let col = sorted.first().copied().expect("clustered table");
-                let rows = ops::index_scan(data, pred, col, self.params.clone()).collect();
-                Table {
-                    schema,
-                    rows,
-                    sorted_on: sorted,
-                }
+                let mut t = match mode {
+                    ExecMode::Row => {
+                        let schema = data.schema.clone();
+                        let rows = ops::index_scan(data, pred, col, self.params.clone()).collect();
+                        Table::new(schema, rows)
+                    }
+                    ExecMode::Vectorized => {
+                        vops::index_scan(&data, &pred, col, &self.params, batch)
+                    }
+                };
+                t.sorted_on = sorted;
+                t
             }
             Algo::TempIndexedSelect { source, col, pred } => {
                 let temp = self.temp_sorted_on(source, col);
-                let schema = temp.schema.clone();
                 let sorted = temp.sorted_on.clone();
-                let rows = ops::index_scan(temp, pred, col, self.params.clone()).collect();
-                Table {
-                    schema,
-                    rows,
-                    sorted_on: sorted,
-                }
+                let mut t = match mode {
+                    ExecMode::Row => {
+                        let schema = temp.schema.clone();
+                        let rows = ops::index_scan(temp, pred, col, self.params.clone()).collect();
+                        Table::new(schema, rows)
+                    }
+                    ExecMode::Vectorized => {
+                        vops::index_scan(&temp, &pred, col, &self.params, batch)
+                    }
+                };
+                t.sorted_on = sorted;
+                t
             }
             Algo::Filter { pred } => {
                 let input = self.eval_use(inputs[0]);
-                let schema = input.schema.clone();
                 let sorted = input.sorted_on.clone();
-                let rows = ops::filter(
-                    Box::new(input.rows.into_iter()),
-                    schema.clone(),
-                    pred,
-                    self.params.clone(),
-                )
-                .collect();
-                Table {
-                    schema,
-                    rows,
-                    sorted_on: sorted,
-                }
+                let mut t = match mode {
+                    ExecMode::Row => {
+                        let schema = input.schema.clone();
+                        let rows = ops::filter(
+                            Box::new(input.rows()),
+                            schema.clone(),
+                            pred,
+                            self.params.clone(),
+                        )
+                        .collect();
+                        Table::new(schema, rows)
+                    }
+                    ExecMode::Vectorized => vops::filter(&input, &pred, &self.params, batch),
+                };
+                t.sorted_on = sorted;
+                t
             }
             Algo::NestLoopsJoin { pred } => {
                 let outer = self.eval_use(inputs[0]);
                 let inner = self.eval_use(inputs[1]);
-                let mut schema = outer.schema.clone();
-                schema.extend(inner.schema.iter().copied());
-                let rows = ops::nl_join(
-                    Box::new(outer.rows.into_iter()),
-                    inner.rows,
-                    schema.clone(),
-                    pred,
-                    self.params.clone(),
-                )
-                .collect();
-                Table::new(schema, rows)
+                match mode {
+                    ExecMode::Row => {
+                        let mut schema = outer.schema.clone();
+                        schema.extend(inner.schema.iter().copied());
+                        let rows = ops::nl_join(
+                            Box::new(outer.rows()),
+                            inner.to_rows(),
+                            schema.clone(),
+                            pred,
+                            self.params.clone(),
+                        )
+                        .collect();
+                        Table::new(schema, rows)
+                    }
+                    ExecMode::Vectorized => {
+                        vops::nl_join(&outer, &inner, &pred, &self.params, batch)
+                    }
+                }
             }
             Algo::MergeJoin {
                 left_keys,
@@ -178,23 +280,34 @@ impl Executor<'_> {
                 if !right.sorted_on.starts_with(&right_keys) {
                     right.sort_by(&right_keys);
                 }
-                let mut schema = left.schema.clone();
-                schema.extend(right.schema.iter().copied());
-                let rows = ops::merge_join(
-                    left.rows,
-                    &left.schema,
-                    right.rows,
-                    &right.schema,
-                    &left_keys,
-                    &right_keys,
-                    &residual,
-                    &self.params,
-                );
-                Table {
-                    schema,
-                    rows,
-                    sorted_on: left_keys,
-                }
+                let mut t = match mode {
+                    ExecMode::Row => {
+                        let mut schema = left.schema.clone();
+                        schema.extend(right.schema.iter().copied());
+                        let rows = ops::merge_join(
+                            left.to_rows(),
+                            &left.schema,
+                            right.to_rows(),
+                            &right.schema,
+                            &left_keys,
+                            &right_keys,
+                            &residual,
+                            &self.params,
+                        );
+                        Table::new(schema, rows)
+                    }
+                    ExecMode::Vectorized => vops::merge_join(
+                        &left,
+                        &right,
+                        &left_keys,
+                        &right_keys,
+                        &residual,
+                        &self.params,
+                        batch,
+                    ),
+                };
+                t.sorted_on = left_keys;
+                t
             }
             Algo::IndexedNLJoinBase {
                 table,
@@ -205,18 +318,7 @@ impl Executor<'_> {
                 let outer = self.eval_use(inputs[0]);
                 let inner = self.db.table(table);
                 debug_assert_eq!(inner.sorted_on.first(), Some(&inner_key));
-                let mut schema = outer.schema.clone();
-                schema.extend(inner.schema.iter().copied());
-                let rows = ops::indexed_nl_join(
-                    Box::new(outer.rows.into_iter()),
-                    outer.schema.clone(),
-                    inner,
-                    outer_key,
-                    residual,
-                    self.params.clone(),
-                )
-                .collect();
-                Table::new(schema, rows)
+                self.indexed_nl(outer, &inner, outer_key, residual)
             }
             Algo::IndexedNLJoinTemp {
                 source,
@@ -226,18 +328,7 @@ impl Executor<'_> {
             } => {
                 let outer = self.eval_use(inputs[0]);
                 let inner = self.temp_sorted_on(source, inner_key);
-                let mut schema = outer.schema.clone();
-                schema.extend(inner.schema.iter().copied());
-                let rows = ops::indexed_nl_join(
-                    Box::new(outer.rows.into_iter()),
-                    outer.schema.clone(),
-                    inner,
-                    outer_key,
-                    residual,
-                    self.params.clone(),
-                )
-                .collect();
-                Table::new(schema, rows)
+                self.indexed_nl(outer, &inner, outer_key, residual)
             }
             Algo::Sort { keys } => {
                 let mut input = self.eval_use(inputs[0]);
@@ -249,32 +340,75 @@ impl Executor<'_> {
                 if !keys.is_empty() && !input.sorted_on.starts_with(&keys) {
                     input.sort_by(&keys);
                 }
-                let rows = ops::sort_aggregate(input.rows, &input.schema, &keys, &aggs);
-                let mut schema = keys.clone();
-                schema.extend(aggs.iter().map(|a| a.output));
-                Table {
-                    schema,
-                    rows,
-                    sorted_on: keys,
-                }
+                let mut t = match mode {
+                    ExecMode::Row => {
+                        let rows =
+                            ops::sort_aggregate(input.to_rows(), &input.schema, &keys, &aggs);
+                        let mut schema = keys.clone();
+                        schema.extend(aggs.iter().map(|a| a.output));
+                        Table::new(schema, rows)
+                    }
+                    ExecMode::Vectorized => vops::sort_aggregate(&input, &keys, &aggs),
+                };
+                t.sorted_on = keys;
+                t
             }
             Algo::Project { cols } => {
                 let input = self.eval_use(inputs[0]);
-                let rows =
-                    ops::project(Box::new(input.rows.into_iter()), &input.schema, &cols).collect();
                 let sorted: Vec<_> = input
                     .sorted_on
                     .iter()
                     .take_while(|k| cols.contains(k))
                     .copied()
                     .collect();
-                Table {
-                    schema: cols,
-                    rows,
-                    sorted_on: sorted,
-                }
+                let mut t = match mode {
+                    ExecMode::Row => {
+                        let rows =
+                            ops::project(Box::new(input.rows()), &input.schema, &cols).collect();
+                        Table::new(cols, rows)
+                    }
+                    // zero-copy: the projection shares column payloads
+                    ExecMode::Vectorized => vops::project(&input, &cols),
+                };
+                t.sorted_on = sorted;
+                t
             }
             Algo::Root => panic!("root op is not executable"),
+        }
+    }
+
+    /// Indexed nested-loops join against a sorted inner table, in the
+    /// session's execution mode.
+    fn indexed_nl(
+        &mut self,
+        outer: Table,
+        inner: &Arc<Table>,
+        outer_key: mqo_catalog::ColId,
+        residual: mqo_expr::Predicate,
+    ) -> Table {
+        match self.exec.mode {
+            ExecMode::Row => {
+                let mut schema = outer.schema.clone();
+                schema.extend(inner.schema.iter().copied());
+                let rows = ops::indexed_nl_join(
+                    Box::new(outer.rows()),
+                    outer.schema.clone(),
+                    Arc::clone(inner),
+                    outer_key,
+                    residual,
+                    self.params.clone(),
+                )
+                .collect();
+                Table::new(schema, rows)
+            }
+            ExecMode::Vectorized => vops::indexed_nl_join(
+                &outer,
+                inner,
+                outer_key,
+                &residual,
+                &self.params,
+                self.exec.batch_rows,
+            ),
         }
     }
 

@@ -4,16 +4,29 @@
 //! sharing as temp-table DDL (§6, Figure 7) — and notes the measured
 //! benefit *understates* the potential because sharing could not be
 //! pipelined. This engine executes [`mqo_physical::ExtractedPlan`]s
-//! directly: pull-based iterators (the Volcano iterator model the cost
-//! model assumes), a temp store for materialized nodes (sorted temps act
-//! as clustered indexes), and a catalog-driven data generator whose
-//! output matches the optimizer's statistics.
+//! directly against **columnar** in-memory tables: every operator's
+//! vectorized implementation ([`vops`]) evaluates predicates
+//! column-at-a-time over typed slices with selection vectors and
+//! materializes output rows with one gather per column, in fixed-size
+//! batches (`MQO_BATCH_ROWS`, default 1024). The legacy tuple-at-a-time
+//! pull operators ([`ops`]) remain behind `MQO_EXEC_MODE=row` as a
+//! migration shim and as the differential oracle the parity suite runs
+//! against the batched path. A temp store materializes shared nodes
+//! once (sorted temps act as clustered indexes), and a catalog-driven
+//! data generator produces columnar tables whose statistics match the
+//! optimizer's.
 
+mod column;
 mod datagen;
 mod engine;
-mod ops;
+pub mod ops;
 mod table;
+pub mod vops;
 
+pub use column::{Cell, Column, ColumnBuilder, ColumnData, NullMask};
 pub use datagen::generate_database;
-pub use engine::{execute_plan, ExecOutcome, Executor};
+pub use engine::{
+    execute_plan, execute_plan_with, ExecMode, ExecOptions, ExecOutcome, Executor,
+    DEFAULT_BATCH_ROWS,
+};
 pub use table::{normalize_result, results_approx_equal, Database, Row, Table};

@@ -15,21 +15,18 @@ use std::sync::Arc;
 /// Parameter bindings for correlated/parameterized execution.
 pub type Params = mqo_util::FxHashMap<ParamId, Value>;
 
-/// Evaluates `pred` against a row under `schema`.
+/// Evaluates `pred` against a row under `schema`. Column resolution
+/// borrows the cell (`&Value`) — no per-row, per-atom clones (`Str`
+/// cells used to cost a heap clone each time they were compared).
 pub fn eval_pred(pred: &Predicate, schema: &[ColId], row: &Row, params: &Params) -> bool {
-    let resolve = |c: ColId| -> Value {
-        match schema.iter().position(|&x| x == c) {
-            Some(i) => row[i].clone(),
-            None => Value::Null,
-        }
-    };
-    let lookup = |p: ParamId| -> Value {
+    let resolve =
+        |c: ColId| -> Option<&Value> { schema.iter().position(|&x| x == c).map(|i| &row[i]) };
+    let lookup = |p: ParamId| -> &Value {
         params
             .get(&p)
-            .cloned()
             .unwrap_or_else(|| panic!("unbound parameter :{p}"))
     };
-    pred.eval(&resolve, &lookup)
+    pred.eval_ref(&resolve, &lookup)
 }
 
 /// Extracts `[lo, hi]` bounds (inclusive) on `col` from a predicate, for
@@ -73,7 +70,7 @@ pub fn probe_bounds(
 
 /// Full scan of a table.
 pub fn scan(table: Arc<Table>) -> impl Iterator<Item = Row> {
-    (0..table.len()).map(move |i| table.rows[i].clone())
+    (0..table.len()).map(move |i| table.row(i))
 }
 
 /// Clustered-index range scan: binary-search the sorted table using the
@@ -89,7 +86,7 @@ pub fn index_scan(
     let (start, end) = table.range_on_sorted(lo.as_ref(), hi.as_ref());
     let schema = table.schema.clone();
     (start..end)
-        .map(move |i| table.rows[i].clone())
+        .map(move |i| table.row(i))
         .filter(move |r| eval_pred(&pred, &schema, r, &params))
 }
 
@@ -183,11 +180,14 @@ pub fn merge_join(
                 };
                 let mut ii = i;
                 while ii < left.len() && key_cmp(&left[ii], &right[j]) == Ordering::Equal {
+                    // keys may contain Null: SQL equality never matches.
+                    // Invariant per left row, so checked once, not once
+                    // per right row of the group.
+                    if lp.iter().any(|&p| matches!(left[ii][p], Value::Null)) {
+                        ii += 1;
+                        continue;
+                    }
                     for rrow in &right[j..j_end] {
-                        // keys may contain Null: SQL equality never matches
-                        if lp.iter().any(|&p| matches!(left[ii][p], Value::Null)) {
-                            continue;
-                        }
                         let mut row = left[ii].clone();
                         row.extend(rrow.iter().cloned());
                         if eval_pred(residual, &out_schema, &row, params) {
@@ -230,7 +230,7 @@ pub fn indexed_nl_join<'a>(
             let (s, e) = inner.range_on_sorted(Some(key), Some(key));
             for idx in s..e {
                 let mut row = o.clone();
-                row.extend(inner.rows[idx].iter().cloned());
+                row.extend(inner.row(idx));
                 if eval_pred(&residual, &out_schema, &row, &params) {
                     matches.push(row);
                 }
@@ -277,14 +277,11 @@ pub fn sort_aggregate(
         }
         let mut accs: Vec<Option<Value>> = vec![None; aggs.len()];
         for row in &input[start..end] {
-            let resolve = |c: ColId| -> Value {
-                match in_schema.iter().position(|&x| x == c) {
-                    Some(i) => row[i].clone(),
-                    None => Value::Null,
-                }
+            let resolve = |c: ColId| -> Option<&Value> {
+                in_schema.iter().position(|&x| x == c).map(|i| &row[i])
             };
             for (ai, a) in aggs.iter().enumerate() {
-                let v = a.arg.eval(&resolve);
+                let v = a.arg.eval_ref(&resolve);
                 a.accumulate(&mut accs[ai], v);
             }
         }
@@ -465,6 +462,32 @@ mod tests {
         );
         assert_eq!(out.len(), 1);
         assert_eq!(out[0][0], v(1));
+    }
+
+    #[test]
+    fn null_heavy_merge_join_skips_whole_groups() {
+        // regression for the hoisted Null-key check: many Null left rows
+        // against a large right duplicate group must contribute nothing,
+        // and non-Null keys must still cross-product correctly
+        let mut left: Vec<Row> = (0..40).map(|_| vec![Value::Null, v(-1)]).collect();
+        left.extend((0..3).map(|i| vec![v(7), v(i)]));
+        let mut right: Vec<Row> = (0..25).map(|i| vec![Value::Null, v(1000 + i)]).collect();
+        right.extend((0..5).map(|i| vec![v(7), v(100 + i)]));
+        left.sort_by(|a, b| a[0].sort_cmp(&b[0]));
+        right.sort_by(|a, b| a[0].sort_cmp(&b[0]));
+        let out = merge_join(
+            left,
+            &[c(0), c(1)],
+            right,
+            &[c(2), c(3)],
+            &[c(0)],
+            &[c(2)],
+            &Predicate::true_(),
+            &Params::default(),
+        );
+        // 3 left x 5 right rows with key 7; every Null pairing suppressed
+        assert_eq!(out.len(), 15);
+        assert!(out.iter().all(|r| r[0] == v(7) && r[2] == v(7)));
     }
 
     #[test]

@@ -1,5 +1,13 @@
-//! In-memory tables and rows.
+//! In-memory tables: columnar storage with a row-compatibility shim.
+//!
+//! A [`Table`] stores its data as one typed [`Column`] per schema
+//! column, each behind an `Arc` — so projections, temp reuse, and scans
+//! share column payloads by refcount instead of cloning cell values.
+//! The legacy row API ([`Table::new`] from rows, [`Table::rows`],
+//! [`Table::row`]) remains as a thin shim over the columns, so
+//! row-at-a-time callers keep working unchanged.
 
+use crate::column::{Column, ColumnBuilder};
 use mqo_catalog::{Catalog, ColId, TableId};
 use mqo_expr::Value;
 use mqo_util::FxHashMap;
@@ -17,18 +25,61 @@ pub type Row = Vec<Value>;
 pub struct Table {
     /// Column layout of every row.
     pub schema: Vec<ColId>,
-    /// The rows.
-    pub rows: Vec<Row>,
+    /// Typed columnar data, one entry per schema column. Shared by
+    /// refcount across operators that don't change the payload.
+    cols: Vec<Arc<Column>>,
+    /// Number of rows.
+    n_rows: usize,
     /// Sort keys the rows are ordered by (empty = unordered).
     pub sorted_on: Vec<ColId>,
 }
 
 impl Table {
-    /// Creates an unordered table.
+    /// Creates an unordered table from rows (the legacy constructor —
+    /// columns are built with inferred types).
     pub fn new(schema: Vec<ColId>, rows: Vec<Row>) -> Self {
+        let n_rows = rows.len();
+        let mut builders: Vec<ColumnBuilder> =
+            (0..schema.len()).map(|_| ColumnBuilder::new()).collect();
+        for row in rows {
+            assert_eq!(row.len(), schema.len(), "row arity != schema arity");
+            for (b, v) in builders.iter_mut().zip(row) {
+                b.push(v);
+            }
+        }
+        let cols = builders.into_iter().map(|b| Arc::new(b.finish())).collect();
         Table {
             schema,
-            rows,
+            cols,
+            n_rows,
+            sorted_on: Vec::new(),
+        }
+    }
+
+    /// Creates an unordered table directly from columns.
+    pub fn from_columns(schema: Vec<ColId>, cols: Vec<Column>) -> Self {
+        assert_eq!(schema.len(), cols.len(), "schema/column arity mismatch");
+        let n_rows = cols.first().map_or(0, Column::len);
+        assert!(
+            cols.iter().all(|c| c.len() == n_rows),
+            "ragged column lengths"
+        );
+        Table {
+            schema,
+            cols: cols.into_iter().map(Arc::new).collect(),
+            n_rows,
+            sorted_on: Vec::new(),
+        }
+    }
+
+    /// Creates a table sharing already-refcounted columns (zero-copy).
+    pub fn from_shared_columns(schema: Vec<ColId>, cols: Vec<Arc<Column>>, n_rows: usize) -> Self {
+        assert_eq!(schema.len(), cols.len(), "schema/column arity mismatch");
+        debug_assert!(cols.iter().all(|c| c.len() == n_rows));
+        Table {
+            schema,
+            cols,
+            n_rows,
             sorted_on: Vec::new(),
         }
     }
@@ -42,15 +93,51 @@ impl Table {
             .unwrap_or_else(|| panic!("column c{c} not in schema {:?}", self.schema))
     }
 
-    /// Sorts the rows by the given keys (ascending, Null first).
+    /// The column at schema position `pos`.
+    pub fn col(&self, pos: usize) -> &Column {
+        &self.cols[pos]
+    }
+
+    /// Shared handle to the column at schema position `pos`.
+    pub fn col_arc(&self, pos: usize) -> Arc<Column> {
+        Arc::clone(&self.cols[pos])
+    }
+
+    /// The column storing `c`; panics if absent.
+    pub fn col_of(&self, c: ColId) -> &Column {
+        &self.cols[self.col_pos(c)]
+    }
+
+    /// Materializes row `i` (legacy shim: clones one `Value` per cell).
+    pub fn row(&self, i: usize) -> Row {
+        self.cols.iter().map(|c| c.get(i)).collect()
+    }
+
+    /// Iterates materialized rows (legacy shim for row-at-a-time
+    /// callers; each row allocates).
+    pub fn rows(&self) -> impl Iterator<Item = Row> + '_ {
+        (0..self.n_rows).map(|i| self.row(i))
+    }
+
+    /// Materializes every row (legacy shim).
+    pub fn to_rows(&self) -> Vec<Row> {
+        self.rows().collect()
+    }
+
+    /// Sorts the rows by the given keys (ascending, Null first, stable)
+    /// via a column-level argsort + gather.
     pub fn sort_by(&mut self, keys: &[ColId]) {
         let pos: Vec<usize> = keys.iter().map(|&k| self.col_pos(k)).collect();
-        self.rows.sort_by(|a, b| {
+        let mut idx: Vec<u32> = (0..self.n_rows as u32).collect();
+        idx.sort_by(|&a, &b| {
             pos.iter()
-                .map(|&p| a[p].sort_cmp(&b[p]))
+                .map(|&p| self.cols[p].sort_cmp_rows(a as usize, b as usize))
                 .find(|o| *o != std::cmp::Ordering::Equal)
                 .unwrap_or(std::cmp::Ordering::Equal)
         });
+        if !idx.iter().enumerate().all(|(k, &i)| k as u32 == i) {
+            self.cols = self.cols.iter().map(|c| Arc::new(c.gather(&idx))).collect();
+        }
         self.sorted_on = keys.to_vec();
     }
 
@@ -59,31 +146,46 @@ impl Table {
     /// be sorted. `None` bounds are unbounded.
     pub fn range_on_sorted(&self, lo: Option<&Value>, hi: Option<&Value>) -> (usize, usize) {
         assert!(!self.sorted_on.is_empty(), "range probe on unsorted table");
-        let p = self.col_pos(self.sorted_on[0]);
+        let c = &self.cols[self.col_pos(self.sorted_on[0])];
         let start = match lo {
-            Some(v) => self
-                .rows
-                .partition_point(|r| r[p].sort_cmp(v) == std::cmp::Ordering::Less),
+            Some(v) => partition_point(self.n_rows, |i| {
+                c.sort_cmp_value(i, v) == std::cmp::Ordering::Less
+            }),
             None => 0,
         };
         let end = match hi {
-            Some(v) => self
-                .rows
-                .partition_point(|r| r[p].sort_cmp(v) != std::cmp::Ordering::Greater),
-            None => self.rows.len(),
+            Some(v) => partition_point(self.n_rows, |i| {
+                c.sort_cmp_value(i, v) != std::cmp::Ordering::Greater
+            }),
+            None => self.n_rows,
         };
         (start, end.max(start))
     }
 
     /// Number of rows.
     pub fn len(&self) -> usize {
-        self.rows.len()
+        self.n_rows
     }
 
     /// True if the table has no rows.
     pub fn is_empty(&self) -> bool {
-        self.rows.is_empty()
+        self.n_rows == 0
     }
+}
+
+/// First `i` in `0..n` where `pred(i)` is false (binary search over row
+/// indices; `pred` must be monotone true→false).
+fn partition_point(n: usize, pred: impl Fn(usize) -> bool) -> usize {
+    let (mut lo, mut hi) = (0usize, n);
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        if pred(mid) {
+            lo = mid + 1;
+        } else {
+            hi = mid;
+        }
+    }
+    lo
 }
 
 /// A database instance: one table per catalog table.
@@ -128,10 +230,8 @@ impl Database {
 pub fn normalize_result(table: &Table) -> Vec<Row> {
     let mut order: Vec<usize> = (0..table.schema.len()).collect();
     order.sort_by_key(|&i| table.schema[i]);
-    let mut rows: Vec<Row> = table
-        .rows
-        .iter()
-        .map(|r| order.iter().map(|&i| r[i].clone()).collect())
+    let mut rows: Vec<Row> = (0..table.len())
+        .map(|r| order.iter().map(|&i| table.col(i).get(r)).collect())
         .collect();
     rows.sort_by(|a, b| {
         a.iter()
@@ -209,5 +309,33 @@ mod tests {
     fn col_pos_panics_on_missing() {
         let t = Table::new(vec![c(0)], vec![]);
         t.col_pos(c(7));
+    }
+
+    #[test]
+    fn row_shim_roundtrips() {
+        let rows = vec![
+            vec![v(1), Value::str("a"), Value::Null],
+            vec![v(2), Value::Null, Value::Float(0.5)],
+        ];
+        let t = Table::new(vec![c(0), c(1), c(2)], rows.clone());
+        assert_eq!(t.to_rows(), rows);
+        assert_eq!(t.row(1), rows[1]);
+        assert_eq!(t.rows().count(), 2);
+    }
+
+    #[test]
+    fn sort_is_stable_like_row_sort() {
+        // ties on the key keep insertion order, as Vec::sort_by did
+        let rows = vec![
+            vec![v(2), v(0)],
+            vec![v(1), v(1)],
+            vec![v(2), v(2)],
+            vec![v(1), v(3)],
+        ];
+        let mut t = Table::new(vec![c(0), c(1)], rows.clone());
+        let mut expect = rows;
+        expect.sort_by(|a, b| a[0].sort_cmp(&b[0]));
+        t.sort_by(&[c(0)]);
+        assert_eq!(t.to_rows(), expect);
     }
 }

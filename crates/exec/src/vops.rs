@@ -1,0 +1,535 @@
+//! Vectorized physical operators over columnar tables.
+//!
+//! Each operator consumes and produces whole [`Table`]s but processes
+//! them in fixed-size batches (`batch` rows, default 1024 via
+//! `MQO_BATCH_ROWS`) of **selection vectors**: a predicate evaluates
+//! column-at-a-time, refining a `Vec<u32>` of surviving row indices per
+//! atom, and rows are only materialized once — by a typed column gather
+//! at the end of the operator. Filters and projections that keep
+//! everything are zero-copy (shared `Arc<Column>` payloads).
+//!
+//! Every function here is the batched twin of a row-at-a-time operator
+//! in [`crate::ops`] and must produce bit-identical output tables;
+//! `tests/parity.rs` pins that equivalence on randomized inputs.
+
+use crate::column::{Column, ColumnBuilder};
+use crate::ops::{self, Params};
+use crate::table::Table;
+use mqo_catalog::ColId;
+use mqo_expr::{AggExpr, Atom, CmpOp, Predicate, ScalarExpr, Value};
+use std::cmp::Ordering;
+
+/// One side of a vectorized atom: a column of the probed input, a
+/// broadcast cell (the current outer row of a join probe), or a column
+/// the schema doesn't carry (SQL NULL semantics: never matches).
+#[derive(Clone, Copy)]
+pub enum VSide<'a> {
+    /// A column of the probed (batched) input, indexed by the selection.
+    Col(&'a Column),
+    /// A single broadcast cell: column + fixed row.
+    Cell(&'a Column, usize),
+    /// Column absent from the schema.
+    Missing,
+}
+
+enum Rhs<'a> {
+    Const(&'a Value),
+    Side(VSide<'a>),
+}
+
+fn refine_sides(lhs: VSide<'_>, op: CmpOp, rhs: Rhs<'_>, sel: &mut Vec<u32>) {
+    match (lhs, rhs) {
+        (VSide::Missing, _) | (_, Rhs::Side(VSide::Missing)) => sel.clear(),
+        (VSide::Col(c), Rhs::Const(v)) => c.refine_cmp_value(op, v, sel),
+        (VSide::Col(c), Rhs::Side(VSide::Cell(oc, j))) => {
+            let v = oc.get(j);
+            c.refine_cmp_value(op, &v, sel);
+        }
+        (VSide::Col(a), Rhs::Side(VSide::Col(b))) => a.refine_cmp_col(op, b, sel),
+        (VSide::Cell(c, i), Rhs::Const(v)) => {
+            if !c.cmp_maybe_value(i, v).is_some_and(|o| op.matches(o)) {
+                sel.clear();
+            }
+        }
+        (VSide::Cell(c, i), Rhs::Side(VSide::Cell(oc, j))) => {
+            if !c
+                .cell(i)
+                .cmp_maybe(oc.cell(j))
+                .is_some_and(|o| op.matches(o))
+            {
+                sel.clear();
+            }
+        }
+        // broadcast-vs-column: flip the operator and batch over the column
+        (VSide::Cell(c, i), Rhs::Side(VSide::Col(b))) => {
+            let v = c.get(i);
+            b.refine_cmp_value(op.flip(), &v, sel);
+        }
+    }
+}
+
+fn refine_atom<'a>(
+    atom: &Atom,
+    side: &impl Fn(ColId) -> VSide<'a>,
+    params: &Params,
+    sel: &mut Vec<u32>,
+) {
+    match atom {
+        Atom::Cmp { col, op, val } => refine_sides(side(*col), *op, Rhs::Const(val), sel),
+        Atom::Param { col, op, param } => {
+            let v = params
+                .get(param)
+                .unwrap_or_else(|| panic!("unbound parameter :{param}"));
+            refine_sides(side(*col), *op, Rhs::Const(v), sel)
+        }
+        Atom::ColCmp { left, op, right } => {
+            refine_sides(side(*left), *op, Rhs::Side(side(*right)), sel)
+        }
+    }
+}
+
+/// Fills `out` with the row indices of `[start, end)` satisfying `pred`
+/// (OR-of-ANDs: each conjunct refines an identity selection atom by
+/// atom; disjuncts union by sorted merge). Indices stay sorted.
+pub fn eval_pred_range<'a>(
+    pred: &Predicate,
+    side: &impl Fn(ColId) -> VSide<'a>,
+    params: &Params,
+    start: u32,
+    end: u32,
+    out: &mut Vec<u32>,
+    scratch: &mut Vec<u32>,
+) {
+    out.clear();
+    let disjuncts = pred.disjuncts();
+    if disjuncts.len() == 1 {
+        out.extend(start..end);
+        for a in disjuncts[0].atoms() {
+            if out.is_empty() {
+                return;
+            }
+            refine_atom(a, side, params, out);
+        }
+        return;
+    }
+    for d in disjuncts {
+        scratch.clear();
+        scratch.extend(start..end);
+        for a in d.atoms() {
+            if scratch.is_empty() {
+                break;
+            }
+            refine_atom(a, side, params, scratch);
+        }
+        union_sorted(out, scratch);
+    }
+}
+
+/// Merges sorted `src` into sorted `dst`, deduplicating.
+fn union_sorted(dst: &mut Vec<u32>, src: &[u32]) {
+    if src.is_empty() {
+        return;
+    }
+    if dst.is_empty() {
+        dst.extend_from_slice(src);
+        return;
+    }
+    let mut merged = Vec::with_capacity(dst.len() + src.len());
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < dst.len() && j < src.len() {
+        match dst[i].cmp(&src[j]) {
+            Ordering::Less => {
+                merged.push(dst[i]);
+                i += 1;
+            }
+            Ordering::Greater => {
+                merged.push(src[j]);
+                j += 1;
+            }
+            Ordering::Equal => {
+                merged.push(dst[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    merged.extend_from_slice(&dst[i..]);
+    merged.extend_from_slice(&src[j..]);
+    *dst = merged;
+}
+
+/// Atom-side resolver over a single table's schema.
+fn table_side<'a>(t: &'a Table) -> impl Fn(ColId) -> VSide<'a> {
+    move |c| match t.schema.iter().position(|&x| x == c) {
+        Some(p) => VSide::Col(t.col(p)),
+        None => VSide::Missing,
+    }
+}
+
+/// Atom-side resolver for a join probe: outer columns broadcast the
+/// current outer row `o`, inner columns batch. The outer schema wins on
+/// (never expected) duplicate column ids, matching the row path's
+/// first-position resolution over the concatenated schema.
+fn join_side<'a>(outer: &'a Table, o: usize, inner: &'a Table) -> impl Fn(ColId) -> VSide<'a> {
+    move |c| {
+        if let Some(p) = outer.schema.iter().position(|&x| x == c) {
+            return VSide::Cell(outer.col(p), o);
+        }
+        match inner.schema.iter().position(|&x| x == c) {
+            Some(p) => VSide::Col(inner.col(p)),
+            None => VSide::Missing,
+        }
+    }
+}
+
+/// Evaluates `pred` over rows `[lo, hi)` of `t` in `batch`-row chunks,
+/// returning all surviving row indices.
+fn select_range(
+    t: &Table,
+    pred: &Predicate,
+    params: &Params,
+    lo: usize,
+    hi: usize,
+    batch: usize,
+) -> Vec<u32> {
+    let side = table_side(t);
+    let mut all = Vec::new();
+    let (mut out, mut scratch) = (Vec::new(), Vec::new());
+    let mut s = lo;
+    while s < hi {
+        let e = (s + batch.max(1)).min(hi);
+        eval_pred_range(
+            pred,
+            &side,
+            params,
+            s as u32,
+            e as u32,
+            &mut out,
+            &mut scratch,
+        );
+        all.extend_from_slice(&out);
+        s = e;
+    }
+    all
+}
+
+/// Materializes the selected rows of `t` (typed gather per column); the
+/// full selection short-circuits to a zero-copy shallow clone. Like the
+/// row operators, the output carries no sort metadata — the engine owns
+/// `sorted_on` bookkeeping.
+fn gather_table(t: &Table, sel: &[u32]) -> Table {
+    if sel.len() == t.len() {
+        // a sorted subset of 0..len with full cardinality is the identity
+        let mut out = t.clone();
+        out.sorted_on.clear();
+        return out;
+    }
+    Table::from_columns(
+        t.schema.clone(),
+        (0..t.schema.len()).map(|p| t.col(p).gather(sel)).collect(),
+    )
+}
+
+/// Builds the concatenated join output from matched (left, right) row
+/// index pairs, gathering each side's columns once.
+fn join_output(left: &Table, right: &Table, left_idx: &[u32], right_idx: &[u32]) -> Table {
+    let mut schema = left.schema.clone();
+    schema.extend(right.schema.iter().copied());
+    let mut cols = Vec::with_capacity(schema.len());
+    for p in 0..left.schema.len() {
+        cols.push(left.col(p).gather(left_idx));
+    }
+    for p in 0..right.schema.len() {
+        cols.push(right.col(p).gather(right_idx));
+    }
+    Table::from_columns(schema, cols)
+}
+
+/// Batched filter. A constant-TRUE predicate is zero-copy.
+pub fn filter(input: &Table, pred: &Predicate, params: &Params, batch: usize) -> Table {
+    if pred.is_true() {
+        let mut out = input.clone();
+        out.sorted_on.clear();
+        return out;
+    }
+    let sel = select_range(input, pred, params, 0, input.len(), batch);
+    gather_table(input, &sel)
+}
+
+/// Batched clustered-index range scan: binary-search the sorted table
+/// using the predicate's bounds on the clustering column, then re-check
+/// the full predicate batch-at-a-time over the narrowed range.
+pub fn index_scan(
+    table: &Table,
+    pred: &Predicate,
+    col: ColId,
+    params: &Params,
+    batch: usize,
+) -> Table {
+    let (lo, hi) = ops::probe_bounds(pred, col, params);
+    let (start, end) = table.range_on_sorted(lo.as_ref(), hi.as_ref());
+    let sel = select_range(table, pred, params, start, end, batch);
+    gather_table(table, &sel)
+}
+
+/// Zero-copy projection: shares the selected columns by refcount.
+pub fn project(input: &Table, cols: &[ColId]) -> Table {
+    let shared = cols
+        .iter()
+        .map(|&c| input.col_arc(input.col_pos(c)))
+        .collect();
+    Table::from_shared_columns(cols.to_vec(), shared, input.len())
+}
+
+/// Batched nested-loops join: for every outer row, the predicate runs
+/// vectorized over the inner table's columns with the outer cells
+/// broadcast; matches accumulate as index pairs and each side's columns
+/// are gathered once at the end.
+pub fn nl_join(
+    outer: &Table,
+    inner: &Table,
+    pred: &Predicate,
+    params: &Params,
+    batch: usize,
+) -> Table {
+    let (mut left_idx, mut right_idx) = (Vec::new(), Vec::new());
+    let (mut sel, mut scratch) = (Vec::new(), Vec::new());
+    let n_inner = inner.len();
+    for o in 0..outer.len() {
+        let side = join_side(outer, o, inner);
+        let mut s = 0usize;
+        while s < n_inner {
+            let e = (s + batch.max(1)).min(n_inner);
+            eval_pred_range(
+                pred,
+                &side,
+                params,
+                s as u32,
+                e as u32,
+                &mut sel,
+                &mut scratch,
+            );
+            for &r in &sel {
+                left_idx.push(o as u32);
+                right_idx.push(r);
+            }
+            s = e;
+        }
+    }
+    join_output(outer, inner, &left_idx, &right_idx)
+}
+
+/// Batched merge join of two inputs sorted on their key columns. Group
+/// matching compares key columns cell-wise (total order, so Null keys
+/// group together and are skipped once per left row); residuals run
+/// vectorized over the right-side group.
+pub fn merge_join(
+    left: &Table,
+    right: &Table,
+    left_keys: &[ColId],
+    right_keys: &[ColId],
+    residual: &Predicate,
+    params: &Params,
+    batch: usize,
+) -> Table {
+    let lp: Vec<usize> = left_keys.iter().map(|&k| left.col_pos(k)).collect();
+    let rp: Vec<usize> = right_keys.iter().map(|&k| right.col_pos(k)).collect();
+    let key_cmp = |li: usize, rj: usize| -> Ordering {
+        lp.iter()
+            .zip(rp.iter())
+            .map(|(&a, &b)| left.col(a).sort_cmp_cells(li, right.col(b), rj))
+            .find(|o| *o != Ordering::Equal)
+            .unwrap_or(Ordering::Equal)
+    };
+    let residual_true = residual.is_true();
+    let (mut left_idx, mut right_idx) = (Vec::new(), Vec::new());
+    let (mut sel, mut scratch) = (Vec::new(), Vec::new());
+    let (nl, nr) = (left.len(), right.len());
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < nl && j < nr {
+        match key_cmp(i, j) {
+            Ordering::Less => i += 1,
+            Ordering::Greater => j += 1,
+            Ordering::Equal => {
+                // group of equal keys on both sides
+                let mut j_end = j;
+                while j_end < nr && key_cmp(i, j_end) == Ordering::Equal {
+                    j_end += 1;
+                }
+                let mut ii = i;
+                while ii < nl && key_cmp(ii, j) == Ordering::Equal {
+                    // SQL equality never matches a Null key — invariant
+                    // per left row
+                    if lp.iter().any(|&p| left.col(p).is_null(ii)) {
+                        ii += 1;
+                        continue;
+                    }
+                    if residual_true {
+                        for r in j..j_end {
+                            left_idx.push(ii as u32);
+                            right_idx.push(r as u32);
+                        }
+                    } else {
+                        let side = join_side(left, ii, right);
+                        let mut s = j;
+                        while s < j_end {
+                            let e = (s + batch.max(1)).min(j_end);
+                            eval_pred_range(
+                                residual,
+                                &side,
+                                params,
+                                s as u32,
+                                e as u32,
+                                &mut sel,
+                                &mut scratch,
+                            );
+                            for &r in &sel {
+                                left_idx.push(ii as u32);
+                                right_idx.push(r);
+                            }
+                            s = e;
+                        }
+                    }
+                    ii += 1;
+                }
+                i = ii;
+                j = j_end;
+            }
+        }
+    }
+    join_output(left, right, &left_idx, &right_idx)
+}
+
+/// Batched indexed nested-loops join: for each outer row, range-probe
+/// the sorted inner table on the join key, then run the residual
+/// vectorized over the probed range.
+pub fn indexed_nl_join(
+    outer: &Table,
+    inner: &Table,
+    outer_key: ColId,
+    residual: &Predicate,
+    params: &Params,
+    batch: usize,
+) -> Table {
+    let okp = outer.col_pos(outer_key);
+    let residual_true = residual.is_true();
+    let (mut left_idx, mut right_idx) = (Vec::new(), Vec::new());
+    let (mut sel, mut scratch) = (Vec::new(), Vec::new());
+    for o in 0..outer.len() {
+        if outer.col(okp).is_null(o) {
+            continue;
+        }
+        let key = outer.col(okp).get(o);
+        let (ps, pe) = inner.range_on_sorted(Some(&key), Some(&key));
+        if residual_true {
+            for r in ps..pe {
+                left_idx.push(o as u32);
+                right_idx.push(r as u32);
+            }
+        } else {
+            let side = join_side(outer, o, inner);
+            let mut s = ps;
+            while s < pe {
+                let e = (s + batch.max(1)).min(pe);
+                eval_pred_range(
+                    residual,
+                    &side,
+                    params,
+                    s as u32,
+                    e as u32,
+                    &mut sel,
+                    &mut scratch,
+                );
+                for &r in &sel {
+                    left_idx.push(o as u32);
+                    right_idx.push(r);
+                }
+                s = e;
+            }
+        }
+    }
+    join_output(outer, inner, &left_idx, &right_idx)
+}
+
+/// Batched sort-based aggregation over an input sorted by `keys`
+/// (scalar aggregation for empty `keys`). Group boundaries come from
+/// column comparisons; accumulators are the same [`AggExpr`] folds the
+/// row path uses, fed straight from the columns.
+pub fn sort_aggregate(input: &Table, keys: &[ColId], aggs: &[AggExpr]) -> Table {
+    let kp: Vec<usize> = keys.iter().map(|&k| input.col_pos(k)).collect();
+    let n = input.len();
+    let mut group_starts: Vec<u32> = Vec::new();
+    let mut agg_builders: Vec<ColumnBuilder> =
+        (0..aggs.len()).map(|_| ColumnBuilder::new()).collect();
+    // column position of each aggregate's plain-column argument, if any
+    let arg_pos: Vec<Option<Option<usize>>> = aggs
+        .iter()
+        .map(|a| match &a.arg {
+            ScalarExpr::Col(c) => Some(input.schema.iter().position(|&x| x == *c)),
+            _ => None,
+        })
+        .collect();
+    if n == 0 {
+        if keys.is_empty() {
+            // scalar aggregate over empty input: one row of "empty" accs
+            for (b, a) in agg_builders.iter_mut().zip(aggs) {
+                b.push(match a.func {
+                    mqo_expr::AggFunc::Count => Value::Int(0),
+                    _ => Value::Null,
+                });
+            }
+        }
+    } else {
+        let same_group = |a: usize, b: usize| {
+            kp.iter()
+                .all(|&p| input.col(p).sort_cmp_rows(a, b) == Ordering::Equal)
+        };
+        let mut start = 0usize;
+        while start < n {
+            let mut end = start + 1;
+            while end < n && same_group(start, end) {
+                end += 1;
+            }
+            group_starts.push(start as u32);
+            for (ai, a) in aggs.iter().enumerate() {
+                let mut acc: Option<Value> = None;
+                match arg_pos[ai] {
+                    Some(Some(p)) => {
+                        let col = input.col(p);
+                        for r in start..end {
+                            a.accumulate(&mut acc, col.get(r));
+                        }
+                    }
+                    Some(None) => {
+                        for _ in start..end {
+                            a.accumulate(&mut acc, Value::Null);
+                        }
+                    }
+                    None => {
+                        for r in start..end {
+                            let v =
+                                a.arg
+                                    .eval(&|c| match input.schema.iter().position(|&x| x == c) {
+                                        Some(p) => input.col(p).get(r),
+                                        None => Value::Null,
+                                    });
+                            a.accumulate(&mut acc, v);
+                        }
+                    }
+                }
+                agg_builders[ai].push(acc.unwrap_or(Value::Null));
+            }
+            start = end;
+        }
+    }
+    let mut schema = keys.to_vec();
+    schema.extend(aggs.iter().map(|a| a.output));
+    let mut cols: Vec<Column> = kp
+        .iter()
+        .map(|&p| input.col(p).gather(&group_starts))
+        .collect();
+    cols.extend(agg_builders.into_iter().map(ColumnBuilder::finish));
+    // scalar aggregation of an empty input has no key columns to carry
+    // the row count; `from_columns` reads it off the aggregate columns
+    Table::from_columns(schema, cols)
+}

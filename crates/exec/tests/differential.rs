@@ -151,8 +151,8 @@ fn aggregate_results_match_manual_computation() {
     let dfkp = fact.col_pos(cat.col("fact", "dfk"));
     let valp = fact.col_pos(cat.col("fact", "val"));
     let mut expected: std::collections::BTreeMap<i64, f64> = Default::default();
-    for d in &dim.rows {
-        for f in &fact.rows {
+    for d in dim.rows() {
+        for f in fact.rows() {
             if d[dkp] == f[dfkp] {
                 *expected.entry(d[dcatp].as_i64().unwrap()).or_default() +=
                     f[valp].as_f64().unwrap();
@@ -167,7 +167,7 @@ fn aggregate_results_match_manual_computation() {
         .position(|&c| cat.column(c).name == "sum1")
         .unwrap();
     assert_eq!(got.len(), expected.len());
-    for r in &got.rows {
+    for r in got.rows() {
         let k = r[catp].as_i64().unwrap();
         let v = r[sump].as_f64().unwrap();
         assert!((v - expected[&k]).abs() < 1e-6, "group {k}: {v}");

@@ -1,0 +1,518 @@
+//! Operator parity suite: every physical operator executed
+//! row-at-a-time (`ops`) vs batched (`vops`) on randomized inputs must
+//! produce **identical** result tables — schema, row order, cell values
+//! compared strictly by variant (`Int(3)` ≠ `Float(3.0)` here, unlike
+//! `Value::eq`), and SQL Null semantics — at every batch size,
+//! including the degenerate `MQO_BATCH_ROWS=1`. An engine-level test
+//! pins the same bit-for-bit agreement on whole extracted plans.
+
+use mqo_catalog::{Catalog, ColId, ColStats, ColType};
+use mqo_core::{optimize, Algorithm, OptContext, Options};
+use mqo_exec::ops::{self, Params};
+use mqo_exec::{execute_plan_with, generate_database, vops, ExecMode, ExecOptions, Row, Table};
+use mqo_expr::{AggExpr, AggFunc, Atom, CmpOp, Conjunct, ParamId, Predicate, ScalarExpr, Value};
+use mqo_logical::{Batch, LogicalPlan, Query};
+use mqo_util::FxHashMap;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Batch sizes every op-level case is checked at: degenerate
+/// tuple-at-a-time, an odd size that straddles chunk boundaries, and
+/// the production default.
+const BATCHES: [usize; 3] = [1, 3, 1024];
+
+// ---- strict comparison --------------------------------------------------
+
+fn strict_eq(a: &Value, b: &Value) -> bool {
+    match (a, b) {
+        (Value::Int(x), Value::Int(y)) => x == y,
+        (Value::Float(x), Value::Float(y)) => x.to_bits() == y.to_bits(),
+        (Value::Str(x), Value::Str(y)) => x == y,
+        (Value::Null, Value::Null) => true,
+        _ => false,
+    }
+}
+
+fn rows_strict_eq(a: &Row, b: &Row) -> bool {
+    a.len() == b.len() && a.iter().zip(b).all(|(x, y)| strict_eq(x, y))
+}
+
+/// Bit-level table identity: schema, sort metadata, row order, values.
+fn tables_identical(a: &Table, b: &Table) -> bool {
+    a.schema == b.schema
+        && a.sorted_on == b.sorted_on
+        && a.len() == b.len()
+        && (0..a.len()).all(|i| rows_strict_eq(&a.row(i), &b.row(i)))
+}
+
+// ---- randomized inputs --------------------------------------------------
+
+/// Column kind: 0 = Int, 1 = Float, 2 = Str, 3 = mixed types.
+fn rand_value(rng: &mut StdRng, kind: u8) -> Value {
+    if rng.random_range(0u32..5) == 0 {
+        return Value::Null; // Null-heavy on purpose
+    }
+    let kind = if kind == 3 {
+        rng.random_range(0u8..3)
+    } else {
+        kind
+    };
+    match kind {
+        0 => Value::Int(rng.random_range(-3i64..6)),
+        1 => Value::Float(rng.random_range(-4i64..5) as f64 * 0.5),
+        _ => Value::str(&format!("s{}", rng.random_range(0u32..5))),
+    }
+}
+
+/// A random table: `ncols` columns with ids `base..base+ncols`, kinds
+/// drawn per column (first column's kind is forced to `key_kind` when
+/// given, so joins and index probes actually match).
+fn rand_table(
+    rng: &mut StdRng,
+    base: u32,
+    ncols: usize,
+    nrows: usize,
+    key_kind: Option<u8>,
+) -> (Table, Vec<u8>) {
+    let kinds: Vec<u8> = (0..ncols)
+        .map(|i| match (i, key_kind) {
+            (0, Some(k)) => k,
+            _ => rng.random_range(0u8..4),
+        })
+        .collect();
+    let schema: Vec<ColId> = (0..ncols as u32).map(|i| ColId(base + i)).collect();
+    let rows: Vec<Row> = (0..nrows)
+        .map(|_| kinds.iter().map(|&k| rand_value(rng, k)).collect())
+        .collect();
+    (Table::new(schema, rows), kinds)
+}
+
+fn rand_op(rng: &mut StdRng) -> CmpOp {
+    [
+        CmpOp::Lt,
+        CmpOp::Le,
+        CmpOp::Eq,
+        CmpOp::Ge,
+        CmpOp::Gt,
+        CmpOp::Ne,
+    ][rng.random_range(0usize..6)]
+}
+
+fn rand_atom(rng: &mut StdRng, schema: &[ColId], kinds: &[u8]) -> Atom {
+    let pick = rng.random_range(0u32..8);
+    let ci = rng.random_range(0usize..schema.len());
+    match pick {
+        // col-col comparison (possibly cross-typed)
+        0 | 1 => {
+            let cj = rng.random_range(0usize..schema.len());
+            Atom::col_cmp(schema[ci], rand_op(rng), schema[cj])
+        }
+        // parameter comparison (always bound as ParamId(0))
+        2 => Atom::Param {
+            col: schema[ci],
+            op: rand_op(rng),
+            param: ParamId(0),
+        },
+        // constant comparison; sometimes deliberately miss-typed or Null
+        _ => {
+            let kind = if rng.random_range(0u32..4) == 0 {
+                3
+            } else {
+                kinds[ci]
+            };
+            Atom::cmp(schema[ci], rand_op(rng), rand_value(rng, kind))
+        }
+    }
+}
+
+fn rand_pred(rng: &mut StdRng, schema: &[ColId], kinds: &[u8]) -> Predicate {
+    let n_disj = rng.random_range(1usize..3);
+    let conjs: Vec<Conjunct> = (0..n_disj)
+        .map(|_| {
+            let n_atoms = rng.random_range(0usize..3);
+            Conjunct::new(
+                (0..n_atoms)
+                    .map(|_| rand_atom(rng, schema, kinds))
+                    .collect(),
+            )
+        })
+        .collect();
+    Predicate::any(conjs)
+}
+
+fn rand_params(rng: &mut StdRng) -> Params {
+    let mut p = Params::default();
+    let kind = rng.random_range(0u8..4);
+    p.insert(ParamId(0), rand_value(rng, kind));
+    p
+}
+
+// ---- row-path reference implementations (mirror the engine's arms) ------
+
+fn row_filter(t: &Table, pred: &Predicate, params: &Params) -> Table {
+    let schema = t.schema.clone();
+    let rows = ops::filter(
+        Box::new(t.rows()),
+        schema.clone(),
+        pred.clone(),
+        params.clone(),
+    )
+    .collect();
+    Table::new(schema, rows)
+}
+
+fn row_index_scan(t: &Table, pred: &Predicate, col: ColId, params: &Params) -> Table {
+    let schema = t.schema.clone();
+    let rows = ops::index_scan(
+        std::sync::Arc::new(t.clone()),
+        pred.clone(),
+        col,
+        params.clone(),
+    )
+    .collect();
+    Table::new(schema, rows)
+}
+
+fn row_project(t: &Table, cols: &[ColId]) -> Table {
+    let rows = ops::project(Box::new(t.rows()), &t.schema, cols).collect();
+    Table::new(cols.to_vec(), rows)
+}
+
+fn row_nl_join(outer: &Table, inner: &Table, pred: &Predicate, params: &Params) -> Table {
+    let mut schema = outer.schema.clone();
+    schema.extend(inner.schema.iter().copied());
+    let rows = ops::nl_join(
+        Box::new(outer.rows()),
+        inner.to_rows(),
+        schema.clone(),
+        pred.clone(),
+        params.clone(),
+    )
+    .collect();
+    Table::new(schema, rows)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn row_merge_join(
+    left: &Table,
+    right: &Table,
+    lk: &[ColId],
+    rk: &[ColId],
+    residual: &Predicate,
+    params: &Params,
+) -> Table {
+    let mut schema = left.schema.clone();
+    schema.extend(right.schema.iter().copied());
+    let rows = ops::merge_join(
+        left.to_rows(),
+        &left.schema,
+        right.to_rows(),
+        &right.schema,
+        lk,
+        rk,
+        residual,
+        params,
+    );
+    Table::new(schema, rows)
+}
+
+fn row_indexed_nl_join(
+    outer: &Table,
+    inner: &Table,
+    key: ColId,
+    residual: &Predicate,
+    params: &Params,
+) -> Table {
+    let mut schema = outer.schema.clone();
+    schema.extend(inner.schema.iter().copied());
+    let rows = ops::indexed_nl_join(
+        Box::new(outer.rows()),
+        outer.schema.clone(),
+        std::sync::Arc::new(inner.clone()),
+        key,
+        residual.clone(),
+        params.clone(),
+    )
+    .collect();
+    Table::new(schema, rows)
+}
+
+fn row_sort_aggregate(t: &Table, keys: &[ColId], aggs: &[AggExpr]) -> Table {
+    let rows = ops::sort_aggregate(t.to_rows(), &t.schema, keys, aggs);
+    let mut schema = keys.to_vec();
+    schema.extend(aggs.iter().map(|a| a.output));
+    Table::new(schema, rows)
+}
+
+// ---- the properties -----------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn filter_parity(seed in any::<u64>()) {
+        let rng = &mut StdRng::seed_from_u64(seed);
+        let (nc, nr) = (rng.random_range(1usize..4), rng.random_range(0usize..40));
+        let (t, kinds) = rand_table(rng, 0, nc, nr, None);
+        let pred = rand_pred(rng, &t.schema, &kinds);
+        let params = rand_params(rng);
+        let want = row_filter(&t, &pred, &params);
+        for b in BATCHES {
+            let got = vops::filter(&t, &pred, &params, b);
+            prop_assert!(tables_identical(&want, &got), "batch {b}: pred {pred}");
+        }
+    }
+
+    #[test]
+    fn index_scan_parity(seed in any::<u64>()) {
+        let rng = &mut StdRng::seed_from_u64(seed);
+        let (nc, nr) = (rng.random_range(1usize..4), rng.random_range(0usize..40));
+        let (mut t, kinds) = rand_table(rng, 0, nc, nr, Some(0));
+        t.sort_by(&[t.schema[0]]);
+        // a range atom on the clustering column plus random extras
+        let mut atoms = vec![Atom::cmp(t.schema[0], rand_op(rng), rand_value(rng, 0))];
+        if rng.random_range(0u32..2) == 0 {
+            atoms.push(rand_atom(rng, &t.schema.clone(), &kinds));
+        }
+        let pred = Predicate::all(atoms);
+        let params = rand_params(rng);
+        let want = row_index_scan(&t, &pred, t.schema[0], &params);
+        for b in BATCHES {
+            let got = vops::index_scan(&t, &pred, t.schema[0], &params, b);
+            prop_assert!(tables_identical(&want, &got), "batch {b}: pred {pred}");
+        }
+    }
+
+    #[test]
+    fn project_parity(seed in any::<u64>()) {
+        let rng = &mut StdRng::seed_from_u64(seed);
+        let (nc, nr) = (rng.random_range(2usize..5), rng.random_range(0usize..30));
+        let (t, _) = rand_table(rng, 0, nc, nr, None);
+        // random non-empty selection, possibly reordered
+        let mut cols: Vec<ColId> = t.schema.clone();
+        for i in (1..cols.len()).rev() {
+            cols.swap(i, rng.random_range(0usize..i + 1));
+        }
+        cols.truncate(rng.random_range(1usize..=cols.len()));
+        let want = row_project(&t, &cols);
+        let got = vops::project(&t, &cols);
+        prop_assert!(tables_identical(&want, &got));
+    }
+
+    #[test]
+    fn nl_join_parity(seed in any::<u64>()) {
+        let rng = &mut StdRng::seed_from_u64(seed);
+        let (nc1, nr1) = (rng.random_range(1usize..3), rng.random_range(0usize..16));
+        let (outer, mut kinds) = rand_table(rng, 0, nc1, nr1, None);
+        let (nc2, nr2) = (rng.random_range(1usize..3), rng.random_range(0usize..16));
+        let (inner, ik) = rand_table(rng, 10, nc2, nr2, None);
+        let mut schema = outer.schema.clone();
+        schema.extend(inner.schema.iter().copied());
+        kinds.extend(ik);
+        let pred = rand_pred(rng, &schema, &kinds);
+        let params = rand_params(rng);
+        let want = row_nl_join(&outer, &inner, &pred, &params);
+        for b in BATCHES {
+            let got = vops::nl_join(&outer, &inner, &pred, &params, b);
+            prop_assert!(tables_identical(&want, &got), "batch {b}: pred {pred}");
+        }
+    }
+
+    #[test]
+    fn merge_join_parity(seed in any::<u64>()) {
+        let rng = &mut StdRng::seed_from_u64(seed);
+        let key_kind = rng.random_range(0u8..3);
+        let (nc1, nr1) = (rng.random_range(1usize..3), rng.random_range(0usize..24));
+        let (mut left, mut kinds) = rand_table(rng, 0, nc1, nr1, Some(key_kind));
+        let (nc2, nr2) = (rng.random_range(1usize..3), rng.random_range(0usize..24));
+        let (mut right, rk_kinds) = rand_table(rng, 10, nc2, nr2, Some(key_kind));
+        kinds.extend(rk_kinds);
+        let (lk, rk) = (vec![left.schema[0]], vec![right.schema[0]]);
+        left.sort_by(&lk);
+        right.sort_by(&rk);
+        let mut schema = left.schema.clone();
+        schema.extend(right.schema.iter().copied());
+        let residual = if rng.random_range(0u32..3) == 0 {
+            Predicate::true_()
+        } else {
+            rand_pred(rng, &schema, &kinds)
+        };
+        let params = rand_params(rng);
+        let want = row_merge_join(&left, &right, &lk, &rk, &residual, &params);
+        for b in BATCHES {
+            let got = vops::merge_join(&left, &right, &lk, &rk, &residual, &params, b);
+            prop_assert!(tables_identical(&want, &got), "batch {b}: residual {residual}");
+        }
+    }
+
+    #[test]
+    fn indexed_nl_join_parity(seed in any::<u64>()) {
+        let rng = &mut StdRng::seed_from_u64(seed);
+        let key_kind = rng.random_range(0u8..3);
+        let (nc1, nr1) = (rng.random_range(1usize..3), rng.random_range(0usize..16));
+        let (outer, mut kinds) = rand_table(rng, 0, nc1, nr1, Some(key_kind));
+        let (nc2, nr2) = (rng.random_range(1usize..3), rng.random_range(0usize..24));
+        let (mut inner, ik) = rand_table(rng, 10, nc2, nr2, Some(key_kind));
+        kinds.extend(ik);
+        inner.sort_by(&[inner.schema[0]]);
+        let mut schema = outer.schema.clone();
+        schema.extend(inner.schema.iter().copied());
+        let residual = if rng.random_range(0u32..3) == 0 {
+            Predicate::true_()
+        } else {
+            rand_pred(rng, &schema, &kinds)
+        };
+        let params = rand_params(rng);
+        let want = row_indexed_nl_join(&outer, &inner, outer.schema[0], &residual, &params);
+        for b in BATCHES {
+            let got = vops::indexed_nl_join(&outer, &inner, outer.schema[0], &residual, &params, b);
+            prop_assert!(tables_identical(&want, &got), "batch {b}: residual {residual}");
+        }
+    }
+
+    #[test]
+    fn sort_aggregate_parity(seed in any::<u64>()) {
+        let rng = &mut StdRng::seed_from_u64(seed);
+        let ncols = rng.random_range(1usize..4);
+        let nr = rng.random_range(0usize..30);
+        let (mut t, _) = rand_table(rng, 0, ncols, nr, None);
+        let nkeys = rng.random_range(0usize..2.min(ncols) + 1).min(ncols);
+        let keys: Vec<ColId> = t.schema[..nkeys].to_vec();
+        if !keys.is_empty() {
+            t.sort_by(&keys);
+        }
+        let funcs = [AggFunc::Sum, AggFunc::Min, AggFunc::Max, AggFunc::Count];
+        let aggs: Vec<AggExpr> = (0..rng.random_range(1usize..4))
+            .map(|i| {
+                let func = funcs[rng.random_range(0usize..4)];
+                let arg_col = t.schema[rng.random_range(0usize..ncols)];
+                let arg = if rng.random_range(0u32..4) == 0 {
+                    ScalarExpr::col(arg_col)
+                        .bin(mqo_expr::ArithOp::Add, ScalarExpr::constant(1i64))
+                } else {
+                    ScalarExpr::col(arg_col)
+                };
+                AggExpr::new(func, arg, ColId(90 + i as u32))
+            })
+            .collect();
+        let want = row_sort_aggregate(&t, &keys, &aggs);
+        let got = vops::sort_aggregate(&t, &keys, &aggs);
+        prop_assert!(tables_identical(&want, &got));
+    }
+}
+
+// ---- engine-level parity ------------------------------------------------
+
+/// Star-schema batch exercising scans, index selects, both join
+/// algorithms, filters, projections, and a grouped aggregate.
+fn star() -> (Catalog, Batch) {
+    let mut cat = Catalog::new();
+    let dim = cat
+        .table("dim")
+        .rows(200.0)
+        .int_key("dk")
+        .int_uniform("dcat", 0, 9)
+        .clustered_on_first()
+        .build();
+    let fact = cat
+        .table("fact")
+        .rows(5_000.0)
+        .int_key("fk")
+        .int_uniform("dfk", 0, 199)
+        .int_uniform("val", 0, 99)
+        .clustered_on_first()
+        .build();
+    let other = cat
+        .table("other")
+        .rows(300.0)
+        .int_key("ok")
+        .int_uniform("ocat", 0, 9)
+        .clustered_on_first()
+        .build();
+    let dk = cat.col("dim", "dk");
+    let dcat = cat.col("dim", "dcat");
+    let dfk = cat.col("fact", "dfk");
+    let val = cat.col("fact", "val");
+    let ok = cat.col("other", "ok");
+    let ocat = cat.col("other", "ocat");
+    let sum1 = cat.derived_column("sum1", ColType::Float, ColStats::opaque(10.0));
+    let join_df = Predicate::atom(Atom::eq_cols(dk, dfk));
+    let q1 = LogicalPlan::scan(dim)
+        .join(LogicalPlan::scan(fact), join_df.clone())
+        .aggregate(
+            vec![dcat],
+            vec![AggExpr::new(AggFunc::Sum, ScalarExpr::col(val), sum1)],
+        );
+    let q2 = LogicalPlan::scan(dim)
+        .join(LogicalPlan::scan(fact), join_df)
+        .select(Predicate::atom(Atom::cmp(val, CmpOp::Ge, 50i64)))
+        .join(
+            LogicalPlan::scan(other),
+            Predicate::atom(Atom::eq_cols(dcat, ocat)),
+        )
+        .project(vec![dcat, val, ok]);
+    (
+        cat,
+        Batch::of(vec![Query::new("q1", q1), Query::new("q2", q2)]),
+    )
+}
+
+#[test]
+fn engine_modes_agree_bit_for_bit() {
+    let (cat, batch) = star();
+    let db = generate_database(&cat, 777, usize::MAX);
+    let params = FxHashMap::default();
+    let opts = Options::new();
+    for alg in [Algorithm::Volcano, Algorithm::Greedy] {
+        let r = optimize(&batch, &cat, alg, &opts);
+        let ctx = OptContext::build(&batch, &cat, &opts);
+        let row = execute_plan_with(
+            &cat,
+            &ctx.pdag,
+            &r.plan,
+            &db,
+            &params,
+            ExecOptions {
+                mode: ExecMode::Row,
+                batch_rows: 1024,
+            },
+        );
+        for batch_rows in BATCHES {
+            let vec = execute_plan_with(
+                &cat,
+                &ctx.pdag,
+                &r.plan,
+                &db,
+                &params,
+                ExecOptions {
+                    mode: ExecMode::Vectorized,
+                    batch_rows,
+                },
+            );
+            assert_eq!(row.temps_built, vec.temps_built, "{alg:?}");
+            assert_eq!(row.rows_out, vec.rows_out, "{alg:?} batch {batch_rows}");
+            assert_eq!(row.results.len(), vec.results.len());
+            for (qi, (a, b)) in row.results.iter().zip(&vec.results).enumerate() {
+                assert!(
+                    tables_identical(a, b),
+                    "{alg:?} batch {batch_rows}: query {qi} diverged"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn exec_options_env_defaults_are_sane() {
+    // from_env must honor whatever the CI matrix sets, and fall back to
+    // the vectorized path with the documented default batch size
+    let opts = ExecOptions::from_env();
+    assert!(opts.batch_rows >= 1);
+    if std::env::var("MQO_EXEC_MODE").is_err() {
+        assert_eq!(opts.mode, ExecMode::Vectorized);
+    }
+    if std::env::var("MQO_BATCH_ROWS").is_err() {
+        assert_eq!(opts.batch_rows, mqo_exec::DEFAULT_BATCH_ROWS);
+    }
+}

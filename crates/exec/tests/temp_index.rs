@@ -77,13 +77,11 @@ fn strong_selection_probes_materialized_weak_temp() {
     let base = db.table(cat.table_by_name("ev").unwrap().id);
     let vp = base.col_pos(evv);
     let expect_strong = base
-        .rows
-        .iter()
+        .rows()
         .filter(|r| r[vp].as_i64().unwrap() >= 90)
         .count();
     let expect_weak = base
-        .rows
-        .iter()
+        .rows()
         .filter(|r| r[vp].as_i64().unwrap() >= 10)
         .count();
     assert_eq!(out.results[0].len(), expect_weak);

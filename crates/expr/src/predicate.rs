@@ -219,6 +219,29 @@ impl Atom {
         }
     }
 
+    /// Borrowing form of [`Atom::eval`]: resolvers hand out references, so
+    /// evaluating over stored tuples never clones a cell (`Str` values are
+    /// heap-backed; the owning variant clones them per atom per row). A
+    /// column that resolves to `None` behaves as SQL NULL.
+    pub fn eval_ref<'a>(
+        &'a self,
+        resolve: &impl Fn(ColId) -> Option<&'a Value>,
+        params: &impl Fn(ParamId) -> &'a Value,
+    ) -> bool {
+        let (l, op, r) = match self {
+            Atom::Cmp { col, op, val } => (resolve(*col), *op, Some(val)),
+            Atom::ColCmp { left, op, right } => (resolve(*left), *op, resolve(*right)),
+            Atom::Param { col, op, param } => (resolve(*col), *op, Some(params(*param))),
+        };
+        match (l, r) {
+            (Some(l), Some(r)) => match l.cmp_maybe(r) {
+                Some(ord) => op.matches(ord),
+                None => false,
+            },
+            _ => false,
+        }
+    }
+
     /// Canonical sort key (Value lacks Ord, so we order via sort_cmp).
     fn sort_key_cmp(&self, other: &Atom) -> Ordering {
         fn rank(a: &Atom) -> u8 {
@@ -436,6 +459,17 @@ impl Predicate {
         self.disjuncts
             .iter()
             .any(|d| d.atoms().iter().all(|a| a.eval(resolve, params)))
+    }
+
+    /// Borrowing form of [`Predicate::eval`]; see [`Atom::eval_ref`].
+    pub fn eval_ref<'a>(
+        &'a self,
+        resolve: &impl Fn(ColId) -> Option<&'a Value>,
+        params: &impl Fn(ParamId) -> &'a Value,
+    ) -> bool {
+        self.disjuncts
+            .iter()
+            .any(|d| d.atoms().iter().all(|a| a.eval_ref(resolve, params)))
     }
 
     /// If the predicate is a single constant comparison `col op v`, returns

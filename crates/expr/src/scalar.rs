@@ -96,6 +96,17 @@ impl ScalarExpr {
             }
         }
     }
+
+    /// Borrowing form of [`ScalarExpr::eval`]: the resolver hands out
+    /// references, so a value is cloned only where the result actually
+    /// needs ownership (a `Col` leaf or a `Const`), never per lookup.
+    /// A column that resolves to `None` behaves as SQL NULL.
+    pub fn eval_ref<'a>(&'a self, resolve: &impl Fn(ColId) -> Option<&'a Value>) -> Value {
+        match self {
+            ScalarExpr::Col(c) => resolve(*c).cloned().unwrap_or(Value::Null),
+            _ => self.eval(&|c| resolve(c).cloned().unwrap_or(Value::Null)),
+        }
+    }
 }
 
 /// Aggregate functions.

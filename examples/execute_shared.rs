@@ -9,7 +9,9 @@
 //! Run with: `cargo run --release --example execute_shared`
 
 use mqo::core::Optimizer;
-use mqo::exec::{execute_plan, generate_database, normalize_result, results_approx_equal};
+use mqo::exec::{
+    execute_plan, generate_database, normalize_result, results_approx_equal, ExecMode, ExecOptions,
+};
 use mqo::util::FxHashMap;
 use mqo::workloads::Tpcd;
 
@@ -21,6 +23,14 @@ fn main() {
     println!("generating data for {} tables…", w.catalog.tables().len());
     let db = generate_database(&w.catalog, 7, usize::MAX);
     let params = FxHashMap::default();
+    let exec = ExecOptions::from_env();
+    match exec.mode {
+        ExecMode::Vectorized => println!(
+            "engine: vectorized columnar, {} rows/batch (MQO_BATCH_ROWS)",
+            exec.batch_rows
+        ),
+        ExecMode::Row => println!("engine: legacy row-at-a-time (MQO_EXEC_MODE=row)"),
+    }
 
     let optimizer = Optimizer::new(&w.catalog);
     let ctx = optimizer.prepare(&batch); // one DAG for both strategies
