@@ -2,6 +2,12 @@
 //! without multi-query optimization — now also comparing the Greedy and
 //! KS15 shared plans.
 //!
+//! This binary deliberately stays on the staged `Optimizer` +
+//! `execute_plan` path: its point is a *cold*, per-strategy comparison
+//! over one prepared context, which is exactly the single-batch shim's
+//! job. The serving dimension — what the same plans cost once a
+//! session's MvStore is warm — is the `serving` binary's table.
+//!
 //! The paper ran the plans on Microsoft SQL Server 6.5 by encoding
 //! sharing in SQL; we execute the optimizer's plans directly on this
 //! repository's iterator-model engine (substitution documented in

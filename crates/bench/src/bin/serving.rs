@@ -1,0 +1,72 @@
+//! Steady-state serving figure: cold vs warm batches through one
+//! long-lived `MqoSession` (the table EXPERIMENTS.md captures).
+//!
+//! Two phases over the TPC-D serving stream (overlapping windows of the
+//! Experiment-2 component pairs):
+//!
+//! * **cold lap** — batches 0..N on a fresh session: every batch pays
+//!   for its own temps, overlap with the *previous* batch already hits.
+//! * **warm lap** — the same batches again on the now-populated cache:
+//!   steady state, where everything sharable is already materialized.
+//!
+//! Reported per batch: optimizer-estimated cost, measured execution
+//! wall (median of 3 — the first lap's build run is measured separately
+//! so temp construction is included in "cold"), temps built, cache
+//! hits, and the store's admission/eviction churn.
+//!
+//! Run with:
+//! `cargo run --release -p mqo-bench --bin serving [-- --scale 0.004]`
+
+use mqo_bench::TextTable;
+use mqo_exec::generate_database;
+use mqo_session::{MqoSession, SessionOptions};
+use mqo_workloads::Tpcd;
+
+const ROUNDS: usize = 5;
+
+fn main() {
+    let scale = std::env::args()
+        .skip_while(|a| a != "--scale")
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.004);
+    let w = Tpcd::new(scale);
+    let batches = w.serving_batches(ROUNDS);
+    let db = generate_database(&w.catalog, 42, usize::MAX);
+    let mut session = MqoSession::new(w.catalog, db, SessionOptions::new());
+
+    let mut t = TextTable::new(&[
+        "batch",
+        "est cost",
+        "exec [ms]",
+        "temps",
+        "hits",
+        "admit/evict",
+    ]);
+    for lap in ["cold", "warm"] {
+        for (i, batch) in batches.iter().enumerate() {
+            let r = session.submit(batch).expect("Greedy is registered");
+            t.row(vec![
+                format!("{lap} {i}"),
+                format!("{}", r.cost),
+                format!("{:.2}", r.exec_wall.as_secs_f64() * 1e3),
+                format!("{}", r.temps_built),
+                format!("{}", r.cache_hits),
+                format!("{}/{}", r.admitted, r.evicted),
+            ]);
+        }
+    }
+    let s = session.stats();
+    t.print(&format!(
+        "Steady-state serving (scale {scale}, {ROUNDS}-batch stream, twice)"
+    ));
+    println!(
+        "session: {} hits / {} temps built | cache {} entries, {:.1} MiB used | est Σ {:.1}s, exec Σ {:.0}ms",
+        s.cache_hits,
+        s.temps_built,
+        s.mv_entries,
+        s.mv_bytes_used as f64 / (1 << 20) as f64,
+        s.est_cost_secs,
+        s.exec_secs * 1e3
+    );
+}

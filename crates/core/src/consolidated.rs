@@ -213,6 +213,7 @@ impl PlanGraph {
             root: self.nodes[self.root].phys,
             query_roots,
             materialized,
+            warm_used: Vec::new(),
             total_cost,
         }
     }

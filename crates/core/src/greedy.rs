@@ -55,6 +55,7 @@ impl Strategy for Greedy {
 
 /// Ablation switches for the greedy algorithm (§6.3 experiments).
 #[derive(Debug, Clone, Copy)]
+#[must_use = "GreedyOptions is a builder: chain `with_*` calls and install it via Options"]
 pub struct GreedyOptions {
     /// Initialize the candidate set with sharable nodes only (§4.1). When
     /// off, every non-root, non-parameterized node is a candidate.
@@ -297,12 +298,15 @@ fn charged_blocks(pdag: &PhysicalDag, n: PhysNodeId) -> f64 {
 /// result is identical at every thread count.
 pub fn greedy(ctx: &OptContext<'_>, opts: GreedyOptions) -> Optimized {
     let mut stats = OptStats::default();
-    let candidates = collect_candidates(ctx, opts, &mut stats);
+    let mut candidates = collect_candidates(ctx, opts, &mut stats);
+    // Warm nodes are already materialized — not candidates, a given.
+    candidates.retain(|&(n, _)| !ctx.warm.contains(n));
     let threads = mqo_util::resolve_threads(opts.threads).min(candidates.len().max(1));
-    // The empty-set cost table — computed once; the primary state and
-    // every worker replica start from (clones of) this one rather than
-    // each redoing the full bottom-up computation.
-    let base = CostState::new(&ctx.pdag);
+    // The starting cost table — warm temps pre-materialized, computed
+    // once; the primary state and every worker replica start from
+    // (clones of) this one rather than each redoing the full bottom-up
+    // computation.
+    let base = CostState::seeded(&ctx.pdag, &ctx.warm);
     if threads <= 1 {
         return greedy_sequential(ctx, opts, candidates, stats, base);
     }
@@ -649,8 +653,9 @@ fn greedy_parallel(
 /// Extracts the final plan from the converged state.
 fn finish(ctx: &OptContext<'_>, state: CostState, mut stats: OptStats) -> Optimized {
     let pdag = &ctx.pdag;
-    stats.materialized = state.mat.len();
-    let plan = ExtractedPlan::extract(pdag, &state.table, &state.mat);
+    stats.materialized = state.mat.len() - state.warm.len();
+    let plan = ExtractedPlan::extract_with_warm(pdag, &state.table, &state.mat, &state.warm);
+    stats.warm_reused = plan.warm_used.len();
     let cost = state.total(pdag);
     Optimized {
         plan,

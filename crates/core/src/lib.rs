@@ -105,6 +105,7 @@ impl Algorithm {
 
 /// Tuning knobs for the optimizer run.
 #[derive(Debug, Clone, Copy, Default)]
+#[must_use = "Options is a builder: chain `with_*` calls and pass it to an Optimizer"]
 pub struct Options {
     /// DAG construction configuration.
     pub dag: DagConfig,
@@ -188,8 +189,12 @@ pub struct OptStats {
     /// Incremental update: number of cost propagations across physical
     /// equivalence nodes (paper Figure 10, left).
     pub cost_propagations: u64,
-    /// Number of nodes chosen for materialization.
+    /// Number of nodes chosen for materialization (cold: computed and
+    /// written by this batch's plan).
     pub materialized: usize,
+    /// Number of *warm* temps the plan reads from a previous batch's
+    /// cache ([`OptContext::warm`]); zero outside a serving session.
+    pub warm_reused: usize,
 }
 
 impl OptStats {
@@ -235,6 +240,12 @@ pub struct OptContext<'a> {
     /// Wall-clock seconds spent expanding + physicalizing (stamped onto
     /// [`OptStats::dag_time_secs`] of every search over this context).
     pub dag_time_secs: f64,
+    /// Physical nodes already materialized by an earlier batch of the
+    /// same session (matched through cross-batch fingerprints — see
+    /// `mqo-session`). Strategies seed these into their initial
+    /// [`CostState`] at reuse cost and never charge their compute or
+    /// materialization again; empty outside a warm-cache session.
+    pub warm: MatSet,
 }
 
 impl<'a> OptContext<'a> {

@@ -15,6 +15,13 @@
 //! timed separately ([`OptStats::dag_time_secs`] vs
 //! [`OptStats::search_time_secs`]).
 //!
+//! This is the documented **single-batch** API: nothing survives from
+//! one batch to the next. Long-lived serving — repeated
+//! optimize-and-execute calls with a persistent cross-batch
+//! materialized-view cache — lives one layer up in `mqo-session`'s
+//! `MqoSession`, which drives this staged pipeline internally and seeds
+//! [`OptContext::warm`] between batches.
+//!
 //! [`OptStats::dag_time_secs`]: crate::OptStats::dag_time_secs
 //! [`OptStats::search_time_secs`]: crate::OptStats::search_time_secs
 
@@ -139,6 +146,7 @@ impl<'a> Optimizer<'a> {
             pdag,
             params: self.options.params,
             dag_time_secs: expanded.elapsed_secs + start.elapsed().as_secs_f64(),
+            warm: MatSet::new(),
         }
     }
 
@@ -211,8 +219,11 @@ impl<'a> Optimizer<'a> {
     /// materialized set on a prepared context. [`Optimized`] already
     /// carries the strategy's plan; this stage exists for callers that
     /// tweak the set (or transplant one) and want the matching plan.
+    /// When the context carries warm nodes ([`OptContext::warm`]), `mat`
+    /// should include them (as [`Optimized::mat`] does); their uses
+    /// extract as seeded temp reads rather than definitions.
     pub fn extract(&self, ctx: &OptContext<'_>, mat: &MatSet) -> ExtractedPlan {
         let table = CostTable::compute(&ctx.pdag, mat);
-        ExtractedPlan::extract(&ctx.pdag, &table, mat)
+        ExtractedPlan::extract_with_warm(&ctx.pdag, &table, mat, &ctx.warm)
     }
 }

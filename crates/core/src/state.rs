@@ -19,8 +19,14 @@ use std::collections::BinaryHeap;
 pub struct CostState {
     /// Current per-node/per-op costs (always consistent with `mat`).
     pub table: CostTable,
-    /// The materialized set.
+    /// The materialized set. Always a superset of `warm`.
     pub mat: MatSet,
+    /// Nodes materialized by an *earlier* batch (a serving session's
+    /// cache): they participate in `mat` — consumers are charged reuse
+    /// cost — but [`CostState::total`] charges them no compute or
+    /// materialization cost, so the search plans *around* the warm cache
+    /// instead of re-paying for it. Empty outside a session.
+    pub warm: MatSet,
 }
 
 impl CostState {
@@ -28,13 +34,34 @@ impl CostState {
     pub fn new(pdag: &PhysicalDag) -> Self {
         let mat = MatSet::new();
         let table = CostTable::compute(pdag, &mat);
-        CostState { table, mat }
+        CostState {
+            table,
+            mat,
+            warm: MatSet::new(),
+        }
+    }
+
+    /// Full computation with the warm set pre-materialized — the
+    /// starting state of a search over a batch served from a live
+    /// materialized-view cache.
+    pub fn seeded(pdag: &PhysicalDag, warm: &MatSet) -> Self {
+        let mut mat = MatSet::new();
+        for n in warm.iter() {
+            mat.insert(pdag, n);
+        }
+        let table = CostTable::compute(pdag, &mat);
+        CostState {
+            table,
+            mat,
+            warm: warm.clone(),
+        }
     }
 
     /// `bestcost(Q, mat)` (paper §4): root cost plus compute+materialize
-    /// cost of every materialized node.
+    /// cost of every **cold** materialized node (warm nodes were paid for
+    /// by the batch that built them).
     pub fn total(&self, pdag: &PhysicalDag) -> Cost {
-        self.table.total(pdag, &self.mat)
+        self.table.total_excluding(pdag, &self.mat, &self.warm)
     }
 
     /// Adds `n` to the materialized set, incrementally updating costs.

@@ -17,11 +17,13 @@
 //! extension enters the search space.
 
 mod build;
+mod fingerprint;
 mod memo;
 mod rules;
 mod sharability;
 mod subsumption;
 
+pub use fingerprint::{group_fingerprints, mix as mix_fingerprint, Fingerprint};
 pub use memo::{Dag, Group, GroupId, OpId, OpKind, Operation};
 pub use sharability::{degree_of_sharing, sharable_groups};
 

@@ -173,6 +173,33 @@ impl Column {
         self.len() == 0
     }
 
+    /// Approximate heap footprint of the payload, in bytes — what a
+    /// byte-budgeted cache (the `MvStore`) charges for keeping this
+    /// column alive. String payloads charge their UTF-8 length plus the
+    /// `Arc` pointer; shared (`Arc`-deduplicated) strings are charged at
+    /// every occurrence, a deliberate overestimate.
+    pub fn approx_bytes(&self) -> usize {
+        let data = match &self.data {
+            ColumnData::Int(d) => d.len() * std::mem::size_of::<i64>(),
+            ColumnData::Float(d) => d.len() * std::mem::size_of::<f64>(),
+            ColumnData::Str(d) => d
+                .iter()
+                .map(|s| s.len() + std::mem::size_of::<Arc<str>>())
+                .sum(),
+            ColumnData::Val(d) => d
+                .iter()
+                .map(|v| {
+                    std::mem::size_of::<Value>()
+                        + match v {
+                            Value::Str(s) => s.len(),
+                            _ => 0,
+                        }
+                })
+                .sum(),
+        };
+        data + self.nulls.words.len() * std::mem::size_of::<u64>()
+    }
+
     /// The typed payload.
     pub fn data(&self) -> &ColumnData {
         &self.data

@@ -34,6 +34,7 @@ pub enum ExecMode {
 
 /// Execution-engine knobs.
 #[derive(Debug, Clone, Copy)]
+#[must_use = "ExecOptions configures an execute_plan_with call; pass it along"]
 pub struct ExecOptions {
     /// Operator implementation to drive.
     pub mode: ExecMode,
@@ -57,7 +58,23 @@ impl ExecOptions {
     /// panic on malformed values — a typo'd knob silently running the
     /// default configuration would report green for a matrix leg that
     /// never executed.
+    ///
+    /// The environment is parsed **once per process** (a `OnceLock`):
+    /// per-plan execution used to re-read and re-parse both variables on
+    /// every call, which a serving session submitting thousands of
+    /// batches turns into measurable syscall noise. Callers that need
+    /// per-call knobs (a session's `SessionOptions`, the parity suites)
+    /// pass explicit [`ExecOptions`] — explicit options always take
+    /// precedence because [`execute_plan_with`] never consults the
+    /// environment at all.
     pub fn from_env() -> Self {
+        static CACHED: std::sync::OnceLock<ExecOptions> = std::sync::OnceLock::new();
+        *CACHED.get_or_init(Self::read_env)
+    }
+
+    /// Parses the environment directly, bypassing the process-lifetime
+    /// cache (tests that mutate `MQO_*` mid-process want this).
+    pub fn read_env() -> Self {
         let mode = match std::env::var("MQO_EXEC_MODE").ok().as_deref() {
             Some("row") => ExecMode::Row,
             Some("vec") | Some("vectorized") | None | Some("") => ExecMode::Vectorized,
@@ -99,7 +116,9 @@ pub fn execute_plan(
     execute_plan_with(catalog, pdag, plan, db, params, ExecOptions::from_env())
 }
 
-/// Executes `plan` against `db` with explicit engine knobs.
+/// Executes `plan` against `db` with explicit engine knobs. The plan
+/// must not reference warm temps (`plan.warm_used` empty) — plans that
+/// read a session cache go through [`execute_plan_seeded`].
 pub fn execute_plan_with(
     catalog: &Catalog,
     pdag: &PhysicalDag,
@@ -108,14 +127,58 @@ pub fn execute_plan_with(
     params: &FxHashMap<ParamId, Value>,
     exec: ExecOptions,
 ) -> ExecOutcome {
+    execute_plan_seeded(catalog, pdag, plan, db, params, exec, &FxHashMap::default()).outcome
+}
+
+/// A seeded execution's results plus the temps it built — the session
+/// keeps executing where [`execute_plan_with`] stops: warm temps flow
+/// *in* through `seeds`, cold temps flow *out* for cache admission.
+#[derive(Debug)]
+pub struct SeededOutcome {
+    /// The ordinary execution outcome.
+    pub outcome: ExecOutcome,
+    /// Every temp this execution materialized (the plan's cold temps),
+    /// in the plan's topological materialization order — refcounted, so
+    /// admitting them to a cache is free of copies.
+    pub built_temps: Vec<(PhysNodeId, Arc<Table>)>,
+}
+
+/// Executes a (possibly warm) plan: `seeds` provides one table per
+/// `plan.warm_used` node — results an earlier batch materialized, here
+/// read zero-copy instead of recomputed. Panics if a warm temp has no
+/// seed (the plan was extracted against a cache state the caller no
+/// longer holds).
+pub fn execute_plan_seeded(
+    catalog: &Catalog,
+    pdag: &PhysicalDag,
+    plan: &ExtractedPlan,
+    db: &Database,
+    params: &FxHashMap<ParamId, Value>,
+    exec: ExecOptions,
+    seeds: &FxHashMap<PhysNodeId, Arc<Table>>,
+) -> SeededOutcome {
     let start = Instant::now();
+    let mut temps: FxHashMap<PhysNodeId, Arc<Table>> = FxHashMap::default();
+    for &w in &plan.warm_used {
+        let t = seeds
+            .get(&w)
+            .unwrap_or_else(|| panic!("plan reads warm temp of node {w} but no seed was provided"));
+        debug_assert!(
+            match &pdag.node(w).prop {
+                PhysProp::Sorted(keys) => t.sorted_on.starts_with(keys),
+                PhysProp::Any => true,
+            },
+            "seeded temp for node {w} does not satisfy its physical property"
+        );
+        temps.insert(w, Arc::clone(t));
+    }
     let mut ex = Executor {
         catalog,
         pdag,
         plan,
         db,
         params: params.clone(),
-        temps: FxHashMap::default(),
+        temps,
         exec,
     };
     for &m in &plan.materialized {
@@ -127,13 +190,21 @@ pub fn execute_plan_with(
         }
         ex.temps.insert(m, Arc::new(t));
     }
+    let built_temps: Vec<(PhysNodeId, Arc<Table>)> = plan
+        .materialized
+        .iter()
+        .map(|&m| (m, Arc::clone(&ex.temps[&m])))
+        .collect();
     let results: Vec<Table> = plan.query_roots.iter().map(|&q| ex.eval_use(q)).collect();
     let rows_out = results.iter().map(Table::len).sum();
-    ExecOutcome {
-        temps_built: plan.materialized.len(),
-        rows_out,
-        wall: start.elapsed(),
-        results,
+    SeededOutcome {
+        outcome: ExecOutcome {
+            temps_built: plan.materialized.len(),
+            rows_out,
+            wall: start.elapsed(),
+            results,
+        },
+        built_temps,
     }
 }
 

@@ -162,6 +162,14 @@ impl Table {
         (start, end.max(start))
     }
 
+    /// Approximate heap footprint of the table's column payloads in
+    /// bytes (see [`Column::approx_bytes`]) — the admission/accounting
+    /// unit of the `MvStore` byte budget. Columns shared by refcount
+    /// with other tables are charged in full.
+    pub fn approx_bytes(&self) -> usize {
+        self.cols.iter().map(|c| c.approx_bytes()).sum()
+    }
+
     /// Number of rows.
     pub fn len(&self) -> usize {
         self.n_rows

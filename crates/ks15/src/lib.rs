@@ -112,10 +112,14 @@ impl Strategy for Ks15Greedy {
         for &(g, _) in &degrees {
             candidates.extend(pdag.variants(g).iter().copied());
         }
+        // Warm temps from an earlier batch are a given, not a decision.
+        candidates.retain(|&n| !ctx.warm.contains(n));
         stats.candidates = candidates.len();
 
-        // X starts empty, Y starts with every candidate materialized.
-        let mut x = CostState::new(pdag);
+        // X starts from the warm cache (empty outside a session), Y adds
+        // every candidate on top of it.
+        let floor = CostState::seeded(pdag, &ctx.warm);
+        let mut x = floor.clone();
         let baseline = x.total(pdag);
         let mut y = x.clone();
         for &n in &candidates {
@@ -148,7 +152,10 @@ impl Strategy for Ks15Greedy {
         // deterministic at every thread count: node-id order fixes both
         // the wave order and the argmax tie-break.
         loop {
-            let mut members: Vec<PhysNodeId> = x.mat.iter().collect();
+            // Only this batch's own choices are up for removal — warm
+            // temps exist whether or not this plan reads them.
+            let mut members: Vec<PhysNodeId> =
+                x.mat.iter().filter(|&n| !x.warm.contains(n)).collect();
             if members.is_empty() {
                 break;
             }
@@ -166,14 +173,15 @@ impl Strategy for Ks15Greedy {
             }
         }
 
-        // Volcano floor: never worse than no sharing.
+        // Volcano floor: never worse than materializing nothing new.
         if x.total(pdag) > baseline {
-            x = CostState::new(pdag);
+            x = floor;
         }
 
-        stats.materialized = x.mat.len();
+        stats.materialized = x.mat.len() - x.warm.len();
         let cost = x.total(pdag);
-        let plan = ExtractedPlan::extract(pdag, &x.table, &x.mat);
+        let plan = ExtractedPlan::extract_with_warm(pdag, &x.table, &x.mat, &x.warm);
+        stats.warm_reused = plan.warm_used.len();
         Optimized {
             plan,
             mat: x.mat,

@@ -208,9 +208,22 @@ impl CostTable {
     /// The paper's `bestcost(Q, S)`: root cost plus, for every
     /// materialized node, the cost of computing and materializing it once.
     pub fn total(&self, pdag: &PhysicalDag, mat: &MatSet) -> Cost {
+        self.total_excluding(pdag, mat, &MatSet::new())
+    }
+
+    /// [`CostTable::total`] for a serving session with a warm cache:
+    /// members of `warm` are *already* materialized (their compute +
+    /// materialize cost was paid by an earlier batch), so this batch is
+    /// charged only the root cost plus the compute+materialize cost of
+    /// the **cold** members of `mat`. Consumers still see warm nodes at
+    /// reuse cost through [`CostTable::c_value`] — that part of the model
+    /// needs no exclusion, only the one-time setup charge does.
+    pub fn total_excluding(&self, pdag: &PhysicalDag, mat: &MatSet, warm: &MatSet) -> Cost {
         let mut c = self.node_cost[pdag.root().index()];
         for m in mat.iter() {
-            c += self.node_cost[m.index()] + pdag.matcost(m);
+            if !warm.contains(m) {
+                c += self.node_cost[m.index()] + pdag.matcost(m);
+            }
         }
         c
     }

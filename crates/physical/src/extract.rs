@@ -30,21 +30,47 @@ pub struct ExtractedPlan {
     /// Per-query root nodes, in batch order.
     pub query_roots: Vec<PhysNodeId>,
     /// Materialized nodes actually referenced by the plan, in topological
-    /// order (safe evaluation order).
+    /// order (safe evaluation order). **Cold** temps only: the plan
+    /// computes and materializes these itself.
     pub materialized: Vec<PhysNodeId>,
-    /// Estimated total cost (`bestcost` over the referenced set).
+    /// Warm temps the plan reads but does **not** compute: nodes whose
+    /// materialization survives from an earlier batch (a serving
+    /// session's `MvStore`). The executor must be seeded with a table
+    /// per entry (see `mqo-exec`'s `execute_plan_seeded`); in topological
+    /// order. Empty outside a warm-cache session.
+    pub warm_used: Vec<PhysNodeId>,
+    /// Estimated total cost (`bestcost` over the referenced set; warm
+    /// temps charged at reuse only).
     pub total_cost: Cost,
 }
 
 impl ExtractedPlan {
-    /// Extracts the best shared plan under `mat`.
+    /// Extracts the best shared plan under `mat` (no warm cache).
     pub fn extract(pdag: &PhysicalDag, table: &CostTable, mat: &MatSet) -> ExtractedPlan {
+        Self::extract_with_warm(pdag, table, mat, &MatSet::new())
+    }
+
+    /// Extracts the best shared plan under `mat`, where the members of
+    /// `warm ⊆ mat` are already materialized by an earlier batch: their
+    /// definitions are *not* part of this plan (they surface in
+    /// [`ExtractedPlan::warm_used`] instead of
+    /// [`ExtractedPlan::materialized`]), uses of them become temp reads,
+    /// and [`ExtractedPlan::total_cost`] charges them nothing beyond the
+    /// reuse reads already folded into `table`'s node costs.
+    pub fn extract_with_warm(
+        pdag: &PhysicalDag,
+        table: &CostTable,
+        mat: &MatSet,
+        warm: &MatSet,
+    ) -> ExtractedPlan {
         let mut ex = Extractor {
             pdag,
             table,
             mat,
+            warm,
             choices: FxHashMap::default(),
             mat_used: FxHashSet::default(),
+            warm_used: FxHashSet::default(),
         };
         let root = pdag.root();
         ex.define(root);
@@ -55,8 +81,11 @@ impl ExtractedPlan {
         let query_roots = pdag.op(root_op).inputs.clone();
         let mut materialized: Vec<PhysNodeId> = ex.mat_used.iter().copied().collect();
         materialized.sort_by_key(|&n| pdag.node(n).topo);
+        let mut warm_used: Vec<PhysNodeId> = ex.warm_used.iter().copied().collect();
+        warm_used.sort_by_key(|&n| pdag.node(n).topo);
         let choices = ex.choices;
-        // total = root + Σ (compute + matcost) over *referenced* temps
+        // total = root + Σ (compute + matcost) over *referenced* cold
+        // temps; warm temps were paid for by an earlier batch
         let mut total = table.node_cost[root.index()];
         for &m in &materialized {
             total += table.node_cost[m.index()] + pdag.matcost(m);
@@ -66,6 +95,7 @@ impl ExtractedPlan {
             root,
             query_roots,
             materialized,
+            warm_used,
             total_cost: total,
         }
     }
@@ -74,6 +104,14 @@ impl ExtractedPlan {
     pub fn explain(&self, pdag: &PhysicalDag, _catalog: &Catalog) -> String {
         use std::fmt::Write;
         let mut out = String::new();
+        for &m in &self.warm_used {
+            let node = pdag.node(m);
+            let _ = writeln!(
+                out,
+                "warm g{}:{} (cached by an earlier batch)",
+                node.group, node.prop
+            );
+        }
         for &m in &self.materialized {
             let node = pdag.node(m);
             let _ = writeln!(out, "materialize g{}:{} {{", node.group, node.prop);
@@ -137,8 +175,10 @@ struct Extractor<'a> {
     pdag: &'a PhysicalDag,
     table: &'a CostTable,
     mat: &'a MatSet,
+    warm: &'a MatSet,
     choices: FxHashMap<PhysNodeId, ChosenOp>,
     mat_used: FxHashSet<PhysNodeId>,
+    warm_used: FxHashSet<PhysNodeId>,
 }
 
 impl Extractor<'_> {
@@ -150,14 +190,28 @@ impl Extractor<'_> {
         if let Some(m) = self.mat.reusable_for(self.pdag, n) {
             let reuse = self.pdag.reusecost(m);
             if self.pdag.node(m).topo < consumer_topo && reuse <= self.table.node_cost[n.index()] {
-                if m != n {
-                    self.choices.entry(n).or_insert(ChosenOp::Reuse(m));
-                }
-                self.require_temp(m);
+                self.mark_reuse(n, m);
                 return;
             }
         }
         self.define(n);
+    }
+
+    /// Records that uses of `n` read the temp of `m` and pulls `m` into
+    /// the plan — as a cold definition, or as a warm read when an earlier
+    /// batch already materialized it.
+    fn mark_reuse(&mut self, n: PhysNodeId, m: PhysNodeId) {
+        if self.warm.contains(m) {
+            // A warm temp has no definition in this plan; every use —
+            // including m's own node — resolves to a seeded temp read.
+            self.choices.entry(n).or_insert(ChosenOp::Reuse(m));
+            self.warm_used.insert(m);
+            return;
+        }
+        if m != n {
+            self.choices.entry(n).or_insert(ChosenOp::Reuse(m));
+        }
+        self.require_temp(m);
     }
 
     /// Ensures `m`'s definition is part of the plan and marked
@@ -187,7 +241,11 @@ impl Extractor<'_> {
                 .mat
                 .sorted_on(self.pdag, td.source, td.key)
                 .expect("temp-dependent op chosen without its temp");
-            self.require_temp(m);
+            if self.warm.contains(m) {
+                self.warm_used.insert(m);
+            } else {
+                self.require_temp(m);
+            }
         }
         for &c in &op.inputs.clone() {
             self.visit_use(c, consumer_topo);

@@ -23,11 +23,13 @@
 mod algo;
 mod cost_table;
 mod extract;
+mod fingerprint;
 mod pdag;
 mod prop;
 
 pub use algo::Algo;
 pub use cost_table::{CostTable, MatSet};
 pub use extract::{ChosenOp, ExtractedPlan};
+pub use fingerprint::node_fingerprints;
 pub use pdag::{PhysNode, PhysNodeId, PhysOp, PhysOpId, PhysicalDag, TempDep};
 pub use prop::PhysProp;

@@ -1,0 +1,432 @@
+//! The long-lived serving facade: [`MqoSession`].
+//!
+//! The staged [`Optimizer`] stops at one batch — plan it, execute it,
+//! drop every temp. That is exactly backwards for a serving system: the
+//! paper's premise is that materializing shared subexpressions pays for
+//! itself *across* queries, and in steady state the queries that share
+//! the most arrive in **consecutive** batches. A session closes the
+//! loop:
+//!
+//! ```text
+//!   Session::new(catalog, db, SessionOptions)
+//!   loop {
+//!       session.submit(batch)   // expand → search → extract → execute
+//!   }                           // temps survive in the MvStore
+//! ```
+//!
+//! Each [`MqoSession::submit`] is the whole pipeline in one call, and
+//! three mechanisms make consecutive batches cheaper than the first:
+//!
+//! 1. **Fingerprints** ([`mqo_dag::group_fingerprints`] +
+//!    [`mqo_physical::node_fingerprints`]) give every physical node a
+//!    batch-independent name, so an equivalent subexpression in a later
+//!    batch — different [`GroupId`](mqo_dag::GroupId)s, different node
+//!    ids — maps to the same cache key.
+//! 2. The **[`MvStore`]** keeps the refcounted columnar temps of earlier
+//!    batches alive under a byte budget, ranked by the paper's
+//!    benefit-per-(whole-)block metric, with hit/miss/evict accounting.
+//! 3. The **search plans around the warm cache**: matched nodes are
+//!    seeded into the strategy's initial materialized set
+//!    ([`mqo_core::OptContext::warm`]) at reuse cost, and charged no
+//!    compute or materialization — so Greedy/KS15 spend the batch's
+//!    budget on what is *not* already cached, and the extracted plan
+//!    reads warm temps zero-copy instead of recomputing them.
+//!
+//! Everything stays deterministic: the same batch stream produces
+//! identical plans, costs, and hit/evict sequences at every thread count
+//! and execution batch size. [`Optimizer`] and
+//! [`execute_plan_with`](mqo_exec::execute_plan_with) remain the
+//! documented single-batch path (multi-strategy comparisons, figure
+//! binaries); the session is the serving path.
+
+use mqo_catalog::Catalog;
+use mqo_core::{OptStats, Optimizer, Options, Registry, Strategy, StrategyError};
+use mqo_cost::Cost;
+use mqo_exec::{execute_plan_seeded, Admission, Database, ExecOptions, MvStats, MvStore, Table};
+use mqo_expr::{ParamId, Value};
+use mqo_logical::Batch;
+use mqo_physical::{CostTable, MatSet, PhysNodeId};
+use mqo_util::FxHashMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Default materialized-view budget: 256 MiB of columnar payload.
+pub const DEFAULT_MV_BUDGET_BYTES: usize = 256 << 20;
+
+/// Tuning knobs of a session.
+#[derive(Debug, Clone)]
+#[must_use = "SessionOptions is a builder: chain `with_*` calls and pass it to MqoSession::new"]
+pub struct SessionOptions {
+    /// Optimizer options (DAG config, cost params, greedy switches,
+    /// threads) applied to every submit.
+    pub opt: Options,
+    /// Registry name of the strategy each submit searches with.
+    /// Defaults to `"Greedy"`; `"KS15-Greedy"` is pre-registered too.
+    pub strategy: String,
+    /// Execution-engine knobs. `Some` takes precedence; `None` falls
+    /// back to the process-wide environment
+    /// ([`ExecOptions::from_env`], parsed once per process).
+    pub exec: Option<ExecOptions>,
+    /// Byte budget of the [`MvStore`]; `0` disables cross-batch caching
+    /// (every submit runs cold).
+    pub mv_budget_bytes: usize,
+}
+
+impl Default for SessionOptions {
+    fn default() -> Self {
+        SessionOptions {
+            opt: Options::new(),
+            strategy: "Greedy".to_string(),
+            exec: None,
+            mv_budget_bytes: DEFAULT_MV_BUDGET_BYTES,
+        }
+    }
+}
+
+impl SessionOptions {
+    /// Paper-default options: Greedy strategy, 256 MiB cache, engine
+    /// knobs from the environment.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Replaces the optimizer options.
+    pub fn with_opt(mut self, opt: Options) -> Self {
+        self.opt = opt;
+        self
+    }
+
+    /// Selects the search strategy by registry name.
+    pub fn with_strategy(mut self, name: impl Into<String>) -> Self {
+        self.strategy = name.into();
+        self
+    }
+
+    /// Pins the execution-engine knobs (overrides the environment).
+    pub fn with_exec(mut self, exec: ExecOptions) -> Self {
+        self.exec = Some(exec);
+        self
+    }
+
+    /// Sets the materialized-view byte budget (`0` disables caching).
+    pub fn with_mv_budget_bytes(mut self, bytes: usize) -> Self {
+        self.mv_budget_bytes = bytes;
+        self
+    }
+
+    /// Sets the worker-thread count for the search (`0` = auto, `1` =
+    /// sequential); results are identical at every thread count.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.opt = self.opt.with_threads(threads);
+        self
+    }
+}
+
+/// The outcome of one [`MqoSession::submit`].
+#[derive(Debug)]
+pub struct BatchResult {
+    /// One result table per query, in batch order.
+    pub results: Vec<Table>,
+    /// `bestcost(Q, M)` of the executed plan — warm temps charged at
+    /// reuse only, so a warm batch's estimated cost is at most the cold
+    /// plan's.
+    pub cost: Cost,
+    /// Optimizer statistics (timings, counters, DAG sizes).
+    pub stats: OptStats,
+    /// Wall-clock execution time of the plan.
+    pub exec_wall: Duration,
+    /// Total rows across all query results.
+    pub rows_out: usize,
+    /// Cold temps this batch computed and materialized.
+    pub temps_built: usize,
+    /// Warm temps served from the [`MvStore`] (cache hits).
+    pub cache_hits: usize,
+    /// Cold temps admitted into the store after execution.
+    pub admitted: usize,
+    /// Residents evicted to make room for this batch's admissions.
+    pub evicted: usize,
+    /// Admission offers the store rejected (budget).
+    pub rejected: usize,
+}
+
+/// Unified statistics over a session's lifetime.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SessionStats {
+    /// Batches submitted.
+    pub batches: u64,
+    /// Queries answered.
+    pub queries: u64,
+    /// Cumulative warm temps read.
+    pub cache_hits: u64,
+    /// Cumulative cold temps materialized.
+    pub temps_built: u64,
+    /// Store accounting (admissions, evictions, hit/miss counters of the
+    /// store's own lookups).
+    pub mv: MvStats,
+    /// Live cache entries.
+    pub mv_entries: usize,
+    /// Bytes currently charged against the cache budget.
+    pub mv_bytes_used: usize,
+    /// The configured cache budget.
+    pub mv_budget_bytes: usize,
+    /// Σ estimated plan cost, in seconds.
+    pub est_cost_secs: f64,
+    /// Σ optimizer wall time (DAG stages + search), in seconds.
+    pub opt_secs: f64,
+    /// Σ execution wall time, in seconds.
+    pub exec_secs: f64,
+}
+
+/// A long-lived optimize-and-execute session over one catalog and
+/// database, with a persistent cross-batch materialized-view cache.
+///
+/// ```
+/// use mqo_catalog::{Catalog, ColStats, ColType};
+/// use mqo_exec::generate_database;
+/// use mqo_expr::{AggExpr, AggFunc, Atom, Predicate, ScalarExpr};
+/// use mqo_logical::{Batch, LogicalPlan, Query};
+/// use mqo_session::{MqoSession, SessionOptions};
+///
+/// let mut cat = Catalog::new();
+/// let a = cat.table("a").rows(2_000.0).int_key("ak")
+///     .int_uniform("av", 0, 99).clustered_on_first().build();
+/// let b = cat.table("b").rows(4_000.0).int_key("bk")
+///     .int_uniform("afk", 0, 1_999).clustered_on_first().build();
+/// let (av, bk) = (cat.col("a", "av"), cat.col("b", "bk"));
+/// let tot = cat.derived_column("tot", ColType::Float, ColStats::opaque(100.0));
+/// let pred = Predicate::atom(Atom::eq_cols(cat.col("a", "ak"), cat.col("b", "afk")));
+/// let q = LogicalPlan::scan(a)
+///     .join(LogicalPlan::scan(b), pred)
+///     .aggregate(vec![av], vec![AggExpr::new(AggFunc::Sum, ScalarExpr::col(bk), tot)]);
+/// let batch = Batch::of(vec![Query::new("q1", q.clone()), Query::new("q2", q)]);
+///
+/// let db = generate_database(&cat, 7, usize::MAX);
+/// let mut session = MqoSession::new(cat, db, SessionOptions::new());
+/// let cold = session.submit(&batch).unwrap();
+/// let warm = session.submit(&batch).unwrap(); // shared aggregate → cache hit
+/// assert!(warm.cache_hits > 0);
+/// assert!(warm.temps_built < cold.temps_built);
+/// assert!(warm.cost <= cold.cost);
+/// ```
+pub struct MqoSession {
+    catalog: Catalog,
+    db: Database,
+    options: SessionOptions,
+    registry: Registry,
+    store: MvStore,
+    /// Monotone batch sequence number (the store's clock).
+    batch_seq: u64,
+    totals: SessionTotals,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct SessionTotals {
+    batches: u64,
+    queries: u64,
+    cache_hits: u64,
+    temps_built: u64,
+    est_cost_secs: f64,
+    opt_secs: f64,
+    exec_secs: f64,
+}
+
+impl MqoSession {
+    /// Opens a session over a catalog and a loaded database. The
+    /// built-in strategies plus `"KS15-Greedy"` are pre-registered.
+    pub fn new(catalog: Catalog, db: Database, options: SessionOptions) -> Self {
+        let mut registry = Registry::builtin();
+        registry
+            .register(Arc::new(mqo_ks15::Ks15Greedy))
+            .expect("KS15 name is unique among built-ins");
+        let store = MvStore::new(options.mv_budget_bytes);
+        MqoSession {
+            catalog,
+            db,
+            options,
+            registry,
+            store,
+            batch_seq: 0,
+            totals: SessionTotals::default(),
+        }
+    }
+
+    /// The session's catalog.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// The session's database.
+    pub fn database(&self) -> &Database {
+        &self.db
+    }
+
+    /// The session's options.
+    pub fn options(&self) -> &SessionOptions {
+        &self.options
+    }
+
+    /// The live materialized-view store (inspection; the session owns
+    /// all mutations).
+    pub fn mv_store(&self) -> &MvStore {
+        &self.store
+    }
+
+    /// Registers an additional strategy, selectable via
+    /// [`SessionOptions::strategy`].
+    pub fn register(&mut self, strategy: Arc<dyn Strategy>) -> Result<(), StrategyError> {
+        self.registry.register(strategy)
+    }
+
+    /// Unified statistics across every batch submitted so far.
+    pub fn stats(&self) -> SessionStats {
+        SessionStats {
+            batches: self.totals.batches,
+            queries: self.totals.queries,
+            cache_hits: self.totals.cache_hits,
+            temps_built: self.totals.temps_built,
+            mv: self.store.stats(),
+            mv_entries: self.store.len(),
+            mv_bytes_used: self.store.bytes_used(),
+            mv_budget_bytes: self.store.budget_bytes(),
+            est_cost_secs: self.totals.est_cost_secs,
+            opt_secs: self.totals.opt_secs,
+            exec_secs: self.totals.exec_secs,
+        }
+    }
+
+    /// Drops every cached materialized view (stats survive) — the next
+    /// submit runs cold.
+    pub fn clear_cache(&mut self) {
+        self.store.clear();
+    }
+
+    /// Optimizes and executes one batch: expand → search (planning
+    /// around the warm cache) → extract → vectorized execute, then
+    /// admits this batch's temps into the store.
+    pub fn submit(&mut self, batch: &Batch) -> Result<BatchResult, StrategyError> {
+        self.submit_with_params(batch, &FxHashMap::default())
+    }
+
+    /// [`MqoSession::submit`] with bindings for `Param` atoms.
+    /// Parameter-dependent results are never cached or served from the
+    /// cache (their groups are `has_param`), so differing bindings
+    /// across submits are safe.
+    pub fn submit_with_params(
+        &mut self,
+        batch: &Batch,
+        params: &FxHashMap<ParamId, Value>,
+    ) -> Result<BatchResult, StrategyError> {
+        let seq = self.batch_seq;
+        self.batch_seq += 1;
+
+        // --- Stages 1+2: expand and physicalize (per batch, cheap
+        // relative to search + execute).
+        let optimizer =
+            Optimizer::with_registry(&self.catalog, self.options.opt, self.registry.clone());
+        let mut ctx = optimizer.prepare(batch);
+
+        // --- Cross-batch identity: fingerprint every physical node and
+        // seed the warm set with the store's live entries.
+        let group_fps = mqo_dag::group_fingerprints(&ctx.dag);
+        let node_fps = mqo_physical::node_fingerprints(&ctx.pdag, &group_fps);
+        let mut warm = MatSet::new();
+        for (idx, &fp) in node_fps.iter().enumerate() {
+            let n = PhysNodeId::from_index(idx);
+            if self.store.contains(fp) && !ctx.dag.group(ctx.pdag.node(n).group).has_param {
+                warm.insert(&ctx.pdag, n);
+            }
+        }
+        ctx.warm = warm;
+
+        // --- Stage 3: search with the configured strategy; the warm
+        // seed makes the search spend this batch's budget on what is
+        // not already cached.
+        let optimized = optimizer.search(&ctx, &self.options.strategy)?;
+        let plan = &optimized.plan;
+
+        // --- Stage 4: execute, reading warm temps zero-copy.
+        let mut seeds: FxHashMap<PhysNodeId, Arc<Table>> = FxHashMap::default();
+        for &w in &plan.warm_used {
+            let t = self
+                .store
+                .get(node_fps[w.index()], seq)
+                .expect("warm_used nodes were matched against live store entries");
+            seeds.insert(w, t);
+        }
+        let exec_opts = self.options.exec.unwrap_or_else(ExecOptions::from_env);
+        let seeded = execute_plan_seeded(
+            &self.catalog,
+            &ctx.pdag,
+            plan,
+            &self.db,
+            params,
+            exec_opts,
+            &seeds,
+        );
+
+        // --- Admission: offer this batch's cold temps to the store,
+        // ranked by the optimizer's own benefit estimate (compute −
+        // reuse, per whole block) under the final materialized set.
+        // Pricing needs per-node costs, which `Optimized` does not carry,
+        // so one bottom-up CostTable pass is paid here — but only on
+        // batches that actually built temps; the steady-state fully-warm
+        // submit (built_temps empty) skips it entirely.
+        let (mut admitted, mut evicted, mut rejected) = (0usize, 0usize, 0usize);
+        if !seeded.built_temps.is_empty() && self.store.budget_bytes() > 0 {
+            let table = CostTable::compute(&ctx.pdag, &optimized.mat);
+            for (n, temp) in &seeded.built_temps {
+                if ctx.dag.group(ctx.pdag.node(*n).group).has_param {
+                    continue; // parameter-dependent: never cache
+                }
+                let benefit = (table.node_cost[n.index()] - ctx.pdag.reusecost(*n)).secs();
+                match self.store.admit(
+                    node_fps[n.index()],
+                    Arc::clone(temp),
+                    benefit,
+                    ctx.pdag.node(*n).blocks,
+                    seq,
+                ) {
+                    Admission::Admitted { evicted: e } => {
+                        admitted += 1;
+                        evicted += e;
+                    }
+                    Admission::Rejected => rejected += 1,
+                    Admission::AlreadyPresent => {}
+                }
+            }
+        }
+
+        let outcome = seeded.outcome;
+        let result = BatchResult {
+            cost: optimized.cost,
+            stats: optimized.stats,
+            exec_wall: outcome.wall,
+            rows_out: outcome.rows_out,
+            temps_built: outcome.temps_built,
+            cache_hits: plan.warm_used.len(),
+            admitted,
+            evicted,
+            rejected,
+            results: outcome.results,
+        };
+        self.totals.batches += 1;
+        self.totals.queries += batch.len() as u64;
+        self.totals.cache_hits += result.cache_hits as u64;
+        self.totals.temps_built += result.temps_built as u64;
+        self.totals.est_cost_secs += result.cost.secs();
+        self.totals.opt_secs += result.stats.total_time_secs();
+        self.totals.exec_secs += result.exec_wall.as_secs_f64();
+        Ok(result)
+    }
+}
+
+impl std::fmt::Debug for MqoSession {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MqoSession")
+            .field("strategy", &self.options.strategy)
+            .field("batches", &self.totals.batches)
+            .field("mv_entries", &self.store.len())
+            .field("mv_bytes_used", &self.store.bytes_used())
+            .finish()
+    }
+}

@@ -1,0 +1,222 @@
+//! Steady-state serving: the acceptance suite of the `MqoSession`
+//! tentpole.
+//!
+//! * A warm session re-submitting an overlapping batch must be
+//!   measurably cheaper than a cold one: cache hits > 0, fewer temps
+//!   built, optimizer-estimated cost ≤ the cold plan's — with results
+//!   identical to the cold run's.
+//! * The whole batch stream must be **deterministic**: the same stream
+//!   produces identical plans, costs, and cache hit/evict counts at
+//!   every worker-thread count and execution batch size.
+
+use mqo_exec::{generate_database, normalize_result, results_approx_equal, ExecMode, ExecOptions};
+use mqo_session::{BatchResult, MqoSession, SessionOptions};
+use mqo_workloads::Tpcd;
+
+const SCALE: f64 = 0.002;
+
+fn serving_session(threads: usize, batch_rows: usize) -> MqoSession {
+    let w = Tpcd::new(SCALE);
+    let db = generate_database(&w.catalog, 42, usize::MAX);
+    let exec = ExecOptions {
+        mode: ExecMode::Vectorized,
+        batch_rows,
+    };
+    MqoSession::new(
+        w.catalog,
+        db,
+        SessionOptions::new().with_threads(threads).with_exec(exec),
+    )
+}
+
+/// One run of the serving stream; returns per-batch observables.
+fn run_stream(threads: usize, batch_rows: usize, rounds: usize) -> Vec<BatchResult> {
+    let w = Tpcd::new(SCALE);
+    let batches = w.serving_batches(rounds);
+    let mut session = serving_session(threads, batch_rows);
+    batches
+        .iter()
+        .map(|b| session.submit(b).expect("Greedy is registered"))
+        .collect()
+}
+
+/// The headline acceptance: re-submitting the same batch to a warm
+/// session is cheaper on every axis the optimizer controls, and the
+/// answers do not change.
+#[test]
+fn warm_resubmit_is_cheaper_and_identical() {
+    let w = Tpcd::new(SCALE);
+    let batch = w.serving_batches(1).remove(0);
+    let db = generate_database(&w.catalog, 42, usize::MAX);
+    let mut session = MqoSession::new(w.catalog, db, SessionOptions::new());
+
+    let cold = session.submit(&batch).unwrap();
+    assert!(cold.temps_built > 0, "cold batch materializes shared temps");
+    assert!(cold.admitted > 0, "cold temps enter the MvStore");
+    assert_eq!(cold.cache_hits, 0, "nothing is warm on the first batch");
+
+    let warm = session.submit(&batch).unwrap();
+    assert!(warm.cache_hits > 0, "identical batch must hit the cache");
+    assert!(
+        warm.temps_built < cold.temps_built,
+        "warm batch re-materializes less: {} !< {}",
+        warm.temps_built,
+        cold.temps_built
+    );
+    assert!(
+        warm.cost <= cold.cost,
+        "warm estimated cost must not exceed cold: {} > {}",
+        warm.cost,
+        cold.cost
+    );
+    assert_eq!(warm.rows_out, cold.rows_out);
+    for (a, b) in cold.results.iter().zip(warm.results.iter()) {
+        assert!(
+            results_approx_equal(&normalize_result(a), &normalize_result(b), 1e-9),
+            "warm results diverged from cold"
+        );
+    }
+    let stats = session.stats();
+    assert_eq!(stats.batches, 2);
+    assert_eq!(stats.cache_hits, warm.cache_hits as u64);
+    assert!(stats.mv_entries > 0 && stats.mv_bytes_used > 0);
+}
+
+/// Consecutive *overlapping* (not identical) batches also serve their
+/// shared pair from the cache.
+#[test]
+fn overlapping_stream_hits_across_batches() {
+    let results = run_stream(1, mqo_exec::DEFAULT_BATCH_ROWS, 4);
+    let later_hits: usize = results[1..].iter().map(|r| r.cache_hits).sum();
+    assert!(
+        later_hits > 0,
+        "overlapping consecutive batches must produce warm hits"
+    );
+    // estimated optimizer cost of a warm batch never exceeds what the
+    // same session would pay cold: batch 5 repeats batch 0's window
+    // (i mod 5 wraps), so compare the wrapped round trip
+    let wrapped = run_stream(1, mqo_exec::DEFAULT_BATCH_ROWS, 6);
+    assert!(
+        wrapped[5].cost <= wrapped[0].cost,
+        "wrapped window must be no more expensive warm ({} > {})",
+        wrapped[5].cost,
+        wrapped[0].cost
+    );
+}
+
+/// The determinism contract: the same batch stream yields bit-identical
+/// costs and identical cache behaviour at worker threads {1, 4} and
+/// execution batch sizes {1, default}.
+#[test]
+fn stream_is_deterministic_across_threads_and_batch_rows() {
+    let rounds = 3;
+    let reference = run_stream(1, mqo_exec::DEFAULT_BATCH_ROWS, rounds);
+    for (threads, batch_rows) in [(4, mqo_exec::DEFAULT_BATCH_ROWS), (1, 1), (4, 1)] {
+        let other = run_stream(threads, batch_rows, rounds);
+        for (i, (a, b)) in reference.iter().zip(other.iter()).enumerate() {
+            assert_eq!(
+                a.cost.secs().to_bits(),
+                b.cost.secs().to_bits(),
+                "batch {i} cost differs at threads={threads} batch_rows={batch_rows}"
+            );
+            assert_eq!(a.cache_hits, b.cache_hits, "batch {i} hit count differs");
+            assert_eq!(a.temps_built, b.temps_built, "batch {i} temps differ");
+            assert_eq!(a.admitted, b.admitted, "batch {i} admissions differ");
+            assert_eq!(a.evicted, b.evicted, "batch {i} evictions differ");
+            assert_eq!(a.rows_out, b.rows_out, "batch {i} row count differs");
+            assert_eq!(
+                a.stats.materialized, b.stats.materialized,
+                "batch {i} plan (materialized set size) differs"
+            );
+            assert_eq!(
+                a.stats.warm_reused, b.stats.warm_reused,
+                "batch {i} plan (warm reuse count) differs"
+            );
+            for (x, y) in a.results.iter().zip(b.results.iter()) {
+                assert_eq!(
+                    normalize_result(x),
+                    normalize_result(y),
+                    "batch {i} results differ bit-for-bit"
+                );
+            }
+        }
+    }
+}
+
+/// A tight byte budget forces deterministic eviction/rejection instead
+/// of unbounded growth.
+#[test]
+fn budget_is_respected_under_pressure() {
+    let w = Tpcd::new(SCALE);
+    let batches = w.serving_batches(6);
+    let db = generate_database(&w.catalog, 42, usize::MAX);
+    let mut session = MqoSession::new(
+        w.catalog,
+        db,
+        SessionOptions::new().with_mv_budget_bytes(64 << 10), // 64 KiB
+    );
+    let mut churn = 0usize;
+    for b in &batches {
+        let r = session.submit(b).unwrap();
+        churn += r.evicted + r.rejected;
+        let stats = session.stats();
+        assert!(
+            stats.mv_bytes_used <= stats.mv_budget_bytes,
+            "cache exceeded its budget: {} > {}",
+            stats.mv_bytes_used,
+            stats.mv_budget_bytes
+        );
+    }
+    assert!(
+        churn > 0,
+        "a 64 KiB budget must trigger evictions or rejections"
+    );
+}
+
+/// A zero budget turns the session into a per-batch optimizer: never a
+/// hit, always correct.
+#[test]
+fn zero_budget_disables_cross_batch_reuse() {
+    let w = Tpcd::new(SCALE);
+    let batch = w.serving_batches(1).remove(0);
+    let db = generate_database(&w.catalog, 42, usize::MAX);
+    let mut session = MqoSession::new(w.catalog, db, SessionOptions::new().with_mv_budget_bytes(0));
+    let a = session.submit(&batch).unwrap();
+    let b = session.submit(&batch).unwrap();
+    assert_eq!(b.cache_hits, 0);
+    assert_eq!(a.temps_built, b.temps_built);
+    assert_eq!(a.cost.secs().to_bits(), b.cost.secs().to_bits());
+}
+
+/// The KS15 strategy plans around the warm cache too (the warm seeding
+/// is strategy-generic, not a Greedy special case).
+#[test]
+fn ks15_strategy_also_serves_warm() {
+    let w = Tpcd::new(SCALE);
+    let batch = w.serving_batches(1).remove(0);
+    let db = generate_database(&w.catalog, 42, usize::MAX);
+    let mut session = MqoSession::new(
+        w.catalog,
+        db,
+        SessionOptions::new().with_strategy("KS15-Greedy"),
+    );
+    let cold = session.submit(&batch).unwrap();
+    let warm = session.submit(&batch).unwrap();
+    assert!(cold.temps_built > 0);
+    assert!(warm.cache_hits > 0, "KS15 must reuse the warm cache");
+    assert!(warm.cost <= cold.cost);
+}
+
+/// Unknown strategy names fail loudly, not silently cold.
+#[test]
+fn unknown_strategy_is_an_error() {
+    let w = Tpcd::new(SCALE);
+    let batch = w.serving_batches(1).remove(0);
+    let db = generate_database(&w.catalog, 42, usize::MAX);
+    let mut session = MqoSession::new(
+        w.catalog,
+        db,
+        SessionOptions::new().with_strategy("Simulated-Annealing"),
+    );
+    assert!(session.submit(&batch).is_err());
+}

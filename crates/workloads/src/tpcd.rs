@@ -824,6 +824,25 @@ impl Tpcd {
         Batch::of(qs)
     }
 
+    /// The steady-state **serving** scenario: a stream of batches where
+    /// consecutive batches overlap, the shape a long-lived
+    /// `MqoSession` (the `mqo-session` crate) sees in production. Batch `i`
+    /// holds the component pairs of queries `i mod 5` and `(i+1) mod 5`
+    /// from the Experiment-2 pool (Q3, Q5, Q7, Q9, Q10, each at two
+    /// selection constants — four queries per batch), so every batch
+    /// shares one whole pair with its predecessor: a warm
+    /// materialized-view cache should serve those subexpressions without
+    /// recomputation, while the new pair keeps the optimizer honest.
+    pub fn serving_batches(&self, rounds: usize) -> Vec<Batch> {
+        (0..rounds)
+            .map(|i| {
+                let mut qs = self.component_pair(i % 5);
+                qs.extend(self.component_pair((i + 1) % 5));
+                Batch::of(qs)
+            })
+            .collect()
+    }
+
     /// All stand-alone Experiment-1 batches with their paper names.
     pub fn standalone(&self) -> Vec<(&'static str, Batch)> {
         vec![

@@ -1,18 +1,20 @@
-//! End-to-end: optimize a batch, execute both the unshared and the shared
-//! plan on generated data, verify the results agree, and report the
-//! actual speedup (the mechanism behind the paper's Figure 7).
+//! End-to-end: optimize a batch and execute it unshared vs shared,
+//! verify the results agree, and report the actual speedup (the
+//! mechanism behind the paper's Figure 7) — now on the `MqoSession`
+//! facade, which folds expand → search → extract → execute into one
+//! `submit` call per batch.
 //!
-//! The staged session API pays off here: the plans and the physical DAG
-//! they reference come from one prepared context, so execution needs no
-//! context rebuild.
+//! Two sessions run the same batch over the same generated database:
+//! one searching with Volcano (no sharing — the baseline), one with
+//! Greedy (shared temps). A second Greedy submit then shows the serving
+//! dimension the session adds on top of Figure 7: the temps of the
+//! first submit are served warm from the MvStore, so the repeat batch
+//! builds nothing.
 //!
 //! Run with: `cargo run --release --example execute_shared`
 
-use mqo::core::Optimizer;
-use mqo::exec::{
-    execute_plan, generate_database, normalize_result, results_approx_equal, ExecMode, ExecOptions,
-};
-use mqo::util::FxHashMap;
+use mqo::exec::{generate_database, normalize_result, results_approx_equal, ExecMode, ExecOptions};
+use mqo::session::{MqoSession, SessionOptions};
 use mqo::workloads::Tpcd;
 
 fn main() {
@@ -22,7 +24,6 @@ fn main() {
 
     println!("generating data for {} tables…", w.catalog.tables().len());
     let db = generate_database(&w.catalog, 7, usize::MAX);
-    let params = FxHashMap::default();
     let exec = ExecOptions::from_env();
     match exec.mode {
         ExecMode::Vectorized => println!(
@@ -32,13 +33,15 @@ fn main() {
         ExecMode::Row => println!("engine: legacy row-at-a-time (MQO_EXEC_MODE=row)"),
     }
 
-    let optimizer = Optimizer::new(&w.catalog);
-    let ctx = optimizer.prepare(&batch); // one DAG for both strategies
-    let volcano = optimizer.search(&ctx, "Volcano").unwrap();
-    let greedy = optimizer.search(&ctx, "Greedy").unwrap();
+    let mut unshared_session = MqoSession::new(
+        w.catalog.clone(),
+        db.clone(),
+        SessionOptions::new().with_strategy("Volcano"),
+    );
+    let mut shared_session = MqoSession::new(w.catalog, db, SessionOptions::new());
 
-    let unshared = execute_plan(&w.catalog, &ctx.pdag, &volcano.plan, &db, &params);
-    let shared = execute_plan(&w.catalog, &ctx.pdag, &greedy.plan, &db, &params);
+    let unshared = unshared_session.submit(&batch).unwrap();
+    let shared = shared_session.submit(&batch).unwrap();
 
     // Sharing must never change results.
     assert_eq!(unshared.results.len(), shared.results.len());
@@ -53,17 +56,28 @@ fn main() {
     println!("Q11-like batch ({} queries):", batch.len());
     println!(
         "  unshared execution: {:>8.1} ms ({} rows)",
-        unshared.wall.as_secs_f64() * 1e3,
+        unshared.exec_wall.as_secs_f64() * 1e3,
         unshared.rows_out
     );
     println!(
         "  shared execution:   {:>8.1} ms ({} rows, {} temp(s) materialized)",
-        shared.wall.as_secs_f64() * 1e3,
+        shared.exec_wall.as_secs_f64() * 1e3,
         shared.rows_out,
         shared.temps_built
     );
     println!(
         "  speedup: {:.2}x — identical results verified row by row",
-        unshared.wall.as_secs_f64() / shared.wall.as_secs_f64()
+        unshared.exec_wall.as_secs_f64() / shared.exec_wall.as_secs_f64()
+    );
+
+    // The serving dimension: the same batch again, now warm.
+    let warm = shared_session.submit(&batch).unwrap();
+    assert!(warm.cache_hits > 0 && warm.temps_built == 0);
+    println!(
+        "  warm re-submit:     {:>8.1} ms ({} cache hit(s), 0 temps built, est cost {} vs {})",
+        warm.exec_wall.as_secs_f64() * 1e3,
+        warm.cache_hits,
+        warm.cost,
+        shared.cost
     );
 }
