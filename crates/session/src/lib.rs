@@ -255,6 +255,14 @@ impl MqoSession {
         &self.catalog
     }
 
+    /// Mutable access to the session's catalog, for registering derived
+    /// columns (e.g. SQL aggregate outputs) between submits. The
+    /// catalog is append-only in practice: plans cached from earlier
+    /// batches keep referencing their original column ids.
+    pub fn catalog_mut(&mut self) -> &mut Catalog {
+        &mut self.catalog
+    }
+
     /// The session's database.
     pub fn database(&self) -> &Database {
         &self.db

@@ -1,0 +1,400 @@
+//! Name and type resolution: AST expressions → `mqo_expr` forms.
+//!
+//! The analyzer works against a [`Scope`] of FROM sources (base tables
+//! and derived subqueries). Column references resolve case-insensitively;
+//! an unqualified name that matches several sources is an
+//! [`SqlErrorKind::AmbiguousColumn`], a qualifier that names nothing in
+//! scope is an [`SqlErrorKind::UnknownTable`]. Everything returns a
+//! typed [`SqlError`] — user text can never panic the pipeline.
+
+use crate::ast::{BinOp, ColRef, Expr, Lit};
+use crate::error::{SqlError, SqlErrorKind};
+use mqo_catalog::{Catalog, ColId, ColType, TableId};
+use mqo_expr::{ArithOp, Atom, CmpOp, Predicate, ScalarExpr, Value};
+
+/// What a FROM item contributes to the scope.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SourceKind {
+    /// A base table scan.
+    Base(TableId),
+    /// A derived relation (parenthesized subquery).
+    Derived,
+}
+
+/// One FROM item as seen by name resolution.
+#[derive(Debug, Clone)]
+pub struct Source {
+    /// The name references qualify with: the table name, or the alias.
+    pub name: String,
+    /// Output columns in order.
+    pub cols: Vec<ColId>,
+    /// Base table or derived.
+    pub kind: SourceKind,
+}
+
+/// The simplified type lattice the analyzer checks against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExprTy {
+    /// 64-bit integer.
+    Int,
+    /// 64-bit float.
+    Float,
+    /// String.
+    Str,
+}
+
+impl ExprTy {
+    /// Is this a numeric type?
+    pub fn numeric(self) -> bool {
+        matches!(self, ExprTy::Int | ExprTy::Float)
+    }
+
+    /// Maps a catalog column type onto the lattice.
+    pub fn of(ty: ColType) -> ExprTy {
+        match ty {
+            ColType::Int => ExprTy::Int,
+            ColType::Float => ExprTy::Float,
+            ColType::Str(_) => ExprTy::Str,
+        }
+    }
+}
+
+impl std::fmt::Display for ExprTy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExprTy::Int => write!(f, "integer"),
+            ExprTy::Float => write!(f, "float"),
+            ExprTy::Str => write!(f, "string"),
+        }
+    }
+}
+
+/// The FROM sources a query's expressions resolve against.
+pub struct Scope<'a> {
+    /// The catalog (column names and types).
+    pub catalog: &'a Catalog,
+    /// Sources in FROM order.
+    pub sources: Vec<Source>,
+}
+
+/// A lowered predicate conjunct plus the sources it touches, used by the
+/// planner for pushdown/placement decisions.
+pub struct LoweredPred {
+    /// The predicate.
+    pub pred: Predicate,
+    /// Indices into `Scope::sources` of every referenced source,
+    /// ascending and deduplicated.
+    pub sources: Vec<usize>,
+}
+
+impl<'a> Scope<'a> {
+    /// Creates a scope over `sources`.
+    pub fn new(catalog: &'a Catalog, sources: Vec<Source>) -> Self {
+        Scope { catalog, sources }
+    }
+
+    /// Resolves a column reference to (source index, column id).
+    pub fn resolve(&self, c: &ColRef) -> Result<(usize, ColId), SqlError> {
+        if let Some(tbl) = &c.table {
+            let Some(si) = self
+                .sources
+                .iter()
+                .position(|s| s.name.eq_ignore_ascii_case(&tbl.name))
+            else {
+                return Err(SqlError::new(
+                    SqlErrorKind::UnknownTable(tbl.name.clone()),
+                    tbl.span,
+                ));
+            };
+            let src = &self.sources[si];
+            let found = src.cols.iter().find(|&&id| {
+                self.catalog
+                    .column(id)
+                    .name
+                    .eq_ignore_ascii_case(&c.column.name)
+            });
+            match found {
+                Some(&id) => Ok((si, id)),
+                None => Err(SqlError::new(
+                    SqlErrorKind::UnknownColumn(format!("{}.{}", tbl.name, c.column.name)),
+                    c.span,
+                )),
+            }
+        } else {
+            let mut hits = Vec::new();
+            for (si, src) in self.sources.iter().enumerate() {
+                for &id in &src.cols {
+                    if self
+                        .catalog
+                        .column(id)
+                        .name
+                        .eq_ignore_ascii_case(&c.column.name)
+                    {
+                        hits.push((si, id));
+                    }
+                }
+            }
+            match hits.len() {
+                1 => Ok(hits[0]),
+                0 => Err(SqlError::new(
+                    SqlErrorKind::UnknownColumn(c.column.name.clone()),
+                    c.span,
+                )),
+                _ => Err(SqlError::new(
+                    SqlErrorKind::AmbiguousColumn(c.column.name.clone()),
+                    c.span,
+                )),
+            }
+        }
+    }
+
+    /// The lattice type of a resolved column.
+    pub fn col_ty(&self, id: ColId) -> ExprTy {
+        ExprTy::of(self.catalog.column(id).ty)
+    }
+
+    /// Lowers a boolean expression to a [`Predicate`], recording which
+    /// sources it references. Handles arbitrary AND/OR nesting; the
+    /// leaves must be comparisons the engine's [`Atom`] forms can
+    /// express.
+    pub fn lower_pred(&self, e: &Expr) -> Result<LoweredPred, SqlError> {
+        match e {
+            Expr::Bin {
+                op: BinOp::And,
+                left,
+                right,
+                ..
+            } => {
+                let l = self.lower_pred(left)?;
+                let r = self.lower_pred(right)?;
+                Ok(LoweredPred {
+                    pred: l.pred.and(&r.pred),
+                    sources: merge(l.sources, r.sources),
+                })
+            }
+            Expr::Bin {
+                op: BinOp::Or,
+                left,
+                right,
+                ..
+            } => {
+                let l = self.lower_pred(left)?;
+                let r = self.lower_pred(right)?;
+                Ok(LoweredPred {
+                    pred: l.pred.or(&r.pred),
+                    sources: merge(l.sources, r.sources),
+                })
+            }
+            Expr::Bin {
+                op,
+                left,
+                right,
+                span,
+            } => {
+                let Some(cmp) = cmp_op(*op) else {
+                    return Err(SqlError::new(
+                        SqlErrorKind::TypeMismatch(
+                            "arithmetic expression used as a predicate".into(),
+                        ),
+                        *span,
+                    ));
+                };
+                self.lower_cmp(cmp, left, right, *span)
+            }
+            _ => Err(SqlError::new(
+                SqlErrorKind::TypeMismatch("expected a boolean predicate".into()),
+                e.span(),
+            )),
+        }
+    }
+
+    /// Lowers one comparison leaf.
+    fn lower_cmp(
+        &self,
+        op: CmpOp,
+        left: &Expr,
+        right: &Expr,
+        span: crate::error::Span,
+    ) -> Result<LoweredPred, SqlError> {
+        let l = self.pred_operand(left)?;
+        let r = self.pred_operand(right)?;
+        match (l, r) {
+            (Operand::Col(si, a), Operand::Col(sj, b)) => {
+                let (ta, tb) = (self.col_ty(a), self.col_ty(b));
+                if ta.numeric() != tb.numeric() {
+                    return Err(SqlError::new(
+                        SqlErrorKind::TypeMismatch(format!(
+                            "cannot compare {ta} column `{}` with {tb} column `{}`",
+                            self.catalog.column(a).name,
+                            self.catalog.column(b).name
+                        )),
+                        span,
+                    ));
+                }
+                Ok(LoweredPred {
+                    pred: Predicate::atom(Atom::col_cmp(a, op, b)),
+                    sources: merge(vec![si], vec![sj]),
+                })
+            }
+            (Operand::Col(si, c), Operand::Lit(v)) => {
+                self.check_col_lit(c, &v, span)?;
+                Ok(LoweredPred {
+                    pred: Predicate::atom(Atom::cmp(c, op, v)),
+                    sources: vec![si],
+                })
+            }
+            (Operand::Lit(v), Operand::Col(si, c)) => {
+                self.check_col_lit(c, &v, span)?;
+                Ok(LoweredPred {
+                    pred: Predicate::atom(Atom::cmp(c, op.flip(), v)),
+                    sources: vec![si],
+                })
+            }
+            (Operand::Lit(..), Operand::Lit(..)) => Err(SqlError::new(
+                SqlErrorKind::Unsupported("constant-only predicates are not supported".into()),
+                span,
+            )),
+        }
+    }
+
+    fn check_col_lit(&self, c: ColId, v: &Value, span: crate::error::Span) -> Result<(), SqlError> {
+        let ct = self.col_ty(c);
+        let lit_numeric = matches!(v, Value::Int(_) | Value::Float(_));
+        if ct.numeric() != lit_numeric {
+            let lt = if lit_numeric { "numeric" } else { "string" };
+            return Err(SqlError::new(
+                SqlErrorKind::TypeMismatch(format!(
+                    "cannot compare {ct} column `{}` with {lt} literal",
+                    self.catalog.column(c).name
+                )),
+                span,
+            ));
+        }
+        Ok(())
+    }
+
+    /// A predicate operand: a column or a literal. The engine's atoms
+    /// cannot hold arithmetic, so anything else is rejected.
+    fn pred_operand(&self, e: &Expr) -> Result<Operand, SqlError> {
+        match e {
+            Expr::Col(c) => {
+                let (si, id) = self.resolve(c)?;
+                Ok(Operand::Col(si, id))
+            }
+            Expr::Lit { val, .. } => Ok(Operand::Lit(lit_value(val))),
+            Expr::Call { span, .. } => Err(SqlError::new(
+                SqlErrorKind::Unsupported(
+                    "aggregates are not allowed in WHERE or ON clauses".into(),
+                ),
+                *span,
+            )),
+            Expr::Bin { span, .. } => Err(SqlError::new(
+                SqlErrorKind::Unsupported("arithmetic inside comparisons is not supported".into()),
+                *span,
+            )),
+        }
+    }
+
+    /// Lowers a scalar expression (an aggregate argument) to a
+    /// [`ScalarExpr`], returning its type and referenced sources.
+    pub fn lower_scalar(&self, e: &Expr) -> Result<(ScalarExpr, ExprTy, Vec<usize>), SqlError> {
+        match e {
+            Expr::Col(c) => {
+                let (si, id) = self.resolve(c)?;
+                Ok((ScalarExpr::col(id), self.col_ty(id), vec![si]))
+            }
+            Expr::Lit { val, span } => match val {
+                Lit::Int(v) => Ok((ScalarExpr::constant(*v), ExprTy::Int, vec![])),
+                Lit::Float(v) => Ok((ScalarExpr::constant(*v), ExprTy::Float, vec![])),
+                Lit::Str(_) => Err(SqlError::new(
+                    SqlErrorKind::TypeMismatch(
+                        "string literals cannot appear in arithmetic".into(),
+                    ),
+                    *span,
+                )),
+            },
+            Expr::Bin {
+                op,
+                left,
+                right,
+                span,
+            } => {
+                let Some(arith) = arith_op(*op) else {
+                    return Err(SqlError::new(
+                        SqlErrorKind::TypeMismatch(
+                            "comparisons cannot appear inside a scalar expression".into(),
+                        ),
+                        *span,
+                    ));
+                };
+                let (le, lt, ls) = self.lower_scalar(left)?;
+                let (re, rt, rs) = self.lower_scalar(right)?;
+                for (t, side) in [(lt, left), (rt, right)] {
+                    if !t.numeric() {
+                        return Err(SqlError::new(
+                            SqlErrorKind::TypeMismatch(
+                                "arithmetic requires numeric operands".into(),
+                            ),
+                            side.span(),
+                        ));
+                    }
+                }
+                let ty = if lt == ExprTy::Int && rt == ExprTy::Int && arith != ArithOp::Div {
+                    ExprTy::Int
+                } else {
+                    ExprTy::Float
+                };
+                Ok((le.bin(arith, re), ty, merge(ls, rs)))
+            }
+            Expr::Call { span, .. } => Err(SqlError::new(
+                SqlErrorKind::Invalid("aggregates cannot be nested".into()),
+                *span,
+            )),
+        }
+    }
+}
+
+enum Operand {
+    Col(usize, ColId),
+    Lit(Value),
+}
+
+/// Converts an AST literal to an engine value.
+pub fn lit_value(l: &Lit) -> Value {
+    match l {
+        Lit::Int(v) => Value::Int(*v),
+        Lit::Float(v) => Value::Float(*v),
+        Lit::Str(s) => Value::str(s),
+    }
+}
+
+fn cmp_op(op: BinOp) -> Option<CmpOp> {
+    match op {
+        BinOp::Lt => Some(CmpOp::Lt),
+        BinOp::Le => Some(CmpOp::Le),
+        BinOp::Eq => Some(CmpOp::Eq),
+        BinOp::Ge => Some(CmpOp::Ge),
+        BinOp::Gt => Some(CmpOp::Gt),
+        BinOp::Ne => Some(CmpOp::Ne),
+        _ => None,
+    }
+}
+
+fn arith_op(op: BinOp) -> Option<ArithOp> {
+    match op {
+        BinOp::Add => Some(ArithOp::Add),
+        BinOp::Sub => Some(ArithOp::Sub),
+        BinOp::Mul => Some(ArithOp::Mul),
+        BinOp::Div => Some(ArithOp::Div),
+        _ => None,
+    }
+}
+
+/// Merges two ascending source-index lists, deduplicating.
+fn merge(a: Vec<usize>, b: Vec<usize>) -> Vec<usize> {
+    let mut out = a;
+    out.extend(b);
+    out.sort_unstable();
+    out.dedup();
+    out
+}

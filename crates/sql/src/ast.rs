@@ -1,0 +1,496 @@
+//! The abstract syntax tree for the supported SELECT subset, plus the
+//! pretty-printer.
+//!
+//! Every node carries the [`Span`] of the source text it came from so
+//! the analyzer and planner can point errors at the offending token.
+//! Synthesized ASTs (the fuzz generator) use [`Span::ZERO`] throughout;
+//! [`Select::strip_spans`] zeroes a parsed tree so the round-trip
+//! property test can compare ASTs span-insensitively.
+//!
+//! The `Display` impls form the pretty-printer: `parse(print(ast))`
+//! reproduces `ast` up to spans, which the property suite asserts.
+
+use crate::error::Span;
+use std::fmt;
+
+/// A parsed statement. Only `SELECT` exists today; the enum leaves room
+/// for `EXPLAIN` and session commands later.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Statement {
+    /// A `SELECT` query.
+    Select(Select),
+}
+
+/// A `SELECT` query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Select {
+    /// The select list.
+    pub projection: Projection,
+    /// FROM items in source order; item 0 has `JoinKind::First`.
+    pub from: Vec<FromItem>,
+    /// The WHERE clause, if any.
+    pub where_: Option<Expr>,
+    /// GROUP BY columns in source order.
+    pub group_by: Vec<ColRef>,
+    /// ORDER BY keys in source order.
+    pub order_by: Vec<OrderKey>,
+    /// Span of the whole statement.
+    pub span: Span,
+}
+
+/// The select list: `*` or explicit items.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Projection {
+    /// `SELECT *`
+    Star(Span),
+    /// `SELECT expr [AS alias], ...`
+    Items(Vec<SelectItem>),
+}
+
+/// One select-list item.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectItem {
+    /// The item expression.
+    pub expr: Expr,
+    /// Optional `AS alias`.
+    pub alias: Option<Ident>,
+    /// Span of the item including the alias.
+    pub span: Span,
+}
+
+/// A relation in FROM: a base table or a parenthesized subquery.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Rel {
+    /// A named table.
+    Table {
+        /// The table name.
+        name: Ident,
+    },
+    /// `( SELECT ... ) [AS alias]`
+    Subquery {
+        /// The inner query.
+        query: Box<Select>,
+        /// Optional alias naming the derived relation.
+        alias: Option<Ident>,
+    },
+}
+
+/// How a FROM item connects to the ones before it.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JoinKind {
+    /// The first FROM item (no connective).
+    First,
+    /// Comma-style: `FROM a, b` (predicates live in WHERE).
+    Comma,
+    /// Explicit inner join: `JOIN b ON <expr>`.
+    Inner {
+        /// The ON condition.
+        on: Expr,
+    },
+}
+
+/// One FROM item: a relation plus its join connective.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FromItem {
+    /// The relation.
+    pub rel: Rel,
+    /// How it joins to the preceding items.
+    pub join: JoinKind,
+    /// Span of the item.
+    pub span: Span,
+}
+
+/// An identifier with its span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Ident {
+    /// The name as written.
+    pub name: String,
+    /// Where it was written.
+    pub span: Span,
+}
+
+impl Ident {
+    /// An ident with a zero span (for synthesized ASTs).
+    pub fn synth(name: impl Into<String>) -> Ident {
+        Ident {
+            name: name.into(),
+            span: Span::ZERO,
+        }
+    }
+}
+
+/// A column reference, optionally qualified: `[table.]column`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColRef {
+    /// Optional qualifying table name or alias.
+    pub table: Option<Ident>,
+    /// The column name.
+    pub column: Ident,
+    /// Span of the whole reference.
+    pub span: Span,
+}
+
+/// A literal value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Lit {
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// String literal.
+    Str(String),
+}
+
+/// Binary operators, loosest-binding first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// `OR`
+    Or,
+    /// `AND`
+    And,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `=`
+    Eq,
+    /// `>=`
+    Ge,
+    /// `>`
+    Gt,
+    /// `<>`
+    Ne,
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+}
+
+impl BinOp {
+    /// Binding strength; larger binds tighter.
+    pub fn prec(self) -> u8 {
+        use BinOp::*;
+        match self {
+            Or => 1,
+            And => 2,
+            Lt | Le | Eq | Ge | Gt | Ne => 3,
+            Add | Sub => 4,
+            Mul | Div => 5,
+        }
+    }
+
+    fn symbol(self) -> &'static str {
+        use BinOp::*;
+        match self {
+            Or => "OR",
+            And => "AND",
+            Lt => "<",
+            Le => "<=",
+            Eq => "=",
+            Ge => ">=",
+            Gt => ">",
+            Ne => "<>",
+            Add => "+",
+            Sub => "-",
+            Mul => "*",
+            Div => "/",
+        }
+    }
+}
+
+/// An expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// A column reference.
+    Col(ColRef),
+    /// A literal.
+    Lit {
+        /// The value.
+        val: Lit,
+        /// Its span.
+        span: Span,
+    },
+    /// A function call — only aggregates are recognized downstream.
+    Call {
+        /// The function name as written.
+        func: Ident,
+        /// Arguments (empty when `star`).
+        args: Vec<Expr>,
+        /// `COUNT(*)` sets this.
+        star: bool,
+        /// Span of the whole call.
+        span: Span,
+    },
+    /// A binary operation.
+    Bin {
+        /// The operator.
+        op: BinOp,
+        /// Left operand.
+        left: Box<Expr>,
+        /// Right operand.
+        right: Box<Expr>,
+        /// Span of the whole operation.
+        span: Span,
+    },
+}
+
+impl Expr {
+    /// The node's span.
+    pub fn span(&self) -> Span {
+        match self {
+            Expr::Col(c) => c.span,
+            Expr::Lit { span, .. } | Expr::Call { span, .. } | Expr::Bin { span, .. } => *span,
+        }
+    }
+}
+
+/// One ORDER BY key.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OrderKey {
+    /// The column to sort on (must name an output column).
+    pub col: ColRef,
+    /// `DESC` if true, `ASC` (the default) otherwise.
+    pub desc: bool,
+    /// Span of the key.
+    pub span: Span,
+}
+
+impl Statement {
+    /// Zeroes every span in the tree, for span-insensitive comparison.
+    pub fn strip_spans(&mut self) {
+        match self {
+            Statement::Select(s) => s.strip_spans(),
+        }
+    }
+}
+
+impl Select {
+    /// Zeroes every span in the tree.
+    pub fn strip_spans(&mut self) {
+        self.span = Span::ZERO;
+        match &mut self.projection {
+            Projection::Star(sp) => *sp = Span::ZERO,
+            Projection::Items(items) => {
+                for it in items {
+                    it.span = Span::ZERO;
+                    it.expr.strip_spans();
+                    if let Some(a) = &mut it.alias {
+                        a.span = Span::ZERO;
+                    }
+                }
+            }
+        }
+        for f in &mut self.from {
+            f.span = Span::ZERO;
+            match &mut f.rel {
+                Rel::Table { name } => name.span = Span::ZERO,
+                Rel::Subquery { query, alias } => {
+                    query.strip_spans();
+                    if let Some(a) = alias {
+                        a.span = Span::ZERO;
+                    }
+                }
+            }
+            if let JoinKind::Inner { on } = &mut f.join {
+                on.strip_spans();
+            }
+        }
+        if let Some(w) = &mut self.where_ {
+            w.strip_spans();
+        }
+        for c in &mut self.group_by {
+            strip_colref(c);
+        }
+        for k in &mut self.order_by {
+            k.span = Span::ZERO;
+            strip_colref(&mut k.col);
+        }
+    }
+}
+
+impl Expr {
+    /// Zeroes every span in the expression.
+    pub fn strip_spans(&mut self) {
+        match self {
+            Expr::Col(c) => strip_colref(c),
+            Expr::Lit { span, .. } => *span = Span::ZERO,
+            Expr::Call {
+                func, args, span, ..
+            } => {
+                *span = Span::ZERO;
+                func.span = Span::ZERO;
+                for a in args {
+                    a.strip_spans();
+                }
+            }
+            Expr::Bin {
+                left, right, span, ..
+            } => {
+                *span = Span::ZERO;
+                left.strip_spans();
+                right.strip_spans();
+            }
+        }
+    }
+}
+
+fn strip_colref(c: &mut ColRef) {
+    c.span = Span::ZERO;
+    c.column.span = Span::ZERO;
+    if let Some(t) = &mut c.table {
+        t.span = Span::ZERO;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Pretty-printer
+// ---------------------------------------------------------------------
+
+impl fmt::Display for Statement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Statement::Select(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+impl fmt::Display for Select {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SELECT ")?;
+        match &self.projection {
+            Projection::Star(_) => write!(f, "*")?,
+            Projection::Items(items) => {
+                for (i, it) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{}", it.expr)?;
+                    if let Some(a) = &it.alias {
+                        write!(f, " AS {}", a.name)?;
+                    }
+                }
+            }
+        }
+        write!(f, " FROM ")?;
+        for (i, item) in self.from.iter().enumerate() {
+            match (&item.join, i) {
+                (_, 0) => {}
+                (JoinKind::Comma, _) => write!(f, ", ")?,
+                (JoinKind::Inner { .. }, _) => write!(f, " JOIN ")?,
+                (JoinKind::First, _) => write!(f, ", ")?,
+            }
+            match &item.rel {
+                Rel::Table { name } => write!(f, "{}", name.name)?,
+                Rel::Subquery { query, alias } => {
+                    write!(f, "({query})")?;
+                    if let Some(a) = alias {
+                        write!(f, " AS {}", a.name)?;
+                    }
+                }
+            }
+            if let JoinKind::Inner { on } = &item.join {
+                write!(f, " ON {on}")?;
+            }
+        }
+        if let Some(w) = &self.where_ {
+            write!(f, " WHERE {w}")?;
+        }
+        if !self.group_by.is_empty() {
+            write!(f, " GROUP BY ")?;
+            for (i, c) in self.group_by.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{c}")?;
+            }
+        }
+        if !self.order_by.is_empty() {
+            write!(f, " ORDER BY ")?;
+            for (i, k) in self.order_by.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{}", k.col)?;
+                if k.desc {
+                    write!(f, " DESC")?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for ColRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if let Some(t) = &self.table {
+            write!(f, "{}.", t.name)?;
+        }
+        write!(f, "{}", self.column.name)
+    }
+}
+
+impl fmt::Display for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Lit::Int(v) => write!(f, "{v}"),
+            // Debug formatting of f64 always keeps a `.0`/exponent and
+            // round-trips exactly, which the printer round-trip needs.
+            Lit::Float(v) => write!(f, "{v:?}"),
+            Lit::Str(s) => write!(f, "'{}'", s.replace('\'', "''")),
+        }
+    }
+}
+
+impl Expr {
+    fn fmt_prec(&self, f: &mut fmt::Formatter<'_>, parent: u8, is_right: bool) -> fmt::Result {
+        match self {
+            Expr::Col(c) => write!(f, "{c}"),
+            Expr::Lit { val, .. } => write!(f, "{val}"),
+            Expr::Call {
+                func, args, star, ..
+            } => {
+                write!(f, "{}(", func.name)?;
+                if *star {
+                    write!(f, "*")?;
+                } else {
+                    for (i, a) in args.iter().enumerate() {
+                        if i > 0 {
+                            write!(f, ", ")?;
+                        }
+                        write!(f, "{a}")?;
+                    }
+                }
+                write!(f, ")")
+            }
+            Expr::Bin {
+                op, left, right, ..
+            } => {
+                let my = op.prec();
+                // Parenthesize when we bind looser than the parent, or
+                // equally tight on the parent's right (operators here
+                // are left-associative, so `a - (b - c)` needs parens).
+                let need = my < parent || (my == parent && is_right);
+                if need {
+                    write!(f, "(")?;
+                }
+                left.fmt_prec(f, my, false)?;
+                write!(f, " {} ", op.symbol())?;
+                right.fmt_prec(f, my, true)?;
+                if need {
+                    write!(f, ")")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.fmt_prec(f, 0, false)
+    }
+}

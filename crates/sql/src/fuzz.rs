@@ -1,0 +1,521 @@
+//! Seeded SQL query generator for fuzzing the pipeline against the
+//! execution parity oracle.
+//!
+//! [`QueryGen`] snapshots a catalog and emits random — but always
+//! valid — SELECT statements over it: 1–3 tables joined along inferred
+//! key relationships, range/equality filters drawn from the column
+//! statistics (so predicates actually hit generated data), optional
+//! grouping and aggregation, optional ORDER BY. Statements are emitted
+//! as [`Statement`] ASTs; printing them gives SQL text, so the same
+//! generator drives both the parse→plan→execute parity suite and the
+//! printer round-trip property test.
+//!
+//! Everything is driven by the in-tree `rand` shim from a caller seed:
+//! the same seed yields the same query stream on every run.
+
+use crate::ast::*;
+use crate::error::Span;
+use mqo_catalog::{Catalog, ColType};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+/// Snapshot of one column.
+#[derive(Debug, Clone)]
+struct GCol {
+    name: String,
+    ty: ColType,
+    min: Option<f64>,
+    max: Option<f64>,
+    distinct: f64,
+}
+
+impl GCol {
+    fn numeric(&self) -> bool {
+        !matches!(self.ty, ColType::Str(_))
+    }
+}
+
+/// Snapshot of one table.
+#[derive(Debug, Clone)]
+struct GTable {
+    name: String,
+    cols: Vec<GCol>,
+}
+
+/// A joinable column pair: `tables[a].cols[ac] = tables[b].cols[bc]`.
+#[derive(Debug, Clone, Copy)]
+struct JoinPair {
+    a: usize,
+    ac: usize,
+    b: usize,
+    bc: usize,
+}
+
+/// Deterministic random query generator over a catalog snapshot.
+pub struct QueryGen {
+    rng: StdRng,
+    tables: Vec<GTable>,
+    joins: Vec<JoinPair>,
+}
+
+impl QueryGen {
+    /// Builds a generator over `catalog`, seeded deterministically.
+    ///
+    /// Join relationships are inferred from statistics: a table's
+    /// clustered integer key is joinable with any integer column of
+    /// another table covering exactly the same value range — which is
+    /// how the TPC-D-style schemas in `mqo-workloads` encode their
+    /// foreign keys.
+    pub fn new(catalog: &Catalog, seed: u64) -> Self {
+        let tables: Vec<GTable> = catalog
+            .tables()
+            .iter()
+            .map(|t| GTable {
+                name: t.name.clone(),
+                cols: t
+                    .columns
+                    .iter()
+                    .map(|&c| {
+                        let col = catalog.column(c);
+                        GCol {
+                            name: col.name.clone(),
+                            ty: col.ty,
+                            min: col.stats.min,
+                            max: col.stats.max,
+                            distinct: col.stats.distinct,
+                        }
+                    })
+                    .collect(),
+            })
+            .collect();
+
+        let mut joins = Vec::new();
+        for (a, ta) in catalog.tables().iter().enumerate() {
+            let Some(key) = ta.clustered_on else { continue };
+            let kc = catalog.column(key);
+            if kc.ty != ColType::Int {
+                continue;
+            }
+            let (Some(klo), Some(khi)) = (kc.stats.min, kc.stats.max) else {
+                continue;
+            };
+            let ac = ta.columns.iter().position(|&c| c == key).expect("own key");
+            for (b, tb) in catalog.tables().iter().enumerate() {
+                if a == b {
+                    continue;
+                }
+                for (bc, &cid) in tb.columns.iter().enumerate() {
+                    let col = catalog.column(cid);
+                    if col.ty == ColType::Int
+                        && col.stats.min == Some(klo)
+                        && col.stats.max == Some(khi)
+                    {
+                        joins.push(JoinPair { a, ac, b, bc });
+                    }
+                }
+            }
+        }
+
+        QueryGen {
+            rng: StdRng::seed_from_u64(seed),
+            tables,
+            joins,
+        }
+    }
+
+    /// Emits the next random statement.
+    pub fn next_statement(&mut self) -> Statement {
+        // -- Choose tables, linked through inferred join pairs.
+        let want = self.rng.random_range(1..=3usize);
+        let first = self.rng.random_range(0..self.tables.len());
+        let mut chosen = vec![first];
+        let mut links: Vec<(JoinPair, bool)> = Vec::new(); // (pair, use explicit JOIN syntax)
+        while chosen.len() < want {
+            let candidates: Vec<JoinPair> = self
+                .joins
+                .iter()
+                .copied()
+                .filter(|p| {
+                    (chosen.contains(&p.a) && !chosen.contains(&p.b))
+                        || (chosen.contains(&p.b) && !chosen.contains(&p.a))
+                })
+                .collect();
+            if candidates.is_empty() {
+                break;
+            }
+            let pair = candidates[self.rng.random_range(0..candidates.len())];
+            let newcomer = if chosen.contains(&pair.a) {
+                pair.b
+            } else {
+                pair.a
+            };
+            chosen.push(newcomer);
+            links.push((pair, self.rng.random_range(0..2u32) == 0));
+        }
+
+        // -- FROM items: the newcomer of each link joins on its pair.
+        let mut from = vec![from_table(&self.tables[chosen[0]].name, JoinKind::First)];
+        let mut where_conjuncts: Vec<Expr> = Vec::new();
+        for (i, &(pair, explicit)) in links.iter().enumerate() {
+            let newcomer = chosen[i + 1];
+            let on = bin(
+                BinOp::Eq,
+                col_expr(
+                    &self.tables[pair.a].name,
+                    &self.tables[pair.a].cols[pair.ac].name,
+                ),
+                col_expr(
+                    &self.tables[pair.b].name,
+                    &self.tables[pair.b].cols[pair.bc].name,
+                ),
+            );
+            if explicit {
+                from.push(from_table(
+                    &self.tables[newcomer].name,
+                    JoinKind::Inner { on },
+                ));
+            } else {
+                from.push(from_table(&self.tables[newcomer].name, JoinKind::Comma));
+                where_conjuncts.push(on);
+            }
+        }
+
+        // -- Filters over the chosen tables' columns.
+        let n_filters = self.rng.random_range(0..=2usize);
+        for _ in 0..n_filters {
+            if let Some(f) = self.random_filter(&chosen) {
+                where_conjuncts.push(f);
+            }
+        }
+
+        let where_ = where_conjuncts
+            .into_iter()
+            .reduce(|acc, e| bin(BinOp::And, acc, e));
+
+        // -- Projection: star, a column subset, or an aggregate.
+        let style = self.rng.random_range(0..10u32);
+        let (projection, group_by) = if style < 3 {
+            (Projection::Star(Span::ZERO), Vec::new())
+        } else if style < 7 {
+            (Projection::Items(self.random_columns(&chosen)), Vec::new())
+        } else {
+            self.random_aggregate(&chosen)
+        };
+
+        // -- ORDER BY one named output column, sometimes.
+        let order_by = if self.rng.random_range(0..10u32) < 3 {
+            self.random_order(&projection, &chosen)
+        } else {
+            Vec::new()
+        };
+
+        Statement::Select(Select {
+            projection,
+            from,
+            where_,
+            group_by,
+            order_by,
+            span: Span::ZERO,
+        })
+    }
+
+    /// A random single-column filter (sometimes an OR of two atoms on
+    /// the same table), statistically likely to match generated rows.
+    fn random_filter(&mut self, chosen: &[usize]) -> Option<Expr> {
+        let ti = chosen[self.rng.random_range(0..chosen.len())];
+        let atom = self.random_atom(ti)?;
+        if self.rng.random_range(0..5u32) == 0 {
+            // OR of two atoms over the same table, as in the paper's
+            // IN-style disjunctive batch queries.
+            if let Some(other) = self.random_atom(ti) {
+                return Some(bin(BinOp::Or, atom, other));
+            }
+        }
+        Some(atom)
+    }
+
+    fn random_atom(&mut self, ti: usize) -> Option<Expr> {
+        let t = &self.tables[ti];
+        let ci = self.rng.random_range(0..t.cols.len());
+        let c = &t.cols[ci];
+        let lhs = col_expr(&t.name, &c.name);
+        match c.ty {
+            ColType::Str(_) => {
+                // Data generation names string values `{col}_{k:06}`
+                // with k < distinct, so equality probes can hit.
+                let k = self.rng.random_range(0..(c.distinct.max(1.0) as u64));
+                let val = format!("{}_{k:06}", c.name);
+                let op = if self.rng.random_range(0..4u32) == 0 {
+                    BinOp::Ne
+                } else {
+                    BinOp::Eq
+                };
+                Some(bin(op, lhs, lit(Lit::Str(val))))
+            }
+            ColType::Int => {
+                let (lo, hi) = (c.min? as i64, c.max? as i64);
+                let v = self.rng.random_range(lo..=hi);
+                let op = self.random_cmp();
+                Some(bin(op, lhs, lit(Lit::Int(v))))
+            }
+            ColType::Float => {
+                let (lo, hi) = (c.min?, c.max?);
+                let v = self.rng.random_range(lo..=hi);
+                // Keep literals round-trippable through the printer.
+                let v = (v * 100.0).round() / 100.0;
+                let op = self.random_cmp();
+                Some(bin(op, lhs, lit(Lit::Float(v))))
+            }
+        }
+    }
+
+    fn random_cmp(&mut self) -> BinOp {
+        match self.rng.random_range(0..6u32) {
+            0 => BinOp::Lt,
+            1 => BinOp::Le,
+            2 => BinOp::Eq,
+            3 => BinOp::Ge,
+            4 => BinOp::Gt,
+            _ => BinOp::Ne,
+        }
+    }
+
+    /// 1–4 distinct bare columns across the chosen tables.
+    fn random_columns(&mut self, chosen: &[usize]) -> Vec<SelectItem> {
+        let n = self.rng.random_range(1..=4usize);
+        let mut picked: Vec<(usize, usize)> = Vec::new();
+        for _ in 0..n {
+            let ti = chosen[self.rng.random_range(0..chosen.len())];
+            let ci = self.rng.random_range(0..self.tables[ti].cols.len());
+            if !picked.contains(&(ti, ci)) {
+                picked.push((ti, ci));
+            }
+        }
+        picked
+            .into_iter()
+            .map(|(ti, ci)| SelectItem {
+                expr: col_expr(&self.tables[ti].name, &self.tables[ti].cols[ci].name),
+                alias: None,
+                span: Span::ZERO,
+            })
+            .collect()
+    }
+
+    /// An aggregate select list and its GROUP BY: zero or one low-
+    /// cardinality group key plus 1–2 deduplicated aggregate items.
+    fn random_aggregate(&mut self, chosen: &[usize]) -> (Projection, Vec<ColRef>) {
+        // Group key: a column with few distinct values keeps result
+        // sizes bounded; no key means a scalar aggregate.
+        let mut keys: Vec<(usize, usize)> = Vec::new();
+        for &ti in chosen {
+            for (ci, c) in self.tables[ti].cols.iter().enumerate() {
+                if c.distinct <= 64.0 {
+                    keys.push((ti, ci));
+                }
+            }
+        }
+        let group = if !keys.is_empty() && self.rng.random_range(0..3u32) > 0 {
+            Some(keys[self.rng.random_range(0..keys.len())])
+        } else {
+            None
+        };
+
+        let mut items: Vec<SelectItem> = Vec::new();
+        let mut group_by = Vec::new();
+        if let Some((ti, ci)) = group {
+            let t = &self.tables[ti];
+            let cref = ColRef {
+                table: Some(Ident::synth(&t.name)),
+                column: Ident::synth(&t.cols[ci].name),
+                span: Span::ZERO,
+            };
+            items.push(SelectItem {
+                expr: Expr::Col(cref.clone()),
+                alias: None,
+                span: Span::ZERO,
+            });
+            group_by.push(cref);
+        }
+
+        let n_aggs = self.rng.random_range(1..=2usize);
+        for _ in 0..n_aggs {
+            let item = self.random_agg_item(chosen);
+            if !items
+                .iter()
+                .any(|i| i.alias == item.alias && i.expr == item.expr)
+            {
+                items.push(item);
+            }
+        }
+        (Projection::Items(items), group_by)
+    }
+
+    fn random_agg_item(&mut self, chosen: &[usize]) -> SelectItem {
+        let kind = self.rng.random_range(0..10u32);
+        if kind == 0 {
+            // COUNT(*)
+            return SelectItem {
+                expr: Expr::Call {
+                    func: Ident::synth("count"),
+                    args: Vec::new(),
+                    star: true,
+                    span: Span::ZERO,
+                },
+                alias: Some(Ident::synth("count_star")),
+                span: Span::ZERO,
+            };
+        }
+        // Pick a numeric column; fall back to COUNT(*) when a table has
+        // none (never the case for the workloads' schemas).
+        let Some((ti, ci)) = self.random_numeric_col(chosen) else {
+            return SelectItem {
+                expr: Expr::Call {
+                    func: Ident::synth("count"),
+                    args: Vec::new(),
+                    star: true,
+                    span: Span::ZERO,
+                },
+                alias: Some(Ident::synth("count_star")),
+                span: Span::ZERO,
+            };
+        };
+        let t = &self.tables[ti];
+        let c = &t.cols[ci];
+        let func = match self.rng.random_range(0..4u32) {
+            0 => "min",
+            1 => "max",
+            2 => "count",
+            _ => "sum",
+        };
+        let (arg, alias) = if kind < 3 {
+            // Arithmetic argument: col op const, or col op col. Left
+            // unaliased — the planner memoizes the expression, so a
+            // repeat of the same text shares its output column.
+            let lhs = col_expr(&t.name, &c.name);
+            let expr = if self.rng.random_range(0..2u32) == 0 {
+                let k = self.rng.random_range(2..10i64);
+                bin(
+                    if self.rng.random_range(0..2u32) == 0 {
+                        BinOp::Mul
+                    } else {
+                        BinOp::Add
+                    },
+                    lhs,
+                    lit(Lit::Int(k)),
+                )
+            } else if let Some((tj, cj)) = self.random_numeric_col(&[ti]) {
+                bin(
+                    BinOp::Mul,
+                    lhs,
+                    col_expr(&self.tables[tj].name, &self.tables[tj].cols[cj].name),
+                )
+            } else {
+                lhs
+            };
+            (expr, None)
+        } else {
+            (
+                col_expr(&t.name, &c.name),
+                Some(Ident::synth(format!("{func}_{}", c.name))),
+            )
+        };
+        SelectItem {
+            expr: Expr::Call {
+                func: Ident::synth(func),
+                args: vec![arg],
+                star: false,
+                span: Span::ZERO,
+            },
+            alias,
+            span: Span::ZERO,
+        }
+    }
+
+    fn random_numeric_col(&mut self, chosen: &[usize]) -> Option<(usize, usize)> {
+        let mut options: Vec<(usize, usize)> = Vec::new();
+        for &ti in chosen {
+            for (ci, c) in self.tables[ti].cols.iter().enumerate() {
+                if c.numeric() {
+                    options.push((ti, ci));
+                }
+            }
+        }
+        if options.is_empty() {
+            None
+        } else {
+            Some(options[self.rng.random_range(0..options.len())])
+        }
+    }
+
+    /// One ORDER BY key naming an output column of the projection.
+    fn random_order(&mut self, projection: &Projection, chosen: &[usize]) -> Vec<OrderKey> {
+        let col = match projection {
+            Projection::Star(_) => {
+                let ti = chosen[self.rng.random_range(0..chosen.len())];
+                let t = &self.tables[ti];
+                let ci = self.rng.random_range(0..t.cols.len());
+                ColRef {
+                    table: Some(Ident::synth(&t.name)),
+                    column: Ident::synth(&t.cols[ci].name),
+                    span: Span::ZERO,
+                }
+            }
+            Projection::Items(items) => {
+                let it = &items[self.rng.random_range(0..items.len())];
+                match (&it.expr, &it.alias) {
+                    (Expr::Col(c), _) => ColRef {
+                        table: None,
+                        column: c.column.clone(),
+                        span: Span::ZERO,
+                    },
+                    (_, Some(a)) => ColRef {
+                        table: None,
+                        column: a.clone(),
+                        span: Span::ZERO,
+                    },
+                    // Unaliased aggregates get planner-generated names
+                    // the SQL text cannot reference; skip ordering.
+                    _ => return Vec::new(),
+                }
+            }
+        };
+        vec![OrderKey {
+            col,
+            desc: self.rng.random_range(0..2u32) == 0,
+            span: Span::ZERO,
+        }]
+    }
+}
+
+fn from_table(name: &str, join: JoinKind) -> FromItem {
+    FromItem {
+        rel: Rel::Table {
+            name: Ident::synth(name),
+        },
+        join,
+        span: Span::ZERO,
+    }
+}
+
+fn col_expr(table: &str, column: &str) -> Expr {
+    Expr::Col(ColRef {
+        table: Some(Ident::synth(table)),
+        column: Ident::synth(column),
+        span: Span::ZERO,
+    })
+}
+
+fn lit(val: Lit) -> Expr {
+    Expr::Lit {
+        val,
+        span: Span::ZERO,
+    }
+}
+
+fn bin(op: BinOp, left: Expr, right: Expr) -> Expr {
+    Expr::Bin {
+        op,
+        left: Box::new(left),
+        right: Box::new(right),
+        span: Span::ZERO,
+    }
+}

@@ -1,0 +1,269 @@
+//! The lexer: SQL text → a vector of spanned tokens.
+//!
+//! Keywords are not distinguished here — they arrive as [`Tok::Ident`]
+//! and the parser matches them case-insensitively against its reserved
+//! list, so `select`, `SELECT` and `Select` all work while table and
+//! column names pass through verbatim.
+
+use crate::error::{Span, SqlError, SqlErrorKind};
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    /// Identifier or keyword (`[A-Za-z_][A-Za-z0-9_]*`).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal (decimal point and/or exponent).
+    Float(f64),
+    /// String literal in single quotes; `''` escapes a quote.
+    Str(String),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `;`
+    Semi,
+    /// `.`
+    Dot,
+    /// `*` (multiplication or the SELECT/COUNT star, by context).
+    Star,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `/`
+    Slash,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `=`
+    Eq,
+    /// `>=`
+    Ge,
+    /// `>`
+    Gt,
+    /// `<>` or `!=`
+    Ne,
+    /// End of input (always the last token).
+    Eof,
+}
+
+/// A token plus where it came from.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// The token.
+    pub tok: Tok,
+    /// Its source span.
+    pub span: Span,
+}
+
+/// Tokenizes `src`. The result always ends with [`Tok::Eof`].
+pub fn lex(src: &str) -> Result<Vec<Token>, SqlError> {
+    let bytes = src.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let b = bytes[i];
+        match b {
+            b' ' | b'\t' | b'\r' | b'\n' => i += 1,
+            b'-' if bytes.get(i + 1) == Some(&b'-') => {
+                // line comment
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'\'' => {
+                let lo = i;
+                i += 1;
+                let mut s = String::new();
+                loop {
+                    match bytes.get(i) {
+                        None => {
+                            return Err(SqlError::new(
+                                SqlErrorKind::Lex("unterminated string literal".into()),
+                                Span::new(lo, src.len()),
+                            ))
+                        }
+                        Some(b'\'') if bytes.get(i + 1) == Some(&b'\'') => {
+                            s.push('\'');
+                            i += 2;
+                        }
+                        Some(b'\'') => {
+                            i += 1;
+                            break;
+                        }
+                        Some(_) => {
+                            // keep multi-byte UTF-8 intact
+                            let ch = src[i..].chars().next().expect("in-bounds char");
+                            s.push(ch);
+                            i += ch.len_utf8();
+                        }
+                    }
+                }
+                out.push(Token {
+                    tok: Tok::Str(s),
+                    span: Span::new(lo, i),
+                });
+            }
+            b'0'..=b'9' => {
+                let lo = i;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let mut is_float = false;
+                if i < bytes.len()
+                    && bytes[i] == b'.'
+                    && bytes.get(i + 1).is_some_and(u8::is_ascii_digit)
+                {
+                    is_float = true;
+                    i += 1;
+                    while i < bytes.len() && bytes[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                }
+                if i < bytes.len() && (bytes[i] | 0x20) == b'e' {
+                    let mut j = i + 1;
+                    if bytes.get(j) == Some(&b'+') || bytes.get(j) == Some(&b'-') {
+                        j += 1;
+                    }
+                    if bytes.get(j).is_some_and(u8::is_ascii_digit) {
+                        is_float = true;
+                        i = j;
+                        while i < bytes.len() && bytes[i].is_ascii_digit() {
+                            i += 1;
+                        }
+                    }
+                }
+                let text = &src[lo..i];
+                let span = Span::new(lo, i);
+                let tok = if is_float {
+                    Tok::Float(text.parse().map_err(|_| {
+                        SqlError::new(
+                            SqlErrorKind::Lex(format!("bad float literal `{text}`")),
+                            span,
+                        )
+                    })?)
+                } else {
+                    Tok::Int(text.parse().map_err(|_| {
+                        SqlError::new(
+                            SqlErrorKind::Lex(format!("integer literal `{text}` out of range")),
+                            span,
+                        )
+                    })?)
+                };
+                out.push(Token { tok, span });
+            }
+            b'A'..=b'Z' | b'a'..=b'z' | b'_' => {
+                let lo = i;
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                    i += 1;
+                }
+                out.push(Token {
+                    tok: Tok::Ident(src[lo..i].to_string()),
+                    span: Span::new(lo, i),
+                });
+            }
+            _ => {
+                let lo = i;
+                let two = |a: u8, b2: u8| bytes[i] == a && bytes.get(i + 1) == Some(&b2);
+                let (tok, len) = if two(b'<', b'=') {
+                    (Tok::Le, 2)
+                } else if two(b'>', b'=') {
+                    (Tok::Ge, 2)
+                } else if two(b'<', b'>') || two(b'!', b'=') {
+                    (Tok::Ne, 2)
+                } else {
+                    let t = match b {
+                        b'(' => Tok::LParen,
+                        b')' => Tok::RParen,
+                        b',' => Tok::Comma,
+                        b';' => Tok::Semi,
+                        b'.' => Tok::Dot,
+                        b'*' => Tok::Star,
+                        b'+' => Tok::Plus,
+                        b'-' => Tok::Minus,
+                        b'/' => Tok::Slash,
+                        b'<' => Tok::Lt,
+                        b'>' => Tok::Gt,
+                        b'=' => Tok::Eq,
+                        _ => {
+                            let ch = src[i..].chars().next().expect("in-bounds char");
+                            return Err(SqlError::new(
+                                SqlErrorKind::Lex(format!("unexpected character `{ch}`")),
+                                Span::new(i, i + ch.len_utf8()),
+                            ));
+                        }
+                    };
+                    (t, 1)
+                };
+                i += len;
+                out.push(Token {
+                    tok,
+                    span: Span::new(lo, i),
+                });
+            }
+        }
+    }
+    out.push(Token {
+        tok: Tok::Eof,
+        span: Span::new(src.len(), src.len()),
+    });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn basic_tokens() {
+        assert_eq!(
+            toks("SELECT a.b, 1 <= 2.5 <> 'x''y' -- comment\n;"),
+            vec![
+                Tok::Ident("SELECT".into()),
+                Tok::Ident("a".into()),
+                Tok::Dot,
+                Tok::Ident("b".into()),
+                Tok::Comma,
+                Tok::Int(1),
+                Tok::Le,
+                Tok::Float(2.5),
+                Tok::Ne,
+                Tok::Str("x'y".into()),
+                Tok::Semi,
+                Tok::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn exponent_floats() {
+        assert_eq!(toks("1e3")[0], Tok::Float(1e3));
+        assert_eq!(toks("2.5e-2")[0], Tok::Float(2.5e-2));
+        // a bare `e` suffix is an ident boundary, not an exponent
+        assert_eq!(toks("1e")[..2], [Tok::Int(1), Tok::Ident("e".into())]);
+    }
+
+    #[test]
+    fn errors_are_spanned() {
+        let e = lex("a ? b").unwrap_err();
+        assert!(matches!(e.kind, SqlErrorKind::Lex(_)));
+        assert_eq!((e.span.lo, e.span.hi), (2, 3));
+        let e = lex("'open").unwrap_err();
+        assert!(matches!(e.kind, SqlErrorKind::Lex(_)));
+    }
+
+    #[test]
+    fn int_overflow_is_an_error_not_a_panic() {
+        let e = lex("99999999999999999999999").unwrap_err();
+        assert!(matches!(e.kind, SqlErrorKind::Lex(_)));
+    }
+}

@@ -1,0 +1,45 @@
+//! SQL front end for the MQO engine.
+//!
+//! A four-stage text pipeline lowering SQL to the engine's plan
+//! algebra, mirroring how queries would reach the optimizer of Roy et
+//! al. (SIGMOD 2000) in a real system:
+//!
+//! ```text
+//!   SQL text --lex--> tokens --parse--> AST (spans)
+//!            --analyze--> resolved names/types (typed SqlErrors)
+//!            --plan--> logical::Plan [+ SortKeys for ORDER BY]
+//! ```
+//!
+//! The supported subset is exactly what the engine executes: SELECT
+//! projection, WHERE conjunctions/disjunctions of column-literal and
+//! column-column comparisons, inner joins (`JOIN ... ON` and
+//! comma-style), FROM subqueries, GROUP BY with SUM/MIN/MAX/COUNT, and
+//! ORDER BY. Recognized-but-inexpressible SQL (outer joins, HAVING,
+//! DISTINCT, ...) yields a typed [`SqlErrorKind::Unsupported`]; no user
+//! text can panic the pipeline.
+//!
+//! The planner reproduces the plan shapes of the hand-built
+//! `mqo-workloads` constructors (filter pushdown below projections,
+//! `keep`-style scan projections in declaration order, left-deep join
+//! folds), so SQL text and Rust builders of the same query produce
+//! *equal* plans — letting SQL batches share optimizer DAG structure
+//! with hand-built ones, which the golden tests pin down.
+//!
+//! [`fuzz::QueryGen`] generates seeded random statements over any
+//! catalog for the row/vectorized execution parity suites.
+
+#![warn(missing_docs)]
+
+pub mod analyze;
+pub mod ast;
+pub mod error;
+pub mod fuzz;
+pub mod lex;
+pub mod parse;
+pub mod plan;
+
+pub use ast::Statement;
+pub use error::{Span, SqlError, SqlErrorKind};
+pub use fuzz::QueryGen;
+pub use parse::{parse_one, parse_statements};
+pub use plan::{apply_order, compile, to_batch, PlannedQuery, SortKey, SqlPlanner};

@@ -1,0 +1,571 @@
+//! Recursive-descent parser: tokens → [`Statement`] ASTs.
+//!
+//! Keywords are matched case-insensitively. SQL the grammar recognizes
+//! but the engine cannot run (outer joins, `DISTINCT`, `HAVING`,
+//! subquery predicates, ...) is rejected with a typed
+//! [`SqlErrorKind::Unsupported`] rather than a generic parse error, so
+//! the caller can tell "you mistyped" apart from "we don't do that".
+
+use crate::ast::*;
+use crate::error::{Span, SqlError, SqlErrorKind};
+use crate::lex::{lex, Tok, Token};
+
+/// Words that cannot be used as bare table/column identifiers.
+const RESERVED: &[&str] = &[
+    "select", "from", "where", "group", "by", "order", "join", "on", "as", "and", "or", "asc",
+    "desc", "inner",
+];
+
+/// Recognized-but-unsupported leading keywords, reported as
+/// [`SqlErrorKind::Unsupported`] with a hint.
+const UNSUPPORTED: &[(&str, &str)] = &[
+    ("distinct", "DISTINCT is not supported"),
+    (
+        "having",
+        "HAVING is not supported; filter before grouping with WHERE",
+    ),
+    ("limit", "LIMIT is not supported"),
+    ("offset", "OFFSET is not supported"),
+    ("left", "only inner joins are supported"),
+    ("right", "only inner joins are supported"),
+    ("full", "only inner joins are supported"),
+    ("outer", "only inner joins are supported"),
+    (
+        "cross",
+        "only inner joins are supported; use comma-style FROM",
+    ),
+    ("union", "UNION is not supported"),
+    ("intersect", "INTERSECT is not supported"),
+    ("except", "EXCEPT is not supported"),
+    ("not", "NOT is not supported; negate the comparison instead"),
+    ("in", "IN is not supported; use OR of equalities"),
+    ("exists", "EXISTS is not supported"),
+    ("between", "BETWEEN is not supported; use two comparisons"),
+    ("like", "LIKE is not supported"),
+    ("is", "IS [NOT] NULL is not supported"),
+    ("null", "NULL literals are not supported"),
+    ("case", "CASE is not supported"),
+];
+
+/// Parses a `;`-separated list of statements. Empty statements (from
+/// trailing or doubled semicolons) are skipped.
+pub fn parse_statements(src: &str) -> Result<Vec<Statement>, SqlError> {
+    let tokens = lex(src)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let mut out = Vec::new();
+    loop {
+        while p.peek() == &Tok::Semi {
+            p.bump();
+        }
+        if p.peek() == &Tok::Eof {
+            break;
+        }
+        out.push(p.statement()?);
+        match p.peek() {
+            Tok::Semi | Tok::Eof => {}
+            _ => return Err(p.unexpected("`;` or end of input")),
+        }
+    }
+    Ok(out)
+}
+
+/// Parses exactly one statement; trailing `;` is allowed.
+pub fn parse_one(src: &str) -> Result<Statement, SqlError> {
+    let mut stmts = parse_statements(src)?;
+    match stmts.len() {
+        1 => Ok(stmts.pop().expect("len checked")),
+        0 => Err(SqlError::new(
+            SqlErrorKind::Parse("expected a statement".into()),
+            Span::new(0, src.len()),
+        )),
+        _ => Err(SqlError::new(
+            SqlErrorKind::Parse("expected a single statement".into()),
+            Span::new(0, src.len()),
+        )),
+    }
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Tok {
+        &self.tokens[self.pos].tok
+    }
+
+    fn peek_span(&self) -> Span {
+        self.tokens[self.pos].span
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.tokens[self.pos].clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    /// Is the current token the given keyword (case-insensitive)?
+    fn at_kw(&self, kw: &str) -> bool {
+        matches!(self.peek(), Tok::Ident(s) if s.eq_ignore_ascii_case(kw))
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if self.at_kw(kw) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<Span, SqlError> {
+        if self.at_kw(kw) {
+            Ok(self.bump().span)
+        } else {
+            Err(self.unexpected(&format!("`{}`", kw.to_ascii_uppercase())))
+        }
+    }
+
+    fn expect(&mut self, tok: Tok, what: &str) -> Result<Span, SqlError> {
+        if self.peek() == &tok {
+            Ok(self.bump().span)
+        } else {
+            Err(self.unexpected(what))
+        }
+    }
+
+    fn unexpected(&self, wanted: &str) -> SqlError {
+        let got = match self.peek() {
+            Tok::Eof => "end of input".to_string(),
+            Tok::Ident(s) => format!("`{s}`"),
+            Tok::Int(v) => format!("`{v}`"),
+            Tok::Float(v) => format!("`{v}`"),
+            Tok::Str(_) => "string literal".to_string(),
+            t => format!("{t:?}").to_lowercase().replace("lparen", "`(`"),
+        };
+        SqlError::new(
+            SqlErrorKind::Parse(format!("expected {wanted}, found {got}")),
+            self.peek_span(),
+        )
+    }
+
+    /// Rejects recognized-but-unsupported keywords with a helpful hint.
+    fn check_unsupported(&self) -> Result<(), SqlError> {
+        if let Tok::Ident(s) = self.peek() {
+            let lower = s.to_ascii_lowercase();
+            if let Some((_, hint)) = UNSUPPORTED.iter().find(|(k, _)| *k == lower) {
+                return Err(SqlError::new(
+                    SqlErrorKind::Unsupported((*hint).into()),
+                    self.peek_span(),
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// A non-reserved identifier.
+    fn ident(&mut self, what: &str) -> Result<Ident, SqlError> {
+        self.check_unsupported()?;
+        match self.peek() {
+            Tok::Ident(s) if !RESERVED.contains(&s.to_ascii_lowercase().as_str()) => {
+                let t = self.bump();
+                let Tok::Ident(name) = t.tok else {
+                    unreachable!()
+                };
+                Ok(Ident { name, span: t.span })
+            }
+            _ => Err(self.unexpected(what)),
+        }
+    }
+
+    fn statement(&mut self) -> Result<Statement, SqlError> {
+        self.check_unsupported()?;
+        if self.at_kw("select") {
+            Ok(Statement::Select(self.select()?))
+        } else if let Tok::Ident(s) = self.peek() {
+            Err(SqlError::new(
+                SqlErrorKind::Unsupported(format!(
+                    "`{}` statements are not supported; only SELECT",
+                    s.to_ascii_uppercase()
+                )),
+                self.peek_span(),
+            ))
+        } else {
+            Err(self.unexpected("`SELECT`"))
+        }
+    }
+
+    fn select(&mut self) -> Result<Select, SqlError> {
+        let start = self.expect_kw("select")?;
+        self.check_unsupported()?;
+        let projection = if self.peek() == &Tok::Star {
+            Projection::Star(self.bump().span)
+        } else {
+            let mut items = vec![self.select_item()?];
+            while self.peek() == &Tok::Comma {
+                self.bump();
+                items.push(self.select_item()?);
+            }
+            Projection::Items(items)
+        };
+        self.expect_kw("from")?;
+        let mut from = vec![self.parse_from_item(JoinKind::First)?];
+        loop {
+            if self.peek() == &Tok::Comma {
+                self.bump();
+                from.push(self.parse_from_item(JoinKind::Comma)?);
+            } else if self.at_kw("join") || self.at_kw("inner") {
+                self.eat_kw("inner");
+                self.expect_kw("join")?;
+                let mut item = self.parse_from_item(JoinKind::First)?;
+                self.expect_kw("on")?;
+                let on = self.expr()?;
+                item.span = item.span.to(on.span());
+                item.join = JoinKind::Inner { on };
+                from.push(item);
+            } else {
+                self.check_unsupported()?;
+                break;
+            }
+        }
+        let where_ = if self.eat_kw("where") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        let mut group_by = Vec::new();
+        if self.at_kw("group") {
+            self.bump();
+            self.expect_kw("by")?;
+            group_by.push(self.col_ref()?);
+            while self.peek() == &Tok::Comma {
+                self.bump();
+                group_by.push(self.col_ref()?);
+            }
+        }
+        self.check_unsupported()?;
+        let mut order_by = Vec::new();
+        if self.at_kw("order") {
+            self.bump();
+            self.expect_kw("by")?;
+            loop {
+                let col = self.col_ref()?;
+                let mut span = col.span;
+                let desc = if self.eat_kw("desc") {
+                    true
+                } else {
+                    self.eat_kw("asc");
+                    false
+                };
+                span = span.to(self.tokens[self.pos.saturating_sub(1)].span);
+                order_by.push(OrderKey { col, desc, span });
+                if self.peek() == &Tok::Comma {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+        }
+        self.check_unsupported()?;
+        let end = self.tokens[self.pos.saturating_sub(1)].span;
+        Ok(Select {
+            projection,
+            from,
+            where_,
+            group_by,
+            order_by,
+            span: start.to(end),
+        })
+    }
+
+    fn select_item(&mut self) -> Result<SelectItem, SqlError> {
+        let expr = self.expr()?;
+        let mut span = expr.span();
+        let alias = if self.eat_kw("as") {
+            let a = self.ident("an alias")?;
+            span = span.to(a.span);
+            Some(a)
+        } else {
+            None
+        };
+        Ok(SelectItem { expr, alias, span })
+    }
+
+    fn parse_from_item(&mut self, join: JoinKind) -> Result<FromItem, SqlError> {
+        self.check_unsupported()?;
+        if self.peek() == &Tok::LParen {
+            let lo = self.bump().span;
+            let query = self.select()?;
+            let hi = self.expect(Tok::RParen, "`)`")?;
+            let mut span = lo.to(hi);
+            // `AS` is optional: a bare identifier that is not a keyword
+            // also reads as the subquery's alias.
+            let bare_alias = matches!(self.peek(), Tok::Ident(s)
+                if !RESERVED.contains(&s.to_ascii_lowercase().as_str())
+                    && !UNSUPPORTED.iter().any(|(k, _)| s.eq_ignore_ascii_case(k)));
+            let alias = if self.eat_kw("as") || bare_alias {
+                let a = self.ident("an alias")?;
+                span = span.to(a.span);
+                Some(a)
+            } else {
+                None
+            };
+            Ok(FromItem {
+                rel: Rel::Subquery {
+                    query: Box::new(query),
+                    alias,
+                },
+                join,
+                span,
+            })
+        } else {
+            let name = self.ident("a table name")?;
+            let span = name.span;
+            Ok(FromItem {
+                rel: Rel::Table { name },
+                join,
+                span,
+            })
+        }
+    }
+
+    fn col_ref(&mut self) -> Result<ColRef, SqlError> {
+        let first = self.ident("a column name")?;
+        if self.peek() == &Tok::Dot {
+            self.bump();
+            let column = self.ident("a column name")?;
+            let span = first.span.to(column.span);
+            Ok(ColRef {
+                table: Some(first),
+                column,
+                span,
+            })
+        } else {
+            let span = first.span;
+            Ok(ColRef {
+                table: None,
+                column: first,
+                span,
+            })
+        }
+    }
+
+    // Expression precedence climbing: or < and < cmp < add < mul < atom.
+
+    fn expr(&mut self) -> Result<Expr, SqlError> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Expr, SqlError> {
+        let mut left = self.and_expr()?;
+        while self.at_kw("or") {
+            self.bump();
+            let right = self.and_expr()?;
+            let span = left.span().to(right.span());
+            left = Expr::Bin {
+                op: BinOp::Or,
+                left: Box::new(left),
+                right: Box::new(right),
+                span,
+            };
+        }
+        Ok(left)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr, SqlError> {
+        let mut left = self.cmp_expr()?;
+        while self.at_kw("and") {
+            self.bump();
+            let right = self.cmp_expr()?;
+            let span = left.span().to(right.span());
+            left = Expr::Bin {
+                op: BinOp::And,
+                left: Box::new(left),
+                right: Box::new(right),
+                span,
+            };
+        }
+        Ok(left)
+    }
+
+    fn cmp_expr(&mut self) -> Result<Expr, SqlError> {
+        let left = self.add_expr()?;
+        let op = match self.peek() {
+            Tok::Lt => BinOp::Lt,
+            Tok::Le => BinOp::Le,
+            Tok::Eq => BinOp::Eq,
+            Tok::Ge => BinOp::Ge,
+            Tok::Gt => BinOp::Gt,
+            Tok::Ne => BinOp::Ne,
+            _ => {
+                self.check_unsupported()?;
+                return Ok(left);
+            }
+        };
+        self.bump();
+        let right = self.add_expr()?;
+        let span = left.span().to(right.span());
+        Ok(Expr::Bin {
+            op,
+            left: Box::new(left),
+            right: Box::new(right),
+            span,
+        })
+    }
+
+    fn add_expr(&mut self) -> Result<Expr, SqlError> {
+        let mut left = self.mul_expr()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Plus => BinOp::Add,
+                Tok::Minus => BinOp::Sub,
+                _ => break,
+            };
+            self.bump();
+            let right = self.mul_expr()?;
+            let span = left.span().to(right.span());
+            left = Expr::Bin {
+                op,
+                left: Box::new(left),
+                right: Box::new(right),
+                span,
+            };
+        }
+        Ok(left)
+    }
+
+    fn mul_expr(&mut self) -> Result<Expr, SqlError> {
+        let mut left = self.atom_expr()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Star => BinOp::Mul,
+                Tok::Slash => BinOp::Div,
+                _ => break,
+            };
+            self.bump();
+            let right = self.atom_expr()?;
+            let span = left.span().to(right.span());
+            left = Expr::Bin {
+                op,
+                left: Box::new(left),
+                right: Box::new(right),
+                span,
+            };
+        }
+        Ok(left)
+    }
+
+    fn atom_expr(&mut self) -> Result<Expr, SqlError> {
+        self.check_unsupported()?;
+        match self.peek().clone() {
+            Tok::Int(v) => {
+                let span = self.bump().span;
+                Ok(Expr::Lit {
+                    val: Lit::Int(v),
+                    span,
+                })
+            }
+            Tok::Float(v) => {
+                let span = self.bump().span;
+                Ok(Expr::Lit {
+                    val: Lit::Float(v),
+                    span,
+                })
+            }
+            Tok::Str(s) => {
+                let span = self.bump().span;
+                Ok(Expr::Lit {
+                    val: Lit::Str(s),
+                    span,
+                })
+            }
+            Tok::Minus => {
+                // Unary minus folds into numeric literals only.
+                let lo = self.bump().span;
+                match self.peek().clone() {
+                    Tok::Int(v) => {
+                        let span = lo.to(self.bump().span);
+                        Ok(Expr::Lit {
+                            val: Lit::Int(-v),
+                            span,
+                        })
+                    }
+                    Tok::Float(v) => {
+                        let span = lo.to(self.bump().span);
+                        Ok(Expr::Lit {
+                            val: Lit::Float(-v),
+                            span,
+                        })
+                    }
+                    _ => Err(self.unexpected("a numeric literal after `-`")),
+                }
+            }
+            Tok::LParen => {
+                self.bump();
+                if self.at_kw("select") {
+                    return Err(SqlError::new(
+                        SqlErrorKind::Unsupported(
+                            "subqueries in expressions are not supported".into(),
+                        ),
+                        self.peek_span(),
+                    ));
+                }
+                let e = self.expr()?;
+                self.expect(Tok::RParen, "`)`")?;
+                Ok(e)
+            }
+            Tok::Ident(_) => {
+                let first = self.ident("an expression")?;
+                if self.peek() == &Tok::LParen {
+                    // function call
+                    self.bump();
+                    if self.peek() == &Tok::Star {
+                        self.bump();
+                        let hi = self.expect(Tok::RParen, "`)`")?;
+                        return Ok(Expr::Call {
+                            span: first.span.to(hi),
+                            func: first,
+                            args: Vec::new(),
+                            star: true,
+                        });
+                    }
+                    let mut args = Vec::new();
+                    if self.peek() != &Tok::RParen {
+                        args.push(self.expr()?);
+                        while self.peek() == &Tok::Comma {
+                            self.bump();
+                            args.push(self.expr()?);
+                        }
+                    }
+                    let hi = self.expect(Tok::RParen, "`)`")?;
+                    Ok(Expr::Call {
+                        span: first.span.to(hi),
+                        func: first,
+                        args,
+                        star: false,
+                    })
+                } else if self.peek() == &Tok::Dot {
+                    self.bump();
+                    let column = self.ident("a column name")?;
+                    let span = first.span.to(column.span);
+                    Ok(Expr::Col(ColRef {
+                        table: Some(first),
+                        column,
+                        span,
+                    }))
+                } else {
+                    let span = first.span;
+                    Ok(Expr::Col(ColRef {
+                        table: None,
+                        column: first,
+                        span,
+                    }))
+                }
+            }
+            _ => Err(self.unexpected("an expression")),
+        }
+    }
+}

@@ -1,0 +1,215 @@
+//! Analyzer and parser error-path coverage: every [`SqlErrorKind`] is
+//! reachable from user text, each error carries a span inside the
+//! source, and no input — valid, malformed, or truncated mid-token —
+//! panics the pipeline.
+
+use mqo_sql::{compile, parse_statements, SqlError, SqlErrorKind, SqlPlanner};
+use mqo_workloads::Tpcd;
+
+/// Runs `sql` through the full pipeline and returns the error it must
+/// produce.
+fn err_of(sql: &str) -> SqlError {
+    let w = Tpcd::new(0.01);
+    let mut catalog = w.catalog.clone();
+    compile(&mut catalog, sql).expect_err(&format!("expected an error for: {sql}"))
+}
+
+/// The span must point at `fragment` inside `sql` (its first
+/// occurrence), proving errors carry usable locations.
+fn assert_spans(sql: &str, err: &SqlError, fragment: &str) {
+    let lo = sql.find(fragment).unwrap_or_else(|| {
+        panic!("test bug: {fragment:?} not in {sql:?}");
+    });
+    assert_eq!(
+        (err.span.lo as usize, err.span.hi as usize),
+        (lo, lo + fragment.len()),
+        "span of {err:?} should cover {fragment:?} in {sql:?}"
+    );
+}
+
+#[test]
+fn lex_errors() {
+    let sql = "SELECT n_name FROM nation WHERE n_name = 'unterminated";
+    let err = err_of(sql);
+    assert!(matches!(err.kind, SqlErrorKind::Lex(_)), "{err:?}");
+    assert_spans(sql, &err, "'unterminated");
+
+    let err = err_of("SELECT ? FROM nation");
+    assert!(matches!(err.kind, SqlErrorKind::Lex(_)), "{err:?}");
+}
+
+#[test]
+fn parse_errors() {
+    let sql = "SELECT n_name FROM nation WHERE";
+    let err = err_of(sql);
+    assert!(matches!(err.kind, SqlErrorKind::Parse(_)), "{err:?}");
+
+    let sql = "SELECT FROM nation";
+    let err = err_of(sql);
+    assert!(matches!(err.kind, SqlErrorKind::Parse(_)), "{err:?}");
+    assert_spans(sql, &err, "FROM");
+}
+
+#[test]
+fn unknown_table() {
+    let sql = "SELECT x FROM flights";
+    let err = err_of(sql);
+    assert_eq!(err.kind, SqlErrorKind::UnknownTable("flights".into()));
+    assert_spans(sql, &err, "flights");
+    assert!(err.render(sql).contains("unknown table `flights`"));
+}
+
+#[test]
+fn unknown_column() {
+    let sql = "SELECT altitude FROM nation";
+    let err = err_of(sql);
+    assert_eq!(err.kind, SqlErrorKind::UnknownColumn("altitude".into()));
+    assert_spans(sql, &err, "altitude");
+
+    // Qualified misses report the qualified name.
+    let sql = "SELECT nation.altitude FROM nation";
+    let err = err_of(sql);
+    assert_eq!(
+        err.kind,
+        SqlErrorKind::UnknownColumn("nation.altitude".into())
+    );
+
+    // A qualifier that names no FROM item is an unknown table.
+    let sql = "SELECT region.r_name FROM nation";
+    let err = err_of(sql);
+    assert_eq!(err.kind, SqlErrorKind::UnknownTable("region".into()));
+}
+
+#[test]
+fn ambiguous_column() {
+    // A FROM subquery re-exposes lineitem's columns, so an unqualified
+    // l_suppkey matches two sources.
+    let sql = "SELECT l_suppkey FROM lineitem, (SELECT l_suppkey FROM lineitem) AS r";
+    let err = err_of(sql);
+    assert_eq!(err.kind, SqlErrorKind::AmbiguousColumn("l_suppkey".into()));
+    assert_spans(sql, &err, "l_suppkey");
+    assert!(err.render(sql).contains("qualify it"));
+}
+
+#[test]
+fn duplicate_table() {
+    let sql = "SELECT n_name FROM nation, nation";
+    let err = err_of(sql);
+    assert_eq!(err.kind, SqlErrorKind::DuplicateTable("nation".into()));
+}
+
+#[test]
+fn type_mismatches() {
+    // String column compared to a numeric literal.
+    let sql = "SELECT n_name FROM nation WHERE n_name < 3";
+    let err = err_of(sql);
+    assert!(matches!(err.kind, SqlErrorKind::TypeMismatch(_)), "{err:?}");
+
+    // Arithmetic where a predicate belongs.
+    let sql = "SELECT n_name FROM nation WHERE n_regionkey + 1";
+    let err = err_of(sql);
+    assert!(matches!(err.kind, SqlErrorKind::TypeMismatch(_)), "{err:?}");
+
+    // SUM over a string column.
+    let sql = "SELECT SUM(n_name) AS s FROM nation";
+    let err = err_of(sql);
+    assert!(matches!(err.kind, SqlErrorKind::TypeMismatch(_)), "{err:?}");
+    assert_spans(sql, &err, "n_name");
+}
+
+#[test]
+fn wrong_arity() {
+    let sql = "SELECT SUM(n_regionkey, n_nationkey) AS s FROM nation";
+    let err = err_of(sql);
+    assert!(matches!(err.kind, SqlErrorKind::WrongArity(_)), "{err:?}");
+
+    // `*` is an argument only COUNT accepts.
+    let sql = "SELECT SUM(*) AS s FROM nation";
+    let err = err_of(sql);
+    assert!(matches!(err.kind, SqlErrorKind::WrongArity(_)), "{err:?}");
+}
+
+#[test]
+fn unsupported_constructs() {
+    for sql in [
+        "SELECT DISTINCT n_name FROM nation",
+        "SELECT n_name FROM nation LEFT JOIN region ON r_regionkey = n_regionkey",
+        "SELECT n_regionkey FROM nation GROUP BY n_regionkey HAVING n_regionkey > 1",
+        "SELECT n_name FROM nation LIMIT 5",
+        "SELECT n_name FROM nation WHERE n_name IS NULL",
+        "SELECT n_name FROM nation WHERE NOT n_regionkey = 1",
+        "SELECT n_name FROM nation UNION SELECT r_name FROM region",
+    ] {
+        let err = err_of(sql);
+        assert!(
+            matches!(err.kind, SqlErrorKind::Unsupported(_)),
+            "{sql} should be Unsupported, got {err:?}"
+        );
+    }
+}
+
+#[test]
+fn invalid_semantics() {
+    // Selecting a bare column that is not grouped.
+    let sql = "SELECT n_name, SUM(n_regionkey) AS s FROM nation GROUP BY n_regionkey";
+    let err = err_of(sql);
+    assert!(matches!(err.kind, SqlErrorKind::Invalid(_)), "{err:?}");
+
+    // ORDER BY a column the query does not produce.
+    let sql = "SELECT n_name FROM nation ORDER BY n_regionkey";
+    let err = err_of(sql);
+    assert!(matches!(err.kind, SqlErrorKind::Invalid(_)), "{err:?}");
+}
+
+#[test]
+fn render_is_well_formed_for_every_kind() {
+    for sql in [
+        "SELECT ? FROM nation",
+        "SELECT FROM nation",
+        "SELECT x FROM flights",
+        "SELECT altitude FROM nation",
+        "SELECT l_suppkey FROM lineitem, (SELECT l_suppkey FROM lineitem) AS r",
+        "SELECT n_name FROM nation, nation",
+        "SELECT n_name FROM nation WHERE n_name < 3",
+        "SELECT SUM(*) AS s FROM nation",
+        "SELECT DISTINCT n_name FROM nation",
+        "SELECT n_name FROM nation ORDER BY n_regionkey",
+    ] {
+        let err = err_of(sql);
+        let out = err.render(sql);
+        assert!(out.starts_with("error: "), "{out}");
+        assert!(out.contains("--> line 1, column "), "{out}");
+        assert!(out.contains('^'), "{out}");
+    }
+}
+
+/// No prefix of valid SQL — truncation can land mid-token, mid-string,
+/// mid-parenthesis — may panic any pipeline stage. Errors are expected;
+/// unwinding is not.
+#[test]
+fn truncated_inputs_never_panic() {
+    let w = Tpcd::new(0.01);
+    let samples = [
+        "SELECT ps_partkey, SUM(ps_supplycost * ps_availqty) AS value \
+         FROM partsupp, supplier, nation \
+         WHERE ps_suppkey = s_suppkey AND s_nationkey = n_nationkey \
+           AND n_name = 'n_name_000007' GROUP BY ps_partkey ORDER BY ps_partkey DESC",
+        "SELECT s_suppkey, rev FROM supplier JOIN (SELECT l_suppkey, \
+         SUM(l_extendedprice * (1.0 - l_discount)) AS rev FROM lineitem \
+         WHERE l_shipdate >= 1000 GROUP BY l_suppkey) ON s_suppkey = l_suppkey",
+        "SELECT COUNT(*) AS n FROM nation WHERE n_regionkey = 2 OR n_regionkey = 4; \
+         SELECT -1.5e2 FROM region",
+    ];
+    for sample in samples {
+        for cut in 0..=sample.len() {
+            if !sample.is_char_boundary(cut) {
+                continue;
+            }
+            let prefix = &sample[..cut];
+            // Parsing and planning may fail, but must return, not panic.
+            let _ = parse_statements(prefix);
+            let mut catalog = w.catalog.clone();
+            let _ = SqlPlanner::new().plan_text(&mut catalog, prefix);
+        }
+    }
+}

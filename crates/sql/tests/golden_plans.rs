@@ -1,0 +1,200 @@
+//! Golden-plan snapshots: fixed SQL strings must lower to exactly the
+//! `LogicalPlan`s the hand-built `mqo-workloads` constructors produce —
+//! the fig6-family Q11 and Q15 batches among them — and a SQL-built
+//! batch must optimize and execute bit-identically to the hand-built
+//! construction through `MqoSession`.
+
+use mqo_exec::{generate_database, Table};
+use mqo_expr::Value;
+use mqo_logical::{Batch, Query};
+use mqo_session::{MqoSession, SessionOptions};
+use mqo_sql::{compile, to_batch, SqlPlanner};
+use mqo_workloads::Tpcd;
+
+const Q11_BY_PART: &str = "SELECT ps_partkey, SUM(ps_supplycost * ps_availqty) AS value \
+     FROM partsupp, supplier, nation \
+     WHERE ps_suppkey = s_suppkey AND s_nationkey = n_nationkey \
+       AND n_name = 'n_name_000007' \
+     GROUP BY ps_partkey";
+
+const Q11_TOTAL: &str = "SELECT SUM(ps_supplycost * ps_availqty) AS value \
+     FROM partsupp, supplier, nation \
+     WHERE ps_suppkey = s_suppkey AND s_nationkey = n_nationkey \
+       AND n_name = 'n_name_000007'";
+
+const REVENUE_VIEW: &str = "SELECT l_suppkey, SUM(l_extendedprice * (1.0 - l_discount)) AS rev \
+     FROM lineitem \
+     WHERE l_shipdate >= 1000 AND l_shipdate < 1090 \
+     GROUP BY l_suppkey";
+
+fn q15_maxrev() -> String {
+    format!("SELECT MAX(rev) AS maxrev FROM ({REVENUE_VIEW})")
+}
+
+fn q15_join() -> String {
+    format!("SELECT s_suppkey, l_suppkey, rev FROM supplier JOIN ({REVENUE_VIEW}) ON s_suppkey = l_suppkey")
+}
+
+#[test]
+fn q11_sql_lowers_to_the_hand_built_plans() {
+    let w = Tpcd::new(0.01);
+    let hand = w.q11();
+    let mut catalog = w.catalog.clone();
+    let sql = format!("{Q11_BY_PART}; {Q11_TOTAL};");
+    let planned = compile(&mut catalog, &sql).expect("Q11 SQL should plan");
+    assert_eq!(planned.len(), 2);
+    assert_eq!(
+        planned[0].plan,
+        hand.queries[0].plan,
+        "Q11-by-part plan differs from Tpcd::q11:\nSQL:\n{}\nhand:\n{}",
+        planned[0].plan.explain(&catalog),
+        hand.queries[0].plan.explain(&catalog)
+    );
+    assert_eq!(
+        planned[1].plan, hand.queries[1].plan,
+        "Q11-total plan differs from Tpcd::q11"
+    );
+    // The SQL pipeline reused the pre-registered `value` column rather
+    // than minting a new one.
+    assert_eq!(catalog.columns().len(), w.catalog.columns().len());
+}
+
+#[test]
+fn q15_sql_lowers_to_the_hand_built_plans() {
+    let w = Tpcd::new(0.01);
+    let hand = w.q15();
+    let mut catalog = w.catalog.clone();
+    let sql = format!("{}; {};", q15_maxrev(), q15_join());
+    let planned = compile(&mut catalog, &sql).expect("Q15 SQL should plan");
+    assert_eq!(planned.len(), 2);
+    assert_eq!(
+        planned[0].plan,
+        hand.queries[0].plan,
+        "Q15-maxrev plan differs from Tpcd::q15:\nSQL:\n{}\nhand:\n{}",
+        planned[0].plan.explain(&catalog),
+        hand.queries[0].plan.explain(&catalog)
+    );
+    assert_eq!(
+        planned[1].plan,
+        hand.queries[1].plan,
+        "Q15-join plan differs from Tpcd::q15:\nSQL:\n{}\nhand:\n{}",
+        planned[1].plan.explain(&catalog),
+        hand.queries[1].plan.explain(&catalog)
+    );
+    assert_eq!(catalog.columns().len(), w.catalog.columns().len());
+}
+
+#[test]
+fn explain_snapshots_stay_stable() {
+    let w = Tpcd::new(0.01);
+    let mut catalog = w.catalog.clone();
+    let planned = compile(
+        &mut catalog,
+        "SELECT n_name FROM nation WHERE n_regionkey = 2 OR n_regionkey = 4",
+    )
+    .expect("should plan");
+    let explain = planned[0].plan.explain(&catalog);
+    assert!(
+        explain.contains("Scan nation"),
+        "unexpected explain:\n{explain}"
+    );
+    assert!(
+        explain.contains("Project"),
+        "expected a keep-projection:\n{explain}"
+    );
+
+    let planned = compile(
+        &mut catalog,
+        "SELECT r_name, n_name FROM region JOIN nation ON r_regionkey = n_regionkey",
+    )
+    .expect("should plan");
+    let explain = planned[0].plan.explain(&catalog);
+    assert!(explain.contains("Join"), "expected a join:\n{explain}");
+}
+
+fn strict_eq(a: &Value, b: &Value) -> bool {
+    match (a, b) {
+        (Value::Int(x), Value::Int(y)) => x == y,
+        (Value::Float(x), Value::Float(y)) => x.to_bits() == y.to_bits(),
+        (Value::Str(x), Value::Str(y)) => x == y,
+        (Value::Null, Value::Null) => true,
+        _ => false,
+    }
+}
+
+fn tables_identical(a: &Table, b: &Table) -> bool {
+    a.schema == b.schema
+        && a.sorted_on == b.sorted_on
+        && a.len() == b.len()
+        && (0..a.len()).all(|i| {
+            let (ra, rb) = (a.row(i), b.row(i));
+            ra.iter().zip(&rb).all(|(x, y)| strict_eq(x, y))
+        })
+}
+
+/// A fig6-family batch written as SQL text must optimize and execute
+/// bit-identically to the hand-built plans through `MqoSession`.
+#[test]
+fn sql_batch_executes_identically_to_hand_built_plans() {
+    let seed = 20_260;
+    let w = Tpcd::new(0.005);
+    let db = generate_database(&w.catalog, seed, usize::MAX);
+
+    // Hand-built session: Q11 then Q15, as `mqo-workloads` builds them.
+    let mut hand_session = MqoSession::new(w.catalog.clone(), db.clone(), SessionOptions::new());
+    let hand_q11 = hand_session.submit(&w.q11()).expect("hand Q11");
+    let hand_q15 = hand_session.submit(&w.q15()).expect("hand Q15");
+
+    // SQL session: the same queries as text, planned via the pipeline.
+    let mut sql_session = MqoSession::new(w.catalog.clone(), db, SessionOptions::new());
+    let mut planner = SqlPlanner::new();
+    let sql_batches = [
+        format!("{Q11_BY_PART}; {Q11_TOTAL};"),
+        format!("{}; {};", q15_maxrev(), q15_join()),
+    ];
+    let mut sql_results = Vec::new();
+    for text in &sql_batches {
+        let planned = planner
+            .plan_text(sql_session.catalog_mut(), text)
+            .expect("SQL batch should plan");
+        let batch = to_batch(&planned);
+        sql_results.push(sql_session.submit(&batch).expect("SQL submit"));
+    }
+
+    for (hand, sql) in [&hand_q11, &hand_q15].into_iter().zip(&sql_results) {
+        assert_eq!(hand.cost.secs(), sql.cost.secs(), "estimated cost differs");
+        assert_eq!(hand.temps_built, sql.temps_built, "temps_built differs");
+        assert_eq!(hand.rows_out, sql.rows_out, "rows_out differs");
+        assert_eq!(hand.results.len(), sql.results.len());
+        for (qi, (a, b)) in hand.results.iter().zip(&sql.results).enumerate() {
+            assert!(
+                tables_identical(a, b),
+                "query {qi}: SQL-built results diverge from hand-built"
+            );
+        }
+    }
+
+    // Same submissions, so the sessions' stats agree too.
+    assert_eq!(
+        hand_session.stats().batches,
+        sql_session.stats().batches,
+        "batch counts differ"
+    );
+}
+
+/// Lowering through `Batch`/`Query` keeps labels attached.
+#[test]
+fn to_batch_preserves_labels_and_plans() {
+    let w = Tpcd::new(0.01);
+    let mut catalog = w.catalog.clone();
+    let planned = compile(
+        &mut catalog,
+        "SELECT n_name FROM nation; SELECT r_name FROM region;",
+    )
+    .expect("should plan");
+    let batch: Batch = to_batch(&planned);
+    assert_eq!(batch.queries.len(), 2);
+    let q: &Query = &batch.queries[0];
+    assert_eq!(q.label, "q1");
+    assert_eq!(q.plan, planned[0].plan);
+}

@@ -1,0 +1,46 @@
+-- Demo script for the SQL REPL (examples/sql_repl.rs):
+--   cargo run --release --example sql_repl < examples/repl_demo.sql
+-- Each batch is the paper's fig-6 family written as SQL; the second
+-- submission of the Q11 pair runs warm out of the session MV cache.
+
+-- TPC-D Q11: supplier stock value by part, plus the ungrouped total.
+SELECT ps_partkey, SUM(ps_supplycost * ps_availqty) AS value
+FROM partsupp, supplier, nation
+WHERE ps_suppkey = s_suppkey AND s_nationkey = n_nationkey
+  AND n_name = 'n_name_000007'
+GROUP BY ps_partkey
+ORDER BY value DESC;
+
+SELECT SUM(ps_supplycost * ps_availqty) AS value
+FROM partsupp, supplier, nation
+WHERE ps_suppkey = s_suppkey AND s_nationkey = n_nationkey
+  AND n_name = 'n_name_000007';
+go;
+
+-- TPC-D Q15: max revenue over a shared revenue view, then the join
+-- back to supplier. Both statements share the aggregated subquery.
+SELECT MAX(rev) AS maxrev
+FROM (SELECT l_suppkey, SUM(l_extendedprice * (1.0 - l_discount)) AS rev
+      FROM lineitem
+      WHERE l_shipdate >= 1000 AND l_shipdate < 1090
+      GROUP BY l_suppkey);
+
+SELECT s_suppkey, l_suppkey, rev
+FROM supplier
+JOIN (SELECT l_suppkey, SUM(l_extendedprice * (1.0 - l_discount)) AS rev
+      FROM lineitem
+      WHERE l_shipdate >= 1000 AND l_shipdate < 1090
+      GROUP BY l_suppkey) ON s_suppkey = l_suppkey
+ORDER BY rev DESC;
+go;
+
+-- Resubmit the Q11 pair: the session MV cache should serve it warm.
+SELECT ps_partkey, SUM(ps_supplycost * ps_availqty) AS value
+FROM partsupp, supplier, nation
+WHERE ps_suppkey = s_suppkey AND s_nationkey = n_nationkey
+  AND n_name = 'n_name_000007'
+GROUP BY ps_partkey;
+go;
+
+stats;
+quit;

@@ -1,0 +1,193 @@
+//! A thin SQL REPL over `MqoSession`: type `;`-terminated SELECTs, then
+//! `go;` to optimize and execute everything typed since the last `go;`
+//! as ONE multi-query batch. Statements in a batch share optimizer DAG
+//! structure and warm `MvStore` results exactly like hand-built
+//! batches, so resubmitting overlapping queries shows cache hits.
+//!
+//! Commands (each on its own line):
+//!   go;            submit the accumulated statements as a batch
+//!   stats;         print cumulative session statistics
+//!   quit; / exit;  leave (EOF submits any remainder first)
+//!
+//! Run with: `cargo run --release --example sql_repl [--scale S] [--seed N]`
+//! or pipe a script: `cargo run --release --example sql_repl < examples/repl_demo.sql`
+
+use std::io::{BufRead, IsTerminal, Write};
+
+use mqo::exec::generate_database;
+use mqo::session::{BatchResult, MqoSession, SessionOptions};
+use mqo::sql::{apply_order, to_batch, PlannedQuery, SqlPlanner};
+use mqo::workloads::Tpcd;
+
+fn main() {
+    let mut scale = 0.002f64;
+    let mut seed = 42u64;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--scale" => scale = args.next().and_then(|v| v.parse().ok()).unwrap_or(scale),
+            "--seed" => seed = args.next().and_then(|v| v.parse().ok()).unwrap_or(seed),
+            other => {
+                eprintln!("unknown argument `{other}` (expected --scale or --seed)");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let interactive = std::io::stdin().is_terminal();
+    let w = Tpcd::new(scale);
+    eprintln!("generating TPC-D data at scale {scale} (seed {seed})…");
+    let db = generate_database(&w.catalog, seed, usize::MAX);
+    let mut session = MqoSession::new(w.catalog, db, SessionOptions::new());
+    let mut planner = SqlPlanner::new();
+
+    if interactive {
+        eprintln!("tables: nation region supplier partsupp part lineitem orders customer");
+        eprintln!("end statements with `;`, then `go;` to run the batch; `stats;`, `quit;`");
+    }
+
+    let mut pending = String::new(); // complete statements awaiting `go;`
+    let mut buffer = String::new(); // lines of the statement being typed
+    let stdin = std::io::stdin();
+    loop {
+        if interactive {
+            let prompt = if buffer.trim().is_empty() {
+                "mqo> "
+            } else {
+                "...> "
+            };
+            eprint!("{prompt}");
+            std::io::stderr().flush().ok();
+        }
+        let mut line = String::new();
+        if stdin.lock().read_line(&mut line).unwrap_or(0) == 0 {
+            // EOF: run whatever is left, then stop.
+            if !buffer.trim().is_empty() {
+                fail(
+                    &format!("unterminated statement at EOF: {}", buffer.trim()),
+                    interactive,
+                );
+            }
+            if !pending.trim().is_empty() {
+                run_batch(&mut session, &mut planner, &pending, interactive);
+            }
+            break;
+        }
+        match line.trim().to_ascii_lowercase().as_str() {
+            "go;" | "go" => {
+                if !buffer.trim().is_empty() {
+                    fail(
+                        &format!("unterminated statement before go;: {}", buffer.trim()),
+                        interactive,
+                    );
+                    buffer.clear();
+                }
+                if pending.trim().is_empty() {
+                    if interactive {
+                        eprintln!("nothing to run — type a statement first");
+                    }
+                } else {
+                    run_batch(&mut session, &mut planner, &pending, interactive);
+                    pending.clear();
+                }
+                continue;
+            }
+            "stats;" | "stats" => {
+                print_stats(&session);
+                continue;
+            }
+            "quit;" | "exit;" | "quit" | "exit" => break,
+            _ => {}
+        }
+        buffer.push_str(&line);
+        if buffer.trim_end().ends_with(';') {
+            // Statement complete: check it parses now so errors point at
+            // text the user just typed, then queue it for `go;`.
+            match mqo::sql::parse_statements(&buffer) {
+                Ok(_) => pending.push_str(&buffer),
+                Err(e) => fail(&e.render(&buffer), interactive),
+            }
+            buffer.clear();
+        }
+    }
+}
+
+/// Plans `sql` as one batch, submits it, and prints per-query results.
+fn run_batch(session: &mut MqoSession, planner: &mut SqlPlanner, sql: &str, interactive: bool) {
+    let planned = match planner.plan_text(session.catalog_mut(), sql) {
+        Ok(p) => p,
+        Err(e) => return fail(&e.render(sql), interactive),
+    };
+    let batch = to_batch(&planned);
+    let r = match session.submit(&batch) {
+        Ok(r) => r,
+        Err(e) => return fail(&format!("optimizer error: {e:?}"), interactive),
+    };
+    print_batch(session, &planned, &r);
+}
+
+fn print_batch(session: &MqoSession, planned: &[PlannedQuery], r: &BatchResult) {
+    println!(
+        "batch: {} queries | est cost {} | exec {:.1}ms | {} temps, {} cache hits",
+        planned.len(),
+        r.cost,
+        r.exec_wall.as_secs_f64() * 1e3,
+        r.temps_built,
+        r.cache_hits
+    );
+    for (pq, table) in planned.iter().zip(&r.results) {
+        let table = if pq.order_by.is_empty() {
+            table.clone()
+        } else {
+            apply_order(table, &pq.order_by)
+        };
+        let names: Vec<&str> = table
+            .schema
+            .iter()
+            .map(|&c| session.catalog().column(c).name.as_str())
+            .collect();
+        println!(
+            "-- {}: {} rows [{}]",
+            pq.label,
+            table.len(),
+            names.join(", ")
+        );
+        const SHOW: usize = 10;
+        for i in 0..table.len().min(SHOW) {
+            let row: Vec<String> = table.row(i).iter().map(|v| v.to_string()).collect();
+            println!("   {}", row.join(" | "));
+        }
+        if table.len() > SHOW {
+            println!("   … {} more", table.len() - SHOW);
+        }
+    }
+}
+
+fn print_stats(session: &MqoSession) {
+    let s = session.stats();
+    println!(
+        "session: {} batches, {} queries | {} cache hits, {} temps built",
+        s.batches, s.queries, s.cache_hits, s.temps_built
+    );
+    println!(
+        "  mv cache: {} entries, {:.1} KiB / {:.0} KiB budget",
+        s.mv_entries,
+        s.mv_bytes_used as f64 / 1024.0,
+        s.mv_budget_bytes as f64 / 1024.0
+    );
+    println!(
+        "  est cost Σ {:.3}s | opt Σ {:.1}ms | exec Σ {:.1}ms",
+        s.est_cost_secs,
+        s.opt_secs * 1e3,
+        s.exec_secs * 1e3
+    );
+}
+
+/// Interactive errors are conversational; piped errors kill the script
+/// so CI catches them.
+fn fail(msg: &str, interactive: bool) {
+    eprintln!("{msg}");
+    if !interactive {
+        std::process::exit(1);
+    }
+}
