@@ -1,0 +1,230 @@
+//! `mqo-lint`: full-intensity IR verification over real workloads.
+//!
+//! Runs the paper's workload pipelines (the fig6–fig10 TPC-D and PSP
+//! scale-up batches, the no-sharing control), a warm-cache serving
+//! session, and `MQO_FUZZ_CASES` seeded SQL batches (default 500)
+//! through every optimizer stage, checking each intermediate
+//! representation at [`VerifyLevel::Full`]. Violations are rendered as
+//! caret diagnostics and the process exits nonzero — a CI tripwire for
+//! invariants the unit suites only probe pointwise.
+//!
+//! ```text
+//! $ mqo-lint
+//! tpcd Q2                      ok (5 strategies)
+//! ...
+//! mqo-lint: 47 pipelines verified clean at level Full
+//! ```
+
+use mqo_bench::bench_optimizer_with;
+use mqo_catalog::Catalog;
+use mqo_core::Options;
+use mqo_exec::generate_database;
+use mqo_logical::Batch;
+use mqo_session::{MqoSession, SessionOptions};
+use mqo_sql::{to_batch, QueryGen, SqlPlanner};
+use mqo_verify::{verify_store, VerifyLevel, VerifyReport};
+use mqo_workloads::{no_overlap, Scaleup, Tpcd};
+
+/// The strategies every pipeline is searched (and verified) with.
+/// Exhaustive is left out: it is an oracle for tiny batches, not a
+/// pipeline the workloads run.
+const STRATEGIES: [&str; 5] = [
+    "Volcano",
+    "Volcano-SH",
+    "Volcano-RU",
+    "Greedy",
+    "KS15-Greedy",
+];
+
+#[derive(Default)]
+struct Lint {
+    pipelines: usize,
+    violations: usize,
+}
+
+impl Lint {
+    /// Records (and renders) a report's violations under a context label.
+    fn check(&mut self, context: &str, report: &VerifyReport) {
+        if report.is_clean() {
+            return;
+        }
+        self.violations += report.len();
+        eprintln!(
+            "\n{context}: {} violation{}\n{}",
+            report.len(),
+            if report.len() == 1 { "" } else { "s" },
+            report.render()
+        );
+    }
+}
+
+/// Expands, physicalizes, searches, and verifies one batch end to end.
+fn lint_pipeline(lint: &mut Lint, label: &str, cat: &Catalog, batch: &Batch) {
+    lint.pipelines += 1;
+    let before = lint.violations;
+    let level = VerifyLevel::Full;
+    // Stage boundaries verify with `assert_clean` (panic); the lint
+    // collects and renders instead, so the wired-in checks are disabled
+    // and every facade is called explicitly here.
+    let optimizer = bench_optimizer_with(cat, Options::new().with_verify(VerifyLevel::Off));
+
+    lint.check(
+        &format!("{label} [logical]"),
+        &mqo_verify::verify_batch(batch, cat, level),
+    );
+    let expanded = optimizer.expand(batch);
+    let dag_report = mqo_verify::verify_dag(&expanded.dag, level);
+    lint.check(&format!("{label} [dag]"), &dag_report);
+    if !dag_report.is_clean() {
+        // Physicalizing a structurally broken DAG would only cascade.
+        println!("{label:<28} FAILED (dag stage)");
+        return;
+    }
+    let ctx = optimizer.physicalize(expanded);
+    lint.check(
+        &format!("{label} [physical]"),
+        &mqo_verify::verify_pdag(&ctx.dag, &ctx.pdag, cat, level),
+    );
+    for name in STRATEGIES {
+        let r = optimizer
+            .search(&ctx, name)
+            .expect("lint strategies are registered");
+        lint.check(
+            &format!("{label} [search {name}]"),
+            &mqo_verify::verify_result(
+                &ctx.dag,
+                &ctx.pdag,
+                &r.plan,
+                &r.mat,
+                &ctx.warm,
+                r.cost,
+                r.stats.sharable,
+                level,
+            ),
+        );
+    }
+    if lint.violations == before {
+        println!("{label:<28} ok ({} strategies)", STRATEGIES.len());
+    } else {
+        println!("{label:<28} FAILED");
+    }
+}
+
+/// Serving session: repeated submits over a live database, checking the
+/// warm cache's accounting after every batch.
+fn lint_session(lint: &mut Lint) {
+    let w = Tpcd::new(0.0005);
+    let db = generate_database(&w.catalog, 20_260, usize::MAX);
+    let mut session = MqoSession::new(
+        w.catalog.clone(),
+        db,
+        SessionOptions::new().with_opt(Options::new().with_verify(VerifyLevel::Off)),
+    );
+    let before = lint.violations;
+    // The serving stream (overlapping, parameter-free batches): the
+    // shape a long-lived session sees, exercising admit/evict/hit paths.
+    for (i, batch) in w.serving_batches(6).iter().enumerate() {
+        lint.pipelines += 1;
+        session
+            .submit(batch)
+            .expect("session strategy is registered");
+        lint.check(
+            &format!("session batch {i} [cache]"),
+            &verify_store(session.mv_store(), VerifyLevel::Full),
+        );
+    }
+    println!(
+        "session (6 batches)          {}",
+        if lint.violations == before {
+            "ok"
+        } else {
+            "FAILED"
+        }
+    );
+}
+
+/// Seeded SQL fuzzing: random-but-valid SELECT batches through the full
+/// text pipeline, then the verified optimizer pipeline.
+fn lint_sql_fuzz(lint: &mut Lint) {
+    const BATCH: usize = 8;
+    let cases: usize = std::env::var("MQO_FUZZ_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(500);
+    let w = Tpcd::new(0.0005);
+    let mut catalog = w.catalog.clone();
+    let mut gen = QueryGen::new(&w.catalog, 0x11b7_5eed);
+    let mut planner = SqlPlanner::new();
+    let mut done = 0usize;
+    let mut batch_no = 0usize;
+    let before = lint.violations;
+    while done < cases {
+        let n = BATCH.min(cases - done);
+        let sql = (0..n)
+            .map(|_| format!("{};", gen.next_statement()))
+            .collect::<Vec<_>>()
+            .join("\n");
+        let planned = planner
+            .plan_text(&mut catalog, &sql)
+            .unwrap_or_else(|e| panic!("generated SQL failed to plan:\n{sql}\n{}", e.render(&sql)));
+        let batch = to_batch(&planned);
+        lint_pipeline(
+            lint,
+            &format!("sql fuzz batch {batch_no}"),
+            &catalog,
+            &batch,
+        );
+        done += n;
+        batch_no += 1;
+    }
+    println!(
+        "sql fuzz ({done} queries)        {}",
+        if lint.violations == before {
+            "ok"
+        } else {
+            "FAILED"
+        }
+    );
+}
+
+fn main() {
+    let start = std::time::Instant::now();
+    let mut lint = Lint::default();
+
+    // fig6/fig7: the TPC-D batch-query workloads and the §6.4 control.
+    let w = Tpcd::new(0.01);
+    for (name, batch) in w.standalone() {
+        lint_pipeline(&mut lint, &format!("tpcd {name}"), &w.catalog, &batch);
+    }
+    lint_pipeline(&mut lint, "tpcd Q2-NOTIN", &w.catalog, &w.q2_notin());
+    for i in 1..=5 {
+        lint_pipeline(&mut lint, &format!("tpcd BQ{i}"), &w.catalog, &w.bq(i));
+    }
+    let (cat, batch) = no_overlap();
+    lint_pipeline(&mut lint, "no-overlap control", &cat, &batch);
+
+    // fig8–fig10: the PSP scale-up composites.
+    let s = Scaleup::new(2_000);
+    for i in 1..=3 {
+        lint_pipeline(&mut lint, &format!("scaleup CQ{i}"), &s.catalog, &s.cq(i));
+    }
+
+    // Cross-batch serving (warm MV cache accounting).
+    lint_session(&mut lint);
+
+    // Fuzzed SQL batches.
+    lint_sql_fuzz(&mut lint);
+
+    let secs = start.elapsed().as_secs_f64();
+    if lint.violations > 0 {
+        eprintln!(
+            "\nmqo-lint: {} violation(s) across {} pipelines ({secs:.1}s)",
+            lint.violations, lint.pipelines
+        );
+        std::process::exit(1);
+    }
+    println!(
+        "\nmqo-lint: {} pipelines verified clean at level Full ({secs:.1}s)",
+        lint.pipelines
+    );
+}

@@ -23,11 +23,17 @@ pub const COMPARED: [&str; 5] = [
 ];
 
 /// An [`Optimizer`] session with the built-ins plus [`Ks15Greedy`].
+#[must_use]
 pub fn bench_optimizer(catalog: &Catalog) -> Optimizer<'_> {
     bench_optimizer_with(catalog, Options::new())
 }
 
 /// Like [`bench_optimizer`], with explicit options.
+///
+/// # Panics
+///
+/// Panics if the KS15 strategy name collides with a built-in name.
+#[must_use]
 pub fn bench_optimizer_with(catalog: &Catalog, options: Options) -> Optimizer<'_> {
     let mut optimizer = Optimizer::with_options(catalog, options);
     optimizer
@@ -60,6 +66,7 @@ pub struct TextTable {
 
 impl TextTable {
     /// Creates a table with the given column headers.
+    #[must_use]
     pub fn new(header: &[&str]) -> Self {
         Self {
             header: header.iter().map(|s| s.to_string()).collect(),
@@ -68,6 +75,10 @@ impl TextTable {
     }
 
     /// Appends a row (stringified cells).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cells` does not match the header's arity.
     pub fn row(&mut self, cells: Vec<String>) {
         assert_eq!(cells.len(), self.header.len());
         self.rows.push(cells);
@@ -109,11 +120,13 @@ impl TextTable {
 }
 
 /// Formats seconds with 2 decimals.
+#[must_use]
 pub fn secs(x: f64) -> String {
     format!("{x:.2}")
 }
 
 /// Formats milliseconds from seconds.
+#[must_use]
 pub fn ms(x: f64) -> String {
     format!("{:.1}", x * 1e3)
 }

@@ -1,0 +1,30 @@
+//! Regression: Volcano-RU's consolidated plan graph records cross-variant
+//! reuse aliases per *use*, but `ExtractedPlan::choices` is a global
+//! per-node map. Promoting an alias globally used to redirect consumers
+//! that legitimately compute the node inline — including the sorted
+//! variant's own definition — producing a materialization schedule that
+//! reads a temp before building it (caught by `mqo-lint` on TPC-D Q2-D).
+
+use mqo_bench::bench_optimizer_with;
+use mqo_core::Options;
+use mqo_verify::VerifyLevel;
+use mqo_workloads::Tpcd;
+
+#[test]
+fn volcano_ru_q2d_schedule_is_executable() {
+    let w = Tpcd::new(0.01);
+    let optimizer = bench_optimizer_with(&w.catalog, Options::new().with_verify(VerifyLevel::Off));
+    let ctx = optimizer.prepare(&w.q2d());
+    let r = optimizer.search(&ctx, "Volcano-RU").expect("registered");
+    mqo_verify::verify_result(
+        &ctx.dag,
+        &ctx.pdag,
+        &r.plan,
+        &r.mat,
+        &ctx.warm,
+        r.cost,
+        r.stats.sharable,
+        VerifyLevel::Full,
+    )
+    .assert_clean("Volcano-RU on TPC-D Q2-D");
+}

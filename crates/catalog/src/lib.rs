@@ -40,6 +40,7 @@ pub enum ColType {
 
 impl ColType {
     /// Width in bytes as accounted by the cost model.
+    #[must_use]
     pub fn width(self) -> u32 {
         match self {
             ColType::Int | ColType::Float => 8,
@@ -90,6 +91,7 @@ pub struct Catalog {
 
 impl Catalog {
     /// Creates an empty catalog.
+    #[must_use]
     pub fn new() -> Self {
         Self::default()
     }
@@ -106,21 +108,25 @@ impl Catalog {
     }
 
     /// Looks a table up by name.
+    #[must_use]
     pub fn table_by_name(&self, name: &str) -> Option<&Table> {
         self.by_name.get(name).map(|id| &self.tables[id.index()])
     }
 
     /// Returns the table with the given id.
+    #[must_use]
     pub fn table_ref(&self, id: TableId) -> &Table {
         &self.tables[id.index()]
     }
 
     /// Returns the column with the given id.
+    #[must_use]
     pub fn column(&self, id: ColId) -> &Column {
         &self.columns[id.index()]
     }
 
     /// Finds a column of `table` by name.
+    #[must_use]
     pub fn column_by_name(&self, table: TableId, name: &str) -> Option<&Column> {
         self.tables[table.index()]
             .columns
@@ -131,6 +137,11 @@ impl Catalog {
 
     /// Convenience: `"table.column"` lookup; panics if missing (used by
     /// workload definitions where absence is a programming error).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the table or column does not exist.
+    #[must_use]
     pub fn col(&self, table: &str, column: &str) -> ColId {
         let t = self
             .table_by_name(table)
@@ -141,16 +152,19 @@ impl Catalog {
     }
 
     /// All tables.
+    #[must_use]
     pub fn tables(&self) -> &[Table] {
         &self.tables
     }
 
     /// All columns.
+    #[must_use]
     pub fn columns(&self) -> &[Column] {
         &self.columns
     }
 
     /// Width in bytes of one tuple of `table`.
+    #[must_use]
     pub fn tuple_width(&self, table: TableId) -> u32 {
         self.tables[table.index()]
             .columns
@@ -199,12 +213,14 @@ pub struct TableBuilder<'a> {
 
 impl TableBuilder<'_> {
     /// Sets the row count.
+    #[must_use]
     pub fn rows(mut self, n: f64) -> Self {
         self.cardinality = n;
         self
     }
 
     /// Adds a column with explicit statistics.
+    #[must_use]
     pub fn column(mut self, name: &str, ty: ColType, stats: ColStats) -> Self {
         self.columns.push((name.to_string(), ty, stats));
         self
@@ -212,6 +228,11 @@ impl TableBuilder<'_> {
 
     /// Adds an integer key column with values `0..rows` (distinct = rows).
     /// Call after [`Self::rows`].
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `rows()` was set to a positive count first.
+    #[must_use]
     pub fn int_key(self, name: &str) -> Self {
         let rows = self.cardinality;
         assert!(rows > 0.0, "set rows() before int_key()");
@@ -223,18 +244,25 @@ impl TableBuilder<'_> {
     }
 
     /// Adds an integer column uniform over `[lo, hi]`.
+    #[must_use]
     pub fn int_uniform(self, name: &str, lo: i64, hi: i64) -> Self {
         let distinct = (hi - lo + 1) as f64;
         self.column(name, ColType::Int, ColStats::uniform_int(lo, hi, distinct))
     }
 
     /// Marks the first column as the clustered primary key.
+    #[must_use]
     pub fn clustered_on_first(mut self) -> Self {
         self.clustered_on_first = true;
         self
     }
 
     /// Registers the table and returns its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `rows()` was set to a positive count.
+    #[must_use]
     pub fn build(self) -> TableId {
         let Self {
             catalog,
@@ -317,8 +345,8 @@ mod tests {
     #[should_panic(expected = "duplicate table name")]
     fn duplicate_table_rejected() {
         let mut cat = Catalog::new();
-        cat.table("t").rows(1.0).int_key("a").build();
-        cat.table("t").rows(1.0).int_key("a").build();
+        let _ = cat.table("t").rows(1.0).int_key("a").build();
+        let _ = cat.table("t").rows(1.0).int_key("a").build();
     }
 
     #[test]

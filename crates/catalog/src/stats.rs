@@ -21,6 +21,11 @@ pub struct ColStats {
 
 impl ColStats {
     /// Uniform integer domain `[lo, hi]` with the given distinct count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the domain is empty (`lo > hi`).
+    #[must_use]
     pub fn uniform_int(lo: i64, hi: i64, distinct: f64) -> Self {
         assert!(lo <= hi, "empty domain");
         Self {
@@ -31,6 +36,11 @@ impl ColStats {
     }
 
     /// Uniform float domain `[lo, hi]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the domain is empty (`lo > hi`).
+    #[must_use]
     pub fn uniform_float(lo: f64, hi: f64, distinct: f64) -> Self {
         assert!(lo <= hi, "empty domain");
         Self {
@@ -42,6 +52,7 @@ impl ColStats {
 
     /// A domain with no usable order (e.g. free-form strings): range
     /// predicates fall back to default selectivities.
+    #[must_use]
     pub fn opaque(distinct: f64) -> Self {
         Self {
             min: None,
@@ -51,6 +62,7 @@ impl ColStats {
     }
 
     /// Width of the ordered domain, if known and non-degenerate.
+    #[must_use]
     pub fn range_width(&self) -> Option<f64> {
         match (self.min, self.max) {
             (Some(lo), Some(hi)) if hi > lo => Some(hi - lo),

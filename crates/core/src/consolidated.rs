@@ -53,6 +53,7 @@ impl PlanGraph {
     /// Builds the consolidated plan for the whole batch under a given
     /// materialized set (`MatSet::new()` for plain Volcano-SH; Volcano-RU
     /// instead builds incrementally with [`PlanGraph::add_query`]).
+    #[must_use]
     pub fn consolidated(pdag: &PhysicalDag, table: &CostTable, mat: &MatSet) -> PlanGraph {
         let mut g = PlanGraph::empty();
         let root_idx = g.define(pdag, table, mat, pdag.root());
@@ -63,6 +64,7 @@ impl PlanGraph {
     }
 
     /// Starts an empty plan graph (Volcano-RU).
+    #[must_use]
     pub fn empty() -> PlanGraph {
         PlanGraph {
             nodes: Vec::new(),
@@ -181,6 +183,7 @@ impl PlanGraph {
     }
 
     /// Plan node indices in bottom-up (topological) order.
+    #[must_use]
     pub fn topo_indices(&self, pdag: &PhysicalDag) -> Vec<usize> {
         let mut idxs: Vec<usize> = (0..self.nodes.len()).collect();
         idxs.sort_by_key(|&i| pdag.node(self.nodes[i].phys).topo);
@@ -189,12 +192,26 @@ impl PlanGraph {
 
     /// Converts the (post-decision) graph into an [`ExtractedPlan`] whose
     /// materialized set is `mat`.
+    #[must_use]
     pub fn into_plan(&self, pdag: &PhysicalDag, mat: &MatSet, total_cost: Cost) -> ExtractedPlan {
         let mut choices: FxHashMap<PhysNodeId, ChosenOp> = FxHashMap::default();
         for n in &self.nodes {
             choices.insert(n.phys, ChosenOp::Compute(n.op));
         }
         for (&n, &m) in &self.aliases {
+            // An alias records that *one* use of `n` read variant `m`,
+            // but `choices` redirects every use of `n` globally. That is
+            // only consistent when `n` has no inline definition in the
+            // graph: then every use passed `visit_use`'s topo guard, so
+            // `m` precedes each reader in the topo-sorted schedule. When
+            // an inline definition exists (some consumer computes `n` in
+            // place — possibly `m`'s own defining sort), the redirect
+            // would make that definition read a temp the schedule has
+            // not built yet; the inline Compute wins instead, the same
+            // conservatism as the canonical extractor.
+            if self.by_phys.contains_key(&n) {
+                continue;
+            }
             if mat.contains(m) {
                 choices.insert(n, ChosenOp::Reuse(m));
             } else if let Some(&midx) = self.by_phys.get(&m) {

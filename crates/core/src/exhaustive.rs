@@ -29,10 +29,12 @@ const MAX_CANDIDATES: usize = 16;
 /// with minimum `bestcost(Q, S)`. Candidates beyond `MAX_CANDIDATES`
 /// are dropped (largest degree of sharing kept) — exhaustive search is
 /// only an oracle, not a practical algorithm.
+#[must_use]
 pub fn exhaustive(ctx: &OptContext<'_>) -> Optimized {
     let pdag = &ctx.pdag;
     let mut stats = OptStats::default();
     let mut degrees = sharable_groups(&ctx.dag);
+    stats.sharable = degrees.len();
     degrees.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
     let mut candidates: Vec<PhysNodeId> = Vec::new();
     for (g, _) in degrees {
@@ -41,7 +43,7 @@ pub fn exhaustive(ctx: &OptContext<'_>) -> Optimized {
         }
     }
     candidates.truncate(MAX_CANDIDATES);
-    stats.sharable = candidates.len();
+    stats.candidates = candidates.len();
 
     let mut best_mat = MatSet::new();
     let mut best_table = CostTable::compute(pdag, &best_mat);

@@ -296,6 +296,7 @@ fn charged_blocks(pdag: &PhysicalDag, n: PhysNodeId) -> f64 {
 /// with the largest benefit until no candidate improves the plan.
 /// Probing parallelizes across [`GreedyOptions::threads`] workers; the
 /// result is identical at every thread count.
+#[must_use]
 pub fn greedy(ctx: &OptContext<'_>, opts: GreedyOptions) -> Optimized {
     let mut stats = OptStats::default();
     let mut candidates = collect_candidates(ctx, opts, &mut stats);
@@ -534,7 +535,7 @@ fn greedy_parallel(
     // replay is bookkeeping, not counted — see the module docs).
     let commit_all = |state: &mut CostState, stats: &mut OptStats, n: PhysNodeId| {
         commit_on(pdag, state, stats, n, opts.use_incremental);
-        pool.broadcast(ProbeJob::Commit(n));
+        pool.broadcast(&ProbeJob::Commit(n));
     };
 
     if opts.use_monotonicity {

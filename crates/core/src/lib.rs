@@ -46,6 +46,7 @@ mod volcano_sh;
 pub use consolidated::PlanGraph;
 pub use exhaustive::{exhaustive, Exhaustive};
 pub use greedy::{greedy, Greedy, GreedyOptions};
+pub use mqo_verify::VerifyLevel;
 pub use optimizer::{Expanded, Optimizer};
 pub use state::CostState;
 pub use strategy::{Registry, Strategy, StrategyError};
@@ -92,6 +93,7 @@ impl Algorithm {
 
     /// Display name matching the paper; also the [`Registry`] key of the
     /// corresponding built-in strategy.
+    #[must_use]
     pub fn name(self) -> &'static str {
         match self {
             Algorithm::Volcano => "Volcano",
@@ -120,6 +122,10 @@ pub struct Options {
     /// machine's available parallelism. Search results are identical at
     /// every thread count.
     pub threads: usize,
+    /// How much IR verification runs at pipeline stage boundaries
+    /// (`mqo-verify`). Defaults to the `MQO_VERIFY` environment variable:
+    /// `Boundaries` under `debug_assertions`, `Off` in release builds.
+    pub verify: VerifyLevel,
 }
 
 impl Options {
@@ -152,6 +158,13 @@ impl Options {
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads;
         self.greedy.threads = threads;
+        self
+    }
+
+    /// Sets the stage-boundary verification level, overriding the
+    /// `MQO_VERIFY`-derived default.
+    pub fn with_verify(mut self, verify: VerifyLevel) -> Self {
+        self.verify = verify;
         self
     }
 }
@@ -199,6 +212,7 @@ pub struct OptStats {
 
 impl OptStats {
     /// Total optimization time: DAG stages plus search.
+    #[must_use]
     pub fn total_time_secs(&self) -> f64 {
         self.dag_time_secs + self.search_time_secs
     }
@@ -253,6 +267,7 @@ impl<'a> OptContext<'a> {
     ///
     /// Equivalent to [`Optimizer::prepare`] with the same options;
     /// retained for call sites that never touch the session API.
+    #[must_use]
     pub fn build(batch: &Batch, catalog: &'a Catalog, options: &Options) -> Self {
         Optimizer::with_options(catalog, *options).prepare(batch)
     }
@@ -286,6 +301,11 @@ impl<'a> OptContext<'a> {
 /// let opt = optimize(&batch, &cat, Algorithm::Greedy, &Options::new());
 /// assert!(opt.cost <= base.cost);
 /// ```
+///
+/// # Panics
+///
+/// Panics if a built-in strategy is missing from the registry — a build bug, not an input error.
+#[must_use]
 pub fn optimize(
     batch: &Batch,
     catalog: &Catalog,

@@ -76,11 +76,13 @@ pub struct Optimizer<'a> {
 
 impl<'a> Optimizer<'a> {
     /// A session with paper-default options and the built-in strategies.
+    #[must_use]
     pub fn new(catalog: &'a Catalog) -> Self {
         Self::with_options(catalog, Options::new())
     }
 
     /// A session with explicit options and the built-in strategies.
+    #[must_use]
     pub fn with_options(catalog: &'a Catalog, options: Options) -> Self {
         Self::with_registry(catalog, options, Registry::builtin())
     }
@@ -88,6 +90,7 @@ impl<'a> Optimizer<'a> {
     /// A session over a caller-curated [`Registry`] — e.g. a trimmed set
     /// for [`Optimizer::search_all_parallel`], where an expensive oracle
     /// strategy would dominate the batch.
+    #[must_use]
     pub fn with_registry(catalog: &'a Catalog, options: Options, registry: Registry) -> Self {
         Optimizer {
             catalog,
@@ -97,6 +100,7 @@ impl<'a> Optimizer<'a> {
     }
 
     /// The session's catalog.
+    #[must_use]
     pub fn catalog(&self) -> &'a Catalog {
         self.catalog
     }
@@ -116,6 +120,7 @@ impl<'a> Optimizer<'a> {
     }
 
     /// The strategy registry.
+    #[must_use]
     pub fn registry(&self) -> &Registry {
         &self.registry
     }
@@ -126,31 +131,55 @@ impl<'a> Optimizer<'a> {
     }
 
     /// Stage 1: expands the batch into the logical AND-OR DAG.
+    ///
+    /// # Panics
+    ///
+    /// With verification enabled ([`Options::verify`]), panics with
+    /// rendered diagnostics if the input batch or the expanded DAG
+    /// violates an IR invariant.
+    #[must_use]
     pub fn expand(&self, batch: &Batch) -> Expanded {
+        mqo_verify::verify_batch(batch, self.catalog, self.options.verify)
+            .assert_clean("expand (input batch)");
         let start = Instant::now();
         let dag = Dag::expand(batch, self.catalog, self.options.dag);
-        Expanded {
-            dag,
-            elapsed_secs: start.elapsed().as_secs_f64(),
-        }
+        let elapsed_secs = start.elapsed().as_secs_f64();
+        mqo_verify::verify_dag(&dag, self.options.verify).assert_clean("expand (AND-OR DAG)");
+        Expanded { dag, elapsed_secs }
     }
 
     /// Stage 2: refines the logical DAG into the physical DAG, yielding
     /// the context every strategy searches.
+    ///
+    /// # Panics
+    ///
+    /// With verification enabled ([`Options::verify`]), panics with
+    /// rendered diagnostics if the logical DAG (checked *before* the
+    /// physical build, whose panics are less informative) or the
+    /// physical DAG violates an IR invariant.
+    #[must_use]
     pub fn physicalize(&self, expanded: Expanded) -> OptContext<'a> {
+        // `Expanded` can be handed in from outside `expand`; re-check the
+        // logical DAG before `PhysicalDag::build` walks it.
+        mqo_verify::verify_dag(&expanded.dag, self.options.verify)
+            .assert_clean("physicalize (input DAG)");
         let start = Instant::now();
         let pdag = PhysicalDag::build(&expanded.dag, self.catalog, self.options.params);
+        let elapsed = start.elapsed().as_secs_f64();
+        mqo_verify::verify_pdag(&expanded.dag, &pdag, self.catalog, self.options.verify)
+            .assert_clean("physicalize (physical DAG)");
         OptContext {
             catalog: self.catalog,
             dag: expanded.dag,
             pdag,
             params: self.options.params,
-            dag_time_secs: expanded.elapsed_secs + start.elapsed().as_secs_f64(),
+            dag_time_secs: expanded.elapsed_secs + elapsed,
             warm: MatSet::new(),
         }
     }
 
     /// Stages 1+2 in one call: expand and physicalize.
+    #[must_use]
     pub fn prepare(&self, batch: &Batch) -> OptContext<'a> {
         self.physicalize(self.expand(batch))
     }
@@ -168,6 +197,13 @@ impl<'a> Optimizer<'a> {
     /// Stage 3, with a strategy instance that need not be registered.
     /// Times the search and stamps the context-derived statistics
     /// (timings, DAG sizes) onto the result.
+    ///
+    /// # Panics
+    ///
+    /// With verification enabled ([`Options::verify`]), panics with
+    /// rendered diagnostics if the strategy's result is dishonest: plan
+    /// structurally unsound, reported cost below a fresh recomputation,
+    /// or (at `Full`) above the no-sharing baseline.
     pub fn search_with(&self, ctx: &OptContext<'_>, strategy: &dyn Strategy) -> Optimized {
         let start = Instant::now();
         let mut result = strategy.search(ctx, &self.options);
@@ -177,6 +213,17 @@ impl<'a> Optimizer<'a> {
         result.stats.dag_ops = ctx.dag.num_ops();
         result.stats.phys_nodes = ctx.pdag.num_nodes();
         result.stats.phys_ops = ctx.pdag.num_ops();
+        mqo_verify::verify_result(
+            &ctx.dag,
+            &ctx.pdag,
+            &result.plan,
+            &result.mat,
+            &ctx.warm,
+            result.cost,
+            result.stats.sharable,
+            self.options.verify,
+        )
+        .assert_clean(&format!("search ({})", strategy.name()));
         result
     }
 
@@ -192,6 +239,11 @@ impl<'a> Optimizer<'a> {
     /// Per-strategy search timings measure wall-clock while sharing the
     /// machine, so they are only comparable *within* a run at low
     /// contention; prefer sequential `search` calls for timing tables.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a strategy's search thread panicked.
+    #[must_use]
     pub fn search_all_parallel(&self, ctx: &OptContext<'_>) -> Vec<(String, Optimized)> {
         if mqo_util::resolve_threads(self.options.threads) <= 1 || self.registry.len() <= 1 {
             return self
@@ -222,8 +274,29 @@ impl<'a> Optimizer<'a> {
     /// When the context carries warm nodes ([`OptContext::warm`]), `mat`
     /// should include them (as [`Optimized::mat`] does); their uses
     /// extract as seeded temp reads rather than definitions.
+    ///
+    /// # Panics
+    ///
+    /// With verification enabled ([`Options::verify`]), panics with
+    /// rendered diagnostics if the extracted plan is structurally
+    /// unsound or its stamped total is dishonest.
+    #[must_use]
     pub fn extract(&self, ctx: &OptContext<'_>, mat: &MatSet) -> ExtractedPlan {
         let table = CostTable::compute(&ctx.pdag, mat);
-        ExtractedPlan::extract_with_warm(&ctx.pdag, &table, mat, &ctx.warm)
+        let plan = ExtractedPlan::extract_with_warm(&ctx.pdag, &table, mat, &ctx.warm);
+        if self.options.verify.enabled() {
+            let mut report = mqo_verify::VerifyReport::new();
+            report.extend(mqo_verify::cost::check_cost_table(&ctx.pdag, &table, mat));
+            report.extend(mqo_verify::extract::check_plan(
+                &ctx.pdag,
+                &table,
+                &plan,
+                mat,
+                &ctx.warm,
+                plan.total_cost,
+            ));
+            report.assert_clean("extract");
+        }
+        plan
     }
 }

@@ -31,6 +31,7 @@ pub struct CostState {
 
 impl CostState {
     /// Full computation with an empty materialized set (plain Volcano).
+    #[must_use]
     pub fn new(pdag: &PhysicalDag) -> Self {
         let mat = MatSet::new();
         let table = CostTable::compute(pdag, &mat);
@@ -44,6 +45,7 @@ impl CostState {
     /// Full computation with the warm set pre-materialized — the
     /// starting state of a search over a batch served from a live
     /// materialized-view cache.
+    #[must_use]
     pub fn seeded(pdag: &PhysicalDag, warm: &MatSet) -> Self {
         let mut mat = MatSet::new();
         for n in warm.iter() {
@@ -60,6 +62,7 @@ impl CostState {
     /// `bestcost(Q, mat)` (paper §4): root cost plus compute+materialize
     /// cost of every **cold** materialized node (warm nodes were paid for
     /// by the batch that built them).
+    #[must_use]
     pub fn total(&self, pdag: &PhysicalDag) -> Cost {
         self.table.total_excluding(pdag, &self.mat, &self.warm)
     }
@@ -132,6 +135,10 @@ impl CostState {
     /// identical at every thread count. Used by descent passes (e.g. the
     /// KS15 strategy's pruning step) that repeatedly ask "which member
     /// is now deadweight?".
+    ///
+    /// # Panics
+    ///
+    /// Panics if a removal-gain probe worker thread panicked.
     pub fn removal_gains_parallel(
         &self,
         pdag: &PhysicalDag,

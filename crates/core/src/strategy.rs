@@ -72,6 +72,7 @@ pub struct Registry {
 
 impl Registry {
     /// An empty registry (no strategies, not even the built-ins).
+    #[must_use]
     pub fn empty() -> Self {
         Registry {
             entries: Vec::new(),
@@ -81,6 +82,11 @@ impl Registry {
     /// The built-in strategies in the order the paper reports them:
     /// Volcano, Volcano-SH, Volcano-RU, Greedy, then the Exhaustive
     /// oracle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if two built-in strategies share a name — a build bug.
+    #[must_use]
     pub fn builtin() -> Self {
         let mut r = Registry::empty();
         for s in [
@@ -106,6 +112,7 @@ impl Registry {
     }
 
     /// Looks a strategy up by name.
+    #[must_use]
     pub fn get(&self, name: &str) -> Option<&Arc<dyn Strategy>> {
         self.entries.iter().find(|s| s.name() == name)
     }
@@ -121,11 +128,13 @@ impl Registry {
     }
 
     /// Number of registered strategies.
+    #[must_use]
     pub fn len(&self) -> usize {
         self.entries.len()
     }
 
     /// Whether the registry is empty.
+    #[must_use]
     pub fn is_empty(&self) -> bool {
         self.entries.is_empty()
     }

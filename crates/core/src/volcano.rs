@@ -21,6 +21,7 @@ impl Strategy for Volcano {
 /// charged cost of a shared node without materialization is its full
 /// recomputation cost at every use, the root cost under an empty
 /// materialized set is exactly the sum of the individual best-plan costs.
+#[must_use]
 pub fn volcano(ctx: &OptContext<'_>) -> Optimized {
     let mat = MatSet::new();
     let table = CostTable::compute(&ctx.pdag, &mat);

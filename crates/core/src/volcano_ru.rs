@@ -28,6 +28,11 @@ impl Strategy for VolcanoRu {
 /// over the combined plan makes the actual materialization decisions.
 /// Both the given and the reverse query order are tried and the cheaper
 /// result returned (§3.3's ordering note).
+///
+/// # Panics
+///
+/// Panics if the physical DAG has no pseudo-root op.
+#[must_use]
 pub fn volcano_ru(ctx: &OptContext<'_>) -> Optimized {
     let forward = run_order(ctx, false);
     let reverse = run_order(ctx, true);

@@ -24,6 +24,7 @@ impl Strategy for VolcanoSh {
 /// to materialize. The subsumption pre-pass temporarily rewrites
 /// selections to derive from weaker ones; the undo pass reverts rewrites
 /// whose source did not get materialized.
+#[must_use]
 pub fn volcano_sh(ctx: &OptContext<'_>) -> Optimized {
     let mut stats = OptStats::default();
     let empty = MatSet::new();

@@ -15,7 +15,8 @@ fn opts() -> Options {
 fn example_11() -> (Catalog, Batch) {
     let mut cat = Catalog::new();
     for name in ["r", "s", "t", "p"] {
-        cat.table(name)
+        let _ = cat
+            .table(name)
             .rows(200_000.0)
             .int_key(&format!("{name}k"))
             .int_uniform(&format!("{name}v"), 0, 1_999)
@@ -130,7 +131,8 @@ fn no_overlap_batch_degenerates_to_volcano() {
     // the Volcano plan.
     let mut cat = Catalog::new();
     for i in 0..4 {
-        cat.table(&format!("t{i}"))
+        let _ = cat
+            .table(&format!("t{i}"))
             .rows(50_000.0)
             .int_key("k")
             .int_uniform("v", 0, 999)

@@ -17,26 +17,31 @@ pub struct Estimator<'a> {
 
 impl<'a> Estimator<'a> {
     /// Creates an estimator reading statistics from `catalog`.
+    #[must_use]
     pub fn new(catalog: &'a Catalog) -> Self {
         Self { catalog }
     }
 
     /// The catalog this estimator reads.
+    #[must_use]
     pub fn catalog(&self) -> &'a Catalog {
         self.catalog
     }
 
     /// Rows in a base table.
+    #[must_use]
     pub fn scan_rows(&self, t: TableId) -> f64 {
         self.catalog.table_ref(t).cardinality
     }
 
     /// Rows surviving a selection.
+    #[must_use]
     pub fn select_rows(&self, input_rows: f64, pred: &Predicate) -> f64 {
         (input_rows * selectivity(pred, self.catalog)).max(1.0)
     }
 
     /// Rows produced by an inner join.
+    #[must_use]
     pub fn join_rows(&self, left_rows: f64, right_rows: f64, pred: &Predicate) -> f64 {
         (left_rows * right_rows * selectivity(pred, self.catalog)).max(1.0)
     }
@@ -44,6 +49,7 @@ impl<'a> Estimator<'a> {
     /// Groups produced by an aggregation: the product of key distinct
     /// counts, capped by the input cardinality. An empty key list is a
     /// scalar aggregate (one row).
+    #[must_use]
     pub fn aggregate_rows(&self, input_rows: f64, keys: &[ColId]) -> f64 {
         if keys.is_empty() {
             return 1.0;
@@ -57,11 +63,13 @@ impl<'a> Estimator<'a> {
 
     /// Distinct values of `col` within a result of `rows` rows: the base
     /// distinct count capped by the result size.
+    #[must_use]
     pub fn distinct_in(&self, col: ColId, rows: f64) -> f64 {
         self.catalog.column(col).stats.distinct.min(rows).max(1.0)
     }
 
     /// Bytes per row for a result with the given output columns.
+    #[must_use]
     pub fn row_width(&self, cols: &[ColId]) -> u32 {
         cols.iter()
             .map(|&c| self.catalog.column(c).ty.width())
@@ -78,12 +86,14 @@ mod tests {
 
     fn setup() -> Catalog {
         let mut cat = Catalog::new();
-        cat.table("r")
+        let _ = cat
+            .table("r")
             .rows(10_000.0)
             .int_key("rk")
             .int_uniform("rg", 0, 9)
             .build();
-        cat.table("s")
+        let _ = cat
+            .table("s")
             .rows(1_000.0)
             .int_key("sk")
             .int_uniform("rfk", 0, 9_999)

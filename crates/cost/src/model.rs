@@ -17,16 +17,19 @@ impl Cost {
     pub const INFINITY: Cost = Cost(f64::INFINITY);
 
     /// Seconds as a plain float.
+    #[must_use]
     pub fn secs(self) -> f64 {
         self.0
     }
 
     /// True for non-infinite cost.
+    #[must_use]
     pub fn is_finite(self) -> bool {
         self.0.is_finite()
     }
 
     /// Pointwise minimum.
+    #[must_use]
     pub fn min(self, other: Cost) -> Cost {
         Cost(self.0.min(other.0))
     }
@@ -108,6 +111,7 @@ impl Default for CostParams {
 impl CostParams {
     /// The paper's configuration with a different per-operator memory size
     /// (§6.4 runs 6 MB, 32 MB and 128 MB).
+    #[must_use]
     pub fn with_memory_mb(mb: u64) -> Self {
         Self {
             mem_bytes: mb * 1024 * 1024,
@@ -116,6 +120,7 @@ impl CostParams {
     }
 
     /// Number of blocks needed for `rows` rows of `row_bytes` each.
+    #[must_use]
     pub fn blocks(&self, rows: f64, row_bytes: u32) -> f64 {
         if rows <= 0.0 {
             return 1.0; // a result always occupies at least one block
@@ -125,21 +130,25 @@ impl CostParams {
     }
 
     /// Operator memory in blocks.
+    #[must_use]
     pub fn mem_blocks(&self) -> f64 {
         (self.mem_bytes / self.block_size as u64).max(3) as f64
     }
 
     /// Sequential scan: one seek plus per-block transfer and CPU.
+    #[must_use]
     pub fn seq_read(&self, blocks: f64) -> Cost {
         Cost((self.seek_ms + blocks * (self.read_ms + self.cpu_ms)) / 1000.0)
     }
 
     /// Sequential write of a result: one seek plus per-block transfer.
+    #[must_use]
     pub fn seq_write(&self, blocks: f64) -> Cost {
         Cost((self.seek_ms + blocks * self.write_ms) / 1000.0)
     }
 
     /// Pure CPU work over `blocks` blocks of data.
+    #[must_use]
     pub fn cpu(&self, blocks: f64) -> Cost {
         Cost(blocks * self.cpu_ms / 1000.0)
     }
@@ -148,6 +157,7 @@ impl CostParams {
     /// in-memory when it fits; otherwise run generation plus merge passes,
     /// each writing and re-reading the data. The final pass pipelines its
     /// output (no write).
+    #[must_use]
     pub fn sort(&self, blocks: f64) -> Cost {
         let m = self.mem_blocks();
         if blocks <= m {
@@ -171,6 +181,7 @@ impl CostParams {
 
     /// Probe of a clustered index (base table or sorted temp): one seek
     /// plus the blocks holding the matching rows.
+    #[must_use]
     pub fn index_probe(&self, matching_blocks: f64) -> Cost {
         Cost((self.seek_ms + matching_blocks.max(1.0) * (self.read_ms + self.cpu_ms)) / 1000.0)
     }
@@ -179,6 +190,7 @@ impl CostParams {
     /// (base table or temp): the inner is rescanned once per outer block
     /// (the classic Volcano iterator NLJ — the paper's operator set has
     /// no hash join, so NLJ is only ever attractive for tiny outers).
+    #[must_use]
     pub fn block_nlj(&self, outer_blocks: f64, inner_blocks: f64) -> Cost {
         let passes = outer_blocks.ceil().max(1.0);
         // Outer CPU is paid here; inner re-reads are full scans.
@@ -187,12 +199,14 @@ impl CostParams {
 
     /// Cost of materializing a result of `blocks` blocks (paper's
     /// `matcost`): sequential write.
+    #[must_use]
     pub fn matcost(&self, blocks: f64) -> Cost {
         self.seq_write(blocks)
     }
 
     /// Cost of reusing a materialized result (paper's `reusecost`):
     /// sequential read back.
+    #[must_use]
     pub fn reusecost(&self, blocks: f64) -> Cost {
         self.seq_read(blocks)
     }

@@ -9,6 +9,7 @@ const DEFAULT_RANGE: f64 = 1.0 / 3.0;
 
 /// Estimated selectivity of `pred` (fraction of input rows retained),
 /// assuming independence between atoms and uniform value distributions.
+#[must_use]
 pub fn selectivity(pred: &Predicate, catalog: &Catalog) -> f64 {
     // OR of ANDs: P(any disjunct) = 1 - Π(1 - P(disjunct)).
     let mut miss_all = 1.0;
@@ -25,6 +26,7 @@ pub fn selectivity(pred: &Predicate, catalog: &Catalog) -> f64 {
 
 /// Selectivity of an equi-join predicate between two columns, using the
 /// containment-of-value-sets assumption: `1 / max(d_left, d_right)`.
+#[must_use]
 pub fn join_selectivity(left: ColId, right: ColId, catalog: &Catalog) -> f64 {
     let dl = catalog.column(left).stats.distinct.max(1.0);
     let dr = catalog.column(right).stats.distinct.max(1.0);
@@ -85,7 +87,8 @@ mod tests {
 
     fn setup() -> Catalog {
         let mut cat = Catalog::new();
-        cat.table("t")
+        let _ = cat
+            .table("t")
             .rows(1000.0)
             .int_key("k") // 0..999, distinct 1000
             .int_uniform("u", 0, 99) // distinct 100

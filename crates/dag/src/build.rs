@@ -12,6 +12,7 @@ impl Dag {
     /// installs the pseudo-root, runs the transformation rules to a fix
     /// point, adds subsumption derivations, and assigns topological
     /// numbers.
+    #[must_use]
     pub fn expand(batch: &Batch, catalog: &Catalog, config: DagConfig) -> Dag {
         let mut dag = Dag::empty(config);
         let est = Estimator::new(catalog);
@@ -32,6 +33,7 @@ impl Dag {
 
     /// Builds the *initial* (unexpanded) DAG — used by tests comparing
     /// pre/post expansion shapes.
+    #[must_use]
     pub fn initial(batch: &Batch, catalog: &Catalog, config: DagConfig) -> Dag {
         let mut dag = Dag::empty(config);
         let est = Estimator::new(catalog);
@@ -244,7 +246,7 @@ mod tests {
     #[test]
     fn cross_products_generated_only_when_enabled() {
         let (cat, q1, _) = setup();
-        let batch = Batch::single("q1", q1.clone());
+        let batch = Batch::single("q1", q1);
         let dag = Dag::expand(
             &batch,
             &cat,

@@ -47,6 +47,7 @@ pub type Fingerprint = u64;
 /// physical property) must use this same function so the scheme stays
 /// single-sourced.
 #[inline]
+#[must_use]
 pub fn mix(mut h: u64, v: u64) -> u64 {
     h = h.wrapping_add(0x9e37_79b9_7f4a_7c15).wrapping_add(v);
     h = (h ^ (h >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
@@ -54,42 +55,110 @@ pub fn mix(mut h: u64, v: u64) -> u64 {
     h ^ (h >> 31)
 }
 
+/// Why fingerprinting a DAG failed. Both cases mean the DAG violates a
+/// structural invariant (children before parents in `topo_order`, every
+/// reachable group implemented) — they can only arise from memo
+/// corruption, which `mqo-verify` wants reported as a diagnostic rather
+/// than a panic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FingerprintError {
+    /// An op's input group had no fingerprint yet — `topo_order` does
+    /// not list children before parents (stale or cyclic).
+    UnfingerprintedChild {
+        /// The input group whose fingerprint was missing.
+        group: GroupId,
+    },
+    /// A group in `topo_order` has no alive operation to hash.
+    EmptyGroup {
+        /// The unimplemented group.
+        group: GroupId,
+    },
+}
+
+impl std::fmt::Display for FingerprintError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FingerprintError::UnfingerprintedChild { group } => write!(
+                f,
+                "input group g{group} was not fingerprinted before its consumer \
+                 (topo order does not list children first)"
+            ),
+            FingerprintError::EmptyGroup { group } => {
+                write!(f, "group g{group} has no alive operation to fingerprint")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FingerprintError {}
+
 /// Hashes one operation: operator kind (predicates, keys, table ids)
 /// plus child fingerprints, join children order-insensitive.
-fn op_fingerprint(dag: &Dag, op: crate::memo::OpId, fps: &FxHashMap<GroupId, Fingerprint>) -> u64 {
+fn op_fingerprint(
+    dag: &Dag,
+    op: crate::memo::OpId,
+    fps: &FxHashMap<GroupId, Fingerprint>,
+) -> Result<u64, FingerprintError> {
     let kind = &dag.op(op).kind;
     let mut hasher = FxHasher::default();
     kind.hash(&mut hasher);
     let mut h = mix(0xA11_D06, hasher.finish());
-    let mut children: Vec<Fingerprint> = dag.op_inputs(op).iter().map(|g| fps[g]).collect();
+    let mut children = Vec::with_capacity(dag.op_inputs(op).len());
+    for g in dag.op_inputs(op) {
+        match fps.get(&g) {
+            Some(&fp) => children.push(fp),
+            None => return Err(FingerprintError::UnfingerprintedChild { group: g }),
+        }
+    }
     if matches!(kind, OpKind::Join(_)) {
         children.sort_unstable();
     }
     for c in children {
         h = mix(h, c);
     }
-    h
+    Ok(h)
 }
 
 /// Computes the fingerprint of every reachable group, children before
 /// parents. Deterministic for a given DAG content — independent of
 /// thread counts, hash-map iteration, and id numbering.
+///
+/// # Panics
+///
+/// Panics if the DAG is structurally broken (stale topological order or
+/// an unimplemented group). Use [`try_group_fingerprints`] to get the
+/// violation as a value instead — that is what `mqo-verify` does, so a
+/// corrupted memo is diagnosed rather than aborted on.
+#[must_use]
 pub fn group_fingerprints(dag: &Dag) -> FxHashMap<GroupId, Fingerprint> {
+    match try_group_fingerprints(dag) {
+        Ok(fps) => fps,
+        Err(e) => panic!("fingerprinting a broken DAG: {e}"),
+    }
+}
+
+/// Fallible twin of [`group_fingerprints`]: reports memo corruption as a
+/// [`FingerprintError`] instead of panicking.
+pub fn try_group_fingerprints(
+    dag: &Dag,
+) -> Result<FxHashMap<GroupId, Fingerprint>, FingerprintError> {
     let mut fps: FxHashMap<GroupId, Fingerprint> = FxHashMap::default();
     for &g in dag.topo_order() {
-        let canonical = dag
-            .group_ops(g)
-            .filter(|&o| !dag.op(o).from_subsumption)
-            .map(|o| op_fingerprint(dag, o, &fps))
-            .min();
+        let mut canonical: Option<u64> = None;
+        let mut any: Option<u64> = None;
+        for o in dag.group_ops(g) {
+            let h = op_fingerprint(dag, o, &fps)?;
+            if !dag.op(o).from_subsumption {
+                canonical = Some(canonical.map_or(h, |c: u64| c.min(h)));
+            }
+            any = Some(any.map_or(h, |c: u64| c.min(h)));
+        }
         // Groups reachable only via subsumption derivations still need a
         // (batch-local) name; include the derived ops for those.
-        let canonical = canonical.unwrap_or_else(|| {
-            dag.group_ops(g)
-                .map(|o| op_fingerprint(dag, o, &fps))
-                .min()
-                .expect("reachable group has at least one op")
-        });
+        let canonical = match canonical.or(any) {
+            Some(c) => c,
+            None => return Err(FingerprintError::EmptyGroup { group: g }),
+        };
         let grp = dag.group(g);
         let mut fp = mix(canonical, grp.cols.len() as u64);
         for &c in &grp.cols {
@@ -97,7 +166,7 @@ pub fn group_fingerprints(dag: &Dag) -> FxHashMap<GroupId, Fingerprint> {
         }
         fps.insert(g, fp);
     }
-    fps
+    Ok(fps)
 }
 
 #[cfg(test)]
@@ -111,7 +180,8 @@ mod tests {
     fn catalog() -> Catalog {
         let mut cat = Catalog::new();
         for name in ["fa", "fb", "fc"] {
-            cat.table(name)
+            let _ = cat
+                .table(name)
                 .rows(10_000.0)
                 .int_key(&format!("{name}k"))
                 .int_uniform(&format!("{name}v"), 0, 999)

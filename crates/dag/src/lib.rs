@@ -23,7 +23,10 @@ mod rules;
 mod sharability;
 mod subsumption;
 
-pub use fingerprint::{group_fingerprints, mix as mix_fingerprint, Fingerprint};
+pub use fingerprint::{
+    group_fingerprints, mix as mix_fingerprint, try_group_fingerprints, Fingerprint,
+    FingerprintError,
+};
 pub use memo::{Dag, Group, GroupId, OpId, OpKind, Operation};
 pub use sharability::{degree_of_sharing, sharable_groups};
 

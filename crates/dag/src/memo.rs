@@ -41,6 +41,7 @@ pub enum OpKind {
 
 impl OpKind {
     /// Short operator name for explain output.
+    #[must_use]
     pub fn name(&self) -> &'static str {
         match self {
             OpKind::Scan(_) => "Scan",
@@ -132,6 +133,7 @@ pub struct Dag {
 impl Dag {
     /// An empty DAG (used by the builder; most callers want
     /// `Dag::expand`).
+    #[must_use]
     pub fn empty(config: DagConfig) -> Self {
         Self {
             groups: Vec::new(),
@@ -151,6 +153,7 @@ impl Dag {
 
     /// Resolves a possibly-merged group id to its canonical id.
     #[inline]
+    #[must_use]
     pub fn find(&self, g: GroupId) -> GroupId {
         GroupId::from_index(self.uf.find_const(g.index()))
     }
@@ -163,11 +166,13 @@ impl Dag {
     // Accessors
 
     /// The canonical group struct for `g`.
+    #[must_use]
     pub fn group(&self, g: GroupId) -> &Group {
         &self.groups[self.find(g).index()]
     }
 
     /// The operation struct for `o`.
+    #[must_use]
     pub fn op(&self, o: OpId) -> &Operation {
         &self.ops[o.index()]
     }
@@ -182,6 +187,7 @@ impl Dag {
     }
 
     /// Alive, de-duplicated parent operations of a group.
+    #[must_use]
     pub fn parents_of(&self, g: GroupId) -> Vec<OpId> {
         let mut out: Vec<OpId> = self.groups[self.find(g).index()]
             .parents
@@ -195,6 +201,7 @@ impl Dag {
     }
 
     /// Resolved input groups of an operation.
+    #[must_use]
     pub fn op_inputs(&self, o: OpId) -> Vec<GroupId> {
         self.ops[o.index()]
             .inputs
@@ -204,21 +211,33 @@ impl Dag {
     }
 
     /// Resolved owning group of an operation.
+    #[must_use]
     pub fn op_group(&self, o: OpId) -> GroupId {
         self.find(self.ops[o.index()].group)
     }
 
     /// The pseudo-root group (panics if the DAG has no queries).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the DAG has no root (only `Dag::expand` output is rooted).
+    #[must_use]
     pub fn root(&self) -> GroupId {
         self.find(self.root.expect("DAG has no root"))
     }
 
     /// Per-query invocation weights, aligned with the root op's inputs.
+    #[must_use]
     pub fn root_weights(&self) -> &[f64] {
         &self.root_weights
     }
 
     /// The root operation node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the DAG has no root or the root group has no op.
+    #[must_use]
     pub fn root_op(&self) -> OpId {
         self.group_ops(self.root())
             .next()
@@ -226,22 +245,26 @@ impl Dag {
     }
 
     /// Canonical groups reachable from the root, children before parents.
+    #[must_use]
     pub fn topo_order(&self) -> &[GroupId] {
         &self.topo_order
     }
 
     /// Number of alive operations.
+    #[must_use]
     pub fn num_ops(&self) -> usize {
         self.ops.iter().filter(|o| o.alive).count()
     }
 
     /// Number of canonical reachable groups.
+    #[must_use]
     pub fn num_groups(&self) -> usize {
         self.topo_order.len()
     }
 
     /// Total operation slots ever allocated (dead included) — the safety
     /// valve compares against `DagConfig::max_ops`.
+    #[must_use]
     pub fn ops_allocated(&self) -> usize {
         self.ops.len()
     }
@@ -305,7 +328,10 @@ impl Dag {
         from_subsumption: bool,
         from_commutativity: bool,
     ) -> (GroupId, OpId, bool) {
-        let inputs: Vec<GroupId> = inputs.iter().map(|&g| self.find_mut(g)).collect();
+        let mut inputs = inputs;
+        for g in &mut inputs {
+            *g = self.find_mut(*g);
+        }
         let key = (kind.clone(), inputs.clone());
         if let Some(&existing) = self.index.get(&key) {
             debug_assert!(self.ops[existing.index()].alive);
@@ -351,7 +377,10 @@ impl Dag {
         from_subsumption: bool,
         from_commutativity: bool,
     ) -> (GroupId, OpId, bool) {
-        let resolved: Vec<GroupId> = inputs.iter().map(|&g| self.find_mut(g)).collect();
+        let mut resolved = inputs;
+        for g in &mut resolved {
+            *g = self.find_mut(*g);
+        }
         let key = (kind.clone(), resolved.clone());
         if let Some(&existing) = self.index.get(&key) {
             return (self.op_group(existing), existing, false);
@@ -367,6 +396,7 @@ impl Dag {
     }
 
     /// Looks an expression up without inserting.
+    #[must_use]
     pub fn lookup(&self, kind: &OpKind, inputs: &[GroupId]) -> Option<OpId> {
         let resolved: Vec<GroupId> = inputs.iter().map(|&g| self.find(g)).collect();
         self.index.get(&(kind.clone(), resolved)).copied()
@@ -461,6 +491,10 @@ impl Dag {
     /// numbers. Children receive smaller numbers than parents, the
     /// property the incremental cost update's `PropHeap` relies on
     /// (paper Figure 5). Panics if a cycle sneaked in.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the op edges contain a cycle.
     pub fn renumber(&mut self) {
         let root = self.root();
         let mut order = Vec::new();
@@ -504,6 +538,7 @@ impl Dag {
     }
 
     /// Renders the DAG for debugging: one line per group with its ops.
+    #[must_use]
     pub fn dump(&self) -> String {
         use std::fmt::Write;
         let mut s = String::new();
@@ -524,6 +559,100 @@ impl Dag {
             let _ = writeln!(s);
         }
         s
+    }
+
+    // ------------------------------------------------------------------
+    // Verifier negative-test seams
+    //
+    // `mqo-verify`'s negative tests must build *invalid* DAGs — states
+    // the public construction API correctly refuses to produce. These
+    // seams bypass the index/unification machinery for exactly that
+    // purpose. Hidden from docs; never call them outside tests.
+
+    /// Creates a fresh group copying `like`'s logical properties
+    /// (including its topo number, so corruption tests do not trip the
+    /// unrelated topo-monotonicity check).
+    #[doc(hidden)]
+    pub fn testing_new_group_like(&mut self, like: GroupId) -> GroupId {
+        let src = self.group(like).clone();
+        let g = self.new_group(GroupProps {
+            rows: src.rows,
+            cols: src.cols.clone(),
+            width: src.width,
+            has_param: src.has_param,
+            relset: src.relset.clone(),
+        });
+        self.groups[g.index()].topo = src.topo;
+        g
+    }
+
+    /// Adds an op to `group` **bypassing the index** — duplicates are
+    /// not unified, which is precisely what collision tests need.
+    /// Parent back-links are maintained.
+    #[doc(hidden)]
+    pub fn testing_add_raw_op(
+        &mut self,
+        kind: OpKind,
+        inputs: Vec<GroupId>,
+        group: GroupId,
+        from_subsumption: bool,
+    ) -> OpId {
+        let mut inputs = inputs;
+        for g in &mut inputs {
+            *g = self.find(*g);
+        }
+        let group = self.find(group);
+        let id = OpId::from_index(self.ops.len());
+        self.ops.push(Operation {
+            kind: kind.clone(),
+            inputs: inputs.clone(),
+            group,
+            alive: true,
+            from_subsumption,
+            from_commutativity: false,
+            key: (kind, inputs.clone()),
+        });
+        self.groups[group.index()].ops.push(id);
+        for g in inputs {
+            self.groups[g.index()].parents.push(id);
+        }
+        self.version += 1;
+        id
+    }
+
+    /// Redirects input `idx` of `op` to `g`, maintaining parent lists.
+    #[doc(hidden)]
+    pub fn testing_set_op_input(&mut self, op: OpId, idx: usize, g: GroupId) {
+        let g = self.find(g);
+        let old = self.ops[op.index()].inputs[idx];
+        let old = self.find(old);
+        self.ops[op.index()].inputs[idx] = g;
+        let parents = &mut self.groups[old.index()].parents;
+        if let Some(pos) = parents.iter().position(|&p| p == op) {
+            parents.remove(pos);
+        }
+        self.groups[g.index()].parents.push(op);
+        self.version += 1;
+    }
+
+    /// Empties `g`'s parent back-link list (breaking referential
+    /// integrity on purpose).
+    #[doc(hidden)]
+    pub fn testing_clear_parents(&mut self, g: GroupId) {
+        let g = self.find(g);
+        self.groups[g.index()].parents.clear();
+    }
+
+    /// Overwrites the root invocation weights.
+    #[doc(hidden)]
+    pub fn testing_set_root_weights(&mut self, weights: Vec<f64>) {
+        self.root_weights = weights;
+    }
+
+    /// Marks `op` dead without unification bookkeeping.
+    #[doc(hidden)]
+    pub fn testing_kill_op(&mut self, op: OpId) {
+        self.ops[op.index()].alive = false;
     }
 }
 
@@ -602,7 +731,7 @@ mod tests {
         dag.insert_op(OpKind::Join(p.clone()), vec![b, a], Some(g2), false, false);
         assert_ne!(dag.find(g1), dag.find(g2));
         // now derive Join(a,b) into g2 (e.g. via commutativity): unify
-        dag.insert_op(OpKind::Join(p.clone()), vec![a, b], Some(g2), false, true);
+        dag.insert_op(OpKind::Join(p), vec![a, b], Some(g2), false, true);
         assert_eq!(dag.find(g1), dag.find(g2));
         // the merged group holds both alternatives
         let n = dag.group_ops(g1).count();
@@ -664,13 +793,7 @@ mod tests {
             false,
         );
         let top2 = dag.new_group(join_props(1000.0, &[0, 1, 2]));
-        dag.insert_op(
-            OpKind::Join(p.clone()),
-            vec![gx2, r2],
-            Some(top2),
-            false,
-            false,
-        );
+        dag.insert_op(OpKind::Join(p), vec![gx2, r2], Some(top2), false, false);
         assert_ne!(dag.find(top1), dag.find(top2));
         dag.merge(gx1, gx2);
         // tops collapse: same expression J(gx, r2)
@@ -736,7 +859,7 @@ mod tests {
         let gx1 = dag.new_group(join_props(100.0, &[0, 1]));
         dag.insert_op(OpKind::Join(p.clone()), vec![a, b], Some(gx1), false, false);
         let gx2 = dag.new_group(join_props(100.0, &[0, 1]));
-        dag.insert_op(OpKind::Join(p.clone()), vec![b, a], Some(gx2), false, false);
+        dag.insert_op(OpKind::Join(p), vec![b, a], Some(gx2), false, false);
         dag.merge(gx1, gx2);
         // both leaf groups should report exactly the surviving parent ops
         for leaf in [a, b] {

@@ -295,7 +295,8 @@ mod tests {
     fn chain_catalog(n: usize, rows: f64) -> Catalog {
         let mut cat = Catalog::new();
         for i in 0..n {
-            cat.table(&format!("t{i}"))
+            let _ = cat
+                .table(&format!("t{i}"))
                 .rows(rows)
                 .int_key("p")
                 .int_uniform("sp", 0, rows as i64 - 1)
@@ -350,7 +351,7 @@ mod tests {
         let cat = chain_catalog(2, 100.0);
         let pred = Predicate::atom(Atom::cmp(cat.col("t0", "p"), CmpOp::Lt, 50i64));
         let join = chain_query(&cat, 0, 1);
-        let q = join.select(pred.clone());
+        let q = join.select(pred);
         let dag = Dag::expand(&Batch::single("q", q), &cat, DagConfig::default());
         // Expect a group for σ(t0): one of the ops in the σ(join) group
         // should be a Join with a selected left input.

@@ -14,6 +14,11 @@ use crate::memo::{Dag, GroupId, OpKind};
 use mqo_util::FxHashMap;
 
 /// Computes the degree of sharing of every reachable group.
+///
+/// # Panics
+///
+/// The DAG must be rooted (`Dag::expand` output); panics otherwise.
+#[must_use]
 pub fn degree_of_sharing(dag: &Dag) -> FxHashMap<GroupId, f64> {
     let order = dag.topo_order();
     let mut result: FxHashMap<GroupId, f64> = FxHashMap::default();
@@ -29,6 +34,10 @@ pub fn degree_of_sharing(dag: &Dag) -> FxHashMap<GroupId, f64> {
 }
 
 /// Degree of sharing of a single group (see module docs).
+///
+/// # Panics
+///
+/// The DAG must be rooted (`Dag::expand` output); panics otherwise.
 pub fn degree_of(dag: &Dag, z: GroupId) -> f64 {
     let root = dag.root();
     // Collect z's ancestor groups (via parent ops), then evaluate in
@@ -84,6 +93,11 @@ pub fn degree_of(dag: &Dag, z: GroupId) -> f64 {
 /// applied (those *are* reusable, but reuse equals a rescan; they are
 /// still returned because a *sorted* materialization of a base table can
 /// pay off — the temp-index extension).
+///
+/// # Panics
+///
+/// The DAG must be rooted (`Dag::expand` output); panics otherwise.
+#[must_use]
 pub fn sharable_groups(dag: &Dag) -> Vec<(GroupId, f64)> {
     let degrees = degree_of_sharing(dag);
     let root = dag.root();
@@ -106,7 +120,8 @@ mod tests {
     fn chain_catalog(n: usize) -> Catalog {
         let mut cat = Catalog::new();
         for i in 0..n {
-            cat.table(&format!("t{i}"))
+            let _ = cat
+                .table(&format!("t{i}"))
                 .rows(1000.0)
                 .int_key("p")
                 .int_uniform("sp", 0, 999)
@@ -156,7 +171,8 @@ mod tests {
         // R⋈S is sharable (both queries can compute it); R⋈P is not.
         let mut cat = Catalog::new();
         for name in ["r", "s", "t", "p"] {
-            cat.table(name)
+            let _ = cat
+                .table(name)
                 .rows(1000.0)
                 .int_key(&format!("{name}k"))
                 .int_uniform(&format!("{name}v"), 0, 999)

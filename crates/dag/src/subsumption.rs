@@ -188,7 +188,8 @@ mod tests {
 
     fn setup() -> Catalog {
         let mut cat = Catalog::new();
-        cat.table("e")
+        let _ = cat
+            .table("e")
             .rows(10_000.0)
             .int_key("k")
             .int_uniform("a", 0, 99)

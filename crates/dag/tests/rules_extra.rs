@@ -9,13 +9,15 @@ use mqo_logical::{Batch, LogicalPlan, Query};
 
 fn catalog() -> Catalog {
     let mut cat = Catalog::new();
-    cat.table("r")
+    let _ = cat
+        .table("r")
         .rows(10_000.0)
         .int_key("rk")
         .int_uniform("rv", 0, 99)
         .int_uniform("rw", 0, 9)
         .build();
-    cat.table("s")
+    let _ = cat
+        .table("s")
         .rows(20_000.0)
         .int_key("sk")
         .int_uniform("rfk", 0, 9_999)

@@ -27,6 +27,7 @@ pub struct NullMask {
 impl NullMask {
     /// True if row `i` is null.
     #[inline]
+    #[must_use]
     pub fn is_null(&self, i: usize) -> bool {
         self.words
             .get(i >> 6)
@@ -44,6 +45,7 @@ impl NullMask {
 
     /// True if any row is null.
     #[inline]
+    #[must_use]
     pub fn any(&self) -> bool {
         self.words.iter().any(|&w| w != 0)
     }
@@ -80,6 +82,7 @@ pub enum Cell<'a> {
 
 impl<'a> Cell<'a> {
     /// Borrowed view of a `Value`.
+    #[must_use]
     pub fn of(v: &'a Value) -> Self {
         match v {
             Value::Int(i) => Cell::Int(*i),
@@ -90,6 +93,7 @@ impl<'a> Cell<'a> {
     }
 
     /// Owning `Value` for this cell.
+    #[must_use]
     pub fn to_value(self) -> Value {
         match self {
             Cell::Null => Value::Null,
@@ -111,6 +115,11 @@ impl<'a> Cell<'a> {
 
     /// Total comparison, bit-identical to [`Value::sort_cmp`] (numerics
     /// compare through `f64`, exactly as the scalar path does).
+    ///
+    /// # Panics
+    ///
+    /// Panics when comparing a string cell with a numeric cell.
+    #[must_use]
     pub fn sort_cmp(self, other: Cell<'_>) -> Ordering {
         use Cell::*;
         match (self, other) {
@@ -128,6 +137,11 @@ impl<'a> Cell<'a> {
     }
 
     /// Predicate comparison, bit-identical to [`Value::cmp_maybe`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when comparing a string cell with a numeric cell.
+    #[must_use]
     pub fn cmp_maybe(self, other: Cell<'_>) -> Option<Ordering> {
         use Cell::*;
         match (self, other) {
@@ -159,6 +173,7 @@ impl Column {
 
     /// Number of rows.
     #[inline]
+    #[must_use]
     pub fn len(&self) -> usize {
         match &self.data {
             ColumnData::Int(d) => d.len(),
@@ -169,6 +184,7 @@ impl Column {
     }
 
     /// True if the column has no rows.
+    #[must_use]
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
@@ -178,6 +194,7 @@ impl Column {
     /// column alive. String payloads charge their UTF-8 length plus the
     /// `Arc` pointer; shared (`Arc`-deduplicated) strings are charged at
     /// every occurrence, a deliberate overestimate.
+    #[must_use]
     pub fn approx_bytes(&self) -> usize {
         let data = match &self.data {
             ColumnData::Int(d) => d.len() * std::mem::size_of::<i64>(),
@@ -201,12 +218,14 @@ impl Column {
     }
 
     /// The typed payload.
+    #[must_use]
     pub fn data(&self) -> &ColumnData {
         &self.data
     }
 
     /// True if row `i` is null.
     #[inline]
+    #[must_use]
     pub fn is_null(&self, i: usize) -> bool {
         match &self.data {
             ColumnData::Val(d) => matches!(d[i], Value::Null),
@@ -215,6 +234,7 @@ impl Column {
     }
 
     /// True if any row is null.
+    #[must_use]
     pub fn has_nulls(&self) -> bool {
         match &self.data {
             ColumnData::Val(d) => d.iter().any(|v| matches!(v, Value::Null)),
@@ -224,6 +244,7 @@ impl Column {
 
     /// Borrowed view of row `i` (no clones).
     #[inline]
+    #[must_use]
     pub fn cell(&self, i: usize) -> Cell<'_> {
         match &self.data {
             ColumnData::Val(d) => Cell::of(&d[i]),
@@ -235,6 +256,7 @@ impl Column {
     }
 
     /// Owning value of row `i` (an `Arc` refcount bump for strings).
+    #[must_use]
     pub fn get(&self, i: usize) -> Value {
         match &self.data {
             ColumnData::Val(d) => d[i].clone(),
@@ -246,7 +268,12 @@ impl Column {
     }
 
     /// Total comparison of rows `i` and `j` of this column.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the key columns mix strings with numbers.
     #[inline]
+    #[must_use]
     pub fn sort_cmp_rows(&self, i: usize, j: usize) -> Ordering {
         match &self.data {
             ColumnData::Int(d) if !self.nulls.any() => {
@@ -259,18 +286,21 @@ impl Column {
 
     /// Total comparison of `self[i]` against `other[j]`.
     #[inline]
+    #[must_use]
     pub fn sort_cmp_cells(&self, i: usize, other: &Column, j: usize) -> Ordering {
         self.cell(i).sort_cmp(other.cell(j))
     }
 
     /// Total comparison of row `i` against a scalar.
     #[inline]
+    #[must_use]
     pub fn sort_cmp_value(&self, i: usize, v: &Value) -> Ordering {
         self.cell(i).sort_cmp(Cell::of(v))
     }
 
     /// Predicate comparison of row `i` against a scalar.
     #[inline]
+    #[must_use]
     pub fn cmp_maybe_value(&self, i: usize, v: &Value) -> Option<Ordering> {
         self.cell(i).cmp_maybe(Cell::of(v))
     }
@@ -278,6 +308,10 @@ impl Column {
     /// Retains in `sel` only the rows where `self[i] op v` holds under
     /// SQL predicate semantics (Null never matches). The hot typed
     /// combinations run as tight loops over primitive slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is a string while the column is numeric.
     pub fn refine_cmp_value(&self, op: CmpOp, v: &Value, sel: &mut Vec<u32>) {
         let nulls = self.nulls.any();
         match (&self.data, v) {
@@ -342,6 +376,7 @@ impl Column {
     }
 
     /// New column with the rows of `idx`, in order.
+    #[must_use]
     pub fn gather(&self, idx: &[u32]) -> Column {
         let mut nulls = NullMask::default();
         if self.nulls.any() {
@@ -387,11 +422,13 @@ impl Default for ColumnBuilder {
 
 impl ColumnBuilder {
     /// An empty builder.
+    #[must_use]
     pub fn new() -> Self {
         ColumnBuilder::Pending { nulls: 0 }
     }
 
     /// Rows pushed so far.
+    #[must_use]
     pub fn len(&self) -> usize {
         match self {
             ColumnBuilder::Pending { nulls } => *nulls,
@@ -400,6 +437,7 @@ impl ColumnBuilder {
     }
 
     /// True if nothing has been pushed.
+    #[must_use]
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
@@ -486,6 +524,7 @@ impl ColumnBuilder {
     /// Finishes the column. An all-null (or empty) builder yields an
     /// `Int` column with every row null — indistinguishable from any
     /// other representation at the `Value` level.
+    #[must_use]
     pub fn finish(self) -> Column {
         match self {
             ColumnBuilder::Pending { nulls } => Self::start(nulls, ColumnData::Int(Vec::new())),

@@ -85,7 +85,8 @@ mod tests {
 
     fn catalog() -> Catalog {
         let mut cat = Catalog::new();
-        cat.table("t")
+        let _ = cat
+            .table("t")
             .rows(1_000.0)
             .int_key("k")
             .int_uniform("u", 5, 14)

@@ -74,6 +74,10 @@ impl ExecOptions {
 
     /// Parses the environment directly, bypassing the process-lifetime
     /// cache (tests that mutate `MQO_*` mid-process want this).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `MQO_EXEC_MODE` or `MQO_BATCH_ROWS` is set to an unrecognized value.
     pub fn read_env() -> Self {
         let mode = match std::env::var("MQO_EXEC_MODE").ok().as_deref() {
             Some("row") => ExecMode::Row,
@@ -106,6 +110,7 @@ pub struct ExecOutcome {
 
 /// Executes `plan` against `db` with engine knobs from the environment.
 /// `params` bind any `Param` atoms (empty for non-parameterized batches).
+#[must_use]
 pub fn execute_plan(
     catalog: &Catalog,
     pdag: &PhysicalDag,
@@ -119,6 +124,7 @@ pub fn execute_plan(
 /// Executes `plan` against `db` with explicit engine knobs. The plan
 /// must not reference warm temps (`plan.warm_used` empty) — plans that
 /// read a session cache go through [`execute_plan_seeded`].
+#[must_use]
 pub fn execute_plan_with(
     catalog: &Catalog,
     pdag: &PhysicalDag,
@@ -148,6 +154,10 @@ pub struct SeededOutcome {
 /// read zero-copy instead of recomputed. Panics if a warm temp has no
 /// seed (the plan was extracted against a cache state the caller no
 /// longer holds).
+///
+/// # Panics
+///
+/// Panics if the plan reads a warm temp with no matching seed, or if the plan is malformed (missing choices, unbound parameters).
 pub fn execute_plan_seeded(
     catalog: &Catalog,
     pdag: &PhysicalDag,
@@ -356,9 +366,9 @@ impl Executor<'_> {
                         let mut schema = left.schema.clone();
                         schema.extend(right.schema.iter().copied());
                         let rows = ops::merge_join(
-                            left.to_rows(),
+                            &left.to_rows(),
                             &left.schema,
-                            right.to_rows(),
+                            &right.to_rows(),
                             &right.schema,
                             &left_keys,
                             &right_keys,
@@ -389,7 +399,7 @@ impl Executor<'_> {
                 let outer = self.eval_use(inputs[0]);
                 let inner = self.db.table(table);
                 debug_assert_eq!(inner.sorted_on.first(), Some(&inner_key));
-                self.indexed_nl(outer, &inner, outer_key, residual)
+                self.indexed_nl(&outer, &inner, outer_key, residual)
             }
             Algo::IndexedNLJoinTemp {
                 source,
@@ -399,7 +409,7 @@ impl Executor<'_> {
             } => {
                 let outer = self.eval_use(inputs[0]);
                 let inner = self.temp_sorted_on(source, inner_key);
-                self.indexed_nl(outer, &inner, outer_key, residual)
+                self.indexed_nl(&outer, &inner, outer_key, residual)
             }
             Algo::Sort { keys } => {
                 let mut input = self.eval_use(inputs[0]);
@@ -414,7 +424,7 @@ impl Executor<'_> {
                 let mut t = match mode {
                     ExecMode::Row => {
                         let rows =
-                            ops::sort_aggregate(input.to_rows(), &input.schema, &keys, &aggs);
+                            ops::sort_aggregate(&input.to_rows(), &input.schema, &keys, &aggs);
                         let mut schema = keys.clone();
                         schema.extend(aggs.iter().map(|a| a.output));
                         Table::new(schema, rows)
@@ -452,7 +462,7 @@ impl Executor<'_> {
     /// session's execution mode.
     fn indexed_nl(
         &mut self,
-        outer: Table,
+        outer: &Table,
         inner: &Arc<Table>,
         outer_key: mqo_catalog::ColId,
         residual: mqo_expr::Predicate,
@@ -463,7 +473,7 @@ impl Executor<'_> {
                 schema.extend(inner.schema.iter().copied());
                 let rows = ops::indexed_nl_join(
                     Box::new(outer.rows()),
-                    outer.schema.clone(),
+                    &outer.schema,
                     Arc::clone(inner),
                     outer_key,
                     residual,
@@ -473,7 +483,7 @@ impl Executor<'_> {
                 Table::new(schema, rows)
             }
             ExecMode::Vectorized => vops::indexed_nl_join(
-                &outer,
+                outer,
                 inner,
                 outer_key,
                 &residual,

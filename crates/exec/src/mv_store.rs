@@ -52,6 +52,7 @@ pub struct MvEntry {
 impl MvEntry {
     /// Eviction rank: estimated benefit per whole occupied block —
     /// evict the least valuable byte first.
+    #[must_use]
     pub fn score(&self) -> f64 {
         self.benefit_secs / self.charged_blocks
     }
@@ -100,6 +101,7 @@ pub struct MvStore {
 impl MvStore {
     /// An empty store with the given byte budget. A budget of `0`
     /// disables caching (every admission is rejected).
+    #[must_use]
     pub fn new(budget_bytes: usize) -> Self {
         MvStore {
             entries: BTreeMap::new(),
@@ -110,32 +112,38 @@ impl MvStore {
     }
 
     /// The configured byte budget.
+    #[must_use]
     pub fn budget_bytes(&self) -> usize {
         self.budget_bytes
     }
 
     /// Bytes currently charged against the budget.
+    #[must_use]
     pub fn bytes_used(&self) -> usize {
         self.bytes_used
     }
 
     /// Number of live entries.
+    #[must_use]
     pub fn len(&self) -> usize {
         self.entries.len()
     }
 
     /// True if the store holds nothing.
+    #[must_use]
     pub fn is_empty(&self) -> bool {
         self.entries.is_empty()
     }
 
     /// Cumulative accounting.
+    #[must_use]
     pub fn stats(&self) -> MvStats {
         self.stats
     }
 
     /// True if a live entry exists for `fp` (no stats impact — used by
     /// the session's warm-set matching pass before the search).
+    #[must_use]
     pub fn contains(&self, fp: Fingerprint) -> bool {
         self.entries.contains_key(&fp)
     }
@@ -168,6 +176,11 @@ impl MvStore {
     /// blocks). Evicts lowest-`score()` residents while the newcomer
     /// outranks them and space is still short; rejects the newcomer
     /// otherwise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a planned eviction victim is missing from the store —
+    /// an invariant violation.
     pub fn admit(
         &mut self,
         fp: Fingerprint,
@@ -242,6 +255,14 @@ impl MvStore {
     pub fn clear(&mut self) {
         self.entries.clear();
         self.bytes_used = 0;
+    }
+
+    /// Overwrites the charged byte total, breaking the accounting on
+    /// purpose — `mqo-verify`'s negative tests use this to prove the
+    /// cache-accounting diagnostic is live. Never call it elsewhere.
+    #[doc(hidden)]
+    pub fn testing_set_bytes_used(&mut self, bytes: usize) {
+        self.bytes_used = bytes;
     }
 }
 

@@ -18,6 +18,11 @@ pub type Params = mqo_util::FxHashMap<ParamId, Value>;
 /// Evaluates `pred` against a row under `schema`. Column resolution
 /// borrows the cell (`&Value`) — no per-row, per-atom clones (`Str`
 /// cells used to cost a heap clone each time they were compared).
+///
+/// # Panics
+///
+/// Panics on an unbound query parameter or a column missing from `schema`.
+#[must_use]
 pub fn eval_pred(pred: &Predicate, schema: &[ColId], row: &Row, params: &Params) -> bool {
     let resolve =
         |c: ColId| -> Option<&Value> { schema.iter().position(|&x| x == c).map(|i| &row[i]) };
@@ -33,6 +38,7 @@ pub fn eval_pred(pred: &Predicate, schema: &[ColId], row: &Row, params: &Params)
 /// clustered-index range probes. Conservative: returns the loosest bounds
 /// implied by the top-level conjunct; the full predicate is re-checked on
 /// every row anyway.
+#[must_use]
 pub fn probe_bounds(
     pred: &Predicate,
     col: ColId,
@@ -101,6 +107,10 @@ pub fn filter<'a>(
 }
 
 /// Projection to a subset of columns (by position mapping).
+///
+/// # Panics
+///
+/// Panics if a projected column is missing from `in_schema`.
 pub fn project<'a>(
     input: Box<dyn Iterator<Item = Row> + 'a>,
     in_schema: &[ColId],
@@ -136,11 +146,16 @@ pub fn nl_join<'a>(
 
 /// Merge join of two inputs sorted on their key columns. Buffers only the
 /// current key group of the right side.
+///
+/// # Panics
+///
+/// Panics if a join key is missing from its side's schema.
 #[allow(clippy::too_many_arguments)] // mirrors the operator's full signature
+#[must_use]
 pub fn merge_join(
-    left: Vec<Row>,
+    left: &[Row],
     left_schema: &[ColId],
-    right: Vec<Row>,
+    right: &[Row],
     right_schema: &[ColId],
     left_keys: &[ColId],
     right_keys: &[ColId],
@@ -206,9 +221,13 @@ pub fn merge_join(
 
 /// Indexed nested-loops join: for each outer row, range-probe the sorted
 /// inner table on the join key.
+///
+/// # Panics
+///
+/// Panics if `outer_key` is missing from `outer_schema`.
 pub fn indexed_nl_join<'a>(
     outer: Box<dyn Iterator<Item = Row> + 'a>,
-    outer_schema: Vec<ColId>,
+    outer_schema: &[ColId],
     inner: Arc<Table>,
     outer_key: ColId,
     residual: Predicate,
@@ -242,8 +261,13 @@ pub fn indexed_nl_join<'a>(
 
 /// Sort-based aggregation over an input sorted by `keys` (scalar
 /// aggregation for empty `keys`).
+///
+/// # Panics
+///
+/// Panics if a grouping key is missing from `in_schema`.
+#[must_use]
 pub fn sort_aggregate(
-    input: Vec<Row>,
+    input: &[Row],
     in_schema: &[ColId],
     keys: &[ColId],
     aggs: &[AggExpr],
@@ -348,9 +372,9 @@ mod tests {
         let left = vec![vec![v(1)], vec![v(2)], vec![v(2)], vec![v(3)]];
         let right = vec![vec![v(2), v(20)], vec![v(2), v(21)], vec![v(4), v(40)]];
         let out = merge_join(
-            left,
+            &left,
             &[c(0)],
-            right,
+            &right,
             &[c(1), c(2)],
             &[c(0)],
             &[c(1)],
@@ -372,7 +396,7 @@ mod tests {
             Box::new(l_rows.clone().into_iter()),
             r_rows.clone(),
             vec![c(0), c(1), c(2), c(3)],
-            pred.clone(),
+            pred,
             Params::default(),
         )
         .collect();
@@ -381,9 +405,9 @@ mod tests {
         let mut r_sorted = r_rows;
         r_sorted.sort_by(|a, b| a[0].sort_cmp(&b[0]));
         let mj = merge_join(
-            l_sorted,
+            &l_sorted,
             &[c(0), c(1)],
-            r_sorted,
+            &r_sorted,
             &[c(2), c(3)],
             &[c(0)],
             &[c(2)],
@@ -413,7 +437,7 @@ mod tests {
         let outer = vec![vec![v(2)], vec![v(9)]];
         let got: Vec<Row> = indexed_nl_join(
             Box::new(outer.into_iter()),
-            vec![c(0)],
+            &[c(0)],
             Arc::new(inner),
             c(0),
             Predicate::true_(),
@@ -429,7 +453,7 @@ mod tests {
         let out_col = c(9);
         let input = vec![vec![v(1), v(10)], vec![v(1), v(20)], vec![v(2), v(5)]];
         let aggs = vec![AggExpr::new(AggFunc::Sum, ScalarExpr::col(c(1)), out_col)];
-        let out = sort_aggregate(input, &[c(0), c(1)], &[c(0)], &aggs);
+        let out = sort_aggregate(&input, &[c(0), c(1)], &[c(0)], &aggs);
         assert_eq!(out.len(), 2);
         assert_eq!(out[0][0], v(1));
         assert_eq!(out[0][1].as_f64().unwrap(), 30.0);
@@ -439,10 +463,10 @@ mod tests {
     #[test]
     fn scalar_aggregate_on_empty_input() {
         let aggs = vec![AggExpr::new(AggFunc::Count, ScalarExpr::col(c(0)), c(9))];
-        let out = sort_aggregate(vec![], &[c(0)], &[], &aggs);
+        let out = sort_aggregate(&[], &[c(0)], &[], &aggs);
         assert_eq!(out, vec![vec![v(0)]]);
         // grouped aggregate over empty input: no groups
-        let out = sort_aggregate(vec![], &[c(0)], &[c(0)], &aggs);
+        let out = sort_aggregate(&[], &[c(0)], &[c(0)], &aggs);
         assert!(out.is_empty());
     }
 
@@ -451,9 +475,9 @@ mod tests {
         let left = vec![vec![Value::Null], vec![v(1)]];
         let right = vec![vec![Value::Null, v(0)], vec![v(1), v(10)]];
         let out = merge_join(
-            left,
+            &left,
             &[c(0)],
-            right,
+            &right,
             &[c(1), c(2)],
             &[c(0)],
             &[c(1)],
@@ -476,9 +500,9 @@ mod tests {
         left.sort_by(|a, b| a[0].sort_cmp(&b[0]));
         right.sort_by(|a, b| a[0].sort_cmp(&b[0]));
         let out = merge_join(
-            left,
+            &left,
             &[c(0), c(1)],
-            right,
+            &right,
             &[c(2), c(3)],
             &[c(0)],
             &[c(2)],

@@ -37,6 +37,11 @@ pub struct Table {
 impl Table {
     /// Creates an unordered table from rows (the legacy constructor —
     /// columns are built with inferred types).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any row's arity differs from the schema's.
+    #[must_use]
     pub fn new(schema: Vec<ColId>, rows: Vec<Row>) -> Self {
         let n_rows = rows.len();
         let mut builders: Vec<ColumnBuilder> =
@@ -57,6 +62,10 @@ impl Table {
     }
 
     /// Creates an unordered table directly from columns.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the column count differs from the schema's arity.
     pub fn from_columns(schema: Vec<ColId>, cols: Vec<Column>) -> Self {
         assert_eq!(schema.len(), cols.len(), "schema/column arity mismatch");
         let n_rows = cols.first().map_or(0, Column::len);
@@ -73,6 +82,11 @@ impl Table {
     }
 
     /// Creates a table sharing already-refcounted columns (zero-copy).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the column count differs from the schema's arity.
+    #[must_use]
     pub fn from_shared_columns(schema: Vec<ColId>, cols: Vec<Arc<Column>>, n_rows: usize) -> Self {
         assert_eq!(schema.len(), cols.len(), "schema/column arity mismatch");
         debug_assert!(cols.iter().all(|c| c.len() == n_rows));
@@ -86,6 +100,11 @@ impl Table {
 
     /// Position of a column in the schema; panics if absent (schema
     /// mismatches are programming errors caught by tests).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c` is not in the schema.
+    #[must_use]
     pub fn col_pos(&self, c: ColId) -> usize {
         self.schema
             .iter()
@@ -94,21 +113,25 @@ impl Table {
     }
 
     /// The column at schema position `pos`.
+    #[must_use]
     pub fn col(&self, pos: usize) -> &Column {
         &self.cols[pos]
     }
 
     /// Shared handle to the column at schema position `pos`.
+    #[must_use]
     pub fn col_arc(&self, pos: usize) -> Arc<Column> {
         Arc::clone(&self.cols[pos])
     }
 
     /// The column storing `c`; panics if absent.
+    #[must_use]
     pub fn col_of(&self, c: ColId) -> &Column {
         &self.cols[self.col_pos(c)]
     }
 
     /// Materializes row `i` (legacy shim: clones one `Value` per cell).
+    #[must_use]
     pub fn row(&self, i: usize) -> Row {
         self.cols.iter().map(|c| c.get(i)).collect()
     }
@@ -120,6 +143,7 @@ impl Table {
     }
 
     /// Materializes every row (legacy shim).
+    #[must_use]
     pub fn to_rows(&self) -> Vec<Row> {
         self.rows().collect()
     }
@@ -144,6 +168,11 @@ impl Table {
     /// Half-open index range of rows whose leading sort column equals or
     /// falls within `[lo, hi]` bounds (inclusive); requires the table to
     /// be sorted. `None` bounds are unbounded.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the table is not sorted.
+    #[must_use]
     pub fn range_on_sorted(&self, lo: Option<&Value>, hi: Option<&Value>) -> (usize, usize) {
         assert!(!self.sorted_on.is_empty(), "range probe on unsorted table");
         let c = &self.cols[self.col_pos(self.sorted_on[0])];
@@ -166,16 +195,19 @@ impl Table {
     /// bytes (see [`Column::approx_bytes`]) — the admission/accounting
     /// unit of the `MvStore` byte budget. Columns shared by refcount
     /// with other tables are charged in full.
+    #[must_use]
     pub fn approx_bytes(&self) -> usize {
         self.cols.iter().map(|c| c.approx_bytes()).sum()
     }
 
     /// Number of rows.
+    #[must_use]
     pub fn len(&self) -> usize {
         self.n_rows
     }
 
     /// True if the table has no rows.
+    #[must_use]
     pub fn is_empty(&self) -> bool {
         self.n_rows == 0
     }
@@ -204,6 +236,7 @@ pub struct Database {
 
 impl Database {
     /// An empty database.
+    #[must_use]
     pub fn new() -> Self {
         Self::default()
     }
@@ -218,6 +251,11 @@ impl Database {
     }
 
     /// Fetches a table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no data is loaded for `id`.
+    #[must_use]
     pub fn table(&self, id: TableId) -> Arc<Table> {
         self.tables
             .get(&id)
@@ -226,6 +264,7 @@ impl Database {
     }
 
     /// True if data for `id` is loaded.
+    #[must_use]
     pub fn contains(&self, id: TableId) -> bool {
         self.tables.contains_key(&id)
     }
@@ -235,6 +274,7 @@ impl Database {
 /// `ColId` order and sorts rows, so logically equal results compare equal
 /// regardless of operator order. Used by differential tests (shared vs
 /// unshared execution).
+#[must_use]
 pub fn normalize_result(table: &Table) -> Vec<Row> {
     let mut order: Vec<usize> = (0..table.schema.len()).collect();
     order.sort_by_key(|&i| table.schema[i]);
@@ -254,6 +294,7 @@ pub fn normalize_result(table: &Table) -> Vec<Row> {
 /// Approximate equality of two normalized results: floats compare within
 /// a relative epsilon (summation order may legally differ between plans),
 /// everything else exactly.
+#[must_use]
 pub fn results_approx_equal(a: &[Row], b: &[Row], rel_eps: f64) -> bool {
     if a.len() != b.len() {
         return false;
@@ -316,7 +357,7 @@ mod tests {
     #[should_panic(expected = "not in schema")]
     fn col_pos_panics_on_missing() {
         let t = Table::new(vec![c(0)], vec![]);
-        t.col_pos(c(7));
+        let _ = t.col_pos(c(7));
     }
 
     #[test]

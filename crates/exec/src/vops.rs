@@ -246,6 +246,7 @@ fn join_output(left: &Table, right: &Table, left_idx: &[u32], right_idx: &[u32])
 }
 
 /// Batched filter. A constant-TRUE predicate is zero-copy.
+#[must_use]
 pub fn filter(input: &Table, pred: &Predicate, params: &Params, batch: usize) -> Table {
     if pred.is_true() {
         let mut out = input.clone();
@@ -259,6 +260,7 @@ pub fn filter(input: &Table, pred: &Predicate, params: &Params, batch: usize) ->
 /// Batched clustered-index range scan: binary-search the sorted table
 /// using the predicate's bounds on the clustering column, then re-check
 /// the full predicate batch-at-a-time over the narrowed range.
+#[must_use]
 pub fn index_scan(
     table: &Table,
     pred: &Predicate,
@@ -273,6 +275,7 @@ pub fn index_scan(
 }
 
 /// Zero-copy projection: shares the selected columns by refcount.
+#[must_use]
 pub fn project(input: &Table, cols: &[ColId]) -> Table {
     let shared = cols
         .iter()
@@ -285,6 +288,7 @@ pub fn project(input: &Table, cols: &[ColId]) -> Table {
 /// vectorized over the inner table's columns with the outer cells
 /// broadcast; matches accumulate as index pairs and each side's columns
 /// are gathered once at the end.
+#[must_use]
 pub fn nl_join(
     outer: &Table,
     inner: &Table,
@@ -323,6 +327,7 @@ pub fn nl_join(
 /// matching compares key columns cell-wise (total order, so Null keys
 /// group together and are skipped once per left row); residuals run
 /// vectorized over the right-side group.
+#[must_use]
 pub fn merge_join(
     left: &Table,
     right: &Table,
@@ -403,6 +408,7 @@ pub fn merge_join(
 /// Batched indexed nested-loops join: for each outer row, range-probe
 /// the sorted inner table on the join key, then run the residual
 /// vectorized over the probed range.
+#[must_use]
 pub fn indexed_nl_join(
     outer: &Table,
     inner: &Table,

@@ -205,9 +205,9 @@ fn row_merge_join(
     let mut schema = left.schema.clone();
     schema.extend(right.schema.iter().copied());
     let rows = ops::merge_join(
-        left.to_rows(),
+        &left.to_rows(),
         &left.schema,
-        right.to_rows(),
+        &right.to_rows(),
         &right.schema,
         lk,
         rk,
@@ -228,7 +228,7 @@ fn row_indexed_nl_join(
     schema.extend(inner.schema.iter().copied());
     let rows = ops::indexed_nl_join(
         Box::new(outer.rows()),
-        outer.schema.clone(),
+        &outer.schema,
         std::sync::Arc::new(inner.clone()),
         key,
         residual.clone(),
@@ -239,7 +239,7 @@ fn row_indexed_nl_join(
 }
 
 fn row_sort_aggregate(t: &Table, keys: &[ColId], aggs: &[AggExpr]) -> Table {
-    let rows = ops::sort_aggregate(t.to_rows(), &t.schema, keys, aggs);
+    let rows = ops::sort_aggregate(&t.to_rows(), &t.schema, keys, aggs);
     let mut schema = keys.to_vec();
     schema.extend(aggs.iter().map(|a| a.output));
     Table::new(schema, rows)

@@ -33,6 +33,7 @@ pub enum CmpOp {
 
 impl CmpOp {
     /// The operator with sides swapped: `a op b` ⇔ `b op.flip() a`.
+    #[must_use]
     pub fn flip(self) -> Self {
         match self {
             CmpOp::Lt => CmpOp::Gt,
@@ -45,6 +46,7 @@ impl CmpOp {
     }
 
     /// Applies the comparison given an `Ordering` between the operands.
+    #[must_use]
     pub fn matches(self, ord: Ordering) -> bool {
         match self {
             CmpOp::Lt => ord == Ordering::Less,
@@ -115,6 +117,7 @@ impl Atom {
     }
 
     /// Canonical column-column comparison.
+    #[must_use]
     pub fn col_cmp(a: ColId, op: CmpOp, b: ColId) -> Self {
         if a <= b {
             Atom::ColCmp {
@@ -132,6 +135,7 @@ impl Atom {
     }
 
     /// Equi-join atom.
+    #[must_use]
     pub fn eq_cols(a: ColId, b: ColId) -> Self {
         Atom::col_cmp(a, CmpOp::Eq, b)
     }
@@ -148,6 +152,7 @@ impl Atom {
     }
 
     /// True if this atom references a query parameter.
+    #[must_use]
     pub fn has_param(&self) -> bool {
         matches!(self, Atom::Param { .. })
     }
@@ -155,6 +160,7 @@ impl Atom {
     /// Sound implication test between atoms: `self ⟹ other` for every
     /// assignment. Incomplete (returns false on unknown cases), which only
     /// costs sharing opportunities, never correctness.
+    #[must_use]
     pub fn implies(&self, other: &Atom) -> bool {
         if self == other {
             return true;
@@ -313,6 +319,7 @@ pub struct Conjunct {
 
 impl Conjunct {
     /// Builds a conjunct, normalizing atom order.
+    #[must_use]
     pub fn new(mut atoms: Vec<Atom>) -> Self {
         atoms.sort_by(|a, b| a.sort_key_cmp(b));
         atoms.dedup();
@@ -320,17 +327,20 @@ impl Conjunct {
     }
 
     /// The atoms, in canonical order.
+    #[must_use]
     pub fn atoms(&self) -> &[Atom] {
         &self.atoms
     }
 
     /// True for the empty conjunction (logical TRUE).
+    #[must_use]
     pub fn is_true(&self) -> bool {
         self.atoms.is_empty()
     }
 
     /// Sound implication: every atom of `other` is implied by some atom of
     /// `self`.
+    #[must_use]
     pub fn implies(&self, other: &Conjunct) -> bool {
         other
             .atoms
@@ -339,6 +349,7 @@ impl Conjunct {
     }
 
     /// Conjunction of two conjuncts.
+    #[must_use]
     pub fn and(&self, other: &Conjunct) -> Conjunct {
         Conjunct::new(self.atoms.iter().chain(&other.atoms).cloned().collect())
     }
@@ -353,6 +364,7 @@ pub struct Predicate {
 
 impl Predicate {
     /// Logical TRUE.
+    #[must_use]
     pub fn true_() -> Self {
         Self {
             disjuncts: vec![Conjunct::default()],
@@ -360,11 +372,13 @@ impl Predicate {
     }
 
     /// Logical FALSE.
+    #[must_use]
     pub fn false_() -> Self {
         Self { disjuncts: vec![] }
     }
 
     /// A single-atom predicate.
+    #[must_use]
     pub fn atom(a: Atom) -> Self {
         Self {
             disjuncts: vec![Conjunct::new(vec![a])],
@@ -372,6 +386,7 @@ impl Predicate {
     }
 
     /// A conjunction of atoms.
+    #[must_use]
     pub fn all(atoms: Vec<Atom>) -> Self {
         Self {
             disjuncts: vec![Conjunct::new(atoms)],
@@ -379,6 +394,7 @@ impl Predicate {
     }
 
     /// A disjunction of conjuncts (normalized).
+    #[must_use]
     pub fn any(disjuncts: Vec<Conjunct>) -> Self {
         let mut p = Self { disjuncts };
         p.normalize();
@@ -386,21 +402,25 @@ impl Predicate {
     }
 
     /// The disjuncts.
+    #[must_use]
     pub fn disjuncts(&self) -> &[Conjunct] {
         &self.disjuncts
     }
 
     /// True if this predicate is the constant TRUE.
+    #[must_use]
     pub fn is_true(&self) -> bool {
         self.disjuncts.iter().any(|c| c.is_true())
     }
 
     /// True if this predicate is the constant FALSE.
+    #[must_use]
     pub fn is_false(&self) -> bool {
         self.disjuncts.is_empty()
     }
 
     /// Conjunction (distributes over the disjuncts).
+    #[must_use]
     pub fn and(&self, other: &Predicate) -> Predicate {
         let mut out = Vec::with_capacity(self.disjuncts.len() * other.disjuncts.len());
         for a in &self.disjuncts {
@@ -412,6 +432,7 @@ impl Predicate {
     }
 
     /// Disjunction.
+    #[must_use]
     pub fn or(&self, other: &Predicate) -> Predicate {
         Predicate::any(
             self.disjuncts
@@ -424,6 +445,7 @@ impl Predicate {
 
     /// Sound implication: every disjunct of `self` implies some disjunct of
     /// `other`.
+    #[must_use]
     pub fn implies(&self, other: &Predicate) -> bool {
         self.disjuncts
             .iter()
@@ -431,6 +453,7 @@ impl Predicate {
     }
 
     /// Columns referenced anywhere in the predicate.
+    #[must_use]
     pub fn columns(&self) -> Vec<ColId> {
         let mut out = Vec::new();
         for d in &self.disjuncts {
@@ -444,6 +467,7 @@ impl Predicate {
     }
 
     /// True if any atom references a query parameter.
+    #[must_use]
     pub fn has_param(&self) -> bool {
         self.disjuncts
             .iter()
@@ -474,6 +498,7 @@ impl Predicate {
 
     /// If the predicate is a single constant comparison `col op v`, returns
     /// it. Used by subsumption detection for range selections.
+    #[must_use]
     pub fn as_single_cmp(&self) -> Option<(ColId, CmpOp, &Value)> {
         let [d] = self.disjuncts.as_slice() else {
             return None;
@@ -487,6 +512,7 @@ impl Predicate {
     /// If the predicate is a disjunction of equalities on one column
     /// (`col=v1 ∨ col=v2 ∨ …`), returns the column and values. Single
     /// equalities qualify with one value.
+    #[must_use]
     pub fn as_eq_disjunction(&self) -> Option<(ColId, Vec<Value>)> {
         let mut col: Option<ColId> = None;
         let mut vals = Vec::new();

@@ -36,6 +36,7 @@ pub enum ScalarExpr {
 
 impl ScalarExpr {
     /// Column reference helper.
+    #[must_use]
     pub fn col(c: ColId) -> Self {
         ScalarExpr::Col(c)
     }
@@ -46,6 +47,7 @@ impl ScalarExpr {
     }
 
     /// Builds `self op other`.
+    #[must_use]
     pub fn bin(self, op: ArithOp, other: ScalarExpr) -> Self {
         ScalarExpr::BinOp {
             op,
@@ -136,6 +138,7 @@ pub struct AggExpr {
 
 impl AggExpr {
     /// Builds an aggregate expression.
+    #[must_use]
     pub fn new(func: AggFunc, arg: ScalarExpr, output: ColId) -> Self {
         Self { func, arg, output }
     }

@@ -22,11 +22,13 @@ pub enum Value {
 
 impl Value {
     /// Builds a string value.
+    #[must_use]
     pub fn str(s: &str) -> Self {
         Value::Str(Arc::from(s))
     }
 
     /// Numeric view, if the value is numeric.
+    #[must_use]
     pub fn as_f64(&self) -> Option<f64> {
         match self {
             Value::Int(i) => Some(*i as f64),
@@ -36,6 +38,7 @@ impl Value {
     }
 
     /// Integer view, if the value is an integer.
+    #[must_use]
     pub fn as_i64(&self) -> Option<i64> {
         match self {
             Value::Int(i) => Some(*i),
@@ -46,6 +49,11 @@ impl Value {
     /// Total comparison used for sorting rows: Null sorts first, then
     /// numerics, then strings. This is distinct from predicate comparison,
     /// which treats Null as incomparable.
+    ///
+    /// # Panics
+    ///
+    /// Panics when comparing a string with a number.
+    #[must_use]
     pub fn sort_cmp(&self, other: &Self) -> Ordering {
         use Value::*;
         match (self, other) {
@@ -64,6 +72,11 @@ impl Value {
 
     /// Predicate-style comparison: `None` when either side is Null or the
     /// types are incomparable.
+    ///
+    /// # Panics
+    ///
+    /// Panics when comparing a string with a number.
+    #[must_use]
     pub fn cmp_maybe(&self, other: &Self) -> Option<Ordering> {
         use Value::*;
         match (self, other) {
@@ -76,6 +89,7 @@ impl Value {
 
     /// A numeric key usable for range statistics; strings map through their
     /// first 8 bytes (big-endian), preserving order for fixed prefixes.
+    #[must_use]
     pub fn stat_key(&self) -> Option<f64> {
         match self {
             Value::Int(i) => Some(*i as f64),

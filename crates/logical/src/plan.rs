@@ -45,11 +45,13 @@ pub enum LogicalPlan {
 
 impl LogicalPlan {
     /// Base-table scan.
+    #[must_use]
     pub fn scan(t: TableId) -> Self {
         LogicalPlan::Scan(t)
     }
 
     /// Wraps `self` in a selection.
+    #[must_use]
     pub fn select(self, pred: Predicate) -> Self {
         LogicalPlan::Select {
             pred,
@@ -58,6 +60,7 @@ impl LogicalPlan {
     }
 
     /// Joins `self` with `right` on `pred`.
+    #[must_use]
     pub fn join(self, right: LogicalPlan, pred: Predicate) -> Self {
         LogicalPlan::Join {
             pred,
@@ -67,6 +70,7 @@ impl LogicalPlan {
     }
 
     /// Wraps `self` in an aggregation.
+    #[must_use]
     pub fn aggregate(self, keys: Vec<ColId>, aggs: Vec<AggExpr>) -> Self {
         LogicalPlan::Aggregate {
             keys,
@@ -76,6 +80,7 @@ impl LogicalPlan {
     }
 
     /// Wraps `self` in a projection.
+    #[must_use]
     pub fn project(self, cols: Vec<ColId>) -> Self {
         LogicalPlan::Project {
             cols,
@@ -84,6 +89,7 @@ impl LogicalPlan {
     }
 
     /// Output columns of this plan.
+    #[must_use]
     pub fn output_cols(&self, catalog: &Catalog) -> Vec<ColId> {
         match self {
             LogicalPlan::Scan(t) => catalog.table_ref(*t).columns.clone(),
@@ -103,6 +109,7 @@ impl LogicalPlan {
     }
 
     /// Base tables referenced by this plan, in scan order.
+    #[must_use]
     pub fn tables(&self) -> Vec<TableId> {
         let mut out = Vec::new();
         self.walk(&mut |p| {
@@ -129,6 +136,7 @@ impl LogicalPlan {
     }
 
     /// Number of operator nodes in the tree.
+    #[must_use]
     pub fn node_count(&self) -> usize {
         let mut n = 0;
         self.walk(&mut |_| n += 1);
@@ -136,6 +144,7 @@ impl LogicalPlan {
     }
 
     /// Multi-line, indented explain string with catalog names.
+    #[must_use]
     pub fn explain(&self, catalog: &Catalog) -> String {
         let mut out = String::new();
         self.explain_into(catalog, 0, &mut out);
@@ -231,11 +240,13 @@ pub struct Batch {
 
 impl Batch {
     /// An empty batch.
+    #[must_use]
     pub fn new() -> Self {
         Self::default()
     }
 
     /// A batch of one plain query.
+    #[must_use]
     pub fn single(label: &str, plan: LogicalPlan) -> Self {
         Self {
             queries: vec![Query::new(label, plan)],
@@ -243,6 +254,7 @@ impl Batch {
     }
 
     /// Builds a batch from queries.
+    #[must_use]
     pub fn of(queries: Vec<Query>) -> Self {
         Self { queries }
     }
@@ -254,17 +266,20 @@ impl Batch {
     }
 
     /// Number of queries.
+    #[must_use]
     pub fn len(&self) -> usize {
         self.queries.len()
     }
 
     /// True if the batch has no queries.
+    #[must_use]
     pub fn is_empty(&self) -> bool {
         self.queries.is_empty()
     }
 
     /// The batch with query order reversed (Volcano-RU considers both
     /// orders, paper §3.3).
+    #[must_use]
     pub fn reversed(&self) -> Batch {
         let mut queries = self.queries.clone();
         queries.reverse();

@@ -110,8 +110,8 @@ mod tests {
 
     fn setup() -> Catalog {
         let mut cat = Catalog::new();
-        cat.table("r").rows(10.0).int_key("rk").build();
-        cat.table("s").rows(10.0).int_key("sk").build();
+        let _ = cat.table("r").rows(10.0).int_key("rk").build();
+        let _ = cat.table("s").rows(10.0).int_key("sk").build();
         cat
     }
 

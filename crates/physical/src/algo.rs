@@ -101,6 +101,7 @@ pub enum Algo {
 
 impl Algo {
     /// Short name for explain output.
+    #[must_use]
     pub fn name(&self) -> &'static str {
         match self {
             Algo::TableScan { .. } => "TableScan",
@@ -120,6 +121,7 @@ impl Algo {
 
     /// True for the reuse-sensitive algorithms whose feasibility depends
     /// on the materialized set.
+    #[must_use]
     pub fn is_temp_dependent(&self) -> bool {
         matches!(
             self,

@@ -30,6 +30,7 @@ pub struct MatSet {
 
 impl MatSet {
     /// An empty set.
+    #[must_use]
     pub fn new() -> Self {
         Self::default()
     }
@@ -46,6 +47,10 @@ impl MatSet {
     }
 
     /// Removes a node; returns false if it was not present.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the set and its sorted index disagree — an invariant violation.
     pub fn remove(&mut self, pdag: &PhysicalDag, n: PhysNodeId) -> bool {
         if !self.set.remove(&n) {
             return false;
@@ -63,16 +68,19 @@ impl MatSet {
     }
 
     /// Membership test.
+    #[must_use]
     pub fn contains(&self, n: PhysNodeId) -> bool {
         self.set.contains(&n)
     }
 
     /// Number of materialized nodes.
+    #[must_use]
     pub fn len(&self) -> usize {
         self.set.len()
     }
 
     /// True when nothing is materialized.
+    #[must_use]
     pub fn is_empty(&self) -> bool {
         self.set.is_empty()
     }
@@ -89,6 +97,7 @@ impl MatSet {
 
     /// A materialized variant of `n`'s group whose property satisfies
     /// `n`'s requirement, if any (the reuse source for `C(n)`).
+    #[must_use]
     pub fn reusable_for(&self, pdag: &PhysicalDag, n: PhysNodeId) -> Option<PhysNodeId> {
         let node = pdag.node(n);
         self.variants_of(node.group)
@@ -99,6 +108,7 @@ impl MatSet {
 
     /// A materialized variant of `g` sorted with leading column `col`
     /// (a usable temp index), if any.
+    #[must_use]
     pub fn sorted_on(&self, pdag: &PhysicalDag, g: GroupId, col: ColId) -> Option<PhysNodeId> {
         self.variants_of(g)
             .iter()
@@ -121,6 +131,7 @@ pub struct CostTable {
 impl CostTable {
     /// Full bottom-up computation of all costs under `mat` — the basic
     /// Volcano search when `mat` is empty.
+    #[must_use]
     pub fn compute(pdag: &PhysicalDag, mat: &MatSet) -> CostTable {
         let mut t = CostTable {
             node_cost: vec![Cost::INFINITY; pdag.num_nodes()],
@@ -137,6 +148,7 @@ impl CostTable {
 
     /// The charged cost of consuming `n`: `min(cost(n), reusecost(n))`
     /// when a satisfying variant is materialized (paper §3.1).
+    #[must_use]
     pub fn c_value(&self, pdag: &PhysicalDag, mat: &MatSet, n: PhysNodeId) -> Cost {
         self.c_value_at(pdag, mat, n, u32::MAX)
     }
@@ -146,6 +158,7 @@ impl CostTable {
     /// below the consumer. This makes the cost recursion well-founded —
     /// without it, a materialized sorted node's own `Sort` enforcer could
     /// "reuse" the node it is defining (reading its own temp).
+    #[must_use]
     pub fn c_value_at(
         &self,
         pdag: &PhysicalDag,
@@ -161,6 +174,7 @@ impl CostTable {
     }
 
     /// Evaluates one op's full cost under `mat` using current child costs.
+    #[must_use]
     pub fn eval_op(&self, pdag: &PhysicalDag, mat: &MatSet, o: PhysOpId) -> Cost {
         let op = pdag.op(o);
         let consumer_topo = pdag.node(op.node).topo;
@@ -207,6 +221,7 @@ impl CostTable {
 
     /// The paper's `bestcost(Q, S)`: root cost plus, for every
     /// materialized node, the cost of computing and materializing it once.
+    #[must_use]
     pub fn total(&self, pdag: &PhysicalDag, mat: &MatSet) -> Cost {
         self.total_excluding(pdag, mat, &MatSet::new())
     }
@@ -218,6 +233,7 @@ impl CostTable {
     /// the **cold** members of `mat`. Consumers still see warm nodes at
     /// reuse cost through [`CostTable::c_value`] — that part of the model
     /// needs no exclusion, only the one-time setup charge does.
+    #[must_use]
     pub fn total_excluding(&self, pdag: &PhysicalDag, mat: &MatSet, warm: &MatSet) -> Cost {
         let mut c = self.node_cost[pdag.root().index()];
         for m in mat.iter() {

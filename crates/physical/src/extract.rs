@@ -46,6 +46,7 @@ pub struct ExtractedPlan {
 
 impl ExtractedPlan {
     /// Extracts the best shared plan under `mat` (no warm cache).
+    #[must_use]
     pub fn extract(pdag: &PhysicalDag, table: &CostTable, mat: &MatSet) -> ExtractedPlan {
         Self::extract_with_warm(pdag, table, mat, &MatSet::new())
     }
@@ -57,6 +58,7 @@ impl ExtractedPlan {
     /// [`ExtractedPlan::materialized`]), uses of them become temp reads,
     /// and [`ExtractedPlan::total_cost`] charges them nothing beyond the
     /// reuse reads already folded into `table`'s node costs.
+    #[must_use]
     pub fn extract_with_warm(
         pdag: &PhysicalDag,
         table: &CostTable,
@@ -101,6 +103,7 @@ impl ExtractedPlan {
     }
 
     /// Pretty-prints the plan with operator names and sharing markers.
+    #[must_use]
     pub fn explain(&self, pdag: &PhysicalDag, _catalog: &Catalog) -> String {
         use std::fmt::Write;
         let mut out = String::new();
@@ -162,6 +165,7 @@ impl ExtractedPlan {
     }
 
     /// The materialized node this plan reads at uses of `n`, if any.
+    #[must_use]
     pub fn reuse_of(&self, n: PhysNodeId) -> Option<PhysNodeId> {
         match self.choices.get(&n) {
             Some(&ChosenOp::Reuse(m)) => Some(m),

@@ -16,6 +16,7 @@ use mqo_util::FxHashMap;
 /// Fingerprint of every physical node, indexed by
 /// [`PhysNodeId`](crate::PhysNodeId). `group_fps` comes from
 /// [`mqo_dag::group_fingerprints`] over the same batch's logical DAG.
+#[must_use]
 pub fn node_fingerprints(
     pdag: &PhysicalDag,
     group_fps: &FxHashMap<GroupId, Fingerprint>,

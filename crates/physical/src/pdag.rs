@@ -87,26 +87,31 @@ pub struct PhysicalDag {
 
 impl PhysicalDag {
     /// All physical nodes, in topological order of their ids.
+    #[must_use]
     pub fn nodes(&self) -> &[PhysNode] {
         &self.nodes
     }
 
     /// All physical ops.
+    #[must_use]
     pub fn ops(&self) -> &[PhysOp] {
         &self.ops
     }
 
     /// The node struct.
+    #[must_use]
     pub fn node(&self, id: PhysNodeId) -> &PhysNode {
         &self.nodes[id.index()]
     }
 
     /// The op struct.
+    #[must_use]
     pub fn op(&self, id: PhysOpId) -> &PhysOp {
         &self.ops[id.index()]
     }
 
     /// The root physical node (pseudo-root group, no requirement).
+    #[must_use]
     pub fn root(&self) -> PhysNodeId {
         self.root
     }
@@ -117,6 +122,7 @@ impl PhysicalDag {
     }
 
     /// Looks up the node for `(group, prop)`.
+    #[must_use]
     pub fn node_for(&self, g: GroupId, prop: &PhysProp) -> Option<PhysNodeId> {
         self.index.get(&(g, prop.clone())).copied()
     }
@@ -127,11 +133,13 @@ impl PhysicalDag {
     }
 
     /// Number of physical nodes.
+    #[must_use]
     pub fn num_nodes(&self) -> usize {
         self.nodes.len()
     }
 
     /// Number of physical ops.
+    #[must_use]
     pub fn num_ops(&self) -> usize {
         self.ops.len()
     }
@@ -139,17 +147,52 @@ impl PhysicalDag {
     /// Materialization cost of a node (paper's `matcost`): sequential
     /// write of the result. The cost of *producing* it in the required
     /// order is the node's plan cost, accounted separately.
+    #[must_use]
     pub fn matcost(&self, n: PhysNodeId) -> Cost {
         self.params.matcost(self.nodes[n.index()].blocks)
     }
 
     /// Reuse cost of a materialized node (paper's `reusecost`): read it
     /// back sequentially.
+    #[must_use]
     pub fn reusecost(&self, n: PhysNodeId) -> Cost {
         self.params.reusecost(self.nodes[n.index()].blocks)
     }
 
+    // ------------------------------------------------------------------
+    // Verifier negative-test seams (see `Dag`'s equivalents): mutable
+    // access for building deliberately *invalid* physical DAGs. Hidden
+    // from docs; never call outside tests.
+
+    /// Mutable access to a node, for corruption tests.
+    #[doc(hidden)]
+    pub fn testing_node_mut(&mut self, n: PhysNodeId) -> &mut PhysNode {
+        &mut self.nodes[n.index()]
+    }
+
+    /// Mutable access to an op, for corruption tests.
+    #[doc(hidden)]
+    pub fn testing_op_mut(&mut self, o: PhysOpId) -> &mut PhysOp {
+        &mut self.ops[o.index()]
+    }
+
+    /// Empties the temp-watcher registry, for corruption tests.
+    #[doc(hidden)]
+    pub fn testing_clear_temp_watchers(&mut self) {
+        self.temp_watchers.clear();
+    }
+
     /// Builds the physical DAG for an expanded logical DAG.
+    ///
+    /// # Panics
+    ///
+    /// `dag` must be a well-formed rooted AND-OR DAG as produced by
+    /// `Dag::expand` — rooted, acyclic, every reachable group
+    /// implemented. The builder panics on violations (with less context
+    /// than a diagnostic); `mqo-verify`'s DAG checks run *before* this
+    /// build at the optimizer's stage boundary so corruption is reported
+    /// there instead.
+    #[must_use]
     pub fn build(dag: &Dag, catalog: &Catalog, params: CostParams) -> PhysicalDag {
         Builder {
             dag,
@@ -296,6 +339,9 @@ impl<'a> Builder<'a> {
     /// Adds one physical op per node whose requirement `out_order`
     /// satisfies.
     #[allow(clippy::too_many_arguments)]
+    // by-value args are cloned once per satisfying target; the call
+    // sites build them inline, so references would only move the clone
+    #[allow(clippy::needless_pass_by_value)]
     fn add_op(
         &mut self,
         g: GroupId,
@@ -338,6 +384,10 @@ impl<'a> Builder<'a> {
         }
     }
 
+    /// The already-created node for `(g, prop)`. Invariant: `create_nodes`
+    /// ran first and instantiated every (group, interesting-order) pair,
+    /// so a miss here is a builder bug, not an input error — hence a
+    /// panic rather than a typed diagnostic.
     fn node_of(&self, g: GroupId, prop: &PhysProp) -> PhysNodeId {
         self.out
             .index
@@ -619,9 +669,9 @@ impl<'a> Builder<'a> {
                 g,
                 &PhysProp::Sorted(lks.clone()),
                 Algo::MergeJoin {
-                    left_keys: lks.clone(),
-                    right_keys: rks.clone(),
-                    residual: residual.clone(),
+                    left_keys: lks,
+                    right_keys: rks,
+                    residual,
                 },
                 vec![ln, rn],
                 lop,
@@ -699,7 +749,10 @@ impl<'a> Builder<'a> {
             // enforcers attach to exactly one node; bypass add_op's
             // satisfies-fanout
             let op_id = PhysOpId::from_index(self.out.ops.len());
-            // Use the group's first logical op as provenance.
+            // Use the group's first logical op as provenance. A reachable
+            // group with no alive op is memo corruption; the verifier's
+            // `DagLinkBroken` check catches it before the build when
+            // enabled (see `PhysicalDag::build`'s panic contract).
             let lop = self.dag.group_ops(g).next().expect("group has ops");
             self.out.ops.push(PhysOp {
                 algo: Algo::Sort { keys },

@@ -17,6 +17,7 @@ pub enum PhysProp {
 
 impl PhysProp {
     /// Builds a sorted property, normalizing the empty key list to `Any`.
+    #[must_use]
     pub fn sorted(keys: Vec<ColId>) -> Self {
         if keys.is_empty() {
             PhysProp::Any
@@ -26,6 +27,7 @@ impl PhysProp {
     }
 
     /// True if a stream with property `self` meets requirement `req`.
+    #[must_use]
     pub fn satisfies(&self, req: &PhysProp) -> bool {
         match (self, req) {
             (_, PhysProp::Any) => true,
@@ -37,6 +39,7 @@ impl PhysProp {
     }
 
     /// The sort keys, if any.
+    #[must_use]
     pub fn keys(&self) -> &[ColId] {
         match self {
             PhysProp::Any => &[],
@@ -46,6 +49,7 @@ impl PhysProp {
 
     /// The leading sort column, if any — a sorted temp acts as a clustered
     /// index on this column.
+    #[must_use]
     pub fn leading_col(&self) -> Option<ColId> {
         self.keys().first().copied()
     }

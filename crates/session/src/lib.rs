@@ -233,6 +233,11 @@ struct SessionTotals {
 impl MqoSession {
     /// Opens a session over a catalog and a loaded database. The
     /// built-in strategies plus `"KS15-Greedy"` are pre-registered.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the KS15 strategy name collides with a built-in name.
+    #[must_use]
     pub fn new(catalog: Catalog, db: Database, options: SessionOptions) -> Self {
         let mut registry = Registry::builtin();
         registry
@@ -251,6 +256,7 @@ impl MqoSession {
     }
 
     /// The session's catalog.
+    #[must_use]
     pub fn catalog(&self) -> &Catalog {
         &self.catalog
     }
@@ -264,6 +270,7 @@ impl MqoSession {
     }
 
     /// The session's database.
+    #[must_use]
     pub fn database(&self) -> &Database {
         &self.db
     }
@@ -275,6 +282,7 @@ impl MqoSession {
 
     /// The live materialized-view store (inspection; the session owns
     /// all mutations).
+    #[must_use]
     pub fn mv_store(&self) -> &MvStore {
         &self.store
     }
@@ -286,6 +294,7 @@ impl MqoSession {
     }
 
     /// Unified statistics across every batch submitted so far.
+    #[must_use]
     pub fn stats(&self) -> SessionStats {
         SessionStats {
             batches: self.totals.batches,
@@ -319,6 +328,10 @@ impl MqoSession {
     /// Parameter-dependent results are never cached or served from the
     /// cache (their groups are `has_param`), so differing bindings
     /// across submits are safe.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan reads a warm temp that is no longer in the store — an invariant violation.
     pub fn submit_with_params(
         &mut self,
         batch: &Batch,
@@ -403,6 +416,10 @@ impl MqoSession {
                 }
             }
         }
+        // Stage-boundary verification of the only state that survives
+        // the batch: the cross-batch cache accounting.
+        mqo_verify::verify_store(&self.store, self.options.opt.verify)
+            .assert_clean("submit (MV store)");
 
         let outcome = seeded.outcome;
         let result = BatchResult {

@@ -9,11 +9,19 @@
 //!   produces identical plans, costs, and cache hit/evict counts at
 //!   every worker-thread count and execution batch size.
 
+use mqo_core::{Options, VerifyLevel};
 use mqo_exec::{generate_database, normalize_result, results_approx_equal, ExecMode, ExecOptions};
 use mqo_session::{BatchResult, MqoSession, SessionOptions};
 use mqo_workloads::Tpcd;
 
 const SCALE: f64 = 0.002;
+
+/// Every session in this suite runs with Full verification: each submit
+/// checks the batch, DAG, physical DAG, cost table, extracted plan and
+/// the MvStore, panicking with a rendered diagnostic on any violation.
+fn verified() -> SessionOptions {
+    SessionOptions::new().with_opt(Options::new().with_verify(VerifyLevel::Full))
+}
 
 fn serving_session(threads: usize, batch_rows: usize) -> MqoSession {
     let w = Tpcd::new(SCALE);
@@ -25,7 +33,7 @@ fn serving_session(threads: usize, batch_rows: usize) -> MqoSession {
     MqoSession::new(
         w.catalog,
         db,
-        SessionOptions::new().with_threads(threads).with_exec(exec),
+        verified().with_threads(threads).with_exec(exec),
     )
 }
 
@@ -48,7 +56,7 @@ fn warm_resubmit_is_cheaper_and_identical() {
     let w = Tpcd::new(SCALE);
     let batch = w.serving_batches(1).remove(0);
     let db = generate_database(&w.catalog, 42, usize::MAX);
-    let mut session = MqoSession::new(w.catalog, db, SessionOptions::new());
+    let mut session = MqoSession::new(w.catalog, db, verified());
 
     let cold = session.submit(&batch).unwrap();
     assert!(cold.temps_built > 0, "cold batch materializes shared temps");
@@ -153,7 +161,7 @@ fn budget_is_respected_under_pressure() {
     let mut session = MqoSession::new(
         w.catalog,
         db,
-        SessionOptions::new().with_mv_budget_bytes(64 << 10), // 64 KiB
+        verified().with_mv_budget_bytes(64 << 10), // 64 KiB
     );
     let mut churn = 0usize;
     for b in &batches {
@@ -180,7 +188,7 @@ fn zero_budget_disables_cross_batch_reuse() {
     let w = Tpcd::new(SCALE);
     let batch = w.serving_batches(1).remove(0);
     let db = generate_database(&w.catalog, 42, usize::MAX);
-    let mut session = MqoSession::new(w.catalog, db, SessionOptions::new().with_mv_budget_bytes(0));
+    let mut session = MqoSession::new(w.catalog, db, verified().with_mv_budget_bytes(0));
     let a = session.submit(&batch).unwrap();
     let b = session.submit(&batch).unwrap();
     assert_eq!(b.cache_hits, 0);
@@ -195,11 +203,7 @@ fn ks15_strategy_also_serves_warm() {
     let w = Tpcd::new(SCALE);
     let batch = w.serving_batches(1).remove(0);
     let db = generate_database(&w.catalog, 42, usize::MAX);
-    let mut session = MqoSession::new(
-        w.catalog,
-        db,
-        SessionOptions::new().with_strategy("KS15-Greedy"),
-    );
+    let mut session = MqoSession::new(w.catalog, db, verified().with_strategy("KS15-Greedy"));
     let cold = session.submit(&batch).unwrap();
     let warm = session.submit(&batch).unwrap();
     assert!(cold.temps_built > 0);

@@ -45,11 +45,13 @@ pub enum ExprTy {
 
 impl ExprTy {
     /// Is this a numeric type?
+    #[must_use]
     pub fn numeric(self) -> bool {
         matches!(self, ExprTy::Int | ExprTy::Float)
     }
 
     /// Maps a catalog column type onto the lattice.
+    #[must_use]
     pub fn of(ty: ColType) -> ExprTy {
         match ty {
             ColType::Int => ExprTy::Int,
@@ -89,6 +91,7 @@ pub struct LoweredPred {
 
 impl<'a> Scope<'a> {
     /// Creates a scope over `sources`.
+    #[must_use]
     pub fn new(catalog: &'a Catalog, sources: Vec<Source>) -> Self {
         Scope { catalog, sources }
     }
@@ -149,6 +152,7 @@ impl<'a> Scope<'a> {
     }
 
     /// The lattice type of a resolved column.
+    #[must_use]
     pub fn col_ty(&self, id: ColId) -> ExprTy {
         ExprTy::of(self.catalog.column(id).ty)
     }
@@ -360,6 +364,7 @@ enum Operand {
 }
 
 /// Converts an AST literal to an engine value.
+#[must_use]
 pub fn lit_value(l: &Lit) -> Value {
     match l {
         Lit::Int(v) => Value::Int(*v),

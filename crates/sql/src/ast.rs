@@ -172,6 +172,7 @@ pub enum BinOp {
 
 impl BinOp {
     /// Binding strength; larger binds tighter.
+    #[must_use]
     pub fn prec(self) -> u8 {
         use BinOp::*;
         match self {
@@ -240,6 +241,7 @@ pub enum Expr {
 
 impl Expr {
     /// The node's span.
+    #[must_use]
     pub fn span(&self) -> Span {
         match self {
             Expr::Col(c) => c.span,

@@ -21,6 +21,7 @@ impl Span {
     pub const ZERO: Span = Span { lo: 0, hi: 0 };
 
     /// Builds a span from byte offsets.
+    #[must_use]
     pub fn new(lo: usize, hi: usize) -> Span {
         Span {
             lo: lo as u32,
@@ -29,6 +30,7 @@ impl Span {
     }
 
     /// The smallest span covering `self` and `other`.
+    #[must_use]
     pub fn to(self, other: Span) -> Span {
         Span {
             lo: self.lo.min(other.lo),
@@ -77,12 +79,14 @@ pub struct SqlError {
 
 impl SqlError {
     /// Builds an error.
+    #[must_use]
     pub fn new(kind: SqlErrorKind, span: Span) -> SqlError {
         SqlError { kind, span }
     }
 
     /// Renders a two-line diagnostic: the message, then the offending
     /// source line with a caret run under the span.
+    #[must_use]
     pub fn render(&self, src: &str) -> String {
         let (lo, hi) = (
             self.span.lo as usize,

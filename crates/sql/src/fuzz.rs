@@ -65,6 +65,11 @@ impl QueryGen {
     /// another table covering exactly the same value range — which is
     /// how the TPC-D-style schemas in `mqo-workloads` encode their
     /// foreign keys.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a catalog table lacks its own key column.
+    #[must_use]
     pub fn new(catalog: &Catalog, seed: u64) -> Self {
         let tables: Vec<GTable> = catalog
             .tables()

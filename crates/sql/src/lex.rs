@@ -62,6 +62,10 @@ pub struct Token {
 }
 
 /// Tokenizes `src`. The result always ends with [`Tok::Eof`].
+///
+/// # Panics
+///
+/// Panics only on an internal indexing bug; malformed input returns `SqlError`.
 pub fn lex(src: &str) -> Result<Vec<Token>, SqlError> {
     let bytes = src.as_bytes();
     let mut out = Vec::new();

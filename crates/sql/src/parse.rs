@@ -70,6 +70,10 @@ pub fn parse_statements(src: &str) -> Result<Vec<Statement>, SqlError> {
 }
 
 /// Parses exactly one statement; trailing `;` is allowed.
+///
+/// # Panics
+///
+/// Panics only on an internal arity bug; syntax errors return `SqlError`.
 pub fn parse_one(src: &str) -> Result<Statement, SqlError> {
     let mut stmts = parse_statements(src)?;
     match stmts.len() {
@@ -129,8 +133,8 @@ impl Parser {
         }
     }
 
-    fn expect(&mut self, tok: Tok, what: &str) -> Result<Span, SqlError> {
-        if self.peek() == &tok {
+    fn expect(&mut self, tok: &Tok, what: &str) -> Result<Span, SqlError> {
+        if self.peek() == tok {
             Ok(self.bump().span)
         } else {
             Err(self.unexpected(what))
@@ -299,7 +303,7 @@ impl Parser {
         if self.peek() == &Tok::LParen {
             let lo = self.bump().span;
             let query = self.select()?;
-            let hi = self.expect(Tok::RParen, "`)`")?;
+            let hi = self.expect(&Tok::RParen, "`)`")?;
             let mut span = lo.to(hi);
             // `AS` is optional: a bare identifier that is not a keyword
             // also reads as the subquery's alias.
@@ -514,7 +518,7 @@ impl Parser {
                     ));
                 }
                 let e = self.expr()?;
-                self.expect(Tok::RParen, "`)`")?;
+                self.expect(&Tok::RParen, "`)`")?;
                 Ok(e)
             }
             Tok::Ident(_) => {
@@ -524,7 +528,7 @@ impl Parser {
                     self.bump();
                     if self.peek() == &Tok::Star {
                         self.bump();
-                        let hi = self.expect(Tok::RParen, "`)`")?;
+                        let hi = self.expect(&Tok::RParen, "`)`")?;
                         return Ok(Expr::Call {
                             span: first.span.to(hi),
                             func: first,
@@ -540,7 +544,7 @@ impl Parser {
                             args.push(self.expr()?);
                         }
                     }
-                    let hi = self.expect(Tok::RParen, "`)`")?;
+                    let hi = self.expect(&Tok::RParen, "`)`")?;
                     Ok(Expr::Call {
                         span: first.span.to(hi),
                         func: first,

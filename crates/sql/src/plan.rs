@@ -87,6 +87,7 @@ impl SharedNeeds {
 
 impl SqlPlanner {
     /// Creates a planner with an empty aggregate memo.
+    #[must_use]
     pub fn new() -> Self {
         Self::default()
     }
@@ -146,6 +147,10 @@ impl SqlPlanner {
     }
 
     /// Plans one statement under the given label.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the planner yields no plan for a single statement — an internal bug.
     pub fn plan(
         &mut self,
         catalog: &mut Catalog,
@@ -318,7 +323,7 @@ impl SqlPlanner {
             let mut natural = resolved.group_keys.clone();
             natural.extend(aggs.iter().map(|a| a.output));
             let plan = acc.aggregate(resolved.group_keys, aggs);
-            maybe_project(plan, natural, select_order)
+            maybe_project(plan, &natural, select_order)
         } else {
             let natural = acc.output_cols(catalog);
             match resolved.star {
@@ -332,7 +337,7 @@ impl SqlPlanner {
                             Item::Agg { .. } => unreachable!("no aggregates on this path"),
                         })
                         .collect();
-                    maybe_project(acc, natural, select_order)
+                    maybe_project(acc, &natural, select_order)
                 }
             }
         };
@@ -614,8 +619,8 @@ fn project_needed(
 
 /// Appends a projection only when the select order differs from the
 /// plan's natural output order.
-fn maybe_project(plan: LogicalPlan, natural: Vec<ColId>, select_order: Vec<ColId>) -> LogicalPlan {
-    if select_order == natural {
+fn maybe_project(plan: LogicalPlan, natural: &[ColId], select_order: Vec<ColId>) -> LogicalPlan {
+    if select_order.as_slice() == natural {
         plan
     } else {
         plan.project(select_order)
@@ -688,6 +693,7 @@ fn table_by_name_ci<'a>(catalog: &'a Catalog, name: &str) -> Option<&'a mqo_cata
 /// Re-sorts a result table by `keys` (stable, so ties keep the
 /// engine-produced order). Used by callers to honour `ORDER BY`, which
 /// the plan algebra itself does not carry.
+#[must_use]
 pub fn apply_order(table: &mqo_exec::Table, keys: &[SortKey]) -> mqo_exec::Table {
     if keys.is_empty() {
         return table.clone();
@@ -721,6 +727,7 @@ pub fn apply_order(table: &mqo_exec::Table, keys: &[SortKey]) -> mqo_exec::Table
 /// Converts planned queries into a [`mqo_logical::Batch`], dropping the
 /// ORDER BY component (callers keep the [`SortKey`]s to apply to
 /// results).
+#[must_use]
 pub fn to_batch(queries: &[PlannedQuery]) -> mqo_logical::Batch {
     mqo_logical::Batch::of(
         queries

@@ -10,7 +10,7 @@ use mqo_workloads::Tpcd;
 /// produce.
 fn err_of(sql: &str) -> SqlError {
     let w = Tpcd::new(0.01);
-    let mut catalog = w.catalog.clone();
+    let mut catalog = w.catalog;
     compile(&mut catalog, sql).expect_err(&format!("expected an error for: {sql}"))
 }
 

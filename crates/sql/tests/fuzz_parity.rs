@@ -10,7 +10,7 @@
 //! `MQO_FUZZ_CASES` overrides the number of queries (default 500; CI's
 //! matrix smoke runs use 100).
 
-use mqo_core::{optimize, Algorithm, OptContext, Options};
+use mqo_core::{optimize, Algorithm, OptContext, Options, VerifyLevel};
 use mqo_exec::{execute_plan_with, generate_database, ExecMode, ExecOptions, ExecOutcome, Table};
 use mqo_expr::Value;
 use mqo_sql::{to_batch, QueryGen, SqlPlanner};
@@ -65,7 +65,10 @@ fn seeded_sql_queries_agree_across_exec_paths() {
     let mut catalog = w.catalog.clone();
     let mut gen = QueryGen::new(&w.catalog, 0x5eed_f022);
     let mut planner = SqlPlanner::new();
-    let opts = Options::new();
+    // Full verification on every fuzz case: each optimize() below checks
+    // the batch, DAG, physical DAG, cost table and extracted plan, and
+    // panics with a rendered diagnostic on any invariant violation.
+    let opts = Options::new().with_verify(VerifyLevel::Full);
     let params = FxHashMap::default();
 
     let mut done = 0usize;

@@ -87,7 +87,7 @@ fn q15_sql_lowers_to_the_hand_built_plans() {
 #[test]
 fn explain_snapshots_stay_stable() {
     let w = Tpcd::new(0.01);
-    let mut catalog = w.catalog.clone();
+    let mut catalog = w.catalog;
     let planned = compile(
         &mut catalog,
         "SELECT n_name FROM nation WHERE n_regionkey = 2 OR n_regionkey = 4",
@@ -146,7 +146,7 @@ fn sql_batch_executes_identically_to_hand_built_plans() {
     let hand_q15 = hand_session.submit(&w.q15()).expect("hand Q15");
 
     // SQL session: the same queries as text, planned via the pipeline.
-    let mut sql_session = MqoSession::new(w.catalog.clone(), db, SessionOptions::new());
+    let mut sql_session = MqoSession::new(w.catalog, db, SessionOptions::new());
     let mut planner = SqlPlanner::new();
     let sql_batches = [
         format!("{Q11_BY_PART}; {Q11_TOTAL};"),
@@ -186,7 +186,7 @@ fn sql_batch_executes_identically_to_hand_built_plans() {
 #[test]
 fn to_batch_preserves_labels_and_plans() {
     let w = Tpcd::new(0.01);
-    let mut catalog = w.catalog.clone();
+    let mut catalog = w.catalog;
     let planned = compile(
         &mut catalog,
         "SELECT n_name FROM nation; SELECT r_name FROM region;",

@@ -51,7 +51,7 @@ proptest! {
         let parsed = parse_one(&text)
             .map_err(|e| TestCaseError::fail(e.render(&text)))?;
         let text2 = parsed.to_string();
-        let mut cat_b = w.catalog.clone();
+        let mut cat_b = w.catalog;
         let plans_b = SqlPlanner::new()
             .plan_text(&mut cat_b, &text2)
             .map_err(|e| TestCaseError::fail(e.render(&text2)))?;

@@ -12,11 +12,13 @@ pub struct BitSet {
 
 impl BitSet {
     /// Creates an empty set.
+    #[must_use]
     pub fn new() -> Self {
         Self::default()
     }
 
     /// Creates a set containing exactly `bit`.
+    #[must_use]
     pub fn singleton(bit: usize) -> Self {
         let mut s = Self::new();
         s.insert(bit);
@@ -35,22 +37,26 @@ impl BitSet {
     }
 
     /// True if `bit` is a member.
+    #[must_use]
     pub fn contains(&self, bit: usize) -> bool {
         let (w, b) = (bit / 64, bit % 64);
         self.words.get(w).is_some_and(|word| word & (1 << b) != 0)
     }
 
     /// Number of members.
+    #[must_use]
     pub fn len(&self) -> usize {
         self.words.iter().map(|w| w.count_ones() as usize).sum()
     }
 
     /// True if the set has no members.
+    #[must_use]
     pub fn is_empty(&self) -> bool {
         self.words.iter().all(|&w| w == 0)
     }
 
     /// Set union.
+    #[must_use]
     pub fn union(&self, other: &Self) -> Self {
         let mut words = vec![0; self.words.len().max(other.words.len())];
         for (i, w) in words.iter_mut().enumerate() {
@@ -62,6 +68,7 @@ impl BitSet {
     }
 
     /// True if `self` and `other` share at least one member.
+    #[must_use]
     pub fn intersects(&self, other: &Self) -> bool {
         self.words
             .iter()
@@ -70,6 +77,7 @@ impl BitSet {
     }
 
     /// True if every member of `self` is in `other`.
+    #[must_use]
     pub fn is_subset(&self, other: &Self) -> bool {
         self.words
             .iter()

@@ -19,6 +19,7 @@ use std::sync::mpsc::{channel, Receiver, Sender};
 use std::thread::Scope;
 
 /// `std::thread::available_parallelism()` with a fallback of 1.
+#[must_use]
 pub fn available_parallelism() -> usize {
     std::thread::available_parallelism()
         .map(|n| n.get())
@@ -28,6 +29,7 @@ pub fn available_parallelism() -> usize {
 /// Resolves a requested thread count: a positive request wins; `0` means
 /// *auto* — the `MQO_THREADS` environment variable if set to a positive
 /// integer, otherwise [`available_parallelism`].
+#[must_use]
 pub fn resolve_threads(requested: usize) -> usize {
     if requested > 0 {
         return requested;
@@ -90,16 +92,22 @@ impl<Job: Send, Out: Send> ScopedWorkerPool<Job, Out> {
     }
 
     /// Number of workers.
+    #[must_use]
     pub fn len(&self) -> usize {
         self.jobs.len()
     }
 
     /// Always false: the pool spawns at least one worker.
+    #[must_use]
     pub fn is_empty(&self) -> bool {
         self.jobs.is_empty()
     }
 
     /// Queues a job on worker `worker` (indices `0..len()`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the worker already exited (its job channel is closed).
     pub fn send(&self, worker: usize, job: Job) {
         self.jobs[worker]
             .send(job)
@@ -107,7 +115,11 @@ impl<Job: Send, Out: Send> ScopedWorkerPool<Job, Out> {
     }
 
     /// Queues a copy of `job` on every worker, in worker order.
-    pub fn broadcast(&self, job: Job)
+    ///
+    /// # Panics
+    ///
+    /// Panics if a worker already exited (its job channel is closed).
+    pub fn broadcast(&self, job: &Job)
     where
         Job: Clone,
     {
@@ -120,6 +132,11 @@ impl<Job: Send, Out: Send> ScopedWorkerPool<Job, Out> {
     /// Receives one handler output, blocking until available. Outputs
     /// arrive in completion order, not submission order — tag jobs with
     /// an index if order matters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if every worker exited with results still pending.
+    #[must_use]
     pub fn recv(&self) -> Out {
         self.out
             .recv()
@@ -127,6 +144,7 @@ impl<Job: Send, Out: Send> ScopedWorkerPool<Job, Out> {
     }
 
     /// Receives exactly `n` outputs (completion order).
+    #[must_use]
     pub fn collect(&self, n: usize) -> Vec<Out> {
         (0..n).map(|_| self.recv()).collect()
     }
@@ -186,8 +204,8 @@ mod tests {
                         None => Some(acc),
                     }
                 });
-            pool.broadcast(Some(5));
-            pool.broadcast(Some(7));
+            pool.broadcast(&Some(5));
+            pool.broadcast(&Some(7));
             for w in 0..pool.len() {
                 pool.send(w, None);
             }

@@ -12,16 +12,19 @@ pub struct UnionFind {
 
 impl UnionFind {
     /// Creates an empty forest.
+    #[must_use]
     pub fn new() -> Self {
         Self::default()
     }
 
     /// Number of elements ever added.
+    #[must_use]
     pub fn len(&self) -> usize {
         self.parent.len()
     }
 
     /// True if no element was added yet.
+    #[must_use]
     pub fn is_empty(&self) -> bool {
         self.parent.is_empty()
     }
@@ -49,6 +52,7 @@ impl UnionFind {
     }
 
     /// Finds the representative without mutating (no path compression).
+    #[must_use]
     pub fn find_const(&self, mut x: usize) -> usize {
         while self.parent[x] as usize != x {
             x = self.parent[x] as usize;

@@ -1,0 +1,119 @@
+//! Cross-batch MV-store checks: byte accounting, per-entry sanity, and
+//! cumulative-stats consistency.
+//!
+//! The store is the only state that survives a batch, so a bookkeeping
+//! slip here compounds forever: an undercharged entry slowly inflates
+//! the effective budget, an overcounted eviction makes the hit-rate
+//! stats lie. Every inequality below is an identity of
+//! [`MvStore`]'s admission/eviction/clear paths.
+
+use crate::{Site, VerifyError, VerifyErrorKind, VerifyStage};
+use mqo_exec::MvStore;
+
+fn err(detail: String, message: String) -> VerifyError {
+    VerifyError::new(
+        VerifyErrorKind::CacheAccounting,
+        VerifyStage::Cache,
+        Site::None,
+        detail,
+        message,
+    )
+}
+
+/// Checks the store's accounting identities. Returns every violation
+/// found.
+#[must_use]
+pub fn check_store(store: &MvStore) -> Vec<VerifyError> {
+    let mut errors = Vec::new();
+
+    let mut sum_bytes = 0usize;
+    let mut sum_hits = 0u64;
+    for (fp, e) in store.iter() {
+        sum_bytes += e.bytes;
+        sum_hits += e.hits;
+        if e.bytes != e.table.approx_bytes() {
+            errors.push(err(
+                format!(
+                    "entry {fp:#018x}: charged {} bytes, table holds {}",
+                    e.bytes,
+                    e.table.approx_bytes()
+                ),
+                "entry's charged bytes disagree with its table's actual footprint".to_string(),
+            ));
+        }
+        if !e.charged_blocks.is_finite() || e.charged_blocks < 1.0 {
+            errors.push(err(
+                format!("entry {fp:#018x}: charged_blocks = {}", e.charged_blocks),
+                "charged blocks must be finite and at least one whole block".to_string(),
+            ));
+        }
+        if !e.benefit_secs.is_finite() || e.benefit_secs < 0.0 {
+            errors.push(err(
+                format!("entry {fp:#018x}: benefit_secs = {}", e.benefit_secs),
+                "entry benefit must be finite and nonnegative".to_string(),
+            ));
+        }
+        if e.last_used_batch < e.admitted_batch {
+            errors.push(err(
+                format!(
+                    "entry {fp:#018x}: admitted at batch {}, last used at batch {}",
+                    e.admitted_batch, e.last_used_batch
+                ),
+                "entry was last used before it was admitted".to_string(),
+            ));
+        }
+    }
+
+    if sum_bytes != store.bytes_used() {
+        errors.push(err(
+            format!(
+                "bytes_used = {}, sum of entry bytes = {sum_bytes}",
+                store.bytes_used()
+            ),
+            "store's charged byte total disagrees with the sum over its entries".to_string(),
+        ));
+    }
+    if store.bytes_used() > store.budget_bytes() {
+        errors.push(err(
+            format!(
+                "bytes_used = {} over budget_bytes = {}",
+                store.bytes_used(),
+                store.budget_bytes()
+            ),
+            "store is charged beyond its byte budget".to_string(),
+        ));
+    }
+
+    let stats = store.stats();
+    if stats.evictions > stats.admissions {
+        errors.push(err(
+            format!(
+                "admissions = {}, evictions = {}",
+                stats.admissions, stats.evictions
+            ),
+            "more entries evicted than were ever admitted".to_string(),
+        ));
+    } else if (store.len() as u64) > stats.admissions - stats.evictions {
+        // `clear()` may drop entries without counting evictions, so the
+        // live count can only be *at most* admissions − evictions.
+        errors.push(err(
+            format!(
+                "{} live entries, admissions − evictions = {}",
+                store.len(),
+                stats.admissions - stats.evictions
+            ),
+            "more live entries than admissions minus evictions".to_string(),
+        ));
+    }
+    if sum_hits > stats.hits {
+        errors.push(err(
+            format!(
+                "sum of entry hits = {sum_hits}, stats.hits = {}",
+                stats.hits
+            ),
+            "live entries record more hits than the store ever served".to_string(),
+        ));
+    }
+
+    errors
+}

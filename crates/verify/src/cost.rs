@@ -1,0 +1,202 @@
+//! Cost checks: finiteness, table self-consistency, and honesty of
+//! reported totals.
+//!
+//! Strategies report a total cost alongside their materialization
+//! choices; the checks here recompute costs bottom-up from scratch and
+//! require the report to be *honest*:
+//!
+//! - no cost is NaN or negative, and the root's cost is finite;
+//! - a table's `best_op`/`op_cost`/`node_cost` books agree;
+//! - the reported total is never **below** a fresh
+//!   `total_excluding(pdag, mat, warm)` recomputation (a strategy may
+//!   report a plan-graph-restricted cost that is higher than the
+//!   DAG-wide optimum — Volcano-SH does — but never lower: understating
+//!   cost is how a broken incremental propagation hides);
+//! - (`Full`) the reported total never exceeds the Volcano no-sharing
+//!   baseline — sharing must not lose to independent optimization.
+
+use crate::{Site, VerifyError, VerifyErrorKind, VerifyStage};
+use mqo_cost::Cost;
+use mqo_physical::{CostTable, MatSet, PhysNodeId, PhysicalDag};
+
+fn err(kind: VerifyErrorKind, site: Site, detail: String, message: String) -> VerifyError {
+    VerifyError::new(kind, VerifyStage::Cost, site, detail, message)
+}
+
+/// Relative-plus-absolute tolerance for cost comparisons: costs are sums
+/// of thousands of f64 terms accumulated in different orders.
+pub(crate) const EPS: f64 = 1e-6;
+
+/// `a > b` beyond floating-point noise.
+pub(crate) fn above(a: Cost, b: Cost) -> bool {
+    a.secs() > b.secs() + b.secs().abs() * EPS + EPS
+}
+
+/// Checks a cost table's internal consistency against its own DAG:
+/// every entry finite-or-infinity (never NaN, never negative), sizes
+/// aligned, `node_cost` the min over the node's `op_cost`s, and
+/// `best_op` pointing at an op of the node achieving that min.
+pub fn check_cost_table(pdag: &PhysicalDag, table: &CostTable, mat: &MatSet) -> Vec<VerifyError> {
+    let mut errors = Vec::new();
+    if table.node_cost.len() != pdag.num_nodes()
+        || table.op_cost.len() != pdag.num_ops()
+        || table.best_op.len() != pdag.num_nodes()
+    {
+        errors.push(err(
+            VerifyErrorKind::CostInvalid,
+            Site::None,
+            format!(
+                "table sized {}/{} nodes, {}/{} ops",
+                table.node_cost.len(),
+                pdag.num_nodes(),
+                table.op_cost.len(),
+                pdag.num_ops()
+            ),
+            "cost table size does not match the physical DAG".to_string(),
+        ));
+        return errors;
+    }
+    for (i, &c) in table.op_cost.iter().enumerate() {
+        if c.secs().is_nan() || c.secs() < 0.0 {
+            errors.push(err(
+                VerifyErrorKind::CostInvalid,
+                Site::PhysOp(mqo_physical::PhysOpId::from_index(i)),
+                format!("op_cost[{i}] = {:?}", c),
+                "op cost is NaN or negative".to_string(),
+            ));
+        }
+    }
+    for (i, &c) in table.node_cost.iter().enumerate() {
+        let n = PhysNodeId::from_index(i);
+        if c.secs().is_nan() || c.secs() < 0.0 {
+            errors.push(err(
+                VerifyErrorKind::CostInvalid,
+                Site::Node(n),
+                format!("node_cost[{i}] = {:?}", c),
+                "node cost is NaN or negative".to_string(),
+            ));
+            continue;
+        }
+        let ops = &pdag.node(n).ops;
+        let min = ops
+            .iter()
+            .map(|o| table.op_cost[o.index()])
+            .fold(Cost::INFINITY, Cost::min);
+        if !close(c, min) {
+            errors.push(err(
+                VerifyErrorKind::CostInvalid,
+                Site::Node(n),
+                format!("node_cost[{i}] = {:?}, min op_cost = {min:?}", c),
+                "node cost is not the minimum over its ops' costs".to_string(),
+            ));
+        }
+        match table.best_op[i] {
+            Some(o) => {
+                if !ops.contains(&o) {
+                    errors.push(err(
+                        VerifyErrorKind::CostInvalid,
+                        Site::Node(n),
+                        format!("best_op[{i}] = p{o}"),
+                        "best_op points at an op of a different node".to_string(),
+                    ));
+                } else if !close(table.op_cost[o.index()], c) {
+                    errors.push(err(
+                        VerifyErrorKind::CostInvalid,
+                        Site::Node(n),
+                        format!(
+                            "best_op[{i}] = p{o} costs {:?}, node_cost = {:?}",
+                            table.op_cost[o.index()],
+                            c
+                        ),
+                        "best_op does not achieve the node's cost".to_string(),
+                    ));
+                }
+            }
+            None => {
+                if c.is_finite() && !pdag.node(n).ops.is_empty() {
+                    errors.push(err(
+                        VerifyErrorKind::CostInvalid,
+                        Site::Node(n),
+                        format!("node_cost[{i}] = {:?} with best_op = None", c),
+                        "finite node cost without a best op".to_string(),
+                    ));
+                }
+            }
+        }
+    }
+    // Materialized nodes must be buildable under this very table.
+    for m in mat.iter() {
+        let c = table.node_cost[m.index()];
+        if !c.is_finite() {
+            errors.push(err(
+                VerifyErrorKind::CostInvalid,
+                Site::Node(m),
+                format!("materialized n{m} has node_cost {:?}", c),
+                "materialized node is not computable (infinite cost)".to_string(),
+            ));
+        }
+    }
+    errors
+}
+
+/// `|a - b|` within tolerance; infinities compare equal to themselves.
+fn close(a: Cost, b: Cost) -> bool {
+    if a.secs().is_infinite() || b.secs().is_infinite() {
+        return a.secs() == b.secs();
+    }
+    (a.secs() - b.secs()).abs() <= a.secs().abs().max(b.secs().abs()) * EPS + EPS
+}
+
+/// Checks that `reported` does not understate a fresh recomputation of
+/// `total_excluding(pdag, mat, warm)` (seeded warm nodes excluded from
+/// the total exactly once). `fresh` must be `CostTable::compute(pdag,
+/// mat)`.
+#[must_use]
+pub fn check_reported_total(
+    pdag: &PhysicalDag,
+    fresh: &CostTable,
+    mat: &MatSet,
+    warm: &MatSet,
+    reported: Cost,
+) -> Vec<VerifyError> {
+    let mut errors = Vec::new();
+    if reported.secs().is_nan() || reported.secs() < 0.0 || !reported.is_finite() {
+        errors.push(err(
+            VerifyErrorKind::CostInvalid,
+            Site::None,
+            format!("reported total = {reported:?}"),
+            "reported total must be finite and nonnegative".to_string(),
+        ));
+        return errors;
+    }
+    let recomputed = fresh.total_excluding(pdag, mat, warm);
+    if above(recomputed, reported) {
+        errors.push(err(
+            VerifyErrorKind::TotalMismatch,
+            Site::None,
+            format!("reported {reported:?}, fresh recompute {recomputed:?}"),
+            "reported total understates a fresh bottom-up recomputation under the same \
+             materialized set"
+                .to_string(),
+        ));
+    }
+    errors
+}
+
+/// (`Full`) Checks that a sharing strategy's reported total does not
+/// exceed the Volcano no-sharing baseline: an empty materialized set,
+/// ignoring the warm cache.
+#[must_use]
+pub fn check_against_baseline(pdag: &PhysicalDag, reported: Cost) -> Vec<VerifyError> {
+    let empty = MatSet::new();
+    let baseline = CostTable::compute(pdag, &empty).total(pdag, &empty);
+    if above(reported, baseline) {
+        return vec![err(
+            VerifyErrorKind::CostAboveBaseline,
+            Site::None,
+            format!("reported {reported:?}, Volcano baseline {baseline:?}"),
+            "sharing strategy reported a cost above the no-sharing baseline".to_string(),
+        )];
+    }
+    Vec::new()
+}

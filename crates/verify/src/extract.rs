@@ -1,0 +1,351 @@
+//! Extracted-plan checks: the materialization schedule must be exactly
+//! executable by the plan interpreter.
+//!
+//! The core of this module is a dry-run of `mqo_exec::engine`'s
+//! traversal: temps are "built" in schedule order, and every temp read
+//! must resolve to a temp that is already available (warm, or built
+//! strictly earlier). The executor silently *recomputes* on a miss —
+//! which still produces correct answers but diverges from the costed
+//! plan, so it is a verification error, not a runtime one.
+
+use crate::cost::above;
+use crate::{Site, VerifyError, VerifyErrorKind, VerifyStage};
+use mqo_cost::Cost;
+use mqo_physical::{Algo, ChosenOp, CostTable, ExtractedPlan, MatSet, PhysNodeId, PhysicalDag};
+use mqo_util::FxHashSet;
+
+fn err(kind: VerifyErrorKind, site: Site, detail: String, message: String) -> VerifyError {
+    VerifyError::new(kind, VerifyStage::Extraction, site, detail, message)
+}
+
+fn node_detail(pdag: &PhysicalDag, n: PhysNodeId) -> String {
+    if n.index() >= pdag.num_nodes() {
+        return format!("n{n} (out of range)");
+    }
+    let node = pdag.node(n);
+    format!("n{n}: g{}:{}", node.group, node.prop)
+}
+
+/// Checks an extracted plan against the physical DAG, the materialized
+/// set it was extracted under, the warm set, and the strategy's reported
+/// total. `fresh` must be `CostTable::compute(pdag, mat)`.
+#[must_use]
+pub fn check_plan(
+    pdag: &PhysicalDag,
+    fresh: &CostTable,
+    plan: &ExtractedPlan,
+    mat: &MatSet,
+    warm: &MatSet,
+    reported: Cost,
+) -> Vec<VerifyError> {
+    let mut errors = Vec::new();
+
+    // Root shape.
+    if plan.root != pdag.root() {
+        errors.push(err(
+            VerifyErrorKind::ExtractionBroken,
+            Site::Node(plan.root),
+            node_detail(pdag, plan.root),
+            format!(
+                "plan root n{} is not the physical root n{}",
+                plan.root,
+                pdag.root()
+            ),
+        ));
+        return errors;
+    }
+    let root_op = match plan.choices.get(&plan.root) {
+        Some(&ChosenOp::Compute(o)) => {
+            let op = pdag.op(o);
+            if !matches!(op.algo, Algo::Root) || op.node != plan.root {
+                errors.push(err(
+                    VerifyErrorKind::ExtractionBroken,
+                    Site::PhysOp(o),
+                    node_detail(pdag, plan.root),
+                    "plan root's choice is not a Root op of the root node".to_string(),
+                ));
+                return errors;
+            }
+            o
+        }
+        other => {
+            errors.push(err(
+                VerifyErrorKind::ExtractionBroken,
+                Site::Node(plan.root),
+                node_detail(pdag, plan.root),
+                format!("plan root must have a Compute choice, found {other:?}"),
+            ));
+            return errors;
+        }
+    };
+    if plan.query_roots != pdag.op(root_op).inputs {
+        errors.push(err(
+            VerifyErrorKind::ExtractionBroken,
+            Site::Node(plan.root),
+            node_detail(pdag, plan.root),
+            "plan.query_roots disagrees with the root op's inputs".to_string(),
+        ));
+    }
+
+    // Warm/cold set discipline.
+    let warm_set: FxHashSet<PhysNodeId> = plan.warm_used.iter().copied().collect();
+    let cold_set: FxHashSet<PhysNodeId> = plan.materialized.iter().copied().collect();
+    for &n in warm_set.intersection(&cold_set) {
+        errors.push(err(
+            VerifyErrorKind::WarmColdOverlap,
+            Site::Node(n),
+            node_detail(pdag, n),
+            format!("n{n} is scheduled both as a cold build and as a warm cache read"),
+        ));
+    }
+    for &w in &plan.warm_used {
+        if !warm.contains(w) {
+            errors.push(err(
+                VerifyErrorKind::WarmColdOverlap,
+                Site::Node(w),
+                node_detail(pdag, w),
+                format!("warm_used lists n{w}, which is not in the warm set"),
+            ));
+        }
+        if matches!(plan.choices.get(&w), Some(&ChosenOp::Compute(_))) {
+            errors.push(err(
+                VerifyErrorKind::WarmColdOverlap,
+                Site::Node(w),
+                node_detail(pdag, w),
+                format!("warm node n{w} has a Compute choice — it would be rebuilt"),
+            ));
+        }
+    }
+    for &m in &plan.materialized {
+        if !mat.contains(m) {
+            errors.push(err(
+                VerifyErrorKind::WarmColdOverlap,
+                Site::Node(m),
+                node_detail(pdag, m),
+                format!("materialized lists n{m}, which is not in the strategy's mat set"),
+            ));
+        }
+    }
+
+    // Built exactly once.
+    {
+        let mut seen: FxHashSet<PhysNodeId> = FxHashSet::default();
+        for &m in &plan.materialized {
+            if !seen.insert(m) {
+                errors.push(err(
+                    VerifyErrorKind::TempOrderViolation,
+                    Site::Node(m),
+                    node_detail(pdag, m),
+                    format!("temp n{m} appears twice in the materialization schedule"),
+                ));
+            }
+        }
+    }
+
+    // Dry-run the executor: build temps in schedule order, then evaluate
+    // the query roots; every temp read must already be available.
+    let mut walker = Walker {
+        pdag,
+        plan,
+        available: warm_set,
+        walked: FxHashSet::default(),
+        computes: FxHashSet::default(),
+        errors: &mut errors,
+    };
+    for &m in &plan.materialized {
+        walker.walk_def(m);
+        walker.available.insert(m);
+    }
+    for &q in &plan.query_roots.clone() {
+        walker.walk_use(q);
+    }
+    let computes = walker.computes.clone();
+
+    // Cost honesty of the stamped total: it must cover (a) the sum of
+    // local-cost floors of every operator the plan actually runs and
+    // (b) a fresh recomputation of its own schedule; and it must not
+    // exceed what the strategy reported upward.
+    let mut floor = Cost::ZERO;
+    for &o in &computes {
+        floor += pdag.op(o).local;
+    }
+    if above(floor, plan.total_cost) {
+        errors.push(err(
+            VerifyErrorKind::CostBelowFloor,
+            Site::None,
+            format!("total {:?}, floor {:?}", plan.total_cost, floor),
+            "plan total is below the sum of its chosen operators' local-cost floors".to_string(),
+        ));
+    }
+    let mut expected = fresh.node_cost[plan.root.index()];
+    for &m in &plan.materialized {
+        expected += fresh.node_cost[m.index()] + pdag.matcost(m);
+    }
+    if above(expected, plan.total_cost) {
+        errors.push(err(
+            VerifyErrorKind::TotalMismatch,
+            Site::None,
+            format!(
+                "stamped {:?}, schedule recompute {:?}",
+                plan.total_cost, expected
+            ),
+            "plan's stamped total understates a fresh recomputation of its own schedule"
+                .to_string(),
+        ));
+    }
+    if above(plan.total_cost, reported) {
+        errors.push(err(
+            VerifyErrorKind::TotalMismatch,
+            Site::None,
+            format!("stamped {:?}, reported {reported:?}", plan.total_cost),
+            "plan's stamped total exceeds the strategy's reported total".to_string(),
+        ));
+    }
+
+    errors
+}
+
+/// Dry-run traversal state, mirroring `mqo_exec::engine::Executor`.
+struct Walker<'a> {
+    pdag: &'a PhysicalDag,
+    plan: &'a ExtractedPlan,
+    /// Temps readable right now: warm seeds plus schedule prefix.
+    available: FxHashSet<PhysNodeId>,
+    /// Definitions already walked (first walk is under the smallest
+    /// availability set, so it is the strictest — memoizing is safe).
+    walked: FxHashSet<PhysNodeId>,
+    /// Every Compute op the plan actually runs.
+    computes: FxHashSet<mqo_physical::PhysOpId>,
+    errors: &'a mut Vec<VerifyError>,
+}
+
+impl Walker<'_> {
+    /// A *use* of `n`: reads a temp when the plan shares it, otherwise
+    /// computes inline.
+    fn walk_use(&mut self, n: PhysNodeId) {
+        if let Some(t) = self.plan.reuse_of(n) {
+            if t != n {
+                // Cross-variant read: must be the same group, with a
+                // property at least as strong as the use site's.
+                if t.index() >= self.pdag.num_nodes()
+                    || self.pdag.node(t).group != self.pdag.node(n).group
+                    || !self.pdag.node(t).prop.satisfies(&self.pdag.node(n).prop)
+                {
+                    self.errors.push(err(
+                        VerifyErrorKind::ExtractionBroken,
+                        Site::Node(n),
+                        node_detail(self.pdag, n),
+                        format!(
+                            "use of n{n} reuses n{t}, which is not a satisfying variant of the \
+                             same group"
+                        ),
+                    ));
+                    return;
+                }
+            }
+            if !self.available.contains(&t) {
+                self.errors.push(err(
+                    VerifyErrorKind::TempOrderViolation,
+                    Site::Node(n),
+                    node_detail(self.pdag, n),
+                    format!(
+                        "use of n{n} reads temp n{t} before the schedule builds it — the \
+                         executor would silently recompute"
+                    ),
+                ));
+            }
+            return;
+        }
+        self.walk_def(n);
+    }
+
+    /// The computing *definition* of `n`.
+    fn walk_def(&mut self, n: PhysNodeId) {
+        if !self.walked.insert(n) {
+            return;
+        }
+        match self.plan.choices.get(&n) {
+            Some(&ChosenOp::Compute(o)) => {
+                // The executor runs the chosen op as-is, so a Compute
+                // choice may legally point at an op of a *satisfying
+                // variant* in the same group (e.g. computing the sorted
+                // variant inline at an unordered use site) — the same
+                // contract the cross-variant Reuse check enforces.
+                let owner_ok = o.index() < self.pdag.num_ops() && {
+                    let owner = self.pdag.op(o).node;
+                    owner == n
+                        || (self.pdag.node(owner).group == self.pdag.node(n).group
+                            && self
+                                .pdag
+                                .node(owner)
+                                .prop
+                                .satisfies(&self.pdag.node(n).prop))
+                };
+                if !owner_ok {
+                    self.errors.push(err(
+                        VerifyErrorKind::ExtractionBroken,
+                        Site::Node(n),
+                        node_detail(self.pdag, n),
+                        format!(
+                            "choice for n{n} is p{o}, which is not an op of n{n} or of a \
+                             satisfying variant"
+                        ),
+                    ));
+                    return;
+                }
+                self.computes.insert(o);
+                let op = self.pdag.op(o);
+                // A temp-probing op reads its source temp like any other
+                // shared read: it must already be available.
+                if let Some(td) = op.temp_dep {
+                    let source = self
+                        .available
+                        .iter()
+                        .chain(self.plan.materialized.iter())
+                        .copied()
+                        .find(|&m| {
+                            m.index() < self.pdag.num_nodes()
+                                && self.pdag.node(m).group == td.source
+                                && self.pdag.node(m).prop.leading_col() == Some(td.key)
+                        });
+                    match source {
+                        Some(src) if self.available.contains(&src) => {}
+                        _ => self.errors.push(err(
+                            VerifyErrorKind::TempOrderViolation,
+                            Site::PhysOp(o),
+                            node_detail(self.pdag, n),
+                            format!(
+                                "temp-probing op p{o} needs a temp of g{} sorted on c{} that \
+                                 the schedule has not built yet",
+                                td.source, td.key
+                            ),
+                        )),
+                    }
+                }
+                for &input in &op.inputs.clone() {
+                    self.walk_use(input);
+                }
+            }
+            Some(&ChosenOp::Reuse(t)) => {
+                // A definition that is itself a reuse (warm nodes): the
+                // target must be available.
+                if !self.available.contains(&t) {
+                    self.errors.push(err(
+                        VerifyErrorKind::TempOrderViolation,
+                        Site::Node(n),
+                        node_detail(self.pdag, n),
+                        format!("definition of n{n} reuses n{t}, which is not available"),
+                    ));
+                }
+            }
+            None => {
+                self.errors.push(err(
+                    VerifyErrorKind::ExtractionBroken,
+                    Site::Node(n),
+                    node_detail(self.pdag, n),
+                    format!("plan references n{n} but has no choice for it"),
+                ));
+            }
+        }
+    }
+}

@@ -1,0 +1,232 @@
+//! Logical-plan checks: schema and type soundness before expansion.
+//!
+//! Extends `mqo_logical::validate` (which guards column scoping on the
+//! construction path) with type agreement: predicate operands must be
+//! comparable, aggregates must be over numeric arguments, and arithmetic
+//! must not touch strings. The checks recompute available-column sets
+//! bottom-up exactly like the validator, but report every violation
+//! instead of stopping at the first.
+
+use crate::{Site, VerifyError, VerifyErrorKind, VerifyStage};
+use mqo_catalog::{Catalog, ColId, ColType};
+use mqo_expr::{Atom, Predicate, ScalarExpr, Value};
+use mqo_logical::LogicalPlan;
+use mqo_util::FxHashSet;
+
+fn err(kind: VerifyErrorKind, detail: String, message: String) -> VerifyError {
+    VerifyError::new(kind, VerifyStage::Logical, Site::None, detail, message)
+}
+
+/// Checks one logical plan tree against the catalog. Returns every
+/// violation found (empty = clean).
+#[must_use]
+pub fn check_plan(plan: &LogicalPlan, catalog: &Catalog) -> Vec<VerifyError> {
+    let mut errors = Vec::new();
+    avail_cols(plan, catalog, &mut errors);
+    errors
+}
+
+/// Recomputes the column set a subtree produces, reporting violations
+/// along the way. Mirrors `LogicalPlan::output_cols` but checks as it
+/// goes.
+fn avail_cols(
+    plan: &LogicalPlan,
+    catalog: &Catalog,
+    errors: &mut Vec<VerifyError>,
+) -> FxHashSet<ColId> {
+    match plan {
+        LogicalPlan::Scan(t) => catalog.table_ref(*t).columns.iter().copied().collect(),
+        LogicalPlan::Select { pred, input } => {
+            let avail = avail_cols(input, catalog, errors);
+            check_pred(pred, &avail, catalog, "Select", errors);
+            avail
+        }
+        LogicalPlan::Join { pred, left, right } => {
+            let l = avail_cols(left, catalog, errors);
+            let r = avail_cols(right, catalog, errors);
+            let mut avail: FxHashSet<ColId> = l.union(&r).copied().collect();
+            if let Some(&c) = l.intersection(&r).next() {
+                errors.push(err(
+                    VerifyErrorKind::UnboundColumn,
+                    format!("Join inputs both produce {}", col_name(catalog, c)),
+                    "join inputs must produce disjoint column sets".to_string(),
+                ));
+            }
+            check_pred(pred, &avail, catalog, "Join", errors);
+            avail.extend(l);
+            avail
+        }
+        LogicalPlan::Aggregate { keys, aggs, input } => {
+            let avail = avail_cols(input, catalog, errors);
+            for &k in keys {
+                if !avail.contains(&k) {
+                    errors.push(err(
+                        VerifyErrorKind::UnboundColumn,
+                        format!("Aggregate key {}", col_name(catalog, k)),
+                        "group-by key is not produced by the aggregate's input".to_string(),
+                    ));
+                }
+            }
+            let mut out: FxHashSet<ColId> = keys.iter().copied().collect();
+            for a in aggs {
+                check_scalar(&a.arg, &avail, catalog, "Aggregate argument", errors);
+                if a.func == mqo_expr::AggFunc::Sum {
+                    if let Some(ty) = scalar_type(&a.arg, catalog) {
+                        if matches!(ty, ColType::Str(_)) {
+                            errors.push(err(
+                                VerifyErrorKind::TypeMismatch,
+                                format!("SUM over {}", scalar_desc(&a.arg, catalog)),
+                                "SUM requires a numeric argument".to_string(),
+                            ));
+                        }
+                    }
+                }
+                out.insert(a.output);
+            }
+            out
+        }
+        LogicalPlan::Project { cols, input } => {
+            let avail = avail_cols(input, catalog, errors);
+            for &c in cols {
+                if !avail.contains(&c) {
+                    errors.push(err(
+                        VerifyErrorKind::ProjectionNotSubset,
+                        format!("Project {}", col_name(catalog, c)),
+                        "projection names a column its input does not produce".to_string(),
+                    ));
+                }
+            }
+            cols.iter().copied().collect()
+        }
+    }
+}
+
+/// Checks a predicate's column scoping and operand type agreement.
+fn check_pred(
+    pred: &Predicate,
+    avail: &FxHashSet<ColId>,
+    catalog: &Catalog,
+    at: &str,
+    errors: &mut Vec<VerifyError>,
+) {
+    for disjunct in pred.disjuncts() {
+        for atom in disjunct.atoms() {
+            match atom {
+                Atom::Cmp { col, val, .. } => {
+                    check_col(*col, avail, catalog, at, errors);
+                    let string_col = matches!(col_type(catalog, *col), Some(ColType::Str(_)));
+                    let string_val = matches!(val, Value::Str(_));
+                    let numeric_val = matches!(val, Value::Int(_) | Value::Float(_));
+                    if (string_col && numeric_val) || (!string_col && string_val) {
+                        errors.push(err(
+                            VerifyErrorKind::TypeMismatch,
+                            format!("{at}: {} vs {val:?}", col_desc(catalog, *col)),
+                            "comparison between a string and a number".to_string(),
+                        ));
+                    }
+                }
+                Atom::ColCmp { left, right, .. } => {
+                    check_col(*left, avail, catalog, at, errors);
+                    check_col(*right, avail, catalog, at, errors);
+                    let ls = matches!(col_type(catalog, *left), Some(ColType::Str(_)));
+                    let rs = matches!(col_type(catalog, *right), Some(ColType::Str(_)));
+                    if ls != rs {
+                        errors.push(err(
+                            VerifyErrorKind::TypeMismatch,
+                            format!(
+                                "{at}: {} vs {}",
+                                col_desc(catalog, *left),
+                                col_desc(catalog, *right)
+                            ),
+                            "comparison between a string and a numeric column".to_string(),
+                        ));
+                    }
+                }
+                Atom::Param { col, .. } => check_col(*col, avail, catalog, at, errors),
+            }
+        }
+    }
+}
+
+/// Checks a scalar expression's column scoping and flags arithmetic over
+/// strings.
+fn check_scalar(
+    expr: &ScalarExpr,
+    avail: &FxHashSet<ColId>,
+    catalog: &Catalog,
+    at: &str,
+    errors: &mut Vec<VerifyError>,
+) {
+    match expr {
+        ScalarExpr::Col(c) => check_col(*c, avail, catalog, at, errors),
+        ScalarExpr::Const(_) => {}
+        ScalarExpr::BinOp { left, right, .. } => {
+            check_scalar(left, avail, catalog, at, errors);
+            check_scalar(right, avail, catalog, at, errors);
+            for side in [left, right] {
+                if matches!(scalar_type(side, catalog), Some(ColType::Str(_))) {
+                    errors.push(err(
+                        VerifyErrorKind::TypeMismatch,
+                        format!("{at}: arithmetic over {}", scalar_desc(side, catalog)),
+                        "arithmetic requires numeric operands".to_string(),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+fn check_col(
+    c: ColId,
+    avail: &FxHashSet<ColId>,
+    catalog: &Catalog,
+    at: &str,
+    errors: &mut Vec<VerifyError>,
+) {
+    if !avail.contains(&c) {
+        errors.push(err(
+            VerifyErrorKind::UnboundColumn,
+            format!("{at}: {}", col_name(catalog, c)),
+            "column is not produced by the operator's input".to_string(),
+        ));
+    }
+}
+
+/// The catalog type of a column, or `None` if the id is out of range
+/// (reported separately as an unbound column by scoping checks).
+fn col_type(catalog: &Catalog, c: ColId) -> Option<ColType> {
+    catalog.columns().get(c.index()).map(|col| col.ty)
+}
+
+fn col_name(catalog: &Catalog, c: ColId) -> String {
+    match catalog.columns().get(c.index()) {
+        Some(col) => format!("column `{}` (c{c})", col.name),
+        None => format!("column c{c} (not in catalog)"),
+    }
+}
+
+fn col_desc(catalog: &Catalog, c: ColId) -> String {
+    match catalog.columns().get(c.index()) {
+        Some(col) => format!("`{}`: {:?}", col.name, col.ty),
+        None => format!("c{c}: ?"),
+    }
+}
+
+/// Static type of a scalar expression where determinable.
+fn scalar_type(expr: &ScalarExpr, catalog: &Catalog) -> Option<ColType> {
+    match expr {
+        ScalarExpr::Col(c) => col_type(catalog, *c),
+        ScalarExpr::Const(Value::Int(_)) => Some(ColType::Int),
+        ScalarExpr::Const(Value::Float(_)) => Some(ColType::Float),
+        ScalarExpr::Const(Value::Str(s)) => Some(ColType::Str(s.len() as u16)),
+        ScalarExpr::Const(Value::Null) => None,
+        ScalarExpr::BinOp { .. } => Some(ColType::Float),
+    }
+}
+
+fn scalar_desc(expr: &ScalarExpr, catalog: &Catalog) -> String {
+    match expr {
+        ScalarExpr::Col(c) => col_desc(catalog, *c),
+        other => format!("{other:?}"),
+    }
+}

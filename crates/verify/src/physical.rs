@@ -1,0 +1,311 @@
+//! Physical-DAG checks: link integrity, delivered-order justification,
+//! and temp-dependency registration.
+//!
+//! The order check recomputes, per physical op, the sort order its
+//! algorithm actually delivers (mirroring the executor's `sorted_on`
+//! bookkeeping in `mqo_exec::engine`) and requires it to satisfy the
+//! owning node's promised property — every `sorted[..]` node must be
+//! justified by an enforcer or an order-preserving operator.
+
+use crate::{Site, VerifyError, VerifyErrorKind, VerifyStage};
+use mqo_catalog::Catalog;
+use mqo_dag::Dag;
+use mqo_physical::{Algo, PhysOpId, PhysProp, PhysicalDag};
+
+fn err(kind: VerifyErrorKind, site: Site, detail: String, message: String) -> VerifyError {
+    VerifyError::new(kind, VerifyStage::Physical, site, detail, message)
+}
+
+fn op_detail(pdag: &PhysicalDag, o: PhysOpId) -> String {
+    let op = pdag.op(o);
+    let ins: Vec<String> = op.inputs.iter().map(|n| format!("n{n}")).collect();
+    format!(
+        "p{o}: {} at n{} (g{}:{}) inputs [{}]",
+        algo_name(&op.algo),
+        op.node,
+        pdag.node(op.node).group,
+        pdag.node(op.node).prop,
+        ins.join(", ")
+    )
+}
+
+fn algo_name(a: &Algo) -> &'static str {
+    match a {
+        Algo::TableScan { .. } => "TableScan",
+        Algo::IndexedSelect { .. } => "IndexedSelect",
+        Algo::TempIndexedSelect { .. } => "TempIndexedSelect",
+        Algo::Filter { .. } => "Filter",
+        Algo::NestLoopsJoin { .. } => "NestLoopsJoin",
+        Algo::MergeJoin { .. } => "MergeJoin",
+        Algo::IndexedNLJoinBase { .. } => "IndexedNLJoinBase",
+        Algo::IndexedNLJoinTemp { .. } => "IndexedNLJoinTemp",
+        Algo::Sort { .. } => "Sort",
+        Algo::SortAggregate { .. } => "SortAggregate",
+        Algo::Project { .. } => "Project",
+        Algo::Root => "Root",
+    }
+}
+
+/// Checks the physicalized DAG. Returns every violation found.
+#[must_use]
+pub fn check_pdag(dag: &Dag, pdag: &PhysicalDag, catalog: &Catalog) -> Vec<VerifyError> {
+    let mut errors = Vec::new();
+
+    // Root node: must exist, belong to the DAG root group, and carry no
+    // order requirement.
+    let root = pdag.root();
+    if root.index() >= pdag.num_nodes() {
+        errors.push(err(
+            VerifyErrorKind::PhysLinkBroken,
+            Site::Node(root),
+            format!("root n{root}"),
+            "physical root id is out of range".to_string(),
+        ));
+        return errors;
+    }
+    let rn = pdag.node(root);
+    if dag.find(rn.group) != dag.find(dag.root()) || rn.prop != PhysProp::Any {
+        errors.push(err(
+            VerifyErrorKind::PhysLinkBroken,
+            Site::Node(root),
+            format!("root n{root} is (g{}:{})", rn.group, rn.prop),
+            "physical root must be the DAG root group with property `any`".to_string(),
+        ));
+    }
+
+    // Node-side links.
+    for (i, node) in pdag.nodes().iter().enumerate() {
+        let n = mqo_physical::PhysNodeId::from_index(i);
+        if node.ops.is_empty() {
+            errors.push(err(
+                VerifyErrorKind::PhysLinkBroken,
+                Site::Node(n),
+                format!("n{n}: g{}:{} with no ops", node.group, node.prop),
+                format!("physical node n{n} has no implementing operation"),
+            ));
+        }
+        for &o in &node.ops {
+            if o.index() >= pdag.num_ops() || pdag.op(o).node != n {
+                errors.push(err(
+                    VerifyErrorKind::PhysLinkBroken,
+                    Site::Node(n),
+                    format!("n{n} lists p{o}"),
+                    format!("node n{n} lists op p{o}, which does not claim it as owner"),
+                ));
+            }
+        }
+    }
+
+    // Op-side links, order justification, temp-dep registration.
+    for (i, op) in pdag.ops().iter().enumerate() {
+        let o = PhysOpId::from_index(i);
+        let owner = op.node;
+        if owner.index() >= pdag.num_nodes() {
+            errors.push(err(
+                VerifyErrorKind::PhysLinkBroken,
+                Site::PhysOp(o),
+                format!("p{o} at out-of-range node n{owner}"),
+                "op's owning node id is out of range".to_string(),
+            ));
+            continue;
+        }
+        if !pdag.node(owner).ops.contains(&o) {
+            errors.push(err(
+                VerifyErrorKind::PhysLinkBroken,
+                Site::PhysOp(o),
+                op_detail(pdag, o),
+                format!("op p{o} claims node n{owner}, which does not list it"),
+            ));
+        }
+        for &input in &op.inputs {
+            if input.index() >= pdag.num_nodes() {
+                errors.push(err(
+                    VerifyErrorKind::PhysLinkBroken,
+                    Site::PhysOp(o),
+                    op_detail(pdag, o),
+                    format!("input n{input} is out of range"),
+                ));
+                continue;
+            }
+            if !pdag.node(input).parents.contains(&o) {
+                errors.push(err(
+                    VerifyErrorKind::PhysLinkBroken,
+                    Site::PhysOp(o),
+                    op_detail(pdag, o),
+                    format!("p{o} reads n{input}, but n{input}'s parent list does not include it"),
+                ));
+            }
+            if pdag.node(input).topo >= pdag.node(owner).topo {
+                errors.push(err(
+                    VerifyErrorKind::PhysLinkBroken,
+                    Site::PhysOp(o),
+                    op_detail(pdag, o),
+                    format!(
+                        "input n{input} (topo {}) is not numbered before its consumer n{owner} (topo {})",
+                        pdag.node(input).topo,
+                        pdag.node(owner).topo
+                    ),
+                ));
+            }
+        }
+        // Root weights appear exactly on Root ops, aligned with inputs.
+        match (&op.algo, &op.weights) {
+            (Algo::Root, Some(ws)) if ws.len() == op.inputs.len() => {}
+            (Algo::Root, Some(ws)) => errors.push(err(
+                VerifyErrorKind::PhysLinkBroken,
+                Site::PhysOp(o),
+                op_detail(pdag, o),
+                format!(
+                    "Root op has {} inputs but {} weights",
+                    op.inputs.len(),
+                    ws.len()
+                ),
+            )),
+            (Algo::Root, None) => errors.push(err(
+                VerifyErrorKind::PhysLinkBroken,
+                Site::PhysOp(o),
+                op_detail(pdag, o),
+                "Root op is missing its invocation weights".to_string(),
+            )),
+            (_, Some(_)) => errors.push(err(
+                VerifyErrorKind::PhysLinkBroken,
+                Site::PhysOp(o),
+                op_detail(pdag, o),
+                "non-Root op carries invocation weights".to_string(),
+            )),
+            (_, None) => {}
+        }
+        if !op.local.is_finite() || op.local.secs() < 0.0 {
+            errors.push(err(
+                VerifyErrorKind::CostInvalid,
+                Site::PhysOp(o),
+                op_detail(pdag, o),
+                format!("local cost {:?} is not finite and nonnegative", op.local),
+            ));
+        }
+        check_temp_dep(pdag, o, &mut errors);
+        check_order(pdag, catalog, o, &mut errors);
+    }
+
+    errors
+}
+
+/// Temp-dependency invariants: the algos that probe a materialized temp
+/// carry a `temp_dep` registered with the source group's watcher list;
+/// no other algo carries one.
+fn check_temp_dep(pdag: &PhysicalDag, o: PhysOpId, errors: &mut Vec<VerifyError>) {
+    let op = pdag.op(o);
+    let takes_temp = matches!(
+        op.algo,
+        Algo::TempIndexedSelect { .. } | Algo::IndexedNLJoinTemp { .. }
+    );
+    match (&op.temp_dep, takes_temp) {
+        (Some(td), true) => {
+            if !pdag.temp_watchers(td.source).contains(&o) {
+                errors.push(err(
+                    VerifyErrorKind::TempDepBroken,
+                    Site::PhysOp(o),
+                    op_detail(pdag, o),
+                    format!(
+                        "temp-dependent op is not registered in g{}'s watcher list",
+                        td.source
+                    ),
+                ));
+            }
+            let declared = match &op.algo {
+                Algo::TempIndexedSelect { source, col, .. } => Some((*source, *col)),
+                Algo::IndexedNLJoinTemp {
+                    source, inner_key, ..
+                } => Some((*source, *inner_key)),
+                _ => None,
+            };
+            if let Some((src, key)) = declared {
+                if src != td.source || key != td.key {
+                    errors.push(err(
+                        VerifyErrorKind::TempDepBroken,
+                        Site::PhysOp(o),
+                        op_detail(pdag, o),
+                        format!(
+                            "temp_dep (g{}, c{}) disagrees with the algo's (g{src}, c{key})",
+                            td.source, td.key
+                        ),
+                    ));
+                }
+            }
+        }
+        (None, true) => errors.push(err(
+            VerifyErrorKind::TempDepBroken,
+            Site::PhysOp(o),
+            op_detail(pdag, o),
+            "temp-probing algorithm has no temp_dep".to_string(),
+        )),
+        (Some(_), false) => errors.push(err(
+            VerifyErrorKind::TempDepBroken,
+            Site::PhysOp(o),
+            op_detail(pdag, o),
+            "non-temp algorithm carries a temp_dep".to_string(),
+        )),
+        (None, false) => {}
+    }
+}
+
+/// The sort order `o` delivers, mirroring the executor's `sorted_on`
+/// bookkeeping. `None` means "cannot be determined locally" (never the
+/// case today; kept for totality).
+fn delivered_order(pdag: &PhysicalDag, catalog: &Catalog, o: PhysOpId) -> Option<PhysProp> {
+    let op = pdag.op(o);
+    let input_prop = |i: usize| -> PhysProp {
+        op.inputs
+            .get(i)
+            .map_or(PhysProp::Any, |&n| pdag.node(n).prop.clone())
+    };
+    Some(match &op.algo {
+        Algo::TableScan { table } => match catalog.table_ref(*table).clustered_on {
+            Some(c) => PhysProp::sorted(vec![c]),
+            None => PhysProp::Any,
+        },
+        Algo::IndexedSelect { table, .. } => match catalog.table_ref(*table).clustered_on {
+            Some(c) => PhysProp::sorted(vec![c]),
+            None => PhysProp::Any, // unclustered base: nothing justified
+        },
+        Algo::TempIndexedSelect { col, .. } => PhysProp::sorted(vec![*col]),
+        Algo::Filter { .. } => input_prop(0),
+        Algo::NestLoopsJoin { .. }
+        | Algo::IndexedNLJoinBase { .. }
+        | Algo::IndexedNLJoinTemp { .. }
+        | Algo::Root => PhysProp::Any,
+        Algo::MergeJoin { left_keys, .. } => PhysProp::sorted(left_keys.clone()),
+        Algo::Sort { keys } => PhysProp::sorted(keys.clone()),
+        Algo::SortAggregate { keys, .. } => PhysProp::sorted(keys.clone()),
+        Algo::Project { cols } => match input_prop(0) {
+            PhysProp::Sorted(keys) => {
+                let kept: Vec<_> = keys.into_iter().take_while(|k| cols.contains(k)).collect();
+                PhysProp::sorted(kept)
+            }
+            PhysProp::Any => PhysProp::Any,
+        },
+    })
+}
+
+/// Requires the delivered order of `o` to satisfy its node's promise.
+fn check_order(pdag: &PhysicalDag, catalog: &Catalog, o: PhysOpId, errors: &mut Vec<VerifyError>) {
+    let op = pdag.op(o);
+    if op.node.index() >= pdag.num_nodes() {
+        return; // already reported as a link error
+    }
+    let want = &pdag.node(op.node).prop;
+    let Some(delivered) = delivered_order(pdag, catalog, o) else {
+        return;
+    };
+    if !delivered.satisfies(want) {
+        errors.push(err(
+            VerifyErrorKind::OrderNotJustified,
+            Site::PhysOp(o),
+            op_detail(pdag, o),
+            format!(
+                "node promises {want} but {} delivers {delivered}",
+                algo_name(&op.algo)
+            ),
+        ));
+    }
+}

@@ -1,0 +1,545 @@
+//! Every [`VerifyErrorKind`] is proven live: each test builds
+//! deliberately broken IR — through the `#[doc(hidden)]` corruption seams
+//! the construction APIs otherwise refuse to expose — and asserts the
+//! exact diagnostic fires. A checker nobody can trip is dead weight; this
+//! file is the existence proof for the whole catalog.
+
+use std::sync::Arc;
+
+use mqo_catalog::{Catalog, ColId};
+use mqo_cost::{Cost, CostParams};
+use mqo_dag::{Dag, DagConfig, GroupId, OpId, OpKind};
+use mqo_exec::{MvStore, Table};
+use mqo_expr::{Atom, CmpOp, Predicate, Value};
+use mqo_logical::{Batch, LogicalPlan, Query};
+use mqo_physical::{
+    Algo, CostTable, ExtractedPlan, MatSet, PhysNodeId, PhysOpId, PhysicalDag, TempDep,
+};
+use mqo_verify::{verify_dag, verify_store, VerifyError, VerifyErrorKind, VerifyLevel};
+
+// ---------------------------------------------------------------- fixtures
+
+fn catalog() -> Catalog {
+    let mut cat = Catalog::new();
+    for name in ["fa", "fb"] {
+        let _ = cat
+            .table(name)
+            .rows(10_000.0)
+            .int_key(&format!("{name}k"))
+            .int_uniform(&format!("{name}v"), 0, 999)
+            .build();
+    }
+    cat
+}
+
+fn join_plan(cat: &Catalog) -> LogicalPlan {
+    let pred = Predicate::atom(Atom::eq_cols(cat.col("fa", "fav"), cat.col("fb", "fbk")));
+    LogicalPlan::scan(cat.table_by_name("fa").unwrap().id)
+        .join(LogicalPlan::scan(cat.table_by_name("fb").unwrap().id), pred)
+}
+
+/// Two identical join queries: every group below the root is shared.
+fn shared_batch(cat: &Catalog) -> Batch {
+    let q = join_plan(cat);
+    Batch::of(vec![Query::new("q1", q.clone()), Query::new("q2", q)])
+}
+
+fn expanded(cat: &Catalog) -> Dag {
+    Dag::expand(&shared_batch(cat), cat, DagConfig::default())
+}
+
+fn physical(cat: &Catalog, dag: &Dag) -> PhysicalDag {
+    PhysicalDag::build(dag, cat, CostParams::default())
+}
+
+/// The shared join group (first input of the pseudo-root).
+fn join_group(dag: &Dag) -> GroupId {
+    dag.find(dag.op_inputs(dag.root_op())[0])
+}
+
+fn join_op(dag: &Dag, g: GroupId) -> OpId {
+    dag.group_ops(g)
+        .find(|&o| matches!(dag.op(o).kind, OpKind::Join(_)))
+        .expect("the shared group has a Join op")
+}
+
+fn has(errors: &[VerifyError], kind: VerifyErrorKind) -> bool {
+    errors.iter().any(|e| e.kind == kind)
+}
+
+fn render(errors: &[VerifyError]) -> String {
+    errors
+        .iter()
+        .map(VerifyError::render)
+        .collect::<Vec<_>>()
+        .join("\n\n")
+}
+
+// ---------------------------------------------------------------- baseline
+
+/// The pristine pipeline must verify clean at `Full` — otherwise every
+/// negative test below would be vacuous.
+#[test]
+fn pristine_pipeline_is_clean_at_full() {
+    let cat = catalog();
+    let dag = expanded(&cat);
+    let report = verify_dag(&dag, VerifyLevel::Full);
+    assert!(report.is_clean(), "{}", report.render());
+    let pdag = physical(&cat, &dag);
+    let errs = mqo_verify::physical::check_pdag(&dag, &pdag, &cat);
+    assert!(errs.is_empty(), "{}", render(&errs));
+    let mat = MatSet::new();
+    let table = CostTable::compute(&pdag, &mat);
+    assert!(mqo_verify::cost::check_cost_table(&pdag, &table, &mat).is_empty());
+    let plan = ExtractedPlan::extract(&pdag, &table, &mat);
+    let errs = mqo_verify::extract::check_plan(
+        &pdag,
+        &table,
+        &plan,
+        &mat,
+        &MatSet::new(),
+        plan.total_cost,
+    );
+    assert!(errs.is_empty(), "{}", render(&errs));
+}
+
+// ----------------------------------------------------------------- logical
+
+#[test]
+fn unbound_column_fires() {
+    let cat = catalog();
+    // Selection over `fa` referencing a column of `fb`.
+    let plan = LogicalPlan::scan(cat.table_by_name("fa").unwrap().id).select(Predicate::atom(
+        Atom::cmp(cat.col("fb", "fbv"), CmpOp::Eq, 1i64),
+    ));
+    let errs = mqo_verify::logical::check_plan(&plan, &cat);
+    assert!(
+        has(&errs, VerifyErrorKind::UnboundColumn),
+        "{}",
+        render(&errs)
+    );
+}
+
+#[test]
+fn type_mismatch_fires() {
+    let cat = catalog();
+    // Integer column compared to a string constant.
+    let plan = LogicalPlan::scan(cat.table_by_name("fa").unwrap().id).select(Predicate::atom(
+        Atom::cmp(cat.col("fa", "fav"), CmpOp::Eq, "widget"),
+    ));
+    let errs = mqo_verify::logical::check_plan(&plan, &cat);
+    assert!(
+        has(&errs, VerifyErrorKind::TypeMismatch),
+        "{}",
+        render(&errs)
+    );
+}
+
+#[test]
+fn projection_not_subset_fires() {
+    let cat = catalog();
+    // Projecting a `fb` column out of a bare scan of `fa`.
+    let plan =
+        LogicalPlan::scan(cat.table_by_name("fa").unwrap().id).project(vec![cat.col("fb", "fbv")]);
+    let errs = mqo_verify::logical::check_plan(&plan, &cat);
+    assert!(
+        has(&errs, VerifyErrorKind::ProjectionNotSubset),
+        "{}",
+        render(&errs)
+    );
+}
+
+// --------------------------------------------------------------------- dag
+
+#[test]
+fn dag_cycle_fires() {
+    let cat = catalog();
+    let mut dag = expanded(&cat);
+    let g = join_group(&dag);
+    let o = join_op(&dag, g);
+    // The join now reads its own group: root → g → g → …
+    dag.testing_set_op_input(o, 0, g);
+    let report = verify_dag(&dag, VerifyLevel::Boundaries);
+    assert!(report.has(VerifyErrorKind::DagCycle), "{}", report.render());
+}
+
+#[test]
+fn dag_link_broken_fires() {
+    let cat = catalog();
+    let mut dag = expanded(&cat);
+    let g = join_group(&dag);
+    // The root op still reads g, but g no longer back-links to it.
+    dag.testing_clear_parents(g);
+    let report = verify_dag(&dag, VerifyLevel::Boundaries);
+    assert!(
+        report.has(VerifyErrorKind::DagLinkBroken),
+        "{}",
+        report.render()
+    );
+}
+
+#[test]
+fn fingerprint_collision_fires() {
+    let cat = catalog();
+    let mut dag = expanded(&cat);
+    let g = join_group(&dag);
+    let o = join_op(&dag, g);
+    let kind = dag.op(o).kind.clone();
+    let inputs = dag.op_inputs(o);
+    // A structurally valid twin of the join group that unification would
+    // normally have merged: same op over the same inputs, new group.
+    let twin = dag.testing_new_group_like(g);
+    dag.testing_add_raw_op(kind, inputs, twin, false);
+    let root_op = dag.root_op();
+    dag.testing_set_op_input(root_op, 1, twin);
+    dag.renumber();
+    // Structurally fine — only the Full-level audit sees the conflation.
+    let report = verify_dag(&dag, VerifyLevel::Boundaries);
+    assert!(report.is_clean(), "{}", report.render());
+    let report = verify_dag(&dag, VerifyLevel::Full);
+    assert!(
+        report.has(VerifyErrorKind::FingerprintCollision),
+        "{}",
+        report.render()
+    );
+}
+
+#[test]
+fn subsumption_mismatch_fires() {
+    let cat = catalog();
+    let mut dag = expanded(&cat);
+    let g = join_group(&dag);
+    let o = join_op(&dag, g);
+    let kind = dag.op(o).kind.clone();
+    let inputs = dag.op_inputs(o);
+    // §2.1 derivations are unary Select/Aggregate; a binary Join marked
+    // as subsumption-derived is a lie.
+    dag.testing_add_raw_op(kind, inputs, g, true);
+    let report = verify_dag(&dag, VerifyLevel::Boundaries);
+    assert!(
+        report.has(VerifyErrorKind::SubsumptionMismatch),
+        "{}",
+        report.render()
+    );
+}
+
+#[test]
+fn root_broken_fires() {
+    let cat = catalog();
+    // Arity mismatch: two query inputs, one invocation weight.
+    let mut dag = expanded(&cat);
+    dag.testing_set_root_weights(vec![1.0]);
+    let report = verify_dag(&dag, VerifyLevel::Boundaries);
+    assert!(
+        report.has(VerifyErrorKind::RootBroken),
+        "{}",
+        report.render()
+    );
+
+    // Non-positive weight.
+    let mut dag = expanded(&cat);
+    dag.testing_set_root_weights(vec![1.0, -3.0]);
+    let report = verify_dag(&dag, VerifyLevel::Boundaries);
+    assert!(
+        report.has(VerifyErrorKind::RootBroken),
+        "{}",
+        report.render()
+    );
+
+    // A DAG that was never rooted at all.
+    let report = verify_dag(&Dag::empty(DagConfig::default()), VerifyLevel::Boundaries);
+    assert!(
+        report.has(VerifyErrorKind::RootBroken),
+        "{}",
+        report.render()
+    );
+}
+
+#[test]
+fn sharable_mismatch_fires() {
+    let cat = catalog();
+    let dag = expanded(&cat);
+    let actual = mqo_dag::sharable_groups(&dag).len();
+    assert!(actual > 0, "two identical queries must share something");
+    let errs = mqo_verify::dag::check_sharable(&dag, actual + 1);
+    assert!(
+        has(&errs, VerifyErrorKind::SharableMismatch),
+        "{}",
+        render(&errs)
+    );
+    // The honest count is clean; 0 means "not computed" and is skipped.
+    assert!(mqo_verify::dag::check_sharable(&dag, actual).is_empty());
+    assert!(mqo_verify::dag::check_sharable(&dag, 0).is_empty());
+}
+
+// ---------------------------------------------------------------- physical
+
+#[test]
+fn phys_link_broken_fires() {
+    let cat = catalog();
+    let dag = expanded(&cat);
+    let mut pdag = physical(&cat, &dag);
+    // A node with its implementing ops torn off: the node-side check sees
+    // an unimplemented node, the op-side check sees orphaned owners.
+    pdag.testing_node_mut(PhysNodeId::from_index(0)).ops.clear();
+    let errs = mqo_verify::physical::check_pdag(&dag, &pdag, &cat);
+    assert!(
+        has(&errs, VerifyErrorKind::PhysLinkBroken),
+        "{}",
+        render(&errs)
+    );
+}
+
+#[test]
+fn order_not_justified_fires() {
+    let cat = catalog();
+    let dag = expanded(&cat);
+    let mut pdag = physical(&cat, &dag);
+    // A Sort enforcer attached to a `sorted[..]` node that no longer
+    // sorts anything delivers `any` — the node's promise is unbacked.
+    let o = (0..pdag.num_ops())
+        .map(PhysOpId::from_index)
+        .find(|&o| matches!(pdag.op(o).algo, Algo::Sort { .. }))
+        .expect("a join pdag has Sort enforcers");
+    if let Algo::Sort { keys } = &mut pdag.testing_op_mut(o).algo {
+        keys.clear();
+    }
+    let errs = mqo_verify::physical::check_pdag(&dag, &pdag, &cat);
+    assert!(
+        has(&errs, VerifyErrorKind::OrderNotJustified),
+        "{}",
+        render(&errs)
+    );
+}
+
+#[test]
+fn temp_dep_broken_fires() {
+    let cat = catalog();
+    let dag = expanded(&cat);
+    let mut pdag = physical(&cat, &dag);
+    // A base-table scan never probes a temp; a temp_dep on it is bogus.
+    let o = (0..pdag.num_ops())
+        .map(PhysOpId::from_index)
+        .find(|&o| matches!(pdag.op(o).algo, Algo::TableScan { .. }))
+        .expect("pdag has a TableScan");
+    let g = pdag.node(pdag.op(o).node).group;
+    pdag.testing_op_mut(o).temp_dep = Some(TempDep {
+        source: g,
+        key: ColId(0),
+        extra: Cost::ZERO,
+    });
+    let errs = mqo_verify::physical::check_pdag(&dag, &pdag, &cat);
+    assert!(
+        has(&errs, VerifyErrorKind::TempDepBroken),
+        "{}",
+        render(&errs)
+    );
+
+    // The dual direction: a temp-probing op whose watcher registration
+    // was lost.
+    let mut pdag = physical(&cat, &dag);
+    let probing = (0..pdag.num_ops())
+        .map(PhysOpId::from_index)
+        .find(|&o| pdag.op(o).temp_dep.is_some());
+    if let Some(_o) = probing {
+        pdag.testing_clear_temp_watchers();
+        let errs = mqo_verify::physical::check_pdag(&dag, &pdag, &cat);
+        assert!(
+            has(&errs, VerifyErrorKind::TempDepBroken),
+            "{}",
+            render(&errs)
+        );
+    }
+}
+
+// -------------------------------------------------------------------- cost
+
+#[test]
+fn cost_invalid_fires() {
+    let cat = catalog();
+    let dag = expanded(&cat);
+    let pdag = physical(&cat, &dag);
+    let mat = MatSet::new();
+
+    // NaN creeping into an op cost.
+    let mut table = CostTable::compute(&pdag, &mat);
+    table.op_cost[0] = Cost(f64::NAN);
+    let errs = mqo_verify::cost::check_cost_table(&pdag, &table, &mat);
+    assert!(
+        has(&errs, VerifyErrorKind::CostInvalid),
+        "{}",
+        render(&errs)
+    );
+
+    // A negative node cost (books no longer the min over the ops').
+    let mut table = CostTable::compute(&pdag, &mat);
+    table.node_cost[pdag.root().index()] = Cost(-1.0);
+    let errs = mqo_verify::cost::check_cost_table(&pdag, &table, &mat);
+    assert!(
+        has(&errs, VerifyErrorKind::CostInvalid),
+        "{}",
+        render(&errs)
+    );
+}
+
+#[test]
+fn cost_below_floor_fires() {
+    let cat = catalog();
+    let dag = expanded(&cat);
+    let pdag = physical(&cat, &dag);
+    let mat = MatSet::new();
+    let table = CostTable::compute(&pdag, &mat);
+    let mut plan = ExtractedPlan::extract(&pdag, &table, &mat);
+    // A total of zero is below the sum of the chosen operators' local
+    // floors — no plan runs for free.
+    plan.total_cost = Cost::ZERO;
+    let errs =
+        mqo_verify::extract::check_plan(&pdag, &table, &plan, &mat, &MatSet::new(), Cost::ZERO);
+    assert!(
+        has(&errs, VerifyErrorKind::CostBelowFloor),
+        "{}",
+        render(&errs)
+    );
+}
+
+#[test]
+fn cost_above_baseline_fires() {
+    let cat = catalog();
+    let dag = expanded(&cat);
+    let pdag = physical(&cat, &dag);
+    let errs = mqo_verify::cost::check_against_baseline(&pdag, Cost(1e12));
+    assert!(
+        has(&errs, VerifyErrorKind::CostAboveBaseline),
+        "{}",
+        render(&errs)
+    );
+}
+
+#[test]
+fn total_mismatch_fires() {
+    let cat = catalog();
+    let dag = expanded(&cat);
+    let pdag = physical(&cat, &dag);
+    let mat = MatSet::new();
+    let table = CostTable::compute(&pdag, &mat);
+    // Reporting zero understates the fresh bottom-up recomputation.
+    let errs =
+        mqo_verify::cost::check_reported_total(&pdag, &table, &mat, &MatSet::new(), Cost::ZERO);
+    assert!(
+        has(&errs, VerifyErrorKind::TotalMismatch),
+        "{}",
+        render(&errs)
+    );
+}
+
+// -------------------------------------------------------------- extraction
+
+#[test]
+fn warm_cold_overlap_fires() {
+    let cat = catalog();
+    let dag = expanded(&cat);
+    let pdag = physical(&cat, &dag);
+    let mat = MatSet::new();
+    let table = CostTable::compute(&pdag, &mat);
+    let mut plan = ExtractedPlan::extract(&pdag, &table, &mat);
+    // Claiming a warm read of a node the warm set does not contain (and
+    // which the plan itself computes).
+    plan.warm_used.push(plan.query_roots[0]);
+    let errs = mqo_verify::extract::check_plan(
+        &pdag,
+        &table,
+        &plan,
+        &mat,
+        &MatSet::new(),
+        plan.total_cost,
+    );
+    assert!(
+        has(&errs, VerifyErrorKind::WarmColdOverlap),
+        "{}",
+        render(&errs)
+    );
+}
+
+#[test]
+fn temp_order_violation_fires() {
+    let cat = catalog();
+    let dag = expanded(&cat);
+    let pdag = physical(&cat, &dag);
+    // Materialize the shared query-root node, then schedule its build
+    // twice — built-exactly-once is the schedule's core contract.
+    let probe = ExtractedPlan::extract(
+        &pdag,
+        &CostTable::compute(&pdag, &MatSet::new()),
+        &MatSet::new(),
+    );
+    let shared = probe.query_roots[0];
+    let mut mat = MatSet::new();
+    mat.insert(&pdag, shared);
+    let table = CostTable::compute(&pdag, &mat);
+    let mut plan = ExtractedPlan::extract(&pdag, &table, &mat);
+    plan.materialized.push(shared);
+    plan.materialized.push(shared);
+    let errs = mqo_verify::extract::check_plan(
+        &pdag,
+        &table,
+        &plan,
+        &mat,
+        &MatSet::new(),
+        plan.total_cost,
+    );
+    assert!(
+        has(&errs, VerifyErrorKind::TempOrderViolation),
+        "{}",
+        render(&errs)
+    );
+}
+
+#[test]
+fn extraction_broken_fires() {
+    let cat = catalog();
+    let dag = expanded(&cat);
+    let pdag = physical(&cat, &dag);
+    let mat = MatSet::new();
+    let table = CostTable::compute(&pdag, &mat);
+    let mut plan = ExtractedPlan::extract(&pdag, &table, &mat);
+    // The plan references the query root but no longer says how to
+    // obtain it.
+    plan.choices.remove(&plan.query_roots[0]);
+    let errs = mqo_verify::extract::check_plan(
+        &pdag,
+        &table,
+        &plan,
+        &mat,
+        &MatSet::new(),
+        plan.total_cost,
+    );
+    assert!(
+        has(&errs, VerifyErrorKind::ExtractionBroken),
+        "{}",
+        render(&errs)
+    );
+}
+
+// ------------------------------------------------------------------- cache
+
+#[test]
+fn cache_accounting_fires() {
+    let table = Arc::new(Table::new(
+        vec![ColId(0)],
+        (0..100).map(|i| vec![Value::Int(i)]).collect(),
+    ));
+    let mut store = MvStore::new(1 << 20);
+    store.admit(0xfeed, table, 10.0, 1.0, 0);
+    let report = verify_store(&store, VerifyLevel::Boundaries);
+    assert!(report.is_clean(), "{}", report.render());
+    // Books cooked: the charged total no longer matches the entries.
+    store.testing_set_bytes_used(123);
+    let report = verify_store(&store, VerifyLevel::Boundaries);
+    assert!(
+        report.has(VerifyErrorKind::CacheAccounting),
+        "{}",
+        report.render()
+    );
+    // `Off` skips even a broken store.
+    assert!(verify_store(&store, VerifyLevel::Off).is_clean());
+}

@@ -26,6 +26,7 @@ impl Scaleup {
     /// Builds the PSP relations: 20 000–40 000 tuples each (seeded
     /// pseudo-random, as in the paper), 25 tuples per 4 KB block (the
     /// `pad` column sizes the tuple at ~160 bytes), no indexes.
+    #[must_use]
     pub fn new(seed: u64) -> Scaleup {
         let mut rng = StdRng::seed_from_u64(seed);
         let mut cat = Catalog::new();
@@ -89,6 +90,11 @@ impl Scaleup {
     /// Component query `SQi` (1-based): a *pair* of 5-relation chain
     /// queries over `PSPi..PSPi+4` differing only in the selection
     /// constant on `PSPi.NUM`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `i` is in `1..=NUM_COMPONENTS`.
+    #[must_use]
     pub fn sq(&self, i: usize) -> Vec<Query> {
         assert!((1..=NUM_COMPONENTS).contains(&i));
         let (a, b) = self.consts[i - 1];
@@ -103,6 +109,11 @@ impl Scaleup {
     /// Composite query `CQi` (1-based, 1..=5): components `SQ1..SQ(4i−2)`
     /// — `CQi` touches `4i+2` relations and carries `32i−16` join and
     /// `8i−4` selection predicates, as in the paper.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `i` is in `1..=5`.
+    #[must_use]
     pub fn cq(&self, i: usize) -> Batch {
         assert!((1..=5).contains(&i), "CQ1..CQ5");
         let mut qs = Vec::new();

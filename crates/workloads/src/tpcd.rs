@@ -37,6 +37,11 @@ impl Tpcd {
     /// `customer` 150k·SF, `part` 200k·SF, `partsupp` 800k·SF, `orders`
     /// 1.5M·SF, `lineitem` 6M·SF; all tables clustered on their primary
     /// key (the paper's Experiment-1 setup).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `scale` is positive.
+    #[must_use]
     pub fn new(scale: f64) -> Tpcd {
         assert!(scale > 0.0);
         let s = scale;
@@ -283,6 +288,7 @@ impl Tpcd {
     /// TPC-D Q2 analogue with *correlated* evaluation: the outer query
     /// plus the nested min-cost subquery as a weight-`n` parameterized
     /// query (correlation `ps_partkey = :p`, paper §5).
+    #[must_use]
     pub fn q2(&self) -> Batch {
         let outer = self
             .keep(
@@ -325,6 +331,7 @@ impl Tpcd {
     /// The §6.1 modified Q2: the correlation becomes `ps_partkey <> :p`
     /// (the `not in` form), which defeats decorrelation; only invariant
     /// materialization helps.
+    #[must_use]
     pub fn q2_notin(&self) -> Batch {
         let mut batch = self.q2();
         let inner = self
@@ -348,6 +355,7 @@ impl Tpcd {
 
     /// Q2-D: the manually decorrelated Q2 — a batch whose two queries
     /// share `partsupp ⋈ supplier ⋈ nation ⋈ σ(region)`.
+    #[must_use]
     pub fn q2d(&self) -> Batch {
         // t = min cost per part over the shared join
         let t = self.q2_inner_invariant().aggregate(
@@ -397,6 +405,7 @@ impl Tpcd {
     /// and the grand total — two queries sharing
     /// `partsupp ⋈ supplier ⋈ σ(nation)` with an aggregate-subsumption
     /// opportunity between the group-by and the scalar total.
+    #[must_use]
     pub fn q11(&self) -> Batch {
         let join = self
             .keep(
@@ -478,6 +487,7 @@ impl Tpcd {
 
     /// Q15 analogue: the `revenue` view used twice — once to find the
     /// maximum, once joined with `supplier`.
+    #[must_use]
     pub fn q15(&self) -> Batch {
         let max_rev = self.revenue_view().aggregate(
             vec![],
@@ -815,6 +825,11 @@ impl Tpcd {
 
     /// Composite batch query `BQi` (Experiment 2): the first `i` of
     /// {Q3, Q5, Q7, Q9, Q10}, each repeated at two selection constants.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `i` is in `1..=5`.
+    #[must_use]
     pub fn bq(&self, i: usize) -> Batch {
         assert!((1..=5).contains(&i), "BQ1..BQ5");
         let mut qs = Vec::new();
@@ -833,6 +848,7 @@ impl Tpcd {
     /// shares one whole pair with its predecessor: a warm
     /// materialized-view cache should serve those subexpressions without
     /// recomputation, while the new pair keeps the optimizer honest.
+    #[must_use]
     pub fn serving_batches(&self, rounds: usize) -> Vec<Batch> {
         (0..rounds)
             .map(|i| {
@@ -844,6 +860,7 @@ impl Tpcd {
     }
 
     /// All stand-alone Experiment-1 batches with their paper names.
+    #[must_use]
     pub fn standalone(&self) -> Vec<(&'static str, Batch)> {
         vec![
             ("Q2", self.q2()),
@@ -857,6 +874,7 @@ impl Tpcd {
 /// The §6.4 no-sharing control: the five batch queries over disjoint
 /// renamed copies of the schema — MQO finds nothing sharable and must
 /// cost (almost) nothing extra.
+#[must_use]
 pub fn no_overlap() -> (Catalog, Batch) {
     let mut cat = Catalog::new();
     let mut queries = Vec::new();

@@ -5,7 +5,7 @@
 //! fig6–fig10 workloads, for both the unshared Volcano plan and the
 //! shared Greedy plan, at the default and the degenerate batch size.
 
-use mqo_core::{optimize, Algorithm, OptContext, Options};
+use mqo_core::{optimize, Algorithm, OptContext, Options, VerifyLevel};
 use mqo_exec::{execute_plan_with, generate_database, ExecMode, ExecOptions, ExecOutcome, Table};
 use mqo_expr::Value;
 use mqo_util::FxHashMap;
@@ -44,7 +44,8 @@ fn assert_outcomes_identical(row: &ExecOutcome, vec: &ExecOutcome, label: &str) 
 }
 
 fn run_parity(batch: &mqo_logical::Batch, catalog: &mqo_catalog::Catalog, seed: u64, label: &str) {
-    let opts = Options::new();
+    // every optimize() verifies its IRs at Full and panics on violation
+    let opts = Options::new().with_verify(VerifyLevel::Full);
     let db = generate_database(catalog, seed, usize::MAX);
     let params = FxHashMap::default();
     for alg in [Algorithm::Volcano, Algorithm::Greedy] {

@@ -18,7 +18,8 @@ fn main() {
     // --- Schema: four relations with pairwise join columns -------------
     let mut cat = Catalog::new();
     for name in ["r", "s", "t", "p"] {
-        cat.table(name)
+        let _ = cat
+            .table(name)
             .rows(1_000_000.0)
             .int_key(&format!("{name}k"))
             .int_uniform(&format!("{name}v"), 0, 999_999)

@@ -70,6 +70,10 @@ pub mod test_runner {
 
     /// Runs `body` for `config.cases` deterministic random cases,
     /// panicking (i.e. failing the `#[test]`) on the first `Fail`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a generated case fails — that is the test-failure signal.
     pub fn run<F>(config: &Config, mut body: F)
     where
         F: FnMut(&mut StdRng) -> Result<(), TestCaseError>,
@@ -106,6 +110,7 @@ pub mod arbitrary {
     pub struct Any<T>(PhantomData<T>);
 
     /// Returns the canonical strategy for `A` (as in `any::<u32>()`).
+    #[must_use]
     pub fn any<A: Arbitrary>() -> Any<A> {
         A::arbitrary()
     }

@@ -108,7 +108,12 @@ pub struct Union<T> {
 }
 
 impl<T> Union<T> {
-    /// Builds a union; panics if `options` is empty.
+    /// Builds a union.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `options` is empty.
+    #[must_use]
     pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
         assert!(!options.is_empty(), "prop_oneof! needs at least one option");
         Union { options }

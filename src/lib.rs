@@ -20,4 +20,5 @@ pub use mqo_physical as physical;
 pub use mqo_session as session;
 pub use mqo_sql as sql;
 pub use mqo_util as util;
+pub use mqo_verify as verify;
 pub use mqo_workloads as workloads;

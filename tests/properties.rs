@@ -50,7 +50,8 @@ fn chain_workload() -> impl Strategy<Value = ChainWorkload> {
 fn build(w: &ChainWorkload) -> (Catalog, Batch) {
     let mut cat = Catalog::new();
     for (i, &r) in w.rows.iter().enumerate() {
-        cat.table(&format!("c{i}"))
+        let _ = cat
+            .table(&format!("c{i}"))
             .rows(r as f64)
             .int_key("p")
             .int_uniform("sp", 0, (w.rows[(i + 1) % w.n_tables] as i64 - 1).max(0))
