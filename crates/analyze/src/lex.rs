@@ -1,0 +1,435 @@
+//! A minimal Rust lexer: source text → spanned tokens plus a separate
+//! comment list.
+//!
+//! The lints in this crate are token-stream heuristics in the style of
+//! `mqo-sql`'s lexer — no `syn`, no full grammar. The lexer therefore
+//! only needs to get four things exactly right: string/char literals
+//! must never leak their contents into the token stream (offending
+//! patterns quoted inside test fixtures must not fire), comments must be
+//! captured with spans (suppressions and `# Panics` docs live there),
+//! lifetimes must not be confused with char literals, and brackets must
+//! nest correctly so the passes can skip over balanced regions.
+//!
+//! Multi-character operators are deliberately *not* fused: `::` arrives
+//! as two `:` puncts, `->` as `-` then `>`. The lint passes match on
+//! short token sequences, and single-byte puncts keep the generic-angle
+//! scanning (`fn f<T: Ord<X>>(…)`) trivial.
+
+/// Classification of a [`Tok`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (including raw `r#ident`).
+    Ident,
+    /// A lifetime (`'a`) or loop label (`'outer`).
+    Lifetime,
+    /// Numeric literal (integer or float, any base, with suffix).
+    Num,
+    /// String, raw-string, byte-string, char, or byte literal. The
+    /// contents are opaque to every lint.
+    Str,
+    /// A single punctuation byte (`(`, `:`, `&`, …).
+    Punct,
+}
+
+/// One token: a kind plus its half-open byte span `[lo, hi)`.
+#[derive(Debug, Clone, Copy)]
+pub struct Tok {
+    /// Token class.
+    pub kind: TokKind,
+    /// First byte of the token.
+    pub lo: u32,
+    /// One past the last byte.
+    pub hi: u32,
+}
+
+impl Tok {
+    /// The token's source text.
+    #[must_use]
+    pub fn text<'a>(&self, src: &'a str) -> &'a str {
+        &src[self.lo as usize..self.hi as usize]
+    }
+
+    /// True when the token is the identifier `word`.
+    #[must_use]
+    pub fn is_ident(&self, src: &str, word: &str) -> bool {
+        self.kind == TokKind::Ident && self.text(src) == word
+    }
+
+    /// True when the token is the punctuation byte `b`.
+    #[must_use]
+    pub fn is_punct(&self, src: &str, b: u8) -> bool {
+        self.kind == TokKind::Punct && self.text(src).as_bytes() == [b]
+    }
+}
+
+/// A comment (line or block, doc or plain) with its span.
+#[derive(Debug, Clone, Copy)]
+pub struct Comment {
+    /// First byte (the leading `/`).
+    pub lo: u32,
+    /// One past the last byte.
+    pub hi: u32,
+}
+
+impl Comment {
+    /// The comment's source text, including the `//` / `/*` markers.
+    #[must_use]
+    pub fn text<'a>(&self, src: &'a str) -> &'a str {
+        &src[self.lo as usize..self.hi as usize]
+    }
+}
+
+/// Lexer output: tokens, comments, and a line-start table.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// All non-comment tokens in source order.
+    pub toks: Vec<Tok>,
+    /// All comments in source order.
+    pub comments: Vec<Comment>,
+    /// Byte offset of the first character of each line (line 1 at
+    /// index 0).
+    pub line_starts: Vec<u32>,
+}
+
+impl Lexed {
+    /// 1-based line number containing byte `offset`.
+    #[must_use]
+    pub fn line_of(&self, offset: u32) -> u32 {
+        match self.line_starts.binary_search(&offset) {
+            Ok(i) => i as u32 + 1,
+            Err(i) => i as u32,
+        }
+    }
+
+    /// 1-based column of byte `offset` on its line.
+    #[must_use]
+    pub fn col_of(&self, offset: u32) -> u32 {
+        let line = self.line_of(offset);
+        offset - self.line_starts[line as usize - 1] + 1
+    }
+
+    /// The full text of 1-based line `line` (no trailing newline), or
+    /// `""` when out of range.
+    #[must_use]
+    pub fn line_text<'a>(&self, src: &'a str, line: u32) -> &'a str {
+        let Some(&start) = self.line_starts.get(line as usize - 1) else {
+            return "";
+        };
+        let start = start as usize;
+        let end = src[start..].find('\n').map_or(src.len(), |i| start + i);
+        &src[start..end]
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_'
+}
+
+fn is_ident_cont(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Tokenizes `src`. Malformed input (unterminated strings/comments) is
+/// tolerated — the remainder of the file becomes one literal/comment —
+/// because the analyzer must never be the thing that panics on source
+/// text the compiler already accepted or rejected.
+#[must_use]
+pub fn lex(src: &str) -> Lexed {
+    let bytes = src.as_bytes();
+    let mut out = Lexed {
+        line_starts: std::iter::once(0)
+            .chain(
+                bytes
+                    .iter()
+                    .enumerate()
+                    .filter(|&(_, &b)| b == b'\n')
+                    .map(|(i, _)| i as u32 + 1),
+            )
+            .collect(),
+        ..Lexed::default()
+    };
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let b = bytes[i];
+        match b {
+            b' ' | b'\t' | b'\r' | b'\n' => i += 1,
+            b'/' if bytes.get(i + 1) == Some(&b'/') => {
+                let lo = i;
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+                out.comments.push(Comment {
+                    lo: lo as u32,
+                    hi: i as u32,
+                });
+            }
+            b'/' if bytes.get(i + 1) == Some(&b'*') => {
+                let lo = i;
+                let mut depth = 1usize;
+                i += 2;
+                while i < bytes.len() && depth > 0 {
+                    if bytes[i] == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if bytes[i] == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                out.comments.push(Comment {
+                    lo: lo as u32,
+                    hi: i as u32,
+                });
+            }
+            b'r' | b'b' if raw_string_start(bytes, i).is_some() => {
+                let Some((quote, hashes)) = raw_string_start(bytes, i) else {
+                    continue; // unreachable: the guard just matched
+                };
+                let lo = i;
+                i = quote + 1;
+                // scan for `"` followed by `hashes` hash marks
+                loop {
+                    match bytes.get(i) {
+                        None => break,
+                        Some(b'"')
+                            if bytes[i + 1..].len() >= hashes
+                                && bytes[i + 1..i + 1 + hashes].iter().all(|&c| c == b'#') =>
+                        {
+                            i += 1 + hashes;
+                            break;
+                        }
+                        Some(_) => i += 1,
+                    }
+                }
+                out.toks.push(Tok {
+                    kind: TokKind::Str,
+                    lo: lo as u32,
+                    hi: i as u32,
+                });
+            }
+            b'"' => {
+                let lo = i;
+                i = scan_quoted(bytes, i + 1, b'"');
+                out.toks.push(Tok {
+                    kind: TokKind::Str,
+                    lo: lo as u32,
+                    hi: i as u32,
+                });
+            }
+            b'b' if bytes.get(i + 1) == Some(&b'"') => {
+                let lo = i;
+                i = scan_quoted(bytes, i + 2, b'"');
+                out.toks.push(Tok {
+                    kind: TokKind::Str,
+                    lo: lo as u32,
+                    hi: i as u32,
+                });
+            }
+            b'b' if bytes.get(i + 1) == Some(&b'\'') => {
+                let lo = i;
+                i = scan_quoted(bytes, i + 2, b'\'');
+                out.toks.push(Tok {
+                    kind: TokKind::Str,
+                    lo: lo as u32,
+                    hi: i as u32,
+                });
+            }
+            b'\'' => {
+                // Lifetime (`'a`, `'static`) or char literal (`'x'`,
+                // `'\n'`). A lifetime is `'` + ident NOT followed by a
+                // closing `'`.
+                let lo = i;
+                if bytes.get(i + 1).copied().is_some_and(is_ident_start) {
+                    let mut j = i + 1;
+                    while j < bytes.len() && is_ident_cont(bytes[j]) {
+                        j += 1;
+                    }
+                    if bytes.get(j) == Some(&b'\'') {
+                        // char literal like 'x'
+                        out.toks.push(Tok {
+                            kind: TokKind::Str,
+                            lo: lo as u32,
+                            hi: j as u32 + 1,
+                        });
+                        i = j + 1;
+                    } else {
+                        out.toks.push(Tok {
+                            kind: TokKind::Lifetime,
+                            lo: lo as u32,
+                            hi: j as u32,
+                        });
+                        i = j;
+                    }
+                } else {
+                    // escape or punctuation char literal
+                    i = scan_quoted(bytes, i + 1, b'\'');
+                    out.toks.push(Tok {
+                        kind: TokKind::Str,
+                        lo: lo as u32,
+                        hi: i as u32,
+                    });
+                }
+            }
+            b'0'..=b'9' => {
+                let lo = i;
+                i += 1;
+                let mut seen_dot = false;
+                while i < bytes.len() {
+                    let c = bytes[i];
+                    if is_ident_cont(c) {
+                        i += 1;
+                    } else if c == b'.'
+                        && !seen_dot
+                        && bytes
+                            .get(i + 1)
+                            .copied()
+                            .is_some_and(|n| n.is_ascii_digit())
+                    {
+                        // `1.5` but not the range `0..n`
+                        seen_dot = true;
+                        i += 1;
+                    } else {
+                        break;
+                    }
+                }
+                out.toks.push(Tok {
+                    kind: TokKind::Num,
+                    lo: lo as u32,
+                    hi: i as u32,
+                });
+            }
+            _ if is_ident_start(b) => {
+                let lo = i;
+                // raw identifier `r#type`
+                if b == b'r'
+                    && bytes.get(i + 1) == Some(&b'#')
+                    && bytes.get(i + 2).copied().is_some_and(is_ident_start)
+                {
+                    i += 2;
+                }
+                i += 1;
+                while i < bytes.len() && is_ident_cont(bytes[i]) {
+                    i += 1;
+                }
+                out.toks.push(Tok {
+                    kind: TokKind::Ident,
+                    lo: lo as u32,
+                    hi: i as u32,
+                });
+            }
+            _ => {
+                out.toks.push(Tok {
+                    kind: TokKind::Punct,
+                    lo: i as u32,
+                    hi: i as u32 + 1,
+                });
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+/// If `bytes[i..]` starts a raw (byte-)string literal (`r"`, `r#"`,
+/// `br"`, `br#"`, …), returns `(index_of_opening_quote, hash_count)`.
+fn raw_string_start(bytes: &[u8], i: usize) -> Option<(usize, usize)> {
+    let mut j = i;
+    if bytes[j] == b'b' {
+        j += 1;
+    }
+    if bytes.get(j) != Some(&b'r') {
+        return None;
+    }
+    j += 1;
+    let hash_lo = j;
+    while bytes.get(j) == Some(&b'#') {
+        j += 1;
+    }
+    (bytes.get(j) == Some(&b'"')).then_some((j, j - hash_lo))
+}
+
+/// Scans a quoted literal body starting just after the opening quote;
+/// returns the index one past the closing quote (or `bytes.len()`).
+fn scan_quoted(bytes: &[u8], mut i: usize, quote: u8) -> usize {
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' => i += 2,
+            c if c == quote => return i + 1,
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        let l = lex(src);
+        l.toks
+            .iter()
+            .map(|t| (t.kind, t.text(src).to_string()))
+            .collect()
+    }
+
+    #[test]
+    fn idents_puncts_and_numbers() {
+        let ks = kinds("fn f(x: u32) -> f64 { x as f64 * 1.5e3 }");
+        assert_eq!(ks[0], (TokKind::Ident, "fn".into()));
+        assert!(ks.contains(&(TokKind::Num, "1.5e3".into())));
+        assert!(ks.contains(&(TokKind::Punct, "-".into())));
+    }
+
+    #[test]
+    fn range_is_not_a_float() {
+        let ks = kinds("0..n");
+        assert_eq!(ks[0], (TokKind::Num, "0".into()));
+        assert_eq!(ks[1], (TokKind::Punct, ".".into()));
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let ks = kinds("&'a str; 'x'; '\\n'; 'outer: loop {}");
+        assert!(ks.contains(&(TokKind::Lifetime, "'a".into())));
+        assert!(ks.contains(&(TokKind::Str, "'x'".into())));
+        assert!(ks.contains(&(TokKind::Str, "'\\n'".into())));
+        assert!(ks.contains(&(TokKind::Lifetime, "'outer".into())));
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        // An offending pattern inside a string must not appear as
+        // identifier tokens (fixture files quote lint triggers).
+        let src = r#"let s = "x.partial_cmp(&y).unwrap()";"#;
+        let l = lex(src);
+        assert!(!l.toks.iter().any(|t| t.is_ident(src, "partial_cmp")));
+    }
+
+    #[test]
+    fn raw_strings_and_nested_block_comments() {
+        let src = "r#\"a \" b\"# /* outer /* inner */ still */ x";
+        let l = lex(src);
+        assert_eq!(l.toks.len(), 2); // raw string + `x`
+        assert_eq!(l.comments.len(), 1);
+        assert!(l.comments[0].text(src).contains("inner"));
+    }
+
+    #[test]
+    fn comments_carry_spans_and_lines() {
+        let src = "let a = 1; // trailing note\nlet b = 2;\n";
+        let l = lex(src);
+        assert_eq!(l.comments.len(), 1);
+        assert_eq!(l.line_of(l.comments[0].lo), 1);
+        assert_eq!(l.line_text(src, 2), "let b = 2;");
+    }
+
+    #[test]
+    fn unterminated_input_does_not_panic() {
+        for src in ["\"open", "/* open", "r#\"open", "'\\", "b'x"] {
+            let _ = lex(src);
+        }
+    }
+}

@@ -145,12 +145,22 @@ fn lint_session(lint: &mut Lint) {
 
 /// Seeded SQL fuzzing: random-but-valid SELECT batches through the full
 /// text pipeline, then the verified optimizer pipeline.
+/// Fuzz-case budget from `MQO_FUZZ_CASES`, read once per process
+/// (the env-read lint requires environment access to live in a
+/// `*_from_env` constructor).
+fn fuzz_cases_from_env() -> usize {
+    static CACHE: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *CACHE.get_or_init(|| {
+        std::env::var("MQO_FUZZ_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(500)
+    })
+}
+
 fn lint_sql_fuzz(lint: &mut Lint) {
     const BATCH: usize = 8;
-    let cases: usize = std::env::var("MQO_FUZZ_CASES")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(500);
+    let cases: usize = fuzz_cases_from_env();
     let w = Tpcd::new(0.0005);
     let mut catalog = w.catalog.clone();
     let mut gen = QueryGen::new(&w.catalog, 0x11b7_5eed);

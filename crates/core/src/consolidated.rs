@@ -53,6 +53,12 @@ impl PlanGraph {
     /// Builds the consolidated plan for the whole batch under a given
     /// materialized set (`MatSet::new()` for plain Volcano-SH; Volcano-RU
     /// instead builds incrementally with [`PlanGraph::add_query`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `table` and `pdag` disagree — a reachable node with
+    /// no feasible operator, or a temp-dependent best op whose temp is
+    /// not in `mat`.
     #[must_use]
     pub fn consolidated(pdag: &PhysicalDag, table: &CostTable, mat: &MatSet) -> PlanGraph {
         let mut g = PlanGraph::empty();
@@ -136,6 +142,12 @@ impl PlanGraph {
     }
 
     /// Ensures `phys`'s computing definition is in the graph.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `table` has no feasible op for `phys`, or when a
+    /// temp-dependent best op's temp is missing from `mat` (both mean
+    /// the cost table was built against a different DAG or mat-set).
     fn define(
         &mut self,
         pdag: &PhysicalDag,
@@ -183,6 +195,10 @@ impl PlanGraph {
     }
 
     /// Plan node indices in bottom-up (topological) order.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the graph references nodes outside `pdag`.
     #[must_use]
     pub fn topo_indices(&self, pdag: &PhysicalDag) -> Vec<usize> {
         let mut idxs: Vec<usize> = (0..self.nodes.len()).collect();
@@ -192,13 +208,18 @@ impl PlanGraph {
 
     /// Converts the (post-decision) graph into an [`ExtractedPlan`] whose
     /// materialized set is `mat`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the graph was built against a different `pdag` (node
+    /// or operator ids out of range).
     #[must_use]
     pub fn into_plan(&self, pdag: &PhysicalDag, mat: &MatSet, total_cost: Cost) -> ExtractedPlan {
         let mut choices: FxHashMap<PhysNodeId, ChosenOp> = FxHashMap::default();
         for n in &self.nodes {
             choices.insert(n.phys, ChosenOp::Compute(n.op));
         }
-        for (&n, &m) in &self.aliases {
+        for (&n, &m) in mqo_util::sorted_entries(&self.aliases) {
             // An alias records that *one* use of `n` read variant `m`,
             // but `choices` redirects every use of `n` globally. That is
             // only consistent when `n` has no inline definition in the
@@ -241,6 +262,12 @@ impl PlanGraph {
 /// result from the weaker expression, pulling the weaker node into the
 /// plan (flagged `introduced` if new). Prefers derivations whose source is
 /// already part of the consolidated plan.
+///
+/// # Panics
+///
+/// Panics when `graph` and `base_table` were built against a different
+/// `pdag` (node or operator ids out of range, or an introduced node
+/// without a base plan).
 pub fn subsumption_prepass(pdag: &PhysicalDag, graph: &mut PlanGraph, base_table: &CostTable) {
     let node_count = graph.nodes.len();
     for idx in 0..node_count {
@@ -297,6 +324,11 @@ pub fn subsumption_prepass(pdag: &PhysicalDag, graph: &mut PlanGraph, base_table
 
 /// Adds the definition of `phys` to the graph flagged as introduced,
 /// using the base best plan for its subtree.
+///
+/// # Panics
+///
+/// Panics when `base_table` has no feasible op for `phys` — subsumption
+/// only introduces nodes the base optimization already planned.
 fn introduce(
     pdag: &PhysicalDag,
     graph: &mut PlanGraph,
@@ -338,6 +370,12 @@ fn introduce(
 /// underestimate, the subsumption special case, and the undo pass.
 ///
 /// Returns the chosen materialized set and the resulting total cost.
+///
+/// # Panics
+///
+/// Panics when `graph`, `base_table`, and `pdag` disagree (node,
+/// operator, or plan-index out of range) — all three must come from the
+/// same optimization run.
 pub fn sh_decide(
     pdag: &PhysicalDag,
     dag: &Dag,

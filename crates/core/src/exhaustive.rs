@@ -35,7 +35,7 @@ pub fn exhaustive(ctx: &OptContext<'_>) -> Optimized {
     let mut stats = OptStats::default();
     let mut degrees = sharable_groups(&ctx.dag);
     stats.sharable = degrees.len();
-    degrees.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+    degrees.sort_by(|a, b| b.1.total_cmp(&a.1));
     let mut candidates: Vec<PhysNodeId> = Vec::new();
     for (g, _) in degrees {
         for &v in pdag.variants(g) {

@@ -582,6 +582,7 @@ fn greedy_parallel(
                             Some(e) if e.bound > EPS => {}
                             _ => break,
                         }
+                        // mqo-analyze: allow(panic-path): the peek in the loop guard just proved the heap non-empty
                         let e = heap.pop().expect("peeked entry");
                         if fits(space_used, e.node) && !cache.contains_key(&e.node) {
                             to_probe.push(e.node);

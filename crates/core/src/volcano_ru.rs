@@ -43,11 +43,7 @@ pub fn volcano_ru(ctx: &OptContext<'_>) -> Optimized {
     let fallback = volcano(ctx);
     let mut best = [forward, reverse, fallback]
         .into_iter()
-        .min_by(|a, b| {
-            a.cost
-                .partial_cmp(&b.cost)
-                .unwrap_or(std::cmp::Ordering::Equal)
-        })
+        .min_by(|a, b| a.cost.total_cmp(&b.cost))
         .expect("three candidates");
     best.stats.materialized = best.mat.len();
     best
@@ -137,6 +133,11 @@ fn run_order(ctx: &OptContext<'_>, reversed: bool) -> Optimized {
 }
 
 /// The pseudo-root op of the physical DAG.
+///
+/// # Panics
+///
+/// Panics when the physical root has no weighted (pseudo-root) op —
+/// `PhysicalDag::from_dag` always installs one.
 fn pick_root_op(pdag: &PhysicalDag) -> mqo_physical::PhysOpId {
     let root = pdag.root();
     pdag.node(root)

@@ -33,6 +33,15 @@ impl Cost {
     pub fn min(self, other: Cost) -> Cost {
         Cost(self.0.min(other.0))
     }
+
+    /// Total ordering, mirroring [`f64::total_cmp`]. Use this (never a
+    /// `partial_cmp(..).unwrap_or(..)` fallback) wherever costs feed a
+    /// sort or argmin: a NaN produced by an upstream estimator bug must
+    /// order consistently, not silently compare `Equal` to everything.
+    #[must_use]
+    pub fn total_cmp(&self, other: &Cost) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
 }
 
 impl Add for Cost {

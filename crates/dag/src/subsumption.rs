@@ -50,7 +50,7 @@ fn add_select_derivations(dag: &mut Dag, est: &Estimator<'_>) {
             .push((oid, cmp, val, group));
     }
 
-    for ((input, col), entries) in by_site {
+    for ((input, col), entries) in mqo_util::into_sorted_entries(by_site) {
         if entries.len() < 2 {
             continue;
         }
@@ -144,7 +144,19 @@ fn add_aggregate_derivations(dag: &mut Dag, est: &Estimator<'_>) {
             .or_default()
             .push((keys, group));
     }
-    for ((input, aggs), mut entries) in by_site {
+    // `Vec<AggExpr>` carries no `Ord` (scalar expressions embed float
+    // constants), so `into_sorted_entries` does not apply; order the
+    // sites by input group with the Debug rendering of the aggregate
+    // list as tiebreak — both are functions of the contents only.
+    // mqo-analyze: allow(hash-iteration): drained into `sites` and sorted by (group, Debug render) below — content-only order
+    let mut sites: Vec<_> = by_site.into_iter().collect();
+    sites.sort_by(|a, b| {
+        let ((ga, aa), _) = a;
+        let ((gb, ab), _) = b;
+        ga.cmp(gb)
+            .then_with(|| format!("{aa:?}").cmp(&format!("{ab:?}")))
+    });
+    for ((input, aggs), mut entries) in sites {
         entries.sort();
         entries.dedup();
         if entries.len() < 2 {

@@ -40,6 +40,7 @@ impl NullMask {
         if self.words.len() <= w {
             self.words.resize(w + 1, 0);
         }
+        // mqo-analyze: allow(panic-path): resized to w + 1 just above — the index is always in bounds
         self.words[w] |= 1 << (i & 63);
     }
 
@@ -131,7 +132,7 @@ impl<'a> Cell<'a> {
             (_, Str(_)) => Ordering::Less,
             (a, b) => {
                 let (x, y) = (a.as_f64().unwrap(), b.as_f64().unwrap());
-                x.partial_cmp(&y).unwrap_or(Ordering::Equal)
+                x.total_cmp(&y)
             }
         }
     }
@@ -224,6 +225,10 @@ impl Column {
     }
 
     /// True if row `i` is null.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i` is past the end of a `Val` column.
     #[inline]
     #[must_use]
     pub fn is_null(&self, i: usize) -> bool {
@@ -243,6 +248,10 @@ impl Column {
     }
 
     /// Borrowed view of row `i` (no clones).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i >= len`.
     #[inline]
     #[must_use]
     pub fn cell(&self, i: usize) -> Cell<'_> {
@@ -256,6 +265,10 @@ impl Column {
     }
 
     /// Owning value of row `i` (an `Arc` refcount bump for strings).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i >= len`.
     #[must_use]
     pub fn get(&self, i: usize) -> Value {
         match &self.data {
@@ -276,9 +289,7 @@ impl Column {
     #[must_use]
     pub fn sort_cmp_rows(&self, i: usize, j: usize) -> Ordering {
         match &self.data {
-            ColumnData::Int(d) if !self.nulls.any() => {
-                (d[i] as f64).partial_cmp(&(d[j] as f64)).unwrap()
-            }
+            ColumnData::Int(d) if !self.nulls.any() => (d[i] as f64).total_cmp(&(d[j] as f64)),
             ColumnData::Str(d) if !self.nulls.any() => d[i].cmp(&d[j]),
             _ => self.cell(i).sort_cmp(self.cell(j)),
         }
@@ -356,6 +367,10 @@ impl Column {
     /// Retains in `sel` only the rows where `self[i] op other[i]` holds
     /// (both columns indexed by the same selection — a same-table
     /// column-column predicate).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `sel` holds a row index past either column's end.
     pub fn refine_cmp_col(&self, op: CmpOp, other: &Column, sel: &mut Vec<u32>) {
         match (&self.data, &other.data) {
             (ColumnData::Int(a), ColumnData::Int(b)) if !self.nulls.any() && !other.nulls.any() => {
@@ -376,6 +391,10 @@ impl Column {
     }
 
     /// New column with the rows of `idx`, in order.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `idx` holds a row index past the column's end.
     #[must_use]
     pub fn gather(&self, idx: &[u32]) -> Column {
         let mut nulls = NullMask::default();
@@ -607,5 +626,40 @@ mod tests {
         assert_eq!(g.get(0), Value::Int(3));
         assert!(g.is_null(1) && g.is_null(2));
         assert_eq!(g.get(3), Value::Int(1));
+    }
+
+    /// Regression for the NaN sort-ordering bug: `Cell::sort_cmp` used
+    /// to collapse `partial_cmp`'s `None` into `Equal`, so a NaN cell
+    /// broke the comparator's totality inside `Table::sort_by`'s argsort.
+    /// `Cell::sort_cmp` must stay bit-identical to `Value::sort_cmp`
+    /// (row/vec parity), so the two are checked against each other over
+    /// a NaN-bearing value set, and `sort_cmp_rows` — the typed-column
+    /// fast path — must agree with the cell path row for row.
+    #[test]
+    fn sort_cmp_matches_value_semantics_with_nan() {
+        let vals = [
+            Value::Float(f64::NAN),
+            Value::Float(f64::INFINITY),
+            Value::Float(f64::NEG_INFINITY),
+            Value::Float(-0.0),
+            Value::Float(0.0),
+            Value::Null,
+            Value::Int(7),
+        ];
+        let c = Column::from_values(vals.iter().cloned());
+        for (i, a) in vals.iter().enumerate() {
+            for (j, b) in vals.iter().enumerate() {
+                assert_eq!(
+                    c.cell(i).sort_cmp(c.cell(j)),
+                    a.sort_cmp(b),
+                    "{a:?} vs {b:?}"
+                );
+                assert_eq!(c.sort_cmp_rows(i, j), a.sort_cmp(b), "rows {i} vs {j}");
+                // totality: antisymmetric over every pair, NaN included
+                assert_eq!(c.sort_cmp_rows(i, j), c.sort_cmp_rows(j, i).reverse());
+            }
+        }
+        // NaN orders above +inf (total_cmp), never Equal to it.
+        assert_eq!(c.sort_cmp_rows(0, 1), Ordering::Greater);
     }
 }

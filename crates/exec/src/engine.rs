@@ -242,6 +242,12 @@ impl Executor<'_> {
     }
 
     /// Evaluates the computing definition of `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a malformed plan: a node with no recorded choice, a
+    /// reuse of a node never materialized, an indexed select over an
+    /// unclustered table, or an attempt to execute the pseudo-root.
     fn eval_def(&mut self, n: PhysNodeId) -> Table {
         let op_id = match self.plan.choices.get(&n) {
             Some(&ChosenOp::Compute(o)) => o,
@@ -494,8 +500,15 @@ impl Executor<'_> {
     }
 
     /// Finds the materialized temp of `source` sorted with leading `col`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when no such temp was materialized — the plan promised a
+    /// temp-dependent op its temp and the schedule failed to build it.
     fn temp_sorted_on(&self, source: mqo_dag::GroupId, col: mqo_catalog::ColId) -> Arc<Table> {
-        for (&n, t) in &self.temps {
+        // Key-sorted traversal: when several temps satisfy (group, col),
+        // the lowest node id wins deterministically.
+        for (&n, t) in mqo_util::sorted_entries(&self.temps) {
             let node = self.pdag.node(n);
             if node.group == source && node.prop.leading_col() == Some(col) {
                 return Arc::clone(t);

@@ -113,18 +113,30 @@ impl Table {
     }
 
     /// The column at schema position `pos`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `pos` is past the schema's end.
     #[must_use]
     pub fn col(&self, pos: usize) -> &Column {
         &self.cols[pos]
     }
 
     /// Shared handle to the column at schema position `pos`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `pos` is past the schema's end.
     #[must_use]
     pub fn col_arc(&self, pos: usize) -> Arc<Column> {
         Arc::clone(&self.cols[pos])
     }
 
     /// The column storing `c`; panics if absent.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `c` is not in the schema.
     #[must_use]
     pub fn col_of(&self, c: ColId) -> &Column {
         &self.cols[self.col_pos(c)]
@@ -150,6 +162,11 @@ impl Table {
 
     /// Sorts the rows by the given keys (ascending, Null first, stable)
     /// via a column-level argsort + gather.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a key column is not in the schema, or when key
+    /// columns mix strings with numbers.
     pub fn sort_by(&mut self, keys: &[ColId]) {
         let pos: Vec<usize> = keys.iter().map(|&k| self.col_pos(k)).collect();
         let mut idx: Vec<u32> = (0..self.n_rows as u32).collect();
@@ -274,6 +291,11 @@ impl Database {
 /// `ColId` order and sorts rows, so logically equal results compare equal
 /// regardless of operator order. Used by differential tests (shared vs
 /// unshared execution).
+///
+/// # Panics
+///
+/// Panics when rows hold incomparable cells (strings vs numbers in one
+/// column).
 #[must_use]
 pub fn normalize_result(table: &Table) -> Vec<Row> {
     let mut order: Vec<usize> = (0..table.schema.len()).collect();

@@ -68,6 +68,9 @@ fn refine_sides(lhs: VSide<'_>, op: CmpOp, rhs: Rhs<'_>, sel: &mut Vec<u32>) {
     }
 }
 
+/// # Panics
+///
+/// Panics when `atom` references a parameter absent from `params`.
 fn refine_atom<'a>(
     atom: &Atom,
     side: &impl Fn(ColId) -> VSide<'a>,
@@ -91,6 +94,10 @@ fn refine_atom<'a>(
 /// Fills `out` with the row indices of `[start, end)` satisfying `pred`
 /// (OR-of-ANDs: each conjunct refines an identity selection atom by
 /// atom; disjuncts union by sorted merge). Indices stay sorted.
+///
+/// # Panics
+///
+/// Panics when `pred` references a parameter absent from `params`.
 pub fn eval_pred_range<'a>(
     pred: &Predicate,
     side: &impl Fn(ColId) -> VSide<'a>,
@@ -461,6 +468,10 @@ pub fn indexed_nl_join(
 /// (scalar aggregation for empty `keys`). Group boundaries come from
 /// column comparisons; accumulators are the same [`AggExpr`] folds the
 /// row path uses, fed straight from the columns.
+///
+/// # Panics
+///
+/// Panics when a key column is not in `input`'s schema.
 pub fn sort_aggregate(input: &Table, keys: &[ColId], aggs: &[AggExpr]) -> Table {
     let kp: Vec<usize> = keys.iter().map(|&k| input.col_pos(k)).collect();
     let n = input.len();

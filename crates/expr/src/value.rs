@@ -65,7 +65,7 @@ impl Value {
             (_, Str(_)) => Ordering::Less,
             (a, b) => {
                 let (x, y) = (a.as_f64().unwrap(), b.as_f64().unwrap());
-                x.partial_cmp(&y).unwrap_or(Ordering::Equal)
+                x.total_cmp(&y)
             }
         }
     }
@@ -208,5 +208,53 @@ mod tests {
         use std::hash::{BuildHasher, RandomState};
         let s = RandomState::new();
         assert_eq!(s.hash_one(Value::Int(7)), s.hash_one(Value::Float(7.0)));
+    }
+
+    /// Regression for the NaN sort-ordering bug (same family as the PR 3
+    /// greedy-heap bug): `sort_cmp` used to fall back to `Equal` when
+    /// `partial_cmp` returned `None`, so a NaN claimed equality with
+    /// everything and broke the comparator's transitivity — `sort_by`'s
+    /// order (and `sort_unstable`'s termination) is only guaranteed for
+    /// a total order. With `total_cmp` NaN orders consistently: above
+    /// `+inf` (positive NaN), and antisymmetry holds for every pair.
+    #[test]
+    fn sort_cmp_is_total_with_nan() {
+        let vals = [
+            Value::Float(f64::NAN),
+            Value::Float(f64::INFINITY),
+            Value::Float(f64::NEG_INFINITY),
+            Value::Float(0.0),
+            Value::Float(-0.0),
+            Value::Int(3),
+            Value::Null,
+        ];
+        // Antisymmetry + totality over every pair (no panic, no lie).
+        for a in &vals {
+            for b in &vals {
+                assert_eq!(a.sort_cmp(b), b.sort_cmp(a).reverse(), "{a:?} vs {b:?}");
+            }
+        }
+        // NaN is strictly greater than +inf under total_cmp — it no
+        // longer compares Equal to unrelated values.
+        assert_eq!(
+            Value::Float(f64::NAN).sort_cmp(&Value::Float(f64::INFINITY)),
+            Ordering::Greater
+        );
+        assert_eq!(
+            Value::Float(f64::NAN).sort_cmp(&Value::Int(i64::MAX)),
+            Ordering::Greater
+        );
+        // And a full sort puts it last among numerics (before strings).
+        let mut v = [
+            Value::Float(f64::NAN),
+            Value::Float(1.0),
+            Value::Null,
+            Value::Float(f64::NEG_INFINITY),
+        ];
+        v.sort_by(Value::sort_cmp);
+        assert!(matches!(v[0], Value::Null));
+        assert_eq!(v[1], Value::Float(f64::NEG_INFINITY));
+        assert_eq!(v[2], Value::Float(1.0));
+        assert!(matches!(v[3], Value::Float(f) if f.is_nan()));
     }
 }

@@ -59,7 +59,6 @@
 use mqo_core::{CostState, OptContext, OptStats, Optimized, Options, Strategy};
 use mqo_dag::sharable_groups;
 use mqo_physical::{ExtractedPlan, PhysNodeId};
-use std::cmp::Ordering;
 
 /// Benefits below this are treated as zero (matches `mqo-core`'s greedy).
 const EPS: f64 = 1e-9;
@@ -103,7 +102,7 @@ impl Strategy for Ks15Greedy {
         // parameterized groups — §4.1 pre-filter, which KS15 inherits),
         // visited in decreasing degree of sharing.
         let mut degrees = sharable_groups(&ctx.dag);
-        degrees.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(Ordering::Equal));
+        degrees.sort_by(|a, b| b.1.total_cmp(&a.1));
         // `sharable` counts equivalence groups (as the built-in greedy
         // does), keeping the counter comparable across strategies; the
         // candidate pool below is larger — one entry per physical variant.
@@ -279,5 +278,35 @@ mod tests {
         assert!(ks.stats.cost_propagations > 0);
         assert!(ks.stats.search_time_secs > 0.0);
         assert!(ks.stats.dag_time_secs > 0.0);
+    }
+
+    /// Regression for the NaN candidate-ordering bug: the decreasing
+    /// degree-of-sharing sort in [`Ks15Greedy::search`] used to force
+    /// `partial_cmp` with an `Equal` fallback, so a NaN degree (an
+    /// upstream estimator bug) compared Equal to everything and made the
+    /// visit order — and therefore the chosen set — depend on the
+    /// sort algorithm's internals. The comparator is pinned here:
+    /// descending `total_cmp`, NaN sorted first (above `+inf`), a total
+    /// order on every input.
+    #[test]
+    fn degree_sort_is_total_with_nan() {
+        let mut degrees: Vec<(usize, f64)> = vec![
+            (0, 3.0),
+            (1, f64::NAN),
+            (2, 1.0),
+            (3, f64::INFINITY),
+            (4, -2.0),
+        ];
+        // the exact comparator from `search` (and core's exhaustive)
+        degrees.sort_by(|a, b| b.1.total_cmp(&a.1));
+        let order: Vec<usize> = degrees.iter().map(|&(g, _)| g).collect();
+        assert_eq!(order, [1, 3, 0, 2, 4]);
+        for w in degrees.windows(2) {
+            assert_ne!(
+                w[0].1.total_cmp(&w[1].1),
+                std::cmp::Ordering::Less,
+                "sorted output violates the comparator"
+            );
+        }
     }
 }

@@ -81,8 +81,10 @@ impl ExtractedPlan {
             ChosenOp::Reuse(_) => unreachable!("root is never materialized"),
         };
         let query_roots = pdag.op(root_op).inputs.clone();
+        // mqo-analyze: allow(hash-iteration): collected then totally ordered by the unique topo index on the next line
         let mut materialized: Vec<PhysNodeId> = ex.mat_used.iter().copied().collect();
         materialized.sort_by_key(|&n| pdag.node(n).topo);
+        // mqo-analyze: allow(hash-iteration): collected then totally ordered by the unique topo index on the next line
         let mut warm_used: Vec<PhysNodeId> = ex.warm_used.iter().copied().collect();
         warm_used.sort_by_key(|&n| pdag.node(n).topo);
         let choices = ex.choices;
@@ -107,6 +109,7 @@ impl ExtractedPlan {
     pub fn explain(&self, pdag: &PhysicalDag, _catalog: &Catalog) -> String {
         use std::fmt::Write;
         let mut out = String::new();
+        // mqo-analyze: allow(hash-iteration): `ExtractedPlan::warm_used` is a topo-sorted `Vec`; the name collides with the extractor's scratch set
         for &m in &self.warm_used {
             let node = pdag.node(m);
             let _ = writeln!(

@@ -220,7 +220,7 @@ fn variants_share_group_statistics() {
 fn matcost_and_reusecost_scale_with_blocks() {
     let (_, _, pdag) = setup();
     let mut nodes: Vec<_> = pdag.nodes().iter().enumerate().collect();
-    nodes.sort_by(|a, b| a.1.blocks.partial_cmp(&b.1.blocks).unwrap());
+    nodes.sort_by(|a, b| a.1.blocks.total_cmp(&b.1.blocks));
     let small = mqo_physical::PhysNodeId::from_index(nodes.first().unwrap().0);
     let big = mqo_physical::PhysNodeId::from_index(nodes.last().unwrap().0);
     assert!(pdag.matcost(big) >= pdag.matcost(small));

@@ -9,11 +9,13 @@
 pub mod bitset;
 pub mod fxhash;
 pub mod pool;
+pub mod sorted;
 pub mod union_find;
 
 pub use bitset::BitSet;
 pub use fxhash::{FxHashMap, FxHashSet, FxHasher};
 pub use pool::{available_parallelism, resolve_threads, ScopedWorkerPool};
+pub use sorted::{into_sorted_entries, sorted_entries, sorted_items, sorted_keys};
 pub use union_find::UnionFind;
 
 /// Declares a `u32`-backed id newtype with `index()`/`from(usize)` helpers.

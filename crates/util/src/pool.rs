@@ -26,22 +26,32 @@ pub fn available_parallelism() -> usize {
         .unwrap_or(1)
 }
 
+/// The `MQO_THREADS` override, read from the environment once per
+/// process and cached (environment reads outside a `*_from_env`
+/// constructor are banned by `mqo-analyze`'s env-read lint; a cached
+/// read also keeps every pool in the process sized consistently even if
+/// a test harness mutates the variable mid-run). `None` when unset or
+/// not a positive integer.
+fn threads_from_env() -> Option<usize> {
+    static CACHE: std::sync::OnceLock<Option<usize>> = std::sync::OnceLock::new();
+    *CACHE.get_or_init(|| {
+        std::env::var("MQO_THREADS")
+            .ok()
+            .and_then(|s| s.trim().parse::<usize>().ok())
+            .filter(|&n| n > 0)
+    })
+}
+
 /// Resolves a requested thread count: a positive request wins; `0` means
 /// *auto* — the `MQO_THREADS` environment variable if set to a positive
-/// integer, otherwise [`available_parallelism`].
+/// integer (read once per process via `threads_from_env`), otherwise
+/// [`available_parallelism`].
 #[must_use]
 pub fn resolve_threads(requested: usize) -> usize {
     if requested > 0 {
         return requested;
     }
-    if let Ok(s) = std::env::var("MQO_THREADS") {
-        if let Ok(n) = s.trim().parse::<usize>() {
-            if n > 0 {
-                return n;
-            }
-        }
-    }
-    available_parallelism()
+    threads_from_env().unwrap_or_else(available_parallelism)
 }
 
 /// A fixed set of scoped worker threads, each running a stateful job

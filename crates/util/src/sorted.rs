@@ -1,0 +1,97 @@
+//! Deterministic iteration adapters over hash containers.
+//!
+//! Hash-map iteration order depends on the hasher, the insertion
+//! history, and (for `RandomState`) per-process seeds. Any plan- or
+//! cost-producing code that folds over a map in hash order is a latent
+//! nondeterminism bug: floating-point accumulation is not associative,
+//! so two runs can disagree by an ULP and a comparison can flip (this
+//! bit the `MatSet` cost sums once already). The `mqo-analyze`
+//! `hash-iteration` lint bans raw iteration over hash containers in
+//! ordered crates; these adapters are the sanctioned escape hatch —
+//! they materialize the entries and sort by key, so the traversal
+//! order is a function of the *contents* only.
+//!
+//! The adapters take the std types with any hasher (`HashMap<K, V, S>`),
+//! so they work on both [`crate::FxHashMap`] and plain `HashMap`. They
+//! allocate one `Vec` per call; on hot paths that is the price of a
+//! reproducible answer, and every current call site folds over the whole
+//! container anyway.
+
+use std::collections::{HashMap, HashSet};
+
+/// The map's keys, sorted ascending.
+#[must_use]
+pub fn sorted_keys<K: Ord, V, S>(map: &HashMap<K, V, S>) -> Vec<&K> {
+    let mut keys: Vec<&K> = map.keys().collect();
+    keys.sort();
+    keys
+}
+
+/// The map's `(key, value)` pairs, sorted ascending by key.
+#[must_use]
+pub fn sorted_entries<K: Ord, V, S>(map: &HashMap<K, V, S>) -> Vec<(&K, &V)> {
+    let mut entries: Vec<(&K, &V)> = map.iter().collect();
+    entries.sort_by(|a, b| a.0.cmp(b.0));
+    entries
+}
+
+/// The set's items, sorted ascending.
+#[must_use]
+pub fn sorted_items<K: Ord, S>(set: &HashSet<K, S>) -> Vec<&K> {
+    let mut items: Vec<&K> = set.iter().collect();
+    items.sort();
+    items
+}
+
+/// Consumes the map and returns its `(key, value)` pairs, sorted
+/// ascending by key. For the end-of-scope case where the values need to
+/// move out of the container.
+#[must_use]
+pub fn into_sorted_entries<K: Ord, V, S>(map: HashMap<K, V, S>) -> Vec<(K, V)> {
+    let mut entries: Vec<(K, V)> = map.into_iter().collect();
+    entries.sort_by(|a, b| a.0.cmp(&b.0));
+    entries
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{FxHashMap, FxHashSet};
+
+    #[test]
+    fn keys_and_entries_are_key_sorted() {
+        let mut m = FxHashMap::<u32, &str>::default();
+        for (k, v) in [(3, "c"), (1, "a"), (2, "b")] {
+            m.insert(k, v);
+        }
+        assert_eq!(sorted_keys(&m), [&1, &2, &3]);
+        assert_eq!(sorted_entries(&m), [(&1, &"a"), (&2, &"b"), (&3, &"c")],);
+        assert_eq!(into_sorted_entries(m), [(1, "a"), (2, "b"), (3, "c")]);
+    }
+
+    #[test]
+    fn set_items_are_sorted() {
+        let mut s = FxHashSet::<i64>::default();
+        for k in [5, -1, 3] {
+            s.insert(k);
+        }
+        assert_eq!(sorted_items(&s), [&-1, &3, &5]);
+    }
+
+    #[test]
+    fn order_is_contents_only_not_insertion_history() {
+        // Two maps with the same contents but different insertion
+        // histories (and a churned entry) must traverse identically.
+        let mut a = HashMap::new();
+        let mut b = HashMap::new();
+        for k in 0..64u64 {
+            a.insert(k, k * 10);
+        }
+        for k in (0..64u64).rev() {
+            b.insert(k, k * 10);
+        }
+        b.insert(999, 0);
+        b.remove(&999);
+        assert_eq!(sorted_entries(&a), sorted_entries(&b));
+    }
+}

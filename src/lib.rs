@@ -8,6 +8,7 @@
 //!
 #![doc = include_str!("../README.md")]
 
+pub use mqo_analyze as analyze;
 pub use mqo_catalog as catalog;
 pub use mqo_core as core;
 pub use mqo_cost as cost;
