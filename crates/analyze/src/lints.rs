@@ -9,6 +9,7 @@
 //! | `hash-iteration` | plan/cost producers | lib, outside `#[cfg(test)]` |
 //! | `env-read` | all | lib, outside `#[cfg(test)]` |
 //! | `panic-path` | `exec`, `core`, `session` | lib, outside `#[cfg(test)]` |
+//! | `panic-path` (strict) | `try_*` fns and [`RESULT_FNS`] | same — `# Panics` docs do NOT exempt |
 //! | `mut-self-entry` | all | lib |
 //! | `interior-mut` | all (shims included) | lib, outside `#[cfg(test)]` |
 
@@ -25,6 +26,30 @@ pub const ORDERED_CRATES: [&str; 8] = [
 /// Crates whose `src/` is the execution/planning hot path — the panic
 /// lint's domain.
 pub const HOT_CRATES: [&str; 3] = ["exec", "core", "session"];
+
+/// Functions the robustness PR converted to typed-`Result` pipelines.
+/// Inside these (and any `try_*` function) the panic lint is strict: a
+/// `# Panics` doc does **not** exempt `unwrap`/`expect`/`panic!` — the
+/// whole point of the conversion is that these paths return
+/// `MqoError`, and a documented panic is still a regression.
+pub const RESULT_FNS: [&str; 10] = [
+    "submit",
+    "submit_with_params",
+    "submit_inner",
+    "eval_def",
+    "eval_def_inner",
+    "eval_use",
+    "temp_sorted_on",
+    "indexed_nl",
+    "checkpoint",
+    "search_with",
+];
+
+/// Whether `name` is held to the strict no-panic (`Result`) contract.
+#[must_use]
+pub fn is_result_fn(name: &str) -> bool {
+    name.starts_with("try_") || RESULT_FNS.contains(&name)
+}
 
 /// Methods that observe a hash container in iteration order.
 const ITER_METHODS: [&str; 9] = [
@@ -401,25 +426,43 @@ fn panic_path(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
             continue;
         }
         let documented = |idx: usize| ctx.enclosing_fn(idx).is_some_and(|f| f.has_panics_doc);
+        let strict = |idx: usize| {
+            ctx.enclosing_fn(idx)
+                .filter(|f| is_result_fn(&f.name))
+                .map(|f| f.name.clone())
+        };
         // `.unwrap()` / `.expect(`
         if toks[i].is_punct(src, b'.') {
             if let Some(m) = toks.get(i + 1) {
                 if m.kind == TokKind::Ident
                     && matches!(m.text(src), "unwrap" | "expect")
                     && toks.get(i + 2).is_some_and(|t| t.is_punct(src, b'('))
-                    && !documented(i)
                 {
-                    out.push(finding(
-                        ctx,
-                        LintKind::PanicPath,
-                        m,
-                        format!(
-                            "`.{}(..)` on a hot path without a documented contract — add a \
-                             `# Panics` section to the enclosing fn's docs or an allow comment \
-                             explaining why it cannot fire",
-                            m.text(src)
-                        ),
-                    ));
+                    if let Some(fname) = strict(i) {
+                        out.push(finding(
+                            ctx,
+                            LintKind::PanicPath,
+                            m,
+                            format!(
+                                "`.{}(..)` inside `{fname}`, a typed-error `Result` path — this \
+                                 regressed from the robustness conversion; return an `MqoError` \
+                                 (`?`) instead (a `# Panics` doc does not exempt these fns)",
+                                m.text(src)
+                            ),
+                        ));
+                    } else if !documented(i) {
+                        out.push(finding(
+                            ctx,
+                            LintKind::PanicPath,
+                            m,
+                            format!(
+                                "`.{}(..)` on a hot path without a documented contract — add a \
+                                 `# Panics` section to the enclosing fn's docs or an allow comment \
+                                 explaining why it cannot fire",
+                                m.text(src)
+                            ),
+                        ));
+                    }
                 }
             }
         }
@@ -430,18 +473,31 @@ fn panic_path(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
                 "panic" | "unreachable" | "todo" | "unimplemented"
             )
             && toks.get(i + 1).is_some_and(|t| t.is_punct(src, b'!'))
-            && !documented(i)
         {
-            out.push(finding(
-                ctx,
-                LintKind::PanicPath,
-                &toks[i],
-                format!(
-                    "`{}!` on a hot path without a documented contract — add `# Panics` to the \
-                     enclosing fn's docs or an allow comment",
-                    toks[i].text(src)
-                ),
-            ));
+            if let Some(fname) = strict(i) {
+                out.push(finding(
+                    ctx,
+                    LintKind::PanicPath,
+                    &toks[i],
+                    format!(
+                        "`{}!` inside `{fname}`, a typed-error `Result` path — this regressed \
+                         from the robustness conversion; return an `MqoError` instead (a \
+                         `# Panics` doc does not exempt these fns)",
+                        toks[i].text(src)
+                    ),
+                ));
+            } else if !documented(i) {
+                out.push(finding(
+                    ctx,
+                    LintKind::PanicPath,
+                    &toks[i],
+                    format!(
+                        "`{}!` on a hot path without a documented contract — add `# Panics` to the \
+                         enclosing fn's docs or an allow comment",
+                        toks[i].text(src)
+                    ),
+                ));
+            }
         }
         // indexing in pub fns: `expr[` where expr ends in ident/`)`/`]`.
         // A keyword before `[` starts a slice *pattern* (`let [a] = ..`,

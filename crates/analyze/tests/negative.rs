@@ -186,6 +186,37 @@ fn panic_path_ignores_slice_patterns() {
     clean("crates/exec/src/fake.rs", src);
 }
 
+#[test]
+fn panic_path_strict_in_try_fn_despite_panics_doc() {
+    // `try_*` fns are converted `Result` paths: a `# Panics` doc does not
+    // exempt them — that would regress the robustness contract.
+    let src = "/// Builds a thing.\n///\n/// # Panics\n///\n/// Panics on empty input.\n\
+               pub fn try_build(v: &[u32]) -> u32 {\n    *v.first().unwrap()\n}\n";
+    let f = one("crates/exec/src/fake.rs", src, LintKind::PanicPath);
+    assert_eq!(f.line, 7, "{f:#?}");
+    assert!(f.message.contains("try_build"), "{}", f.message);
+    assert!(f.message.contains("regress"), "{}", f.message);
+}
+
+#[test]
+fn panic_path_strict_in_named_result_fn() {
+    // `submit_inner` is on the RESULT_FNS list; `panic!` fires even when
+    // documented, and in a cold crate the lint stays out of scope.
+    let src = "/// # Panics\n///\n/// Always.\nfn submit_inner() {\n    panic!(\"boom\");\n}\n";
+    let f = one("crates/session/src/fake.rs", src, LintKind::PanicPath);
+    assert_eq!(f.line, 5, "{f:#?}");
+    assert!(f.message.contains("submit_inner"), "{}", f.message);
+    clean("crates/workloads/src/fake.rs", src);
+}
+
+#[test]
+fn panic_path_strict_still_suppressible_with_reason() {
+    let src = "pub fn try_build(v: &[u32]) -> u32 {\n    \
+               // mqo-analyze: allow(panic-path): seeded fixture, cannot be empty\n    \
+               *v.first().unwrap()\n}\n";
+    clean("crates/exec/src/fake.rs", src);
+}
+
 // ---------------------------------------------------------------- mut-self-entry
 
 #[test]

@@ -62,6 +62,7 @@ fn bench_vec_exec(c: &mut Criterion) {
                             ExecOptions {
                                 mode,
                                 batch_rows: 1024,
+                                ..ExecOptions::default()
                             },
                         )
                         .rows_out,
@@ -87,6 +88,7 @@ fn bench_vec_exec(c: &mut Criterion) {
                         ExecOptions {
                             mode: ExecMode::Vectorized,
                             batch_rows,
+                            ..ExecOptions::default()
                         },
                     )
                     .rows_out,

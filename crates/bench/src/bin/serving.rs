@@ -69,4 +69,13 @@ fn main() {
         s.est_cost_secs,
         s.exec_secs * 1e3
     );
+    println!(
+        "robustness: {} degraded submits ({} budget expiries, {} query aborts) | {} failed / {} rolled back | {} env fallbacks",
+        s.degraded_submits,
+        s.budget_expiries,
+        s.query_aborts,
+        s.failed_submits,
+        s.rolled_back,
+        s.env_fallbacks
+    );
 }

@@ -45,13 +45,16 @@ pub fn bench_optimizer_with(catalog: &Catalog, options: Options) -> Optimizer<'_
 /// Runs every [`COMPARED`] strategy over one prepared context — the DAG
 /// is expanded once per batch and shared across strategies.
 ///
-/// Fails with [`StrategyError::Unknown`](mqo_core::StrategyError) if the
-/// session is missing a compared strategy (KS15 is not a built-in; use
-/// [`bench_optimizer`] to get a session with all of them registered).
+/// # Errors
+///
+/// Fails with an unknown-strategy [`MqoError`](mqo_util::MqoError) if
+/// the session is missing a compared strategy (KS15 is not a built-in;
+/// use [`bench_optimizer`] to get a session with all of them
+/// registered), and propagates any search-side fault.
 pub fn run_all(
     optimizer: &Optimizer<'_>,
     ctx: &OptContext<'_>,
-) -> Result<Vec<(&'static str, Optimized)>, mqo_core::StrategyError> {
+) -> Result<Vec<(&'static str, Optimized)>, mqo_util::MqoError> {
     COMPARED
         .iter()
         .map(|&name| Ok((name, optimizer.search(ctx, name)?)))

@@ -5,6 +5,7 @@
 use crate::{OptContext, OptStats, Optimized, Options, Strategy};
 use mqo_dag::sharable_groups;
 use mqo_physical::{CostTable, ExtractedPlan, MatSet, PhysNodeId};
+use mqo_util::MqoError;
 
 /// The exhaustive oracle strategy (registry name `"Exhaustive"`): wraps
 /// [`exhaustive`]. Small inputs only.
@@ -16,8 +17,8 @@ impl Strategy for Exhaustive {
         "Exhaustive"
     }
 
-    fn search(&self, ctx: &OptContext<'_>, _options: &Options) -> Optimized {
-        exhaustive(ctx)
+    fn search(&self, ctx: &OptContext<'_>, _options: &Options) -> Result<Optimized, MqoError> {
+        Ok(exhaustive(ctx))
     }
 }
 

@@ -24,11 +24,12 @@
 //! thread count, and `threads = 1` runs the plain sequential loops.
 
 use crate::state::CostState;
-use crate::{OptContext, OptStats, Optimized, Options, Strategy};
+use crate::{deadline_expired, OptContext, OptStats, Optimized, Options, Strategy};
+use mqo_chaos::Seam;
 use mqo_cost::Cost;
 use mqo_dag::sharable_groups;
 use mqo_physical::{ExtractedPlan, PhysNodeId, PhysicalDag};
-use mqo_util::{FxHashMap, ScopedWorkerPool};
+use mqo_util::{FxHashMap, MqoError, ScopedWorkerPool};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
@@ -44,10 +45,13 @@ impl Strategy for Greedy {
         "Greedy"
     }
 
-    fn search(&self, ctx: &OptContext<'_>, options: &Options) -> Optimized {
+    fn search(&self, ctx: &OptContext<'_>, options: &Options) -> Result<Optimized, MqoError> {
         let mut g = options.greedy;
         if g.threads == 0 {
             g.threads = options.threads;
+        }
+        if g.deadline.is_none() {
+            g.deadline = options.deadline;
         }
         greedy(ctx, g)
     }
@@ -81,6 +85,12 @@ pub struct GreedyOptions {
     /// `MQO_THREADS` environment variable, else available parallelism).
     /// The result is identical at every thread count.
     pub threads: usize,
+    /// Cooperative deadline, checked at every heap pop / probe round.
+    /// On expiry the search commits the best-so-far materialized set
+    /// (greedy is an anytime algorithm, §4.4) and flags
+    /// [`OptStats::degraded`]. Falls back to [`Options::deadline`] when
+    /// unset and greedy runs as the registered strategy.
+    pub deadline: Option<std::time::Instant>,
 }
 
 impl Default for GreedyOptions {
@@ -92,6 +102,7 @@ impl Default for GreedyOptions {
             sorted_candidates: true,
             space_budget_blocks: None,
             threads: 0,
+            deadline: None,
         }
     }
 }
@@ -135,6 +146,12 @@ impl GreedyOptions {
     /// Sets the probe-worker thread count (`0` = auto, `1` = sequential).
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads;
+        self
+    }
+
+    /// Sets the cooperative search deadline (`None` = unbounded).
+    pub fn with_deadline(mut self, deadline: Option<std::time::Instant>) -> Self {
+        self.deadline = deadline;
         self
     }
 }
@@ -295,9 +312,15 @@ fn charged_blocks(pdag: &PhysicalDag, n: PhysNodeId) -> f64 {
 /// Runs the greedy heuristic: iteratively materialize the candidate node
 /// with the largest benefit until no candidate improves the plan.
 /// Probing parallelizes across [`GreedyOptions::threads`] workers; the
-/// result is identical at every thread count.
-#[must_use]
-pub fn greedy(ctx: &OptContext<'_>, opts: GreedyOptions) -> Optimized {
+/// result is identical at every thread count. An expired
+/// [`GreedyOptions::deadline`] ends the search early with the
+/// best-so-far set and `stats.degraded` set — not an error.
+///
+/// # Errors
+///
+/// Returns an [`MqoError`] only on injected faults (`mqo-chaos` seams
+/// `cost-propagation`, `pool-send`, `extract`).
+pub fn greedy(ctx: &OptContext<'_>, opts: GreedyOptions) -> Result<Optimized, MqoError> {
     let mut stats = OptStats::default();
     let mut candidates = collect_candidates(ctx, opts, &mut stats);
     // Warm nodes are already materialized — not candidates, a given.
@@ -366,7 +389,7 @@ fn greedy_sequential(
     candidates: Vec<(PhysNodeId, f64)>,
     mut stats: OptStats,
     state: CostState,
-) -> Optimized {
+) -> Result<Optimized, MqoError> {
     let pdag = &ctx.pdag;
     let mut state = state;
     let mut cur_total = state.total(pdag);
@@ -399,6 +422,11 @@ fn greedy_sequential(
             })
             .collect();
         while let Some(top) = heap.pop() {
+            if deadline_expired(opts.deadline) {
+                stats.degraded = true;
+                break; // anytime search: keep the set committed so far
+            }
+            mqo_chaos::hit(Seam::CostPropagation)?;
             if top.bound.is_nan() {
                 continue; // degenerate bound: discard the candidate
             }
@@ -442,6 +470,11 @@ fn greedy_sequential(
         // round (the §6.3 ablation baseline).
         let mut remaining = candidates;
         loop {
+            if deadline_expired(opts.deadline) {
+                stats.degraded = true;
+                break;
+            }
+            mqo_chaos::hit(Seam::CostPropagation)?;
             let mut best: Option<(usize, f64)> = None;
             for (i, &(n, _)) in remaining.iter().enumerate() {
                 if !fits(space_used, n) {
@@ -486,7 +519,7 @@ fn greedy_parallel(
     mut stats: OptStats,
     pool: &ScopedWorkerPool<ProbeJob, WaveOut>,
     state: CostState,
-) -> Optimized {
+) -> Result<Optimized, MqoError> {
     let pdag = &ctx.pdag;
     let mut state = state;
     let mut cur_total = state.total(pdag);
@@ -558,6 +591,11 @@ fn greedy_parallel(
         // scored fresh benefits under the current materialized set
         let mut cache: FxHashMap<PhysNodeId, f64> = FxHashMap::default();
         while let Some(top) = heap.pop() {
+            if deadline_expired(opts.deadline) {
+                stats.degraded = true;
+                break; // anytime search: keep the set committed so far
+            }
+            mqo_chaos::hit(Seam::CostPropagation)?;
             if top.bound.is_nan() {
                 continue; // degenerate bound: discard the candidate
             }
@@ -592,6 +630,7 @@ fn greedy_parallel(
                     for e in collected {
                         heap.push(e);
                     }
+                    mqo_chaos::hit(Seam::PoolSend)?;
                     let benefits = wave(&mut stats, &to_probe, cur_total);
                     for (k, &n) in to_probe.iter().enumerate() {
                         cache.insert(n, score(benefits[k], n));
@@ -622,6 +661,11 @@ fn greedy_parallel(
         // rule over the merged benefits.
         let mut remaining = candidates;
         loop {
+            if deadline_expired(opts.deadline) {
+                stats.degraded = true;
+                break;
+            }
+            mqo_chaos::hit(Seam::CostPropagation)?;
             let fitting: Vec<(usize, PhysNodeId)> = remaining
                 .iter()
                 .enumerate()
@@ -629,6 +673,7 @@ fn greedy_parallel(
                 .map(|(i, &(n, _))| (i, n))
                 .collect();
             let nodes: Vec<PhysNodeId> = fitting.iter().map(|&(_, n)| n).collect();
+            mqo_chaos::hit(Seam::PoolSend)?;
             let benefits = wave(&mut stats, &nodes, cur_total);
             let mut best: Option<(usize, f64)> = None;
             for (k, &(i, n)) in fitting.iter().enumerate() {
@@ -653,18 +698,23 @@ fn greedy_parallel(
 }
 
 /// Extracts the final plan from the converged state.
-fn finish(ctx: &OptContext<'_>, state: CostState, mut stats: OptStats) -> Optimized {
+fn finish(
+    ctx: &OptContext<'_>,
+    state: CostState,
+    mut stats: OptStats,
+) -> Result<Optimized, MqoError> {
+    mqo_chaos::hit(Seam::Extract)?;
     let pdag = &ctx.pdag;
     stats.materialized = state.mat.len() - state.warm.len();
     let plan = ExtractedPlan::extract_with_warm(pdag, &state.table, &state.mat, &state.warm);
     stats.warm_reused = plan.warm_used.len();
     let cost = state.total(pdag);
-    Optimized {
+    Ok(Optimized {
         plan,
         mat: state.mat,
         cost,
         stats,
-    }
+    })
 }
 
 #[cfg(test)]

@@ -126,6 +126,13 @@ pub struct Options {
     /// (`mqo-verify`). Defaults to the `MQO_VERIFY` environment variable:
     /// `Boundaries` under `debug_assertions`, `Off` in release builds.
     pub verify: VerifyLevel,
+    /// Cooperative wall-clock deadline for the search (the session's
+    /// resource governor sets it from `SessionOptions::time_budget`).
+    /// The anytime strategies (Greedy, KS15) check it at each probe
+    /// round; on expiry they commit the best materialization set found
+    /// so far and flag [`OptStats::degraded`]. `None` (the default)
+    /// searches to convergence.
+    pub deadline: Option<std::time::Instant>,
 }
 
 impl Options {
@@ -167,6 +174,20 @@ impl Options {
         self.verify = verify;
         self
     }
+
+    /// Sets the cooperative search deadline (`None` = unbounded).
+    pub fn with_deadline(mut self, deadline: Option<std::time::Instant>) -> Self {
+        self.deadline = deadline;
+        self
+    }
+}
+
+/// True when `deadline` is set and already past — the governor check
+/// the anytime search loops run at each probe round.
+#[inline]
+#[must_use]
+pub fn deadline_expired(deadline: Option<std::time::Instant>) -> bool {
+    deadline.is_some_and(|d| std::time::Instant::now() >= d)
 }
 
 /// Counters and sizes recorded during an optimization run (feeds the
@@ -208,6 +229,11 @@ pub struct OptStats {
     /// Number of *warm* temps the plan reads from a previous batch's
     /// cache ([`OptContext::warm`]); zero outside a serving session.
     pub warm_reused: usize,
+    /// True when the search hit its [`Options::deadline`] and committed
+    /// the best-so-far materialization set instead of converging. The
+    /// result is still valid and verified — Greedy is an anytime search
+    /// (paper §4.4) — just not necessarily as good.
+    pub degraded: bool,
 }
 
 impl OptStats {

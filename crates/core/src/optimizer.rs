@@ -30,6 +30,7 @@ use mqo_catalog::Catalog;
 use mqo_dag::Dag;
 use mqo_logical::Batch;
 use mqo_physical::{CostTable, ExtractedPlan, MatSet, PhysicalDag};
+use mqo_util::MqoError;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -185,12 +186,18 @@ impl<'a> Optimizer<'a> {
     }
 
     /// Stage 3: searches a prepared context with the named registered
-    /// strategy. Fails with [`StrategyError::Unknown`] if no strategy of
-    /// that name is registered.
-    pub fn search(&self, ctx: &OptContext<'_>, strategy: &str) -> Result<Optimized, StrategyError> {
+    /// strategy.
+    ///
+    /// # Errors
+    ///
+    /// Fails with kind `UnknownStrategy` if no strategy of that name is
+    /// registered, or with whatever [`MqoError`] the strategy's own
+    /// search surfaces (injected faults, invariant violations; budget
+    /// expiry *degrades* instead — see [`Strategy::search`]).
+    pub fn search(&self, ctx: &OptContext<'_>, strategy: &str) -> Result<Optimized, MqoError> {
         match self.registry.get(strategy) {
-            Some(s) => Ok(self.search_with(ctx, s.as_ref())),
-            None => Err(StrategyError::Unknown(strategy.to_string())),
+            Some(s) => self.search_with(ctx, s.as_ref()),
+            None => Err(StrategyError::Unknown(strategy.to_string()).into()),
         }
     }
 
@@ -198,15 +205,23 @@ impl<'a> Optimizer<'a> {
     /// Times the search and stamps the context-derived statistics
     /// (timings, DAG sizes) onto the result.
     ///
+    /// # Errors
+    ///
+    /// Propagates the strategy's own search error unchanged.
+    ///
     /// # Panics
     ///
     /// With verification enabled ([`Options::verify`]), panics with
     /// rendered diagnostics if the strategy's result is dishonest: plan
     /// structurally unsound, reported cost below a fresh recomputation,
     /// or (at `Full`) above the no-sharing baseline.
-    pub fn search_with(&self, ctx: &OptContext<'_>, strategy: &dyn Strategy) -> Optimized {
+    pub fn search_with(
+        &self,
+        ctx: &OptContext<'_>,
+        strategy: &dyn Strategy,
+    ) -> Result<Optimized, MqoError> {
         let start = Instant::now();
-        let mut result = strategy.search(ctx, &self.options);
+        let mut result = strategy.search(ctx, &self.options)?;
         result.stats.search_time_secs = start.elapsed().as_secs_f64();
         result.stats.dag_time_secs = ctx.dag_time_secs;
         result.stats.dag_groups = ctx.dag.num_groups();
@@ -224,7 +239,7 @@ impl<'a> Optimizer<'a> {
             self.options.verify,
         )
         .assert_clean(&format!("search ({})", strategy.name()));
-        result
+        Ok(result)
     }
 
     /// Stage 3, fanned out: searches a prepared context with **every**
@@ -240,16 +255,24 @@ impl<'a> Optimizer<'a> {
     /// machine, so they are only comparable *within* a run at low
     /// contention; prefer sequential `search` calls for timing tables.
     ///
+    /// # Errors
+    ///
+    /// If any strategy's search fails, the first failure in
+    /// registration order is returned (the others' results are
+    /// discarded).
+    ///
     /// # Panics
     ///
     /// Panics if a strategy's search thread panicked.
-    #[must_use]
-    pub fn search_all_parallel(&self, ctx: &OptContext<'_>) -> Vec<(String, Optimized)> {
+    pub fn search_all_parallel(
+        &self,
+        ctx: &OptContext<'_>,
+    ) -> Result<Vec<(String, Optimized)>, MqoError> {
         if mqo_util::resolve_threads(self.options.threads) <= 1 || self.registry.len() <= 1 {
             return self
                 .registry
                 .iter()
-                .map(|s| (s.name().to_string(), self.search_with(ctx, s.as_ref())))
+                .map(|s| Ok((s.name().to_string(), self.search_with(ctx, s.as_ref())?)))
                 .collect();
         }
         std::thread::scope(|scope| {
@@ -262,7 +285,10 @@ impl<'a> Optimizer<'a> {
                 .collect();
             handles
                 .into_iter()
-                .map(|h| h.join().expect("strategy search panicked"))
+                .map(|h| {
+                    let (name, result) = h.join().expect("strategy search panicked");
+                    Ok((name, result?))
+                })
                 .collect()
         })
     }

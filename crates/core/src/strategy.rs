@@ -11,6 +11,7 @@
 //! `mqo-ks15` for a complete out-of-crate strategy.
 
 use crate::{OptContext, Optimized, Options};
+use mqo_util::{ErrorStage, MqoError, MqoErrorKind};
 use std::fmt;
 use std::sync::Arc;
 
@@ -34,7 +35,18 @@ pub trait Strategy: Send + Sync {
     fn name(&self) -> &str;
 
     /// Searches the expanded context for a shared plan.
-    fn search(&self, ctx: &OptContext<'_>, options: &Options) -> Optimized;
+    ///
+    /// Strategies that honor [`Options::deadline`] degrade rather than
+    /// fail on expiry: they commit the best materialization set found
+    /// so far, flag it in [`OptStats::degraded`](crate::OptStats), and
+    /// return `Ok`. `Err` is reserved for genuine failures — injected
+    /// faults (`mqo-chaos`) and broken invariants.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`MqoError`] when the search cannot produce a valid
+    /// result (fault injection, invariant violation).
+    fn search(&self, ctx: &OptContext<'_>, options: &Options) -> Result<Optimized, MqoError>;
 }
 
 /// Errors from strategy lookup and registration.
@@ -58,6 +70,16 @@ impl fmt::Display for StrategyError {
 }
 
 impl std::error::Error for StrategyError {}
+
+impl From<StrategyError> for MqoError {
+    fn from(e: StrategyError) -> MqoError {
+        let (kind, name) = match &e {
+            StrategyError::Unknown(name) => (MqoErrorKind::UnknownStrategy, name),
+            StrategyError::Duplicate(name) => (MqoErrorKind::DuplicateStrategy, name),
+        };
+        MqoError::new(kind, ErrorStage::Search, name.clone(), "", e.to_string())
+    }
+}
 
 /// An ordered collection of named strategies.
 ///

@@ -2,6 +2,7 @@
 
 use crate::{OptContext, OptStats, Optimized, Options, Strategy};
 use mqo_physical::{CostTable, ExtractedPlan, MatSet};
+use mqo_util::MqoError;
 
 /// The baseline strategy (registry name `"Volcano"`): wraps [`volcano`].
 #[derive(Debug, Clone, Copy, Default)]
@@ -12,8 +13,8 @@ impl Strategy for Volcano {
         "Volcano"
     }
 
-    fn search(&self, ctx: &OptContext<'_>, _options: &Options) -> Optimized {
-        volcano(ctx)
+    fn search(&self, ctx: &OptContext<'_>, _options: &Options) -> Result<Optimized, MqoError> {
+        Ok(volcano(ctx))
     }
 }
 

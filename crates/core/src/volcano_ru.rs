@@ -5,7 +5,7 @@ use crate::state::CostState;
 use crate::volcano::volcano;
 use crate::{OptContext, OptStats, Optimized, Options, Strategy};
 use mqo_physical::{MatSet, PhysNodeId, PhysicalDag};
-use mqo_util::FxHashMap;
+use mqo_util::{FxHashMap, MqoError};
 
 /// The Volcano-RU strategy (registry name `"Volcano-RU"`): wraps
 /// [`volcano_ru`].
@@ -17,8 +17,8 @@ impl Strategy for VolcanoRu {
         "Volcano-RU"
     }
 
-    fn search(&self, ctx: &OptContext<'_>, _options: &Options) -> Optimized {
-        volcano_ru(ctx)
+    fn search(&self, ctx: &OptContext<'_>, _options: &Options) -> Result<Optimized, MqoError> {
+        Ok(volcano_ru(ctx))
     }
 }
 

@@ -3,6 +3,7 @@
 use crate::consolidated::{sh_decide, subsumption_prepass, PlanGraph};
 use crate::{OptContext, OptStats, Optimized, Options, Strategy};
 use mqo_physical::{CostTable, MatSet};
+use mqo_util::MqoError;
 
 /// The Volcano-SH strategy (registry name `"Volcano-SH"`): wraps
 /// [`volcano_sh`].
@@ -14,8 +15,8 @@ impl Strategy for VolcanoSh {
         "Volcano-SH"
     }
 
-    fn search(&self, ctx: &OptContext<'_>, _options: &Options) -> Optimized {
-        volcano_sh(ctx)
+    fn search(&self, ctx: &OptContext<'_>, _options: &Options) -> Result<Optimized, MqoError> {
+        Ok(volcano_sh(ctx))
     }
 }
 

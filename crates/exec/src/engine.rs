@@ -14,9 +14,10 @@ use crate::ops::{self, Params};
 use crate::table::{Database, Table};
 use crate::vops;
 use mqo_catalog::Catalog;
+use mqo_chaos::Seam;
 use mqo_expr::{ParamId, Value};
 use mqo_physical::{Algo, ChosenOp, ExtractedPlan, PhysNodeId, PhysProp, PhysicalDag};
-use mqo_util::FxHashMap;
+use mqo_util::{ErrorStage, FxHashMap, MqoError};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -41,6 +42,17 @@ pub struct ExecOptions {
     /// Rows per batch for the vectorized path (≥ 1; 1 is the degenerate
     /// tuple-at-a-time batching the parity suite exercises).
     pub batch_rows: usize,
+    /// Cooperative wall-clock deadline (the session's resource governor
+    /// sets it). Checked at every operator-evaluation boundary; on
+    /// expiry the *query* aborts with a `TimeBudgetExpired` error while
+    /// the rest of the batch keeps executing. `None` = unbounded.
+    pub deadline: Option<Instant>,
+    /// Byte budget for intermediate results. Each operator's output is
+    /// charged ([`Table::approx_bytes`]); exceeding the budget aborts
+    /// the query with `MemBudgetExceeded`. Charging is skipped entirely
+    /// when unset — `approx_bytes` walks string columns. `None` =
+    /// unbounded.
+    pub mem_budget_bytes: Option<usize>,
 }
 
 impl Default for ExecOptions {
@@ -48,6 +60,8 @@ impl Default for ExecOptions {
         ExecOptions {
             mode: ExecMode::Vectorized,
             batch_rows: DEFAULT_BATCH_ROWS,
+            deadline: None,
+            mem_budget_bytes: None,
         }
     }
 }
@@ -91,7 +105,53 @@ impl ExecOptions {
                 _ => panic!("MQO_BATCH_ROWS must be a positive integer, got `{s}`"),
             },
         };
-        ExecOptions { mode, batch_rows }
+        ExecOptions {
+            mode,
+            batch_rows,
+            ..ExecOptions::default()
+        }
+    }
+
+    /// Like [`ExecOptions::from_env`], but *lenient*: a malformed
+    /// `MQO_EXEC_MODE` or `MQO_BATCH_ROWS` yields the defaults instead
+    /// of a panic, with the second tuple element `true` so the caller
+    /// can count the fallback (see `SessionStats::env_fallbacks`). A
+    /// serving session must not die to a typo'd environment knob;
+    /// the figure binaries keep the strict [`ExecOptions::from_env`]
+    /// so a typo'd matrix leg still fails loudly.
+    ///
+    /// Cached once per process, like `from_env`.
+    pub fn lenient_from_env() -> (Self, bool) {
+        static CACHED: std::sync::OnceLock<(ExecOptions, bool)> = std::sync::OnceLock::new();
+        *CACHED.get_or_init(|| {
+            let mut fell_back = false;
+            let mode = match std::env::var("MQO_EXEC_MODE").ok().as_deref() {
+                Some("row") => ExecMode::Row,
+                Some("vec") | Some("vectorized") | None | Some("") => ExecMode::Vectorized,
+                Some(_) => {
+                    fell_back = true;
+                    ExecMode::Vectorized
+                }
+            };
+            let batch_rows = match std::env::var("MQO_BATCH_ROWS").ok().as_deref() {
+                None | Some("") => DEFAULT_BATCH_ROWS,
+                Some(s) => match s.parse::<usize>() {
+                    Ok(n) if n >= 1 => n,
+                    _ => {
+                        fell_back = true;
+                        DEFAULT_BATCH_ROWS
+                    }
+                },
+            };
+            (
+                ExecOptions {
+                    mode,
+                    batch_rows,
+                    ..ExecOptions::default()
+                },
+                fell_back,
+            )
+        })
     }
 }
 
@@ -106,6 +166,11 @@ pub struct ExecOutcome {
     pub rows_out: usize,
     /// Wall-clock execution time.
     pub wall: Duration,
+    /// Per-query governor verdicts, in batch order: `None` for a query
+    /// that ran to completion, `Some(err)` (a budget error) for a query
+    /// the resource governor aborted — its `results` slot is an empty
+    /// placeholder table. Always all-`None` without budgets.
+    pub query_errors: Vec<Option<MqoError>>,
 }
 
 /// Executes `plan` against `db` with engine knobs from the environment.
@@ -151,13 +216,18 @@ pub struct SeededOutcome {
 
 /// Executes a (possibly warm) plan: `seeds` provides one table per
 /// `plan.warm_used` node — results an earlier batch materialized, here
-/// read zero-copy instead of recomputed. Panics if a warm temp has no
-/// seed (the plan was extracted against a cache state the caller no
-/// longer holds).
+/// read zero-copy instead of recomputed.
+///
+/// Panicking wrapper over [`try_execute_plan_seeded`], kept for call
+/// sites outside the serving session (figure binaries, parity suites)
+/// where a broken plan is a bug, not an input.
 ///
 /// # Panics
 ///
-/// Panics if the plan reads a warm temp with no matching seed, or if the plan is malformed (missing choices, unbound parameters).
+/// Panics (with the rendered [`MqoError`] diagnostic) if the plan reads
+/// a warm temp with no matching seed, or if the plan is malformed
+/// (missing choices, unbound parameters).
+#[must_use]
 pub fn execute_plan_seeded(
     catalog: &Catalog,
     pdag: &PhysicalDag,
@@ -167,12 +237,52 @@ pub fn execute_plan_seeded(
     exec: ExecOptions,
     seeds: &FxHashMap<PhysNodeId, Arc<Table>>,
 ) -> SeededOutcome {
+    match try_execute_plan_seeded(catalog, pdag, plan, db, params, exec, seeds) {
+        Ok(out) => out,
+        Err(e) => panic!("{}", e.render()),
+    }
+}
+
+/// The fallible seeded-execution path the serving session drives.
+///
+/// Failure semantics (the graceful-degradation contract):
+///
+/// * **Budget errors** (`TimeBudgetExpired` / `MemBudgetExceeded`)
+///   abort *queries*, not the batch: a temp-phase expiry skips the
+///   remaining temps, and each query that then needs a missing temp —
+///   or trips a checkpoint itself — records its error in
+///   [`ExecOutcome::query_errors`] with an empty placeholder result.
+///   The call still returns `Ok`.
+/// * **Structural errors** (`PlanBroken`, `MissingSeed`) and injected
+///   faults fail the whole call with `Err` — results computed from a
+///   broken plan are not trustworthy.
+///
+/// # Errors
+///
+/// `MissingSeed` when `plan.warm_used` references a node absent from
+/// `seeds`; `PlanBroken` for malformed plans; `FaultInjected` from
+/// `mqo-chaos` seams (`temp-build`, `exec-operator`, `column-alloc`).
+pub fn try_execute_plan_seeded(
+    catalog: &Catalog,
+    pdag: &PhysicalDag,
+    plan: &ExtractedPlan,
+    db: &Database,
+    params: &FxHashMap<ParamId, Value>,
+    exec: ExecOptions,
+    seeds: &FxHashMap<PhysNodeId, Arc<Table>>,
+) -> Result<SeededOutcome, MqoError> {
     let start = Instant::now();
     let mut temps: FxHashMap<PhysNodeId, Arc<Table>> = FxHashMap::default();
     for &w in &plan.warm_used {
-        let t = seeds
-            .get(&w)
-            .unwrap_or_else(|| panic!("plan reads warm temp of node {w} but no seed was provided"));
+        let t = seeds.get(&w).ok_or_else(|| {
+            MqoError::new(
+                mqo_util::MqoErrorKind::MissingSeed,
+                ErrorStage::Execute,
+                w.to_string(),
+                format!("plan reads warm temp of node {w} but no seed was provided"),
+                "warm plan node has no live cache seed",
+            )
+        })?;
         debug_assert!(
             match &pdag.node(w).prop {
                 PhysProp::Sorted(keys) => t.sorted_on.starts_with(keys),
@@ -190,32 +300,63 @@ pub fn execute_plan_seeded(
         params: params.clone(),
         temps,
         exec,
+        mem_used: 0,
+        budget_stop: None,
     };
+    let mut temps_built = 0usize;
     for &m in &plan.materialized {
-        let mut t = ex.eval_def(m);
-        if let PhysProp::Sorted(keys) = &pdag.node(m).prop {
-            if !t.sorted_on.starts_with(keys) {
-                t.sort_by(keys);
+        mqo_chaos::hit(Seam::TempBuild)?;
+        match ex.eval_def(m) {
+            Ok(mut t) => {
+                if let PhysProp::Sorted(keys) = &pdag.node(m).prop {
+                    if !t.sorted_on.starts_with(keys) {
+                        t.sort_by(keys);
+                    }
+                }
+                temps_built += 1;
+                ex.temps.insert(m, Arc::new(t));
             }
+            Err(e) if e.is_budget() => {
+                // Degrade: skip the remaining temps; queries that need
+                // one inherit this error and abort individually.
+                ex.budget_stop = Some(e);
+                break;
+            }
+            Err(e) => return Err(e),
         }
-        ex.temps.insert(m, Arc::new(t));
     }
     let built_temps: Vec<(PhysNodeId, Arc<Table>)> = plan
         .materialized
         .iter()
-        .map(|&m| (m, Arc::clone(&ex.temps[&m])))
+        .filter_map(|&m| ex.temps.get(&m).map(|t| (m, Arc::clone(t))))
         .collect();
-    let results: Vec<Table> = plan.query_roots.iter().map(|&q| ex.eval_use(q)).collect();
+    let mut results: Vec<Table> = Vec::with_capacity(plan.query_roots.len());
+    let mut query_errors: Vec<Option<MqoError>> = Vec::with_capacity(plan.query_roots.len());
+    for &q in &plan.query_roots {
+        match ex.eval_use(q) {
+            Ok(t) => {
+                results.push(t);
+                query_errors.push(None);
+            }
+            Err(e) if e.is_budget() => {
+                // Abort the query, not the batch.
+                results.push(Table::new(Vec::new(), Vec::new()));
+                query_errors.push(Some(e));
+            }
+            Err(e) => return Err(e),
+        }
+    }
     let rows_out = results.iter().map(Table::len).sum();
-    SeededOutcome {
+    Ok(SeededOutcome {
         outcome: ExecOutcome {
-            temps_built: plan.materialized.len(),
+            temps_built,
             rows_out,
             wall: start.elapsed(),
             results,
+            query_errors,
         },
         built_temps,
-    }
+    })
 }
 
 /// Stateful plan evaluator (temps live across query evaluations).
@@ -227,38 +368,90 @@ pub struct Executor<'a> {
     params: Params,
     temps: FxHashMap<PhysNodeId, Arc<Table>>,
     exec: ExecOptions,
+    /// Bytes of operator output charged so far (only maintained when a
+    /// memory budget is armed).
+    mem_used: usize,
+    /// The budget error that truncated the temp phase, if any; queries
+    /// needing a skipped temp inherit it instead of `PlanBroken`.
+    budget_stop: Option<MqoError>,
 }
 
 impl Executor<'_> {
+    /// Governor checkpoint, run at every operator-evaluation boundary:
+    /// deadline first, then the byte budget over charged output.
+    fn checkpoint(&self, n: PhysNodeId) -> Result<(), MqoError> {
+        if self.exec.deadline.is_some_and(|d| Instant::now() >= d) {
+            return Err(MqoError::time_budget(ErrorStage::Execute, n.to_string()));
+        }
+        if let Some(budget) = self.exec.mem_budget_bytes {
+            if self.mem_used > budget {
+                return Err(MqoError::mem_budget(n.to_string(), self.mem_used, budget));
+            }
+        }
+        Ok(())
+    }
+
+    /// Charges an operator's output against the memory budget.
+    /// `approx_bytes` walks string payloads, so charging is skipped
+    /// entirely when no budget is armed.
+    fn charge(&mut self, t: &Table) {
+        if self.exec.mem_budget_bytes.is_some() {
+            self.mem_used += t.approx_bytes();
+        }
+    }
+
+    /// The error for a temp the plan promised but the temp phase never
+    /// built: the truncating budget error when the governor stopped the
+    /// phase, a structural `PlanBroken` otherwise.
+    fn missing_temp(&self, site: String, message: String) -> MqoError {
+        match &self.budget_stop {
+            Some(e) => e.clone(),
+            None => MqoError::plan_broken(site, message),
+        }
+    }
+
     /// Evaluates a *use* of `n`: read the temp when the plan shares it
     /// (a zero-copy share of the temp's columns).
-    fn eval_use(&mut self, n: PhysNodeId) -> Table {
+    fn eval_use(&mut self, n: PhysNodeId) -> Result<Table, MqoError> {
         if let Some(m) = self.plan.reuse_of(n) {
             if let Some(t) = self.temps.get(&m) {
-                return t.as_ref().clone();
+                return Ok(t.as_ref().clone());
             }
         }
         self.eval_def(n)
     }
 
-    /// Evaluates the computing definition of `n`.
-    ///
-    /// # Panics
-    ///
-    /// Panics on a malformed plan: a node with no recorded choice, a
-    /// reuse of a node never materialized, an indexed select over an
-    /// unclustered table, or an attempt to execute the pseudo-root.
-    fn eval_def(&mut self, n: PhysNodeId) -> Table {
+    /// Evaluates the computing definition of `n`: governor checkpoint,
+    /// `exec-operator` failpoint, the operator itself, then the budget
+    /// charge for its output.
+    fn eval_def(&mut self, n: PhysNodeId) -> Result<Table, MqoError> {
+        self.checkpoint(n)?;
+        mqo_chaos::hit(Seam::ExecOperator)?;
+        let t = self.eval_def_inner(n)?;
+        self.charge(&t);
+        Ok(t)
+    }
+
+    /// The operator dispatch. Errors on a malformed plan: a node with
+    /// no recorded choice, a reuse of a node never materialized, an
+    /// indexed select over an unclustered table, or an attempt to
+    /// execute the pseudo-root.
+    fn eval_def_inner(&mut self, n: PhysNodeId) -> Result<Table, MqoError> {
         let op_id = match self.plan.choices.get(&n) {
             Some(&ChosenOp::Compute(o)) => o,
             Some(&ChosenOp::Reuse(m)) => {
-                let t = self
-                    .temps
-                    .get(&m)
-                    .unwrap_or_else(|| panic!("reuse of unmaterialized node {m}"));
-                return t.as_ref().clone();
+                return match self.temps.get(&m) {
+                    Some(t) => Ok(t.as_ref().clone()),
+                    None => Err(self
+                        .missing_temp(m.to_string(), format!("reuse of unmaterialized node {m}"))),
+                };
             }
-            None => panic!("plan has no choice for node {n}"),
+            None => {
+                return Err(MqoError::plan_broken(
+                    n.to_string(),
+                    format!("plan has no choice for node {n}"),
+                ))
+            }
         };
         let op = self.pdag.op(op_id);
         let inputs = op.inputs.clone();
@@ -266,7 +459,7 @@ impl Executor<'_> {
         match op.algo.clone() {
             Algo::TableScan { table } => {
                 let data = self.db.table(table);
-                match mode {
+                Ok(match mode {
                     ExecMode::Row => {
                         let sorted = data.sorted_on.clone();
                         let schema = data.schema.clone();
@@ -277,12 +470,17 @@ impl Executor<'_> {
                     }
                     // zero-copy: share the base table's columns
                     ExecMode::Vectorized => data.as_ref().clone(),
-                }
+                })
             }
             Algo::IndexedSelect { table, pred } => {
                 let data = self.db.table(table);
                 let sorted = data.sorted_on.clone();
-                let col = sorted.first().copied().expect("clustered table");
+                let col = sorted.first().copied().ok_or_else(|| {
+                    MqoError::plan_broken(
+                        n.to_string(),
+                        format!("indexed select over unclustered table {table}"),
+                    )
+                })?;
                 let mut t = match mode {
                     ExecMode::Row => {
                         let schema = data.schema.clone();
@@ -294,10 +492,10 @@ impl Executor<'_> {
                     }
                 };
                 t.sorted_on = sorted;
-                t
+                Ok(t)
             }
             Algo::TempIndexedSelect { source, col, pred } => {
-                let temp = self.temp_sorted_on(source, col);
+                let temp = self.temp_sorted_on(source, col)?;
                 let sorted = temp.sorted_on.clone();
                 let mut t = match mode {
                     ExecMode::Row => {
@@ -310,10 +508,10 @@ impl Executor<'_> {
                     }
                 };
                 t.sorted_on = sorted;
-                t
+                Ok(t)
             }
             Algo::Filter { pred } => {
-                let input = self.eval_use(inputs[0]);
+                let input = self.eval_use(inputs[0])?;
                 let sorted = input.sorted_on.clone();
                 let mut t = match mode {
                     ExecMode::Row => {
@@ -330,12 +528,13 @@ impl Executor<'_> {
                     ExecMode::Vectorized => vops::filter(&input, &pred, &self.params, batch),
                 };
                 t.sorted_on = sorted;
-                t
+                Ok(t)
             }
             Algo::NestLoopsJoin { pred } => {
-                let outer = self.eval_use(inputs[0]);
-                let inner = self.eval_use(inputs[1]);
-                match mode {
+                let outer = self.eval_use(inputs[0])?;
+                let inner = self.eval_use(inputs[1])?;
+                mqo_chaos::hit(Seam::ColumnAlloc)?;
+                Ok(match mode {
                     ExecMode::Row => {
                         let mut schema = outer.schema.clone();
                         schema.extend(inner.schema.iter().copied());
@@ -352,15 +551,16 @@ impl Executor<'_> {
                     ExecMode::Vectorized => {
                         vops::nl_join(&outer, &inner, &pred, &self.params, batch)
                     }
-                }
+                })
             }
             Algo::MergeJoin {
                 left_keys,
                 right_keys,
                 residual,
             } => {
-                let mut left = self.eval_use(inputs[0]);
-                let mut right = self.eval_use(inputs[1]);
+                let mut left = self.eval_use(inputs[0])?;
+                let mut right = self.eval_use(inputs[1])?;
+                mqo_chaos::hit(Seam::ColumnAlloc)?;
                 if !left.sorted_on.starts_with(&left_keys) {
                     left.sort_by(&left_keys);
                 }
@@ -394,7 +594,7 @@ impl Executor<'_> {
                     ),
                 };
                 t.sorted_on = left_keys;
-                t
+                Ok(t)
             }
             Algo::IndexedNLJoinBase {
                 table,
@@ -402,7 +602,7 @@ impl Executor<'_> {
                 inner_key,
                 residual,
             } => {
-                let outer = self.eval_use(inputs[0]);
+                let outer = self.eval_use(inputs[0])?;
                 let inner = self.db.table(table);
                 debug_assert_eq!(inner.sorted_on.first(), Some(&inner_key));
                 self.indexed_nl(&outer, &inner, outer_key, residual)
@@ -413,17 +613,18 @@ impl Executor<'_> {
                 inner_key,
                 residual,
             } => {
-                let outer = self.eval_use(inputs[0]);
-                let inner = self.temp_sorted_on(source, inner_key);
+                let outer = self.eval_use(inputs[0])?;
+                let inner = self.temp_sorted_on(source, inner_key)?;
                 self.indexed_nl(&outer, &inner, outer_key, residual)
             }
             Algo::Sort { keys } => {
-                let mut input = self.eval_use(inputs[0]);
+                let mut input = self.eval_use(inputs[0])?;
                 input.sort_by(&keys);
-                input
+                Ok(input)
             }
             Algo::SortAggregate { keys, aggs } => {
-                let mut input = self.eval_use(inputs[0]);
+                let mut input = self.eval_use(inputs[0])?;
+                mqo_chaos::hit(Seam::ColumnAlloc)?;
                 if !keys.is_empty() && !input.sorted_on.starts_with(&keys) {
                     input.sort_by(&keys);
                 }
@@ -438,10 +639,10 @@ impl Executor<'_> {
                     ExecMode::Vectorized => vops::sort_aggregate(&input, &keys, &aggs),
                 };
                 t.sorted_on = keys;
-                t
+                Ok(t)
             }
             Algo::Project { cols } => {
-                let input = self.eval_use(inputs[0]);
+                let input = self.eval_use(inputs[0])?;
                 let sorted: Vec<_> = input
                     .sorted_on
                     .iter()
@@ -458,9 +659,12 @@ impl Executor<'_> {
                     ExecMode::Vectorized => vops::project(&input, &cols),
                 };
                 t.sorted_on = sorted;
-                t
+                Ok(t)
             }
-            Algo::Root => panic!("root op is not executable"),
+            Algo::Root => Err(MqoError::plan_broken(
+                n.to_string(),
+                "root op is not executable",
+            )),
         }
     }
 
@@ -472,8 +676,9 @@ impl Executor<'_> {
         inner: &Arc<Table>,
         outer_key: mqo_catalog::ColId,
         residual: mqo_expr::Predicate,
-    ) -> Table {
-        match self.exec.mode {
+    ) -> Result<Table, MqoError> {
+        mqo_chaos::hit(Seam::ColumnAlloc)?;
+        Ok(match self.exec.mode {
             ExecMode::Row => {
                 let mut schema = outer.schema.clone();
                 schema.extend(inner.schema.iter().copied());
@@ -496,25 +701,30 @@ impl Executor<'_> {
                 &self.params,
                 self.exec.batch_rows,
             ),
-        }
+        })
     }
 
-    /// Finds the materialized temp of `source` sorted with leading `col`.
-    ///
-    /// # Panics
-    ///
-    /// Panics when no such temp was materialized — the plan promised a
-    /// temp-dependent op its temp and the schedule failed to build it.
-    fn temp_sorted_on(&self, source: mqo_dag::GroupId, col: mqo_catalog::ColId) -> Arc<Table> {
+    /// Finds the materialized temp of `source` sorted with leading
+    /// `col`. Errors when no such temp exists — the plan promised a
+    /// temp-dependent op its temp and the schedule never built it
+    /// (structurally broken plan, or a governor-truncated temp phase).
+    fn temp_sorted_on(
+        &self,
+        source: mqo_dag::GroupId,
+        col: mqo_catalog::ColId,
+    ) -> Result<Arc<Table>, MqoError> {
         // Key-sorted traversal: when several temps satisfy (group, col),
         // the lowest node id wins deterministically.
         for (&n, t) in mqo_util::sorted_entries(&self.temps) {
             let node = self.pdag.node(n);
             if node.group == source && node.prop.leading_col() == Some(col) {
-                return Arc::clone(t);
+                return Ok(Arc::clone(t));
             }
         }
-        panic!("no materialized temp of group {source} sorted on c{col}");
+        Err(self.missing_temp(
+            source.to_string(),
+            format!("no materialized temp of group {source} sorted on c{col}"),
+        ))
     }
 }
 

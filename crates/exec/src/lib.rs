@@ -27,8 +27,8 @@ pub mod vops;
 pub use column::{Cell, Column, ColumnBuilder, ColumnData, NullMask};
 pub use datagen::generate_database;
 pub use engine::{
-    execute_plan, execute_plan_seeded, execute_plan_with, ExecMode, ExecOptions, ExecOutcome,
-    Executor, SeededOutcome, DEFAULT_BATCH_ROWS,
+    execute_plan, execute_plan_seeded, execute_plan_with, try_execute_plan_seeded, ExecMode,
+    ExecOptions, ExecOutcome, Executor, SeededOutcome, DEFAULT_BATCH_ROWS,
 };
 pub use mv_store::{Admission, MvEntry, MvStats, MvStore};
 pub use table::{normalize_result, results_approx_equal, Database, Row, Table};

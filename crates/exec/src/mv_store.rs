@@ -24,7 +24,9 @@
 //! batch size.
 
 use crate::table::Table;
+use mqo_chaos::Seam;
 use mqo_dag::Fingerprint;
+use mqo_util::MqoError;
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
@@ -176,11 +178,6 @@ impl MvStore {
     /// blocks). Evicts lowest-`score()` residents while the newcomer
     /// outranks them and space is still short; rejects the newcomer
     /// otherwise.
-    ///
-    /// # Panics
-    ///
-    /// Panics if a planned eviction victim is missing from the store —
-    /// an invariant violation.
     pub fn admit(
         &mut self,
         fp: Fingerprint,
@@ -214,7 +211,7 @@ impl MvStore {
         // resident the newcomer does not outrank. If the freed bytes
         // still would not fit the newcomer, nothing is evicted at all —
         // a rejected offer must never cost the cache a resident.
-        let mut victims: Vec<Fingerprint> = Vec::new();
+        let mut victims: Vec<(Fingerprint, usize)> = Vec::new();
         let mut freed = 0usize;
         if self.bytes_used + bytes > self.budget_bytes {
             let mut ranked: Vec<(f64, Fingerprint, usize)> = self
@@ -228,7 +225,7 @@ impl MvStore {
                     break;
                 }
                 if entry.score() > score {
-                    victims.push(vfp);
+                    victims.push((vfp, vbytes));
                     freed += vbytes;
                 } else {
                     break;
@@ -239,16 +236,51 @@ impl MvStore {
                 return Admission::Rejected;
             }
         }
+        // The victim list carries each entry's charged bytes, so the
+        // execution leg needs nothing back from the map: a planned
+        // victim that has somehow vanished is a no-op on the counters
+        // (and impossible — `&mut self` holds the map fixed between the
+        // planning and execution legs), not a panic.
         let evicted = victims.len();
-        for vfp in victims {
-            let gone = self.entries.remove(&vfp).expect("planned victim exists");
-            self.bytes_used -= gone.bytes;
+        for (vfp, vbytes) in victims {
+            debug_assert!(self.entries.contains_key(&vfp), "planned victim exists");
+            self.entries.remove(&vfp);
+            self.bytes_used -= vbytes;
             self.stats.evictions += 1;
         }
         self.bytes_used += bytes;
         self.entries.insert(fp, entry);
         self.stats.admissions += 1;
         Admission::Admitted { evicted }
+    }
+
+    /// Fault-observable twin of [`MvStore::admit`]: crosses the
+    /// `admission` failpoint seam before touching the store, and the
+    /// `eviction` seam before an offer that will have to make room. On
+    /// `Err` the store is untouched — the serving session stages
+    /// admissions on a snapshot and rolls the whole batch back, so a
+    /// fault here must not leak partial accounting.
+    ///
+    /// # Errors
+    ///
+    /// Returns the injected [`MqoError`] when a chaos failpoint fires;
+    /// infallible otherwise.
+    pub fn try_admit(
+        &mut self,
+        fp: Fingerprint,
+        table: Arc<Table>,
+        benefit_secs: f64,
+        blocks: f64,
+        batch: u64,
+    ) -> Result<Admission, MqoError> {
+        mqo_chaos::hit(Seam::Admission)?;
+        let needs_room = !self.entries.contains_key(&fp)
+            && table.approx_bytes() <= self.budget_bytes
+            && self.bytes_used + table.approx_bytes() > self.budget_bytes;
+        if needs_room {
+            mqo_chaos::hit(Seam::Eviction)?;
+        }
+        Ok(self.admit(fp, table, benefit_secs, blocks, batch))
     }
 
     /// Drops every entry (budget and cumulative stats are kept).

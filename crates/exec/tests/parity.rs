@@ -476,6 +476,7 @@ fn engine_modes_agree_bit_for_bit() {
             ExecOptions {
                 mode: ExecMode::Row,
                 batch_rows: 1024,
+                ..ExecOptions::default()
             },
         );
         for batch_rows in BATCHES {
@@ -488,6 +489,7 @@ fn engine_modes_agree_bit_for_bit() {
                 ExecOptions {
                     mode: ExecMode::Vectorized,
                     batch_rows,
+                    ..ExecOptions::default()
                 },
             );
             assert_eq!(row.temps_built, vec.temps_built, "{alg:?}");

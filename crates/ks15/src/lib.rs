@@ -56,9 +56,11 @@
 //! count — members are probed under one fixed state per round and the
 //! argmax is tie-broken by node id, never by probe timing.
 
-use mqo_core::{CostState, OptContext, OptStats, Optimized, Options, Strategy};
+use mqo_chaos::Seam;
+use mqo_core::{deadline_expired, CostState, OptContext, OptStats, Optimized, Options, Strategy};
 use mqo_dag::sharable_groups;
 use mqo_physical::{ExtractedPlan, PhysNodeId};
+use mqo_util::MqoError;
 
 /// Benefits below this are treated as zero (matches `mqo-core`'s greedy).
 const EPS: f64 = 1e-9;
@@ -86,8 +88,9 @@ impl Strategy for Ks15Greedy {
         "KS15-Greedy"
     }
 
-    fn search(&self, ctx: &OptContext<'_>, options: &Options) -> Optimized {
+    fn search(&self, ctx: &OptContext<'_>, options: &Options) -> Result<Optimized, MqoError> {
         let pdag = &ctx.pdag;
+        let deadline = options.greedy.deadline.or(options.deadline);
         let mut stats = OptStats::default();
         // Probe-thread count: the greedy-specific setting wins, then the
         // session-wide one, then auto (MQO_THREADS / machine).
@@ -128,6 +131,14 @@ impl Strategy for Ks15Greedy {
         // The bi-directional sweep: each candidate is either committed
         // into X or discarded from Y, whichever gains more.
         for &n in &candidates {
+            if deadline_expired(deadline) {
+                // Anytime degradation: X holds every decision made so
+                // far; undecided candidates default to "not chosen",
+                // which is always a valid materialized set.
+                stats.degraded = true;
+                break;
+            }
+            mqo_chaos::hit(Seam::CostPropagation)?;
             stats.benefit_recomputations += 1;
             let x_before = x.total(pdag);
             x.add_mat(pdag, n, &mut stats);
@@ -151,6 +162,10 @@ impl Strategy for Ks15Greedy {
         // deterministic at every thread count: node-id order fixes both
         // the wave order and the argmax tie-break.
         loop {
+            if deadline_expired(deadline) {
+                stats.degraded = true;
+                break; // descent only improves; the current X is valid
+            }
             // Only this batch's own choices are up for removal — warm
             // temps exist whether or not this plan reads them.
             let mut members: Vec<PhysNodeId> =
@@ -159,6 +174,7 @@ impl Strategy for Ks15Greedy {
                 break;
             }
             members.sort();
+            mqo_chaos::hit(Seam::PoolSend)?;
             let gains = x.removal_gains_parallel(pdag, &members, threads, &mut stats);
             let mut best: Option<(PhysNodeId, f64)> = None;
             for (k, &n) in members.iter().enumerate() {
@@ -177,16 +193,17 @@ impl Strategy for Ks15Greedy {
             x = floor;
         }
 
+        mqo_chaos::hit(Seam::Extract)?;
         stats.materialized = x.mat.len() - x.warm.len();
         let cost = x.total(pdag);
         let plan = ExtractedPlan::extract_with_warm(pdag, &x.table, &x.mat, &x.warm);
         stats.warm_reused = plan.warm_used.len();
-        Optimized {
+        Ok(Optimized {
             plan,
             mat: x.mat,
             cost,
             stats,
-        }
+        })
     }
 }
 

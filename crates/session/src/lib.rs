@@ -40,15 +40,18 @@
 //! binaries); the session is the serving path.
 
 use mqo_catalog::Catalog;
+use mqo_chaos::Seam;
 use mqo_core::{OptStats, Optimizer, Options, Registry, Strategy, StrategyError};
 use mqo_cost::Cost;
-use mqo_exec::{execute_plan_seeded, Admission, Database, ExecOptions, MvStats, MvStore, Table};
+use mqo_exec::{
+    try_execute_plan_seeded, Admission, Database, ExecOptions, MvStats, MvStore, Table,
+};
 use mqo_expr::{ParamId, Value};
 use mqo_logical::Batch;
 use mqo_physical::{CostTable, MatSet, PhysNodeId};
-use mqo_util::FxHashMap;
-use std::sync::Arc;
-use std::time::Duration;
+use mqo_util::{ErrorStage, FxHashMap, MqoError, MqoErrorKind};
+use std::sync::{Arc, OnceLock};
+use std::time::{Duration, Instant};
 
 /// Default materialized-view budget: 256 MiB of columnar payload.
 pub const DEFAULT_MV_BUDGET_BYTES: usize = 256 << 20;
@@ -70,15 +73,72 @@ pub struct SessionOptions {
     /// Byte budget of the [`MvStore`]; `0` disables cross-batch caching
     /// (every submit runs cold).
     pub mv_budget_bytes: usize,
+    /// Per-submit wall-clock budget for the whole pipeline. On expiry
+    /// the search degrades to its best-so-far answer and execution
+    /// aborts the *query in flight* (the batch keeps going); the submit
+    /// still returns `Ok` with [`BatchResult::degraded`] set. `None`
+    /// (the default) runs ungoverned; the environment default is
+    /// `MQO_TIME_BUDGET_MS`.
+    pub time_budget: Option<Duration>,
+    /// Per-submit memory budget in bytes, charged against the
+    /// executor's materialized intermediates. Same degradation contract
+    /// as `time_budget`; environment default `MQO_MEM_BUDGET` (plain
+    /// bytes, or with a `K`/`M`/`G` suffix).
+    pub mem_budget: Option<usize>,
+}
+
+/// Reads the process-wide budget defaults `MQO_TIME_BUDGET_MS` and
+/// `MQO_MEM_BUDGET` once, leniently: a malformed value falls back to
+/// "no budget" and is counted (surfaced through
+/// [`SessionStats::env_fallbacks`]) rather than panicking the serving
+/// process over a typo in a deploy script.
+fn budgets_from_env() -> (Option<Duration>, Option<usize>, u64) {
+    static CACHED: OnceLock<(Option<Duration>, Option<usize>, u64)> = OnceLock::new();
+    *CACHED.get_or_init(|| {
+        let mut warnings = 0u64;
+        let time = match std::env::var("MQO_TIME_BUDGET_MS") {
+            Ok(v) => match v.trim().parse::<u64>() {
+                Ok(ms) => Some(Duration::from_millis(ms)),
+                Err(_) => {
+                    warnings += 1;
+                    None
+                }
+            },
+            Err(_) => None,
+        };
+        let mem = match std::env::var("MQO_MEM_BUDGET") {
+            Ok(v) => {
+                let t = v.trim();
+                let (digits, mult) = match t.as_bytes().last() {
+                    Some(b'K' | b'k') => (&t[..t.len() - 1], 1usize << 10),
+                    Some(b'M' | b'm') => (&t[..t.len() - 1], 1usize << 20),
+                    Some(b'G' | b'g') => (&t[..t.len() - 1], 1usize << 30),
+                    _ => (t, 1usize),
+                };
+                match digits.trim().parse::<usize>() {
+                    Ok(n) => Some(n.saturating_mul(mult)),
+                    Err(_) => {
+                        warnings += 1;
+                        None
+                    }
+                }
+            }
+            Err(_) => None,
+        };
+        (time, mem, warnings)
+    })
 }
 
 impl Default for SessionOptions {
     fn default() -> Self {
+        let (time_budget, mem_budget, _) = budgets_from_env();
         SessionOptions {
             opt: Options::new(),
             strategy: "Greedy".to_string(),
             exec: None,
             mv_budget_bytes: DEFAULT_MV_BUDGET_BYTES,
+            time_budget,
+            mem_budget,
         }
     }
 }
@@ -120,6 +180,19 @@ impl SessionOptions {
         self.opt = self.opt.with_threads(threads);
         self
     }
+
+    /// Sets the per-submit wall-clock budget (`None` = ungoverned).
+    pub fn with_time_budget(mut self, budget: Option<Duration>) -> Self {
+        self.time_budget = budget;
+        self
+    }
+
+    /// Sets the per-submit executor memory budget in bytes (`None` =
+    /// ungoverned).
+    pub fn with_mem_budget(mut self, bytes: Option<usize>) -> Self {
+        self.mem_budget = bytes;
+        self
+    }
 }
 
 /// The outcome of one [`MqoSession::submit`].
@@ -147,6 +220,14 @@ pub struct BatchResult {
     pub evicted: usize,
     /// Admission offers the store rejected (budget).
     pub rejected: usize,
+    /// True when a per-submit budget expired anywhere in the pipeline:
+    /// the search committed its best-so-far answer and/or some queries
+    /// were aborted. The results that are present are still exact.
+    pub degraded: bool,
+    /// Per-query abort record, parallel to `results`: `None` for a
+    /// query that completed, `Some(budget error)` for one whose result
+    /// slot is an empty placeholder.
+    pub query_errors: Vec<Option<MqoError>>,
 }
 
 /// Unified statistics over a session's lifetime.
@@ -175,6 +256,25 @@ pub struct SessionStats {
     pub opt_secs: f64,
     /// Σ execution wall time, in seconds.
     pub exec_secs: f64,
+    /// Submits that returned `Ok` but degraded under a budget (search
+    /// truncated and/or queries aborted).
+    pub degraded_submits: u64,
+    /// Individual budget-expiry events: search degradations plus
+    /// budget-aborted queries.
+    pub budget_expiries: u64,
+    /// Queries aborted by a budget (their result slot was an empty
+    /// placeholder).
+    pub query_aborts: u64,
+    /// Submits that returned `Err` (injected fault or broken
+    /// invariant).
+    pub failed_submits: u64,
+    /// Staged store snapshots discarded by failed submits — cross-batch
+    /// state rolled back to the last good batch.
+    pub rolled_back: u64,
+    /// Fallbacks forced by a malformed `MQO_*` environment: one per
+    /// submit whose engine knobs fell back to defaults, plus one per
+    /// malformed budget variable, counted once when the session opens.
+    pub env_fallbacks: u64,
 }
 
 /// A long-lived optimize-and-execute session over one catalog and
@@ -228,6 +328,12 @@ struct SessionTotals {
     est_cost_secs: f64,
     opt_secs: f64,
     exec_secs: f64,
+    degraded_submits: u64,
+    budget_expiries: u64,
+    query_aborts: u64,
+    failed_submits: u64,
+    rolled_back: u64,
+    env_fallbacks: u64,
 }
 
 impl MqoSession {
@@ -244,6 +350,13 @@ impl MqoSession {
             .register(Arc::new(mqo_ks15::Ks15Greedy))
             .expect("KS15 name is unique among built-ins");
         let store = MvStore::new(options.mv_budget_bytes);
+        // Budget-variable typos were swallowed (leniently) when the
+        // options were built; surface them on the session's counter so
+        // a misconfigured deploy is visible in `stats()`.
+        let totals = SessionTotals {
+            env_fallbacks: budgets_from_env().2,
+            ..SessionTotals::default()
+        };
         MqoSession {
             catalog,
             db,
@@ -251,7 +364,7 @@ impl MqoSession {
             registry,
             store,
             batch_seq: 0,
-            totals: SessionTotals::default(),
+            totals,
         }
     }
 
@@ -308,6 +421,12 @@ impl MqoSession {
             est_cost_secs: self.totals.est_cost_secs,
             opt_secs: self.totals.opt_secs,
             exec_secs: self.totals.exec_secs,
+            degraded_submits: self.totals.degraded_submits,
+            budget_expiries: self.totals.budget_expiries,
+            query_aborts: self.totals.query_aborts,
+            failed_submits: self.totals.failed_submits,
+            rolled_back: self.totals.rolled_back,
+            env_fallbacks: self.totals.env_fallbacks,
         }
     }
 
@@ -320,7 +439,21 @@ impl MqoSession {
     /// Optimizes and executes one batch: expand → search (planning
     /// around the warm cache) → extract → vectorized execute, then
     /// admits this batch's temps into the store.
-    pub fn submit(&mut self, batch: &Batch) -> Result<BatchResult, StrategyError> {
+    ///
+    /// The submit is **transactional** with respect to the session's
+    /// cross-batch state: admissions land on a staged snapshot of the
+    /// [`MvStore`] that replaces the live store only when the whole
+    /// pipeline succeeds. On `Err` the session is exactly as it was
+    /// before the call and stays fully usable.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`MqoError`] for an unknown strategy, an injected
+    /// fault (`mqo-chaos`), or a broken invariant. Budget expiry is
+    /// *not* an error: the submit degrades (best-so-far plan, aborted
+    /// queries recorded in [`BatchResult::query_errors`]) and returns
+    /// `Ok` with [`BatchResult::degraded`] set.
+    pub fn submit(&mut self, batch: &Batch) -> Result<BatchResult, MqoError> {
         self.submit_with_params(batch, &FxHashMap::default())
     }
 
@@ -329,31 +462,81 @@ impl MqoSession {
     /// cache (their groups are `has_param`), so differing bindings
     /// across submits are safe.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the plan reads a warm temp that is no longer in the store — an invariant violation.
+    /// Same contract as [`MqoSession::submit`].
     pub fn submit_with_params(
         &mut self,
         batch: &Batch,
         params: &FxHashMap<ParamId, Value>,
-    ) -> Result<BatchResult, StrategyError> {
+    ) -> Result<BatchResult, MqoError> {
         let seq = self.batch_seq;
         self.batch_seq += 1;
+        let deadline = self.options.time_budget.map(|b| Instant::now() + b);
+        // Stage every cross-batch mutation on a snapshot (entry tables
+        // are refcounted, so the clone is shallow); commit by swapping
+        // it in, roll back by dropping it.
+        let mut staged = self.store.clone();
+        match self.submit_inner(batch, params, seq, deadline, &mut staged) {
+            Ok((result, env_fallback)) => {
+                self.store = staged;
+                let aborts = result.query_errors.iter().flatten().count() as u64;
+                self.totals.batches += 1;
+                self.totals.queries += batch.len() as u64;
+                self.totals.cache_hits += result.cache_hits as u64;
+                self.totals.temps_built += result.temps_built as u64;
+                self.totals.est_cost_secs += result.cost.secs();
+                self.totals.opt_secs += result.stats.total_time_secs();
+                self.totals.exec_secs += result.exec_wall.as_secs_f64();
+                self.totals.degraded_submits += u64::from(result.degraded);
+                self.totals.budget_expiries += u64::from(result.stats.degraded) + aborts;
+                self.totals.query_aborts += aborts;
+                self.totals.env_fallbacks += u64::from(env_fallback);
+                Ok(result)
+            }
+            Err(e) => {
+                self.totals.failed_submits += 1;
+                self.totals.rolled_back += 1;
+                Err(e)
+            }
+        }
+    }
 
+    /// The submit pipeline proper, operating on the staged store. Every
+    /// fallible stage surfaces as `Err`; the caller owns commit versus
+    /// rollback and all counter updates.
+    fn submit_inner(
+        &self,
+        batch: &Batch,
+        params: &FxHashMap<ParamId, Value>,
+        seq: u64,
+        deadline: Option<Instant>,
+        staged: &mut MvStore,
+    ) -> Result<(BatchResult, bool), MqoError> {
         // --- Stages 1+2: expand and physicalize (per batch, cheap
         // relative to search + execute).
-        let optimizer =
-            Optimizer::with_registry(&self.catalog, self.options.opt, self.registry.clone());
+        let opt = self.options.opt.with_deadline(deadline);
+        let optimizer = Optimizer::with_registry(&self.catalog, opt, self.registry.clone());
         let mut ctx = optimizer.prepare(batch);
 
         // --- Cross-batch identity: fingerprint every physical node and
         // seed the warm set with the store's live entries.
-        let group_fps = mqo_dag::group_fingerprints(&ctx.dag);
+        mqo_chaos::hit(Seam::Fingerprint)?;
+        let group_fps = mqo_dag::try_group_fingerprints(&ctx.dag).map_err(|e| {
+            MqoError::new(
+                MqoErrorKind::FingerprintUnstable,
+                ErrorStage::Plan,
+                format!("batch {seq}"),
+                e.to_string(),
+                "cross-batch fingerprinting failed: the expanded DAG is broken",
+            )
+        })?;
         let node_fps = mqo_physical::node_fingerprints(&ctx.pdag, &group_fps);
+        mqo_chaos::hit(Seam::WarmLookup)?;
         let mut warm = MatSet::new();
         for (idx, &fp) in node_fps.iter().enumerate() {
             let n = PhysNodeId::from_index(idx);
-            if self.store.contains(fp) && !ctx.dag.group(ctx.pdag.node(n).group).has_param {
+            if staged.contains(fp) && !ctx.dag.group(ctx.pdag.node(n).group).has_param {
                 warm.insert(&ctx.pdag, n);
             }
         }
@@ -368,14 +551,31 @@ impl MqoSession {
         // --- Stage 4: execute, reading warm temps zero-copy.
         let mut seeds: FxHashMap<PhysNodeId, Arc<Table>> = FxHashMap::default();
         for &w in &plan.warm_used {
-            let t = self
-                .store
-                .get(node_fps[w.index()], seq)
-                .expect("warm_used nodes were matched against live store entries");
+            let t = staged.get(node_fps[w.index()], seq).ok_or_else(|| {
+                MqoError::invariant(
+                    ErrorStage::Session,
+                    w.to_string(),
+                    "plan reads a warm temp that is not live in the store",
+                )
+            })?;
             seeds.insert(w, t);
         }
-        let exec_opts = self.options.exec.unwrap_or_else(ExecOptions::from_env);
-        let seeded = execute_plan_seeded(
+        let (base, env_fallback) = match self.options.exec {
+            Some(e) => (e, false),
+            None => ExecOptions::lenient_from_env(),
+        };
+        // Degrade, don't starve: a budget that already expired during
+        // the search would abort every query at its first checkpoint,
+        // so an expired deadline is dropped and execution runs
+        // ungoverned — the zero-budget submit still answers correctly
+        // with the (Volcano-quality) best-so-far plan.
+        let exec_deadline = deadline.filter(|&d| Instant::now() < d);
+        let exec_opts = ExecOptions {
+            deadline: exec_deadline,
+            mem_budget_bytes: self.options.mem_budget,
+            ..base
+        };
+        let seeded = try_execute_plan_seeded(
             &self.catalog,
             &ctx.pdag,
             plan,
@@ -383,30 +583,31 @@ impl MqoSession {
             params,
             exec_opts,
             &seeds,
-        );
+        )?;
 
-        // --- Admission: offer this batch's cold temps to the store,
-        // ranked by the optimizer's own benefit estimate (compute −
-        // reuse, per whole block) under the final materialized set.
-        // Pricing needs per-node costs, which `Optimized` does not carry,
-        // so one bottom-up CostTable pass is paid here — but only on
-        // batches that actually built temps; the steady-state fully-warm
-        // submit (built_temps empty) skips it entirely.
+        // --- Admission: offer this batch's cold temps to the staged
+        // store, ranked by the optimizer's own benefit estimate
+        // (compute − reuse, per whole block) under the final
+        // materialized set. Pricing needs per-node costs, which
+        // `Optimized` does not carry, so one bottom-up CostTable pass is
+        // paid here — but only on batches that actually built temps; the
+        // steady-state fully-warm submit (built_temps empty) skips it
+        // entirely.
         let (mut admitted, mut evicted, mut rejected) = (0usize, 0usize, 0usize);
-        if !seeded.built_temps.is_empty() && self.store.budget_bytes() > 0 {
+        if !seeded.built_temps.is_empty() && staged.budget_bytes() > 0 {
             let table = CostTable::compute(&ctx.pdag, &optimized.mat);
             for (n, temp) in &seeded.built_temps {
                 if ctx.dag.group(ctx.pdag.node(*n).group).has_param {
                     continue; // parameter-dependent: never cache
                 }
                 let benefit = (table.node_cost[n.index()] - ctx.pdag.reusecost(*n)).secs();
-                match self.store.admit(
+                match staged.try_admit(
                     node_fps[n.index()],
                     Arc::clone(temp),
                     benefit,
                     ctx.pdag.node(*n).blocks,
                     seq,
-                ) {
+                )? {
                     Admission::Admitted { evicted: e } => {
                         admitted += 1;
                         evicted += e;
@@ -417,11 +618,23 @@ impl MqoSession {
             }
         }
         // Stage-boundary verification of the only state that survives
-        // the batch: the cross-batch cache accounting.
-        mqo_verify::verify_store(&self.store, self.options.opt.verify)
-            .assert_clean("submit (MV store)");
+        // the batch: the cross-batch cache accounting. A dirty staged
+        // store fails the submit (and is rolled back) instead of
+        // aborting the process.
+        let report = mqo_verify::verify_store(staged, self.options.opt.verify);
+        if !report.is_clean() {
+            return Err(MqoError::invariant(
+                ErrorStage::Admission,
+                format!("batch {seq}"),
+                format!(
+                    "MV store verification failed after admission:\n{}",
+                    report.render()
+                ),
+            ));
+        }
 
         let outcome = seeded.outcome;
+        let degraded = optimized.stats.degraded || outcome.query_errors.iter().any(Option::is_some);
         let result = BatchResult {
             cost: optimized.cost,
             stats: optimized.stats,
@@ -432,16 +645,11 @@ impl MqoSession {
             admitted,
             evicted,
             rejected,
+            degraded,
+            query_errors: outcome.query_errors,
             results: outcome.results,
         };
-        self.totals.batches += 1;
-        self.totals.queries += batch.len() as u64;
-        self.totals.cache_hits += result.cache_hits as u64;
-        self.totals.temps_built += result.temps_built as u64;
-        self.totals.est_cost_secs += result.cost.secs();
-        self.totals.opt_secs += result.stats.total_time_secs();
-        self.totals.exec_secs += result.exec_wall.as_secs_f64();
-        Ok(result)
+        Ok((result, env_fallback))
     }
 }
 

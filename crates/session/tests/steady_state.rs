@@ -29,6 +29,7 @@ fn serving_session(threads: usize, batch_rows: usize) -> MqoSession {
     let exec = ExecOptions {
         mode: ExecMode::Vectorized,
         batch_rows,
+        ..ExecOptions::default()
     };
     MqoSession::new(
         w.catalog,

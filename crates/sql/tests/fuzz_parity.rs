@@ -97,6 +97,7 @@ fn seeded_sql_queries_agree_across_exec_paths() {
             ExecOptions {
                 mode: ExecMode::Row,
                 batch_rows: 1024,
+                ..ExecOptions::default()
             },
         );
         for batch_rows in [1usize, 1024] {
@@ -109,6 +110,7 @@ fn seeded_sql_queries_agree_across_exec_paths() {
                 ExecOptions {
                     mode: ExecMode::Vectorized,
                     batch_rows,
+                    ..ExecOptions::default()
                 },
             );
             assert_outcomes_identical(

@@ -60,6 +60,7 @@ fn run_parity(batch: &mqo_logical::Batch, catalog: &mqo_catalog::Catalog, seed: 
             ExecOptions {
                 mode: ExecMode::Row,
                 batch_rows: 1024,
+                ..ExecOptions::default()
             },
         );
         for batch_rows in [1usize, 1024] {
@@ -72,6 +73,7 @@ fn run_parity(batch: &mqo_logical::Batch, catalog: &mqo_catalog::Catalog, seed: 
                 ExecOptions {
                     mode: ExecMode::Vectorized,
                     batch_rows,
+                    ..ExecOptions::default()
                 },
             );
             assert_outcomes_identical(

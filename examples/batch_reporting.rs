@@ -46,7 +46,9 @@ fn main() {
         ctx.dag_time_secs * 1e3,
         optimizer.registry().len()
     );
-    let results = optimizer.search_all_parallel(&ctx);
+    let results = optimizer
+        .search_all_parallel(&ctx)
+        .expect("built-in searches are fault-free here");
 
     println!(
         "{:<12} {:>14} {:>12} {:>8} {:>12}",

@@ -9,6 +9,13 @@
 //!   stats;         print cumulative session statistics
 //!   quit; / exit;  leave (EOF submits any remainder first)
 //!
+//! Errors never kill the loop: parse, plan, and submit failures are
+//! rendered (caret diagnostics for anything with a source span) and the
+//! session keeps serving the next statement. In piped (non-interactive)
+//! mode the process still runs the whole script, then exits nonzero at
+//! the end if any statement failed — so CI catches regressions without
+//! a single typo truncating the run.
+//!
 //! Run with: `cargo run --release --example sql_repl [--scale S] [--seed N]`
 //! or pipe a script: `cargo run --release --example sql_repl < examples/repl_demo.sql`
 
@@ -48,6 +55,7 @@ fn main() {
 
     let mut pending = String::new(); // complete statements awaiting `go;`
     let mut buffer = String::new(); // lines of the statement being typed
+    let mut had_error = false; // any failure so far (piped exit code)
     let stdin = std::io::stdin();
     loop {
         if interactive {
@@ -65,11 +73,11 @@ fn main() {
             if !buffer.trim().is_empty() {
                 fail(
                     &format!("unterminated statement at EOF: {}", buffer.trim()),
-                    interactive,
+                    &mut had_error,
                 );
             }
             if !pending.trim().is_empty() {
-                run_batch(&mut session, &mut planner, &pending, interactive);
+                run_batch(&mut session, &mut planner, &pending, &mut had_error);
             }
             break;
         }
@@ -78,7 +86,7 @@ fn main() {
                 if !buffer.trim().is_empty() {
                     fail(
                         &format!("unterminated statement before go;: {}", buffer.trim()),
-                        interactive,
+                        &mut had_error,
                     );
                     buffer.clear();
                 }
@@ -87,7 +95,7 @@ fn main() {
                         eprintln!("nothing to run — type a statement first");
                     }
                 } else {
-                    run_batch(&mut session, &mut planner, &pending, interactive);
+                    run_batch(&mut session, &mut planner, &pending, &mut had_error);
                     pending.clear();
                 }
                 continue;
@@ -105,24 +113,37 @@ fn main() {
             // text the user just typed, then queue it for `go;`.
             match mqo::sql::parse_statements(&buffer) {
                 Ok(_) => pending.push_str(&buffer),
-                Err(e) => fail(&e.render(&buffer), interactive),
+                Err(e) => fail(&e.render(&buffer), &mut had_error),
             }
             buffer.clear();
         }
     }
+    if had_error && !interactive {
+        std::process::exit(1);
+    }
 }
 
 /// Plans `sql` as one batch, submits it, and prints per-query results.
-fn run_batch(session: &mut MqoSession, planner: &mut SqlPlanner, sql: &str, interactive: bool) {
+/// Every failure is recoverable: the error renders and the session
+/// keeps serving (a failed submit rolled its cache changes back).
+fn run_batch(session: &mut MqoSession, planner: &mut SqlPlanner, sql: &str, had_error: &mut bool) {
     let planned = match planner.plan_text(session.catalog_mut(), sql) {
         Ok(p) => p,
-        Err(e) => return fail(&e.render(sql), interactive),
+        Err(e) => return fail(&e.render(sql), had_error),
     };
     let batch = to_batch(&planned);
     let r = match session.submit(&batch) {
         Ok(r) => r,
-        Err(e) => return fail(&format!("optimizer error: {e:?}"), interactive),
+        Err(e) => return fail(&e.render(), had_error),
     };
+    if r.degraded {
+        eprintln!("warning: budget expired — best-so-far plan, aborted queries return no rows");
+    }
+    for (pq, err) in planned.iter().zip(&r.query_errors) {
+        if let Some(e) = err {
+            eprintln!("-- {}: aborted: {e}", pq.label);
+        }
+    }
     print_batch(session, &planned, &r);
 }
 
@@ -181,13 +202,20 @@ fn print_stats(session: &MqoSession) {
         s.opt_secs * 1e3,
         s.exec_secs * 1e3
     );
+    println!(
+        "  robustness: {} degraded ({} expiries, {} query aborts) | {} failed / {} rolled back | {} env fallbacks",
+        s.degraded_submits,
+        s.budget_expiries,
+        s.query_aborts,
+        s.failed_submits,
+        s.rolled_back,
+        s.env_fallbacks
+    );
 }
 
-/// Interactive errors are conversational; piped errors kill the script
-/// so CI catches them.
-fn fail(msg: &str, interactive: bool) {
+/// Renders the error and records it; the loop always keeps going (a
+/// piped run exits nonzero at the very end instead of mid-script).
+fn fail(msg: &str, had_error: &mut bool) {
     eprintln!("{msg}");
-    if !interactive {
-        std::process::exit(1);
-    }
+    *had_error = true;
 }

@@ -10,6 +10,7 @@
 
 pub use mqo_analyze as analyze;
 pub use mqo_catalog as catalog;
+pub use mqo_chaos as chaos;
 pub use mqo_core as core;
 pub use mqo_cost as cost;
 pub use mqo_dag as dag;

@@ -160,7 +160,7 @@ fn search_all_parallel_matches_sequential_searches() {
     let optimizer = Optimizer::with_registry(&w.catalog, Options::new().with_threads(4), registry);
     let ctx = optimizer.prepare(&batch);
 
-    let parallel = optimizer.search_all_parallel(&ctx);
+    let parallel = optimizer.search_all_parallel(&ctx).unwrap();
     let names: Vec<&str> = parallel.iter().map(|(n, _)| n.as_str()).collect();
     assert_eq!(
         names,

@@ -14,7 +14,7 @@ use mqo::expr::{AggExpr, AggFunc, Atom, Predicate, ScalarExpr};
 use mqo::ks15::Ks15Greedy;
 use mqo::logical::{Batch, LogicalPlan, Query};
 use mqo::physical::{ExtractedPlan, MatSet};
-use mqo::util::FxHashMap;
+use mqo::util::{FxHashMap, MqoError, MqoErrorKind};
 use std::sync::Arc;
 
 /// A user-defined strategy, written against the public API only: it
@@ -27,7 +27,7 @@ impl Strategy for BestSingleTemp {
         "Best-Single-Temp"
     }
 
-    fn search(&self, ctx: &OptContext<'_>, _options: &Options) -> Optimized {
+    fn search(&self, ctx: &OptContext<'_>, _options: &Options) -> Result<Optimized, MqoError> {
         let pdag = &ctx.pdag;
         let mut stats = OptStats::default();
         let mut state = CostState::new(pdag);
@@ -54,12 +54,12 @@ impl Strategy for BestSingleTemp {
         stats.materialized = state.mat.len();
         let cost = state.total(pdag);
         let plan = ExtractedPlan::extract(pdag, &state.table, &state.mat);
-        Optimized {
+        Ok(Optimized {
             plan,
             mat: state.mat,
             cost,
             stats,
-        }
+        })
     }
 }
 
@@ -140,7 +140,7 @@ fn registry_lookup_miss_is_an_error() {
     let optimizer = Optimizer::new(&cat);
     let ctx = optimizer.prepare(&batch);
     let err = optimizer.search(&ctx, "Simulated-Annealing").unwrap_err();
-    assert_eq!(err, StrategyError::Unknown("Simulated-Annealing".into()));
+    assert_eq!(err.kind, MqoErrorKind::UnknownStrategy);
     // the error formats usefully
     assert!(err.to_string().contains("Simulated-Annealing"));
 }
