@@ -8,7 +8,7 @@
 //! | `float-ordering` | all | all (tests sort too) |
 //! | `hash-iteration` | plan/cost producers | lib, outside `#[cfg(test)]` |
 //! | `env-read` | all | lib, outside `#[cfg(test)]` |
-//! | `panic-path` | `exec`, `core`, `session` | lib, outside `#[cfg(test)]` |
+//! | `panic-path` | `exec`, `core`, `session`, `serve` | lib, outside `#[cfg(test)]` |
 //! | `panic-path` (strict) | `try_*` fns and [`RESULT_FNS`] | same — `# Panics` docs do NOT exempt |
 //! | `mut-self-entry` | all | lib |
 //! | `interior-mut` | all (shims included) | lib, outside `#[cfg(test)]` |
@@ -19,21 +19,24 @@ use crate::{Finding, LintKind};
 
 /// Crates whose outputs (plans, costs, schedules, cached state) must be
 /// bit-deterministic across runs — the determinism lint's domain.
-pub const ORDERED_CRATES: [&str; 8] = [
-    "core", "cost", "dag", "physical", "ks15", "session", "exec", "sql",
+pub const ORDERED_CRATES: [&str; 9] = [
+    "core", "cost", "dag", "physical", "ks15", "session", "exec", "sql", "serve",
 ];
 
 /// Crates whose `src/` is the execution/planning hot path — the panic
 /// lint's domain.
-pub const HOT_CRATES: [&str; 3] = ["exec", "core", "session"];
+pub const HOT_CRATES: [&str; 4] = ["exec", "core", "session", "serve"];
 
 /// Functions the robustness PR converted to typed-`Result` pipelines.
 /// Inside these (and any `try_*` function) the panic lint is strict: a
 /// `# Panics` doc does **not** exempt `unwrap`/`expect`/`panic!` — the
 /// whole point of the conversion is that these paths return
 /// `MqoError`, and a documented panic is still a regression.
-pub const RESULT_FNS: [&str; 10] = [
+pub const RESULT_FNS: [&str; 13] = [
     "submit",
+    "submit_sql",
+    "plan_execute",
+    "commit_staged",
     "submit_with_params",
     "submit_inner",
     "eval_def",

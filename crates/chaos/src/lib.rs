@@ -64,11 +64,23 @@ pub enum Seam {
     Admission,
     /// MV store: admission needs to evict victims to fit.
     Eviction,
+    /// Serving front: a submission is about to be enqueued with the
+    /// batch former (fires on the submitting connection's thread — the
+    /// job is rejected before it ever reaches shared state).
+    FormerEnqueue,
+    /// Serving front: an executed batch's staged cache effects are
+    /// about to be sent to the commit actor (fires on the planner
+    /// worker's thread — the batch fails after execution, before any
+    /// shared mutation).
+    CommitSend,
+    /// Serving front: a planner worker is about to read the published
+    /// MvStore snapshot for a formed batch.
+    SnapshotRead,
 }
 
 impl Seam {
     /// Every seam, in pipeline order — the chaos driver sweeps this.
-    pub const ALL: [Seam; 10] = [
+    pub const ALL: [Seam; 13] = [
         Seam::CostPropagation,
         Seam::PoolSend,
         Seam::Extract,
@@ -79,6 +91,9 @@ impl Seam {
         Seam::ColumnAlloc,
         Seam::Admission,
         Seam::Eviction,
+        Seam::FormerEnqueue,
+        Seam::CommitSend,
+        Seam::SnapshotRead,
     ];
 
     /// Stable kebab-case name, used as the error site.
@@ -95,6 +110,9 @@ impl Seam {
             Seam::ColumnAlloc => "column-alloc",
             Seam::Admission => "admission",
             Seam::Eviction => "eviction",
+            Seam::FormerEnqueue => "former-enqueue",
+            Seam::CommitSend => "commit-send",
+            Seam::SnapshotRead => "snapshot-read",
         }
     }
 
@@ -108,6 +126,7 @@ impl Seam {
             Seam::WarmLookup => ErrorStage::Session,
             Seam::TempBuild | Seam::ExecOperator | Seam::ColumnAlloc => ErrorStage::Execute,
             Seam::Admission | Seam::Eviction => ErrorStage::Admission,
+            Seam::FormerEnqueue | Seam::CommitSend | Seam::SnapshotRead => ErrorStage::Serve,
         }
     }
 
@@ -124,6 +143,9 @@ impl Seam {
             Seam::ColumnAlloc => 7,
             Seam::Admission => 8,
             Seam::Eviction => 9,
+            Seam::FormerEnqueue => 10,
+            Seam::CommitSend => 11,
+            Seam::SnapshotRead => 12,
         }
     }
 }

@@ -150,6 +150,31 @@ impl MvStore {
         self.entries.contains_key(&fp)
     }
 
+    /// Reads a live entry **without** touching hit counters or stamps.
+    /// This is the snapshot-read path of the serving front: concurrent
+    /// planners peek a cheap clone of the store while forming their
+    /// plans, and the commit actor records the resulting warm reads
+    /// serially afterwards ([`MvStore::note_hit`]) — so accounting
+    /// stays single-writer even though reads overlap.
+    #[must_use]
+    pub fn peek(&self, fp: Fingerprint) -> Option<Arc<Table>> {
+        self.entries.get(&fp).map(|e| Arc::clone(&e.table))
+    }
+
+    /// Records one warm read made against an earlier snapshot of this
+    /// store: counts the hit and refreshes the entry's last-used stamp.
+    /// If the entry has been evicted since the snapshot was taken the
+    /// read still happened (the snapshot's `Arc` kept the table alive),
+    /// so it is counted as a hit against a departed resident rather
+    /// than a miss.
+    pub fn note_hit(&mut self, fp: Fingerprint, batch: u64) {
+        self.stats.hits += 1;
+        if let Some(e) = self.entries.get_mut(&fp) {
+            e.hits += 1;
+            e.last_used_batch = batch;
+        }
+    }
+
     /// Looks `fp` up, counting a hit or miss; a hit refreshes the
     /// last-used stamp.
     pub fn get(&mut self, fp: Fingerprint, batch: u64) -> Option<Arc<Table>> {

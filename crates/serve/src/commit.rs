@@ -1,0 +1,179 @@
+//! The commit actor: the ONE place shared cross-batch state mutates.
+//!
+//! Planner workers run `SessionCore::plan_execute` concurrently against
+//! read-only [`MvStore`] snapshots; everything they want to change —
+//! warm-hit accounting, admissions, evictions, per-tenant counters —
+//! arrives here as a message. The actor owns the authoritative store,
+//! applies each staged submit with the same clone-swap transaction as
+//! `MqoSession::submit` (a failed commit is dropped, never half
+//! applied), and republishes an `Arc<MvStore>` snapshot that workers
+//! read with one cheap lock + refcount bump.
+//!
+//! Serializing commits through an actor rather than a store-wide mutex
+//! keeps the expensive work (plan, search, execute) outside any lock:
+//! the only serialized section is admission arithmetic over table
+//! handles, which is microseconds per batch.
+
+use std::collections::BTreeMap;
+use std::sync::mpsc::{Receiver, Sender, SyncSender};
+use std::sync::{Arc, Mutex, PoisonError};
+
+use mqo_exec::MvStore;
+use mqo_session::{commit_staged, BatchResult, StagedSubmit};
+use mqo_util::MqoError;
+use mqo_verify::VerifyLevel;
+
+/// Per-tenant serving counters, published by the commit actor.
+///
+/// Batch-level counters (`cache_hits`, `temps_built`) are attributed to
+/// **every tenant riding the formed batch**: sharing is the product the
+/// optimizer sells, so a hit on a temp one tenant built and another
+/// reused legitimately belongs to both ledgers.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TenantStats {
+    /// Formed batches this tenant rode.
+    pub batches: u64,
+    /// Queries this tenant executed.
+    pub queries: u64,
+    /// Warm cache hits in batches this tenant rode.
+    pub cache_hits: u64,
+    /// Temps built in batches this tenant rode.
+    pub temps_built: u64,
+    /// Admissions from batches this tenant rode.
+    pub admitted: u64,
+    /// Jobs that failed (typed error) instead of completing.
+    pub failed: u64,
+}
+
+/// Global serving counters (all tenants).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FrontTotals {
+    /// Formed batches committed.
+    pub batches: u64,
+    /// Queries executed.
+    pub queries: u64,
+    /// Warm cache hits.
+    pub cache_hits: u64,
+    /// Temps built.
+    pub temps_built: u64,
+    /// Temps admitted to the store.
+    pub admitted: u64,
+    /// Entries evicted by admissions.
+    pub evicted: u64,
+    /// Offers rejected by the admission policy.
+    pub rejected: u64,
+    /// Batches that degraded (budget expiry, aborted queries).
+    pub degraded: u64,
+    /// Batches that failed with a typed error.
+    pub failed: u64,
+    /// Failed batches whose staged cache effects were rolled back.
+    pub rolled_back: u64,
+}
+
+/// State published by the actor, read by workers and `stats()`.
+pub(crate) struct Shared {
+    /// Latest committed store snapshot (refcounted; cheap to clone).
+    pub store: Arc<MvStore>,
+    /// Per-tenant ledgers (ordered for deterministic stats renders).
+    pub tenants: BTreeMap<String, TenantStats>,
+    /// Global ledger.
+    pub totals: FrontTotals,
+}
+
+pub(crate) fn lock_shared(shared: &Mutex<Shared>) -> std::sync::MutexGuard<'_, Shared> {
+    shared.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// A message to the commit actor.
+pub(crate) enum ActorMsg {
+    /// Commit one executed batch's staged effects; `tenants` lists
+    /// `(tenant, queries)` per job in the batch.
+    Commit {
+        staged: Box<StagedSubmit>,
+        tenants: Vec<(String, u64)>,
+        reply: SyncSender<Result<BatchResult, MqoError>>,
+    },
+    /// Record a batch that failed before commit (plan/execute error or
+    /// an injected fault at a serving seam).
+    Fail { tenants: Vec<(String, u64)> },
+    /// Drain and exit.
+    Stop,
+}
+
+/// Runs the actor loop to completion. Owns the authoritative store;
+/// `shared` only ever holds snapshots of it.
+pub(crate) fn run_actor(
+    rx: &Receiver<ActorMsg>,
+    mut store: MvStore,
+    shared: &Mutex<Shared>,
+    verify: VerifyLevel,
+) {
+    let mut seq: u64 = 0;
+    while let Ok(msg) = rx.recv() {
+        match msg {
+            ActorMsg::Commit {
+                mut staged,
+                tenants,
+                reply,
+            } => {
+                seq += 1;
+                // Transactional clone-swap, exactly like MqoSession:
+                // commit onto a staged copy, publish only on success.
+                let mut staged_store = store.clone();
+                match commit_staged(&mut staged_store, &mut staged, seq, verify) {
+                    Ok(()) => {
+                        store = staged_store;
+                        let result = staged.result;
+                        let mut sh = lock_shared(shared);
+                        sh.store = Arc::new(store.clone());
+                        let batch_queries: u64 = tenants.iter().map(|(_, q)| q).sum();
+                        sh.totals.batches += 1;
+                        sh.totals.queries += batch_queries;
+                        sh.totals.cache_hits += result.cache_hits as u64;
+                        sh.totals.temps_built += result.temps_built as u64;
+                        sh.totals.admitted += result.admitted as u64;
+                        sh.totals.evicted += result.evicted as u64;
+                        sh.totals.rejected += result.rejected as u64;
+                        sh.totals.degraded += u64::from(result.degraded);
+                        for (tenant, queries) in &tenants {
+                            let t = sh.tenants.entry(tenant.clone()).or_default();
+                            t.batches += 1;
+                            t.queries += queries;
+                            t.cache_hits += result.cache_hits as u64;
+                            t.temps_built += result.temps_built as u64;
+                            t.admitted += result.admitted as u64;
+                        }
+                        drop(sh);
+                        reply.send(Ok(result)).ok();
+                    }
+                    Err(e) => {
+                        // staged_store drops here: rollback. The
+                        // published snapshot still points at the last
+                        // good store.
+                        let mut sh = lock_shared(shared);
+                        sh.totals.failed += 1;
+                        sh.totals.rolled_back += 1;
+                        for (tenant, _) in &tenants {
+                            sh.tenants.entry(tenant.clone()).or_default().failed += 1;
+                        }
+                        drop(sh);
+                        reply.send(Err(e)).ok();
+                    }
+                }
+            }
+            ActorMsg::Fail { tenants } => {
+                let mut sh = lock_shared(shared);
+                sh.totals.failed += 1;
+                for (tenant, _) in &tenants {
+                    sh.tenants.entry(tenant.clone()).or_default().failed += 1;
+                }
+            }
+            ActorMsg::Stop => break,
+        }
+    }
+}
+
+/// Best-effort send that tolerates an already-stopped actor.
+pub(crate) fn send_actor(tx: &Sender<ActorMsg>, msg: ActorMsg) {
+    tx.send(msg).ok();
+}

@@ -1,0 +1,365 @@
+//! The batch former: a **pure** state machine that coalesces many
+//! tenants' submissions into MQO batches under time/size windows with
+//! round-robin fairness.
+//!
+//! Purity is the point: every transition takes the clock as an explicit
+//! `now` argument and touches nothing but its own queues, so the
+//! window and fairness semantics are exercised by deterministic unit
+//! tests with a fake clock — the thread that drives it in production
+//! (`ServeFront`) adds nothing but `Instant::now()` and a condvar.
+//!
+//! Forming rules (checked by [`Former::ready`]):
+//!
+//! - **time window** — a batch forms once the oldest queued job has
+//!   waited [`FormerConfig::window`]; nobody waits longer than one
+//!   window for company.
+//! - **size window** — a batch forms as soon as
+//!   [`FormerConfig::max_batch_queries`] queries are queued; a hot
+//!   front never waits out the clock just to batch.
+//!
+//! Fairness (applied by [`Former::form`]):
+//!
+//! - jobs drain **round-robin across tenants**, one job per tenant per
+//!   turn, starting from a cursor that rotates every formed batch — so
+//!   a flooding tenant cannot occupy a batch wall-to-wall while another
+//!   tenant's single job waits;
+//! - a tenant contributes at most [`FormerConfig::tenant_share`]
+//!   queries to one batch (its first job is always eligible, so an
+//!   oversized job degrades to a solo share rather than deadlocking);
+//! - at most [`FormerConfig::tenant_pending`] jobs may be queued per
+//!   tenant; the excess is rejected at [`Former::push`] time
+//!   ([`Push::AtCapacity`]) — backpressure to the flooder, not to the
+//!   neighbors.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::time::{Duration, Instant};
+
+/// Window and fairness knobs for the [`Former`].
+#[derive(Debug, Clone, Copy)]
+pub struct FormerConfig {
+    /// Max time any job waits for batch company before forming.
+    pub window: Duration,
+    /// Queued-query count that forms a batch immediately. Also the
+    /// (soft) size target of a formed batch: draining stops at the
+    /// first job that reaches it, so a batch may overshoot by at most
+    /// one job.
+    pub max_batch_queries: usize,
+    /// Max queries one tenant contributes to a single formed batch
+    /// (its first job is exempt, see module docs).
+    pub tenant_share: usize,
+    /// Max jobs queued per tenant; `push` rejects beyond this.
+    pub tenant_pending: usize,
+}
+
+impl Default for FormerConfig {
+    fn default() -> Self {
+        FormerConfig {
+            window: Duration::from_millis(2),
+            max_batch_queries: 16,
+            tenant_share: 8,
+            tenant_pending: 8,
+        }
+    }
+}
+
+/// Outcome of a [`Former::push`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Push {
+    /// The job is queued and will ride the next eligible batch.
+    Queued,
+    /// The tenant is at its in-flight cap; the job was **not** queued.
+    AtCapacity,
+}
+
+/// One job drained into a formed batch, in drain (= batch) order.
+#[derive(Debug)]
+pub struct Formed<P> {
+    /// The tenant that submitted the job.
+    pub tenant: String,
+    /// Number of queries the job contributes to the batch.
+    pub queries: usize,
+    /// The caller's payload, handed back untouched.
+    pub payload: P,
+}
+
+#[derive(Debug)]
+struct Queued<P> {
+    queries: usize,
+    enqueued_at: Instant,
+    payload: P,
+}
+
+/// The pure batch-forming state machine. `P` is an opaque per-job
+/// payload (the serving front stores the lowered queries and the reply
+/// channel there; unit tests store `()`).
+#[derive(Debug)]
+pub struct Former<P> {
+    cfg: FormerConfig,
+    /// Per-tenant FIFO lanes. `BTreeMap` so every iteration anywhere in
+    /// this crate is deterministically ordered.
+    lanes: BTreeMap<String, VecDeque<Queued<P>>>,
+    /// Tenants with nonempty lanes, in first-arrival order; the drain
+    /// cursor rotates over this so batch leadership round-robins.
+    rotation: Vec<String>,
+    queued_queries: usize,
+}
+
+impl<P> Former<P> {
+    /// An empty former under `cfg`.
+    #[must_use]
+    pub fn new(cfg: FormerConfig) -> Self {
+        Former {
+            cfg,
+            lanes: BTreeMap::new(),
+            rotation: Vec::new(),
+            queued_queries: 0,
+        }
+    }
+
+    /// The config the former was built with.
+    #[must_use]
+    pub fn config(&self) -> &FormerConfig {
+        &self.cfg
+    }
+
+    /// True when no job is queued anywhere.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.queued_queries == 0 && self.lanes.values().all(VecDeque::is_empty)
+    }
+
+    /// Number of jobs currently queued for `tenant`.
+    #[must_use]
+    pub fn pending(&self, tenant: &str) -> usize {
+        self.lanes.get(tenant).map_or(0, VecDeque::len)
+    }
+
+    /// Queues one job of `queries` queries for `tenant`, unless the
+    /// tenant is at its in-flight cap.
+    pub fn push(&mut self, tenant: &str, queries: usize, payload: P, now: Instant) -> Push {
+        let lane = self.lanes.entry(tenant.to_string()).or_default();
+        if lane.len() >= self.cfg.tenant_pending {
+            return Push::AtCapacity;
+        }
+        if !self.rotation.iter().any(|t| t == tenant) {
+            self.rotation.push(tenant.to_string());
+        }
+        lane.push_back(Queued {
+            queries,
+            enqueued_at: now,
+            payload,
+        });
+        self.queued_queries += queries;
+        Push::Queued
+    }
+
+    /// Instant of the oldest queued job, if any.
+    fn oldest(&self) -> Option<Instant> {
+        self.lanes
+            .values()
+            .filter_map(|l| l.front().map(|j| j.enqueued_at))
+            .min()
+    }
+
+    /// When the time window will force a batch, if jobs are queued.
+    /// The driver thread sleeps until this (or a new push).
+    #[must_use]
+    pub fn next_deadline(&self) -> Option<Instant> {
+        self.oldest().map(|t| t + self.cfg.window)
+    }
+
+    /// True when either forming rule is satisfied.
+    #[must_use]
+    pub fn ready(&self, now: Instant) -> bool {
+        if self.is_empty() {
+            return false;
+        }
+        self.queued_queries >= self.cfg.max_batch_queries
+            || self.oldest().is_some_and(|t| now >= t + self.cfg.window)
+    }
+
+    /// Forms one batch if a window rule fires, draining jobs
+    /// round-robin across tenants (see module docs for the fairness
+    /// rules). Returns `None` when nothing is ready — call again after
+    /// [`Former::next_deadline`] or the next push.
+    pub fn form(&mut self, now: Instant) -> Option<Vec<Formed<P>>> {
+        if !self.ready(now) {
+            return None;
+        }
+        Some(self.drain_round_robin(true))
+    }
+
+    /// Drains **everything** queued into a sequence of batches, ignoring
+    /// the windows — the shutdown path, so no queued job is abandoned
+    /// without either running or being answered.
+    pub fn drain_all(&mut self) -> Vec<Vec<Formed<P>>> {
+        let mut out = Vec::new();
+        while !self.is_empty() {
+            out.push(self.drain_round_robin(false));
+        }
+        out
+    }
+
+    /// One round-robin drain pass; `capped` applies the batch size
+    /// target (shutdown drains uncapped so it terminates in one batch
+    /// per share-ful).
+    fn drain_round_robin(&mut self, capped: bool) -> Vec<Formed<P>> {
+        let mut order: Vec<String> = Vec::with_capacity(self.rotation.len());
+        order.extend(self.rotation.iter().cloned());
+        let mut out = Vec::new();
+        let mut taken: BTreeMap<String, usize> = BTreeMap::new();
+        let mut total = 0usize;
+        let mut progressed = true;
+        while progressed && (!capped || total < self.cfg.max_batch_queries) {
+            progressed = false;
+            for tenant in &order {
+                if capped && total >= self.cfg.max_batch_queries {
+                    break;
+                }
+                let Some(lane) = self.lanes.get_mut(tenant) else {
+                    continue;
+                };
+                let Some(front) = lane.front() else {
+                    continue;
+                };
+                let used = taken.get(tenant).copied().unwrap_or(0);
+                if used > 0 && used + front.queries > self.cfg.tenant_share {
+                    continue; // share spent for this batch
+                }
+                let Some(job) = lane.pop_front() else {
+                    continue;
+                };
+                total += job.queries;
+                *taken.entry(tenant.clone()).or_insert(0) += job.queries;
+                self.queued_queries = self.queued_queries.saturating_sub(job.queries);
+                out.push(Formed {
+                    tenant: tenant.clone(),
+                    queries: job.queries,
+                    payload: job.payload,
+                });
+                progressed = true;
+            }
+        }
+        // Rotate leadership to the tenant after this batch's leader.
+        // Tenants persist in the rotation even when their lane drains,
+        // so leadership keeps rotating across sparse traffic (the list
+        // is bounded by the distinct-tenant count).
+        if !order.is_empty() {
+            let mut rotated: Vec<String> = Vec::with_capacity(order.len());
+            rotated.extend(order.iter().skip(1).cloned());
+            rotated.extend(order.iter().take(1).cloned());
+            self.rotation = rotated;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> FormerConfig {
+        FormerConfig {
+            window: Duration::from_millis(10),
+            max_batch_queries: 8,
+            tenant_share: 4,
+            tenant_pending: 3,
+        }
+    }
+
+    #[test]
+    fn time_window_forms_after_wait() {
+        let t0 = Instant::now();
+        let mut f: Former<()> = Former::new(cfg());
+        assert_eq!(f.push("a", 2, (), t0), Push::Queued);
+        assert!(f.form(t0).is_none(), "window not elapsed, size not hit");
+        assert_eq!(f.next_deadline(), Some(t0 + Duration::from_millis(10)));
+        let batch = f.form(t0 + Duration::from_millis(10)).unwrap();
+        assert_eq!(batch.len(), 1);
+        assert_eq!(batch[0].tenant, "a");
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn size_window_forms_immediately() {
+        let t0 = Instant::now();
+        let mut f: Former<()> = Former::new(cfg());
+        f.push("a", 4, (), t0);
+        assert!(f.form(t0).is_none());
+        f.push("b", 4, (), t0);
+        let batch = f.form(t0).expect("8 queries queued = size window");
+        assert_eq!(batch.len(), 2);
+        let tenants: Vec<&str> = batch.iter().map(|j| j.tenant.as_str()).collect();
+        assert_eq!(tenants, ["a", "b"]);
+    }
+
+    #[test]
+    fn flooding_tenant_cannot_starve_another() {
+        let t0 = Instant::now();
+        let mut f: Former<u32> = Former::new(cfg());
+        // Tenant a floods its whole pending cap with 2-query jobs…
+        assert_eq!(f.push("a", 2, 0, t0), Push::Queued);
+        assert_eq!(f.push("a", 2, 1, t0), Push::Queued);
+        assert_eq!(f.push("a", 2, 2, t0), Push::Queued);
+        // …and the cap rejects the rest of the flood.
+        assert_eq!(f.push("a", 2, 3, t0), Push::AtCapacity);
+        // Tenant b arrives late with one job.
+        assert_eq!(f.push("b", 2, 9, t0), Push::Queued);
+        let batch = f.form(t0 + Duration::from_millis(10)).unwrap();
+        // Round-robin: a, b alternate; a stops at its 4-query share.
+        let order: Vec<(&str, u32)> = batch
+            .iter()
+            .map(|j| (j.tenant.as_str(), j.payload))
+            .collect();
+        assert_eq!(order, [("a", 0), ("b", 9), ("a", 1)]);
+        // b's job rode the FIRST batch despite a's flood.
+        assert!(order.iter().any(|&(t, _)| t == "b"));
+        // a's third job is still queued for the next batch.
+        assert_eq!(f.pending("a"), 1);
+    }
+
+    #[test]
+    fn leadership_rotates_between_batches() {
+        let t0 = Instant::now();
+        let mut f: Former<()> = Former::new(cfg());
+        for _ in 0..2 {
+            f.push("a", 1, (), t0);
+            f.push("b", 1, (), t0);
+        }
+        let b1 = f.form(t0 + Duration::from_millis(10)).unwrap();
+        assert_eq!(b1.first().map(|j| j.tenant.as_str()), Some("a"));
+        f.push("a", 1, (), t0);
+        f.push("b", 1, (), t0);
+        let b2 = f.form(t0 + Duration::from_millis(20)).unwrap();
+        assert_eq!(
+            b2.first().map(|j| j.tenant.as_str()),
+            Some("b"),
+            "the next batch leads with the next tenant"
+        );
+    }
+
+    #[test]
+    fn oversized_first_job_forms_solo_share() {
+        let t0 = Instant::now();
+        let mut f: Former<()> = Former::new(cfg());
+        f.push("a", 10, (), t0); // > tenant_share AND > max_batch_queries
+        let batch = f.form(t0).expect("size window fires");
+        assert_eq!(batch.len(), 1);
+        assert_eq!(batch[0].queries, 10);
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn drain_all_empties_everything() {
+        let t0 = Instant::now();
+        let mut f: Former<()> = Former::new(cfg());
+        for _ in 0..3 {
+            f.push("a", 3, (), t0);
+            f.push("b", 3, (), t0);
+        }
+        let batches = f.drain_all();
+        assert!(f.is_empty());
+        let jobs: usize = batches.iter().map(Vec::len).sum();
+        assert_eq!(jobs, 6);
+    }
+}

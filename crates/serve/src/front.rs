@@ -1,0 +1,538 @@
+//! The in-process serving front: batch-forming driver, planner worker
+//! pool, and commit actor over one shared [`SessionCore`].
+//!
+//! ```text
+//!  conn threads            driver             workers            commit actor
+//!  ───────────            ────────           ─────────           ────────────
+//!  submit_sql ──lower──▶ [Former]  ──form──▶ plan_execute ──┐
+//!  submit_sql ──lower──▶  (window,           (&self, pure,  ├─▶ commit_staged
+//!      ⋮                  fairness)           snapshot read) │    (serialized,
+//!  submit_sql ──lower──▶                     plan_execute ──┘     clone-swap)
+//!      ▲                                          ▲                   │
+//!      └────────────── per-job reply ◀────────────┴── Arc<MvStore> ◀──┘
+//! ```
+//!
+//! Every submission blocks its own caller and nobody else: lowering is
+//! serialized in the [`Registrar`] (microseconds), forming waits out at
+//! most one window, planning/execution runs concurrently on `&self`
+//! [`SessionCore::plan_execute`], and only the commit arithmetic is
+//! serialized in the actor. A failed job — bad SQL, injected fault,
+//! budget violation — answers its own submitter with a typed
+//! [`MqoError`] and leaves the shared store exactly as the last
+//! successful commit published it.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{self, Receiver, Sender, SyncSender};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use mqo_catalog::Catalog;
+use mqo_chaos::Seam;
+use mqo_exec::{Database, MvStore};
+use mqo_session::{SessionCore, SessionOptions};
+use mqo_sql::{apply_order, to_batch, PlannedQuery};
+use mqo_util::{ErrorStage, FxHashMap, MqoError, MqoErrorKind};
+
+use crate::commit::{lock_shared, run_actor, send_actor, ActorMsg, Shared};
+use crate::former::{Formed, Former, FormerConfig, Push};
+use crate::protocol::QueryResult;
+use crate::registrar::Registrar;
+use crate::{FrontTotals, TenantStats};
+
+/// Tuning knobs of the serving front.
+#[derive(Debug, Clone)]
+#[must_use = "ServeOptions is a builder: chain `with_*` calls and pass it to ServeFront::new"]
+pub struct ServeOptions {
+    /// Session options applied to every formed batch (strategy,
+    /// budgets, MV cache size, optimizer threads).
+    pub session: SessionOptions,
+    /// Batch-forming windows and fairness caps.
+    pub former: FormerConfig,
+    /// Planner worker threads — formed batches in flight concurrently.
+    pub workers: usize,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            session: SessionOptions::new(),
+            former: FormerConfig::default(),
+            workers: 2,
+        }
+    }
+}
+
+impl ServeOptions {
+    /// Defaults: 2 ms / 16-query windows, 2 planner workers.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Replaces the session options.
+    pub fn with_session(mut self, session: SessionOptions) -> Self {
+        self.session = session;
+        self
+    }
+
+    /// Replaces the batch-forming config.
+    pub fn with_former(mut self, former: FormerConfig) -> Self {
+        self.former = former;
+        self
+    }
+
+    /// Sets the planner worker count (clamped to ≥ 1).
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+}
+
+/// What rides the former per job: the lowered queries and the channel
+/// that answers the submitting caller.
+struct JobWork {
+    planned: Vec<PlannedQuery>,
+    reply: SyncSender<Result<Vec<QueryResult>, MqoError>>,
+}
+
+type FormerCell = Arc<(Mutex<Former<JobWork>>, Condvar)>;
+
+fn lock_former(cell: &FormerCell) -> std::sync::MutexGuard<'_, Former<JobWork>> {
+    cell.0.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// The multi-tenant serving front. See module docs for the dataflow;
+/// [`crate::Server`] wraps this in the TCP protocol, and tests drive it
+/// in-process through [`ServeFront::submit_sql`].
+pub struct ServeFront {
+    core: Arc<SessionCore>,
+    registrar: Arc<Registrar>,
+    former: FormerCell,
+    shared: Arc<Mutex<Shared>>,
+    actor_tx: Sender<ActorMsg>,
+    stop: Arc<AtomicBool>,
+    threads: Mutex<Threads>,
+    /// Dropped at shutdown so workers drain out; `None` afterwards.
+    batch_tx: Mutex<Option<Sender<Vec<Formed<JobWork>>>>>,
+}
+
+/// Thread handles, kept separate so shutdown can join producers before
+/// their consumers: driver → workers → commit actor.
+#[derive(Default)]
+struct Threads {
+    driver: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    actor: Option<JoinHandle<()>>,
+}
+
+impl ServeFront {
+    /// Builds the front and spawns its driver, worker, and commit-actor
+    /// threads. Serving starts immediately.
+    #[must_use]
+    pub fn new(catalog: Catalog, db: Database, options: ServeOptions) -> Self {
+        let ServeOptions {
+            session,
+            former: former_config,
+            workers,
+        } = options;
+        let core = Arc::new(SessionCore::new(db, session.clone()));
+        let store = MvStore::new(session.mv_budget_bytes);
+        let shared = Arc::new(Mutex::new(Shared {
+            store: Arc::new(store.clone()),
+            tenants: BTreeMap::new(),
+            totals: FrontTotals::default(),
+        }));
+        let registrar = Arc::new(Registrar::new(catalog));
+        let former: FormerCell = Arc::new((Mutex::new(Former::new(former_config)), Condvar::new()));
+        let stop = Arc::new(AtomicBool::new(false));
+        let mut threads = Threads::default();
+
+        // Commit actor: the one thread that mutates shared state.
+        let (actor_tx, actor_rx) = mpsc::channel::<ActorMsg>();
+        let verify = session.opt.verify;
+        {
+            let shared = Arc::clone(&shared);
+            threads.actor = Some(std::thread::spawn(move || {
+                run_actor(&actor_rx, store, &shared, verify);
+            }));
+        }
+
+        // Planner workers: pure plan/execute over snapshots.
+        let (batch_tx, batch_rx) = mpsc::channel::<Vec<Formed<JobWork>>>();
+        let batch_rx = Arc::new(Mutex::new(batch_rx));
+        let seq = Arc::new(AtomicU64::new(0));
+        for _ in 0..workers.max(1) {
+            let core = Arc::clone(&core);
+            let registrar = Arc::clone(&registrar);
+            let shared = Arc::clone(&shared);
+            let actor_tx = actor_tx.clone();
+            let batch_rx = Arc::clone(&batch_rx);
+            let seq = Arc::clone(&seq);
+            threads.workers.push(std::thread::spawn(move || {
+                worker_loop(&core, &registrar, &shared, &actor_tx, &batch_rx, &seq);
+            }));
+        }
+
+        // Driver: turns window deadlines + pushes into formed batches.
+        {
+            let former = Arc::clone(&former);
+            let stop = Arc::clone(&stop);
+            let batch_tx = batch_tx.clone();
+            threads.driver = Some(std::thread::spawn(move || {
+                driver_loop(&former, &stop, &batch_tx);
+            }));
+        }
+
+        ServeFront {
+            core,
+            registrar,
+            former,
+            shared,
+            actor_tx,
+            stop,
+            threads: Mutex::new(threads),
+            batch_tx: Mutex::new(Some(batch_tx)),
+        }
+    }
+
+    /// The shared planning core (read-only access for tests/tools).
+    #[must_use]
+    pub fn core(&self) -> &SessionCore {
+        &self.core
+    }
+
+    /// The latest committed materialized-view store snapshot.
+    #[must_use]
+    pub fn mv_snapshot(&self) -> Arc<MvStore> {
+        Arc::clone(&lock_shared(&self.shared).store)
+    }
+
+    /// Global and per-tenant serving counters, as of the last commit.
+    #[must_use]
+    pub fn stats(&self) -> (FrontTotals, BTreeMap<String, TenantStats>) {
+        let sh = lock_shared(&self.shared);
+        (sh.totals, sh.tenants.clone())
+    }
+
+    /// Lowers `sql`, queues it with the batch former under `tenant`'s
+    /// lane, and blocks until the formed batch commits (or fails).
+    /// Concurrent callers coalesce into shared MQO batches; each caller
+    /// gets exactly its own queries' results back, bit-identical to a
+    /// serial submission of the same statements.
+    ///
+    /// # Errors
+    ///
+    /// [`MqoErrorKind::Sql`] for statements that fail to parse or plan;
+    /// [`MqoErrorKind::Overloaded`] when `tenant` is at its in-flight
+    /// cap; [`MqoErrorKind::Shutdown`] when the front is stopping; any
+    /// pipeline [`MqoError`] (fault, invariant, broken plan) when the
+    /// batch fails — in which case the shared store keeps the state of
+    /// the last successful commit.
+    pub fn submit_sql(&self, tenant: &str, sql: &str) -> Result<Vec<QueryResult>, MqoError> {
+        if self.stop.load(Ordering::SeqCst) {
+            return Err(MqoError::shutdown("submit", "serving front is shut down"));
+        }
+        mqo_chaos::hit(Seam::FormerEnqueue)?;
+        let planned = self.registrar.lower(sql)?;
+        if planned.is_empty() {
+            return Ok(Vec::new());
+        }
+        let queries = planned.len();
+        let (reply_tx, reply_rx) = mpsc::sync_channel(1);
+        {
+            let mut former = lock_former(&self.former);
+            // Re-check under the former lock: shutdown's final drain
+            // runs under this lock after setting the flag, so a push
+            // that lands here is guaranteed to be either drained (and
+            // answered) or rejected — never orphaned.
+            if self.stop.load(Ordering::SeqCst) {
+                return Err(MqoError::shutdown("submit", "serving front is shut down"));
+            }
+            let work = JobWork {
+                planned,
+                reply: reply_tx,
+            };
+            match former.push(tenant, queries, work, Instant::now()) {
+                Push::Queued => self.former.1.notify_all(),
+                Push::AtCapacity => {
+                    return Err(MqoError::new(
+                        MqoErrorKind::Overloaded,
+                        ErrorStage::Serve,
+                        tenant,
+                        "",
+                        "tenant is at its in-flight cap — retry after a batch drains",
+                    ))
+                }
+            }
+        }
+        reply_rx.recv().map_err(|_| {
+            MqoError::shutdown(
+                "submit",
+                "serving front dropped the job while shutting down",
+            )
+        })?
+    }
+
+    /// Stops serving: queued jobs are answered with `Shutdown` errors,
+    /// in-flight batches finish and commit, then every thread joins —
+    /// driver first, then workers, then the commit actor, so nothing
+    /// loses its consumer while still producing. Idempotent; also runs
+    /// on drop.
+    pub fn shutdown(&self) {
+        // Store + notify under the former lock: the driver holds that
+        // lock continuously from its stop-check until the condvar wait
+        // releases it, so a locked notify can never land in the gap
+        // between the two and get lost (an unlocked one can — the
+        // driver would then sleep forever and `join` below would hang).
+        {
+            let _former = lock_former(&self.former);
+            self.stop.store(true, Ordering::SeqCst);
+            self.former.1.notify_all();
+        }
+        let mut threads = self.threads.lock().unwrap_or_else(PoisonError::into_inner);
+        if let Some(driver) = threads.driver.take() {
+            driver.join().ok();
+        }
+        // Final drain under the former lock: any push that raced the
+        // stop flag past the driver's own drain is answered here (see
+        // the locked re-check in `submit_sql`).
+        {
+            let mut former = lock_former(&self.former);
+            for batch in former.drain_all() {
+                for job in batch {
+                    job.payload
+                        .reply
+                        .send(Err(MqoError::shutdown(
+                            "former",
+                            "serving front shut down before the job was batched",
+                        )))
+                        .ok();
+                }
+            }
+        }
+        // Closing the batch channel lets workers finish what's already
+        // formed and exit; the actor stays up until they are done so
+        // every in-flight batch still commits.
+        drop(
+            self.batch_tx
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .take(),
+        );
+        for w in threads.workers.drain(..) {
+            w.join().ok();
+        }
+        if let Some(actor) = threads.actor.take() {
+            send_actor(&self.actor_tx, ActorMsg::Stop);
+            actor.join().ok();
+        }
+    }
+}
+
+impl Drop for ServeFront {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+impl std::fmt::Debug for ServeFront {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let (totals, tenants) = self.stats();
+        f.debug_struct("ServeFront")
+            .field("batches", &totals.batches)
+            .field("queries", &totals.queries)
+            .field("tenants", &tenants.len())
+            .finish()
+    }
+}
+
+/// The driver thread: sleeps until a window deadline or a push, forms
+/// batches, and hands them to the worker pool. On shutdown it answers
+/// every still-queued job with a typed `Shutdown` error.
+fn driver_loop(former: &FormerCell, stop: &AtomicBool, batch_tx: &Sender<Vec<Formed<JobWork>>>) {
+    let (lock, cvar) = &**former;
+    let mut guard = lock.lock().unwrap_or_else(PoisonError::into_inner);
+    loop {
+        if stop.load(Ordering::SeqCst) {
+            for batch in guard.drain_all() {
+                for job in batch {
+                    job.payload
+                        .reply
+                        .send(Err(MqoError::shutdown(
+                            "former",
+                            "serving front shut down before the job was batched",
+                        )))
+                        .ok();
+                }
+            }
+            return;
+        }
+        while let Some(batch) = guard.form(Instant::now()) {
+            batch_tx.send(batch).ok();
+        }
+        let deadline = guard.next_deadline();
+        guard = match deadline {
+            Some(d) => {
+                let wait = d.saturating_duration_since(Instant::now());
+                cvar.wait_timeout(guard, wait)
+                    .map(|(g, _)| g)
+                    .unwrap_or_else(|p| p.into_inner().0)
+            }
+            None => cvar.wait(guard).unwrap_or_else(PoisonError::into_inner),
+        };
+    }
+}
+
+/// One planner worker: picks up formed batches, plans and executes them
+/// purely against the latest snapshots, sends the staged effects to the
+/// commit actor, and answers each job's submitter.
+fn worker_loop(
+    core: &SessionCore,
+    registrar: &Registrar,
+    shared: &Mutex<Shared>,
+    actor_tx: &Sender<ActorMsg>,
+    batch_rx: &Mutex<Receiver<Vec<Formed<JobWork>>>>,
+    seq: &AtomicU64,
+) {
+    loop {
+        // Holding the lock while blocked in recv serializes pickup only;
+        // batch processing below runs unlocked and concurrently.
+        let next = {
+            let rx = batch_rx.lock().unwrap_or_else(PoisonError::into_inner);
+            rx.recv()
+        };
+        let Ok(jobs) = next else {
+            return; // channel closed: shutdown
+        };
+        process_batch(core, registrar, shared, actor_tx, seq, jobs);
+    }
+}
+
+/// Answers every job in `jobs` with a clone of `e` and records the
+/// failed batch with the actor. The shared store is untouched.
+fn fail_batch(
+    actor_tx: &Sender<ActorMsg>,
+    tenants: Vec<(String, u64)>,
+    jobs: Vec<Formed<JobWork>>,
+    e: &MqoError,
+    record: bool,
+) {
+    for job in jobs {
+        job.payload.reply.send(Err(e.clone())).ok();
+    }
+    if record {
+        send_actor(actor_tx, ActorMsg::Fail { tenants });
+    }
+}
+
+fn process_batch(
+    core: &SessionCore,
+    registrar: &Registrar,
+    shared: &Mutex<Shared>,
+    actor_tx: &Sender<ActorMsg>,
+    seq: &AtomicU64,
+    jobs: Vec<Formed<JobWork>>,
+) {
+    let tenants: Vec<(String, u64)> = jobs
+        .iter()
+        .map(|j| (j.tenant.clone(), j.queries as u64))
+        .collect();
+
+    // Read the published snapshots: the store the plan may reuse temps
+    // from (refcounted — entries stay alive even if evicted before the
+    // commit lands) and a catalog covering every job's ColIds.
+    if let Err(e) = mqo_chaos::hit(Seam::SnapshotRead) {
+        fail_batch(actor_tx, tenants, jobs, &e, true);
+        return;
+    }
+    let store = Arc::clone(&lock_shared(shared).store);
+    let catalog = registrar.snapshot();
+
+    let planned_all: Vec<PlannedQuery> = jobs
+        .iter()
+        .flat_map(|j| j.payload.planned.iter().cloned())
+        .collect();
+    let batch = to_batch(&planned_all);
+    let batch_seq = seq.fetch_add(1, Ordering::Relaxed);
+    let params = FxHashMap::default();
+
+    let staged = match core.plan_execute(&catalog, &batch, &params, batch_seq, &store) {
+        Ok(staged) => staged,
+        Err(e) => {
+            fail_batch(actor_tx, tenants, jobs, &e, true);
+            return;
+        }
+    };
+    if let Err(e) = mqo_chaos::hit(Seam::CommitSend) {
+        // The batch executed, but its staged effects never reach the
+        // actor: a full rollback by construction (StagedSubmit drops).
+        fail_batch(actor_tx, tenants, jobs, &e, true);
+        return;
+    }
+    let (reply_tx, reply_rx) = mpsc::sync_channel(1);
+    send_actor(
+        actor_tx,
+        ActorMsg::Commit {
+            staged: Box::new(staged),
+            tenants: tenants.clone(),
+            reply: reply_tx,
+        },
+    );
+    let committed = match reply_rx.recv() {
+        Ok(r) => r,
+        Err(_) => {
+            let e = MqoError::shutdown("commit", "commit actor stopped before the batch landed");
+            fail_batch(actor_tx, tenants, jobs, &e, false);
+            return;
+        }
+    };
+    match committed {
+        Ok(result) => {
+            // Split the batch's results back out per job, in formation
+            // order, applying each query's ORDER BY and resolving
+            // column names against the snapshot.
+            let mut tables = result.results.into_iter();
+            let mut errors = result.query_errors.into_iter();
+            for job in jobs {
+                let mut out = Vec::with_capacity(job.payload.planned.len());
+                let mut aborted: Option<MqoError> = None;
+                for pq in &job.payload.planned {
+                    let table = tables.next();
+                    if let Some(e) = errors.next().flatten() {
+                        aborted.get_or_insert(e);
+                        continue;
+                    }
+                    let Some(table) = table else { continue };
+                    let table = if pq.order_by.is_empty() {
+                        table
+                    } else {
+                        apply_order(&table, &pq.order_by)
+                    };
+                    let columns: Vec<String> = table
+                        .schema
+                        .iter()
+                        .map(|&c| catalog.column(c).name.clone())
+                        .collect();
+                    let rows: Vec<_> = (0..table.len()).map(|i| table.row(i)).collect();
+                    out.push(QueryResult {
+                        label: pq.label.clone(),
+                        columns,
+                        rows,
+                    });
+                }
+                // A budget-aborted query fails its own job with the
+                // abort error; co-batched jobs still get their rows.
+                let reply = match aborted {
+                    Some(e) => Err(e),
+                    None => Ok(out),
+                };
+                job.payload.reply.send(reply).ok();
+            }
+        }
+        Err(e) => {
+            // The actor already recorded the failure and rolled back.
+            fail_batch(actor_tx, tenants, jobs, &e, false);
+        }
+    }
+}

@@ -41,8 +41,9 @@
 
 use mqo_catalog::Catalog;
 use mqo_chaos::Seam;
-use mqo_core::{OptStats, Optimizer, Options, Registry, Strategy, StrategyError};
+use mqo_core::{OptStats, Optimizer, Options, Registry, Strategy, StrategyError, VerifyLevel};
 use mqo_cost::Cost;
+use mqo_dag::Fingerprint;
 use mqo_exec::{
     try_execute_plan_seeded, Admission, Database, ExecOptions, MvStats, MvStore, Table,
 };
@@ -310,13 +311,320 @@ pub struct SessionStats {
 /// ```
 pub struct MqoSession {
     catalog: Catalog,
-    db: Database,
-    options: SessionOptions,
-    registry: Registry,
+    core: SessionCore,
     store: MvStore,
     /// Monotone batch sequence number (the store's clock).
     batch_seq: u64,
     totals: SessionTotals,
+}
+
+/// One cold temp offered to the materialized-view cache by a finished
+/// batch: everything the commit step needs to price and admit it
+/// without re-touching the plan.
+#[derive(Debug, Clone)]
+pub struct AdmissionOffer {
+    /// Cross-batch fingerprint of the physical node that built the temp.
+    pub fp: Fingerprint,
+    /// The materialized result.
+    pub table: Arc<Table>,
+    /// Estimated per-reuse saving in seconds (`compute − reuse` under
+    /// the batch's final cost table).
+    pub benefit_secs: f64,
+    /// Cost-model size estimate in blocks (charged whole).
+    pub blocks: f64,
+}
+
+/// The outcome of a **pure** [`SessionCore::plan_execute`] pass: the
+/// per-query results plus the batch's pending cache effects, staged for
+/// a later serialized [`commit_staged`]. Nothing in here has touched
+/// shared state yet — a `StagedSubmit` that is dropped instead of
+/// committed leaves the store bit-identical to before the submit.
+#[derive(Debug)]
+pub struct StagedSubmit {
+    /// The batch outcome. `admitted`/`evicted`/`rejected` are zero until
+    /// [`commit_staged`] fills them in.
+    pub result: BatchResult,
+    /// Cold temps to offer the store at commit time, in deterministic
+    /// (plan topological) order.
+    pub offers: Vec<AdmissionOffer>,
+    /// Fingerprints of the warm temps the plan read from the snapshot;
+    /// the commit records one hit per entry.
+    pub warm_fps: Vec<Fingerprint>,
+    /// True when the engine knobs fell back to defaults because of a
+    /// malformed `MQO_*` environment variable.
+    pub env_fallback: bool,
+}
+
+/// Applies a staged submit's cache effects to `store`, serially: warm
+/// hits are recorded, cold temps admitted (benefit-ranked, budgeted),
+/// and the store verified. On `Err` the store may hold a partial
+/// admission set — callers stage on a clone and swap on success, which
+/// is exactly what [`MqoSession::submit`] and the `mqo-serve` commit
+/// actor both do.
+///
+/// # Errors
+///
+/// Returns an injected-fault [`MqoError`] from the admission seams, or
+/// an `InvariantViolated` error if the store fails verification after
+/// admission.
+pub fn commit_staged(
+    store: &mut MvStore,
+    staged: &mut StagedSubmit,
+    seq: u64,
+    verify: VerifyLevel,
+) -> Result<(), MqoError> {
+    for &fp in &staged.warm_fps {
+        store.note_hit(fp, seq);
+    }
+    for offer in &staged.offers {
+        match store.try_admit(
+            offer.fp,
+            Arc::clone(&offer.table),
+            offer.benefit_secs,
+            offer.blocks,
+            seq,
+        )? {
+            Admission::Admitted { evicted } => {
+                staged.result.admitted += 1;
+                staged.result.evicted += evicted;
+            }
+            Admission::Rejected => staged.result.rejected += 1,
+            Admission::AlreadyPresent => {}
+        }
+    }
+    // Stage-boundary verification of the only state that survives the
+    // batch: the cross-batch cache accounting.
+    let report = mqo_verify::verify_store(store, verify);
+    if !report.is_clean() {
+        return Err(MqoError::invariant(
+            ErrorStage::Admission,
+            format!("batch {seq}"),
+            format!(
+                "MV store verification failed after admission:\n{}",
+                report.render()
+            ),
+        ));
+    }
+    Ok(())
+}
+
+/// The pure planning-and-execution half of a session: database,
+/// options, and strategy registry, with **no** catalog and **no**
+/// mutable cache state. [`SessionCore::plan_execute`] runs the whole
+/// expand → search → extract → execute pipeline on `&self` against a
+/// read-only [`MvStore`] snapshot, so any number of submits can plan
+/// and execute concurrently over one shared core — the shape the
+/// multi-tenant serving front (`mqo-serve`) builds on. All mutation is
+/// deferred into the returned [`StagedSubmit`], applied later by
+/// [`commit_staged`] under whatever serialization the caller owns
+/// (`&mut self` in [`MqoSession`], a commit actor in `mqo-serve`).
+pub struct SessionCore {
+    db: Database,
+    options: SessionOptions,
+    registry: Registry,
+}
+
+impl SessionCore {
+    /// Builds a core over a loaded database. The built-in strategies
+    /// plus `"KS15-Greedy"` are pre-registered.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the KS15 strategy name collides with a built-in name.
+    #[must_use]
+    pub fn new(db: Database, options: SessionOptions) -> Self {
+        let mut registry = Registry::builtin();
+        registry
+            .register(Arc::new(mqo_ks15::Ks15Greedy))
+            .expect("KS15 name is unique among built-ins");
+        SessionCore {
+            db,
+            options,
+            registry,
+        }
+    }
+
+    /// The core's database.
+    #[must_use]
+    pub fn database(&self) -> &Database {
+        &self.db
+    }
+
+    /// The core's options.
+    pub fn options(&self) -> &SessionOptions {
+        &self.options
+    }
+
+    /// Registers an additional strategy, selectable via
+    /// [`SessionOptions::strategy`].
+    ///
+    /// # Errors
+    ///
+    /// Fails with a [`StrategyError`] if the name is already taken.
+    pub fn register(&mut self, strategy: Arc<dyn Strategy>) -> Result<(), StrategyError> {
+        self.registry.register(strategy)
+    }
+
+    /// Optimizes and executes one batch **purely**: expand → warm-match
+    /// against the store snapshot → search → extract → execute, reading
+    /// warm temps zero-copy out of the snapshot. Neither `self` nor
+    /// `store` is mutated; every pending cache effect (warm-hit
+    /// accounting, admission offers) is staged on the returned
+    /// [`StagedSubmit`] for a serialized [`commit_staged`].
+    ///
+    /// Because the snapshot's entries are refcounted, the warm tables
+    /// the plan reads stay alive even if the authoritative store evicts
+    /// them before the commit lands — concurrency can cost a stale
+    /// cache decision, never a correctness bug.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`MqoError`] for an unknown strategy, an injected
+    /// fault, or a broken invariant; budget expiry degrades instead
+    /// (see [`MqoSession::submit`]).
+    pub fn plan_execute(
+        &self,
+        catalog: &Catalog,
+        batch: &Batch,
+        params: &FxHashMap<ParamId, Value>,
+        seq: u64,
+        store: &MvStore,
+    ) -> Result<StagedSubmit, MqoError> {
+        let deadline = self.options.time_budget.map(|b| Instant::now() + b);
+        // --- Stages 1+2: expand and physicalize (per batch, cheap
+        // relative to search + execute).
+        let opt = self.options.opt.with_deadline(deadline);
+        let optimizer = Optimizer::with_registry(catalog, opt, self.registry.clone());
+        let mut ctx = optimizer.prepare(batch);
+
+        // --- Cross-batch identity: fingerprint every physical node and
+        // seed the warm set with the snapshot's live entries.
+        mqo_chaos::hit(Seam::Fingerprint)?;
+        let group_fps = mqo_dag::try_group_fingerprints(&ctx.dag).map_err(|e| {
+            MqoError::new(
+                MqoErrorKind::FingerprintUnstable,
+                ErrorStage::Plan,
+                format!("batch {seq}"),
+                e.to_string(),
+                "cross-batch fingerprinting failed: the expanded DAG is broken",
+            )
+        })?;
+        let node_fps = mqo_physical::node_fingerprints(&ctx.pdag, &group_fps);
+        mqo_chaos::hit(Seam::WarmLookup)?;
+        let mut warm = MatSet::new();
+        for (idx, &fp) in node_fps.iter().enumerate() {
+            let n = PhysNodeId::from_index(idx);
+            if store.contains(fp) && !ctx.dag.group(ctx.pdag.node(n).group).has_param {
+                warm.insert(&ctx.pdag, n);
+            }
+        }
+        ctx.warm = warm;
+
+        // --- Stage 3: search with the configured strategy; the warm
+        // seed makes the search spend this batch's budget on what is
+        // not already cached.
+        let optimized = optimizer.search(&ctx, &self.options.strategy)?;
+        let plan = &optimized.plan;
+
+        // --- Stage 4: execute, reading warm temps zero-copy from the
+        // snapshot (no stats mutation — hits are recorded at commit).
+        let mut seeds: FxHashMap<PhysNodeId, Arc<Table>> = FxHashMap::default();
+        let mut warm_fps = Vec::with_capacity(plan.warm_used.len());
+        for &w in &plan.warm_used {
+            let fp = *node_fps.get(w.index()).ok_or_else(|| {
+                MqoError::invariant(
+                    ErrorStage::Session,
+                    w.to_string(),
+                    "plan reads a warm node outside the fingerprint table",
+                )
+            })?;
+            let t = store.peek(fp).ok_or_else(|| {
+                MqoError::invariant(
+                    ErrorStage::Session,
+                    w.to_string(),
+                    "plan reads a warm temp that is not live in the store",
+                )
+            })?;
+            seeds.insert(w, t);
+            warm_fps.push(fp);
+        }
+        let (base, env_fallback) = match self.options.exec {
+            Some(e) => (e, false),
+            None => ExecOptions::lenient_from_env(),
+        };
+        // Degrade, don't starve: a budget that already expired during
+        // the search would abort every query at its first checkpoint,
+        // so an expired deadline is dropped and execution runs
+        // ungoverned — the zero-budget submit still answers correctly
+        // with the (Volcano-quality) best-so-far plan.
+        let exec_deadline = deadline.filter(|&d| Instant::now() < d);
+        let exec_opts = ExecOptions {
+            deadline: exec_deadline,
+            mem_budget_bytes: self.options.mem_budget,
+            ..base
+        };
+        let seeded = try_execute_plan_seeded(
+            catalog, &ctx.pdag, plan, &self.db, params, exec_opts, &seeds,
+        )?;
+
+        // --- Admission staging: price this batch's cold temps by the
+        // optimizer's own benefit estimate (compute − reuse, per whole
+        // block) under the final materialized set. Pricing needs
+        // per-node costs, which `Optimized` does not carry, so one
+        // bottom-up CostTable pass is paid here — but only on batches
+        // that actually built temps; the steady-state fully-warm submit
+        // (built_temps empty) skips it entirely.
+        let mut offers = Vec::new();
+        if !seeded.built_temps.is_empty() && store.budget_bytes() > 0 {
+            let table = CostTable::compute(&ctx.pdag, &optimized.mat);
+            for (n, temp) in &seeded.built_temps {
+                if ctx.dag.group(ctx.pdag.node(*n).group).has_param {
+                    continue; // parameter-dependent: never cache
+                }
+                let (node_cost, fp) =
+                    match (table.node_cost.get(n.index()), node_fps.get(n.index())) {
+                        (Some(c), Some(f)) => (*c, *f),
+                        _ => {
+                            return Err(MqoError::invariant(
+                                ErrorStage::Session,
+                                n.to_string(),
+                                "built temp's node is outside the cost/fingerprint tables",
+                            ))
+                        }
+                    };
+                let benefit = (node_cost - ctx.pdag.reusecost(*n)).secs();
+                offers.push(AdmissionOffer {
+                    fp,
+                    table: Arc::clone(temp),
+                    benefit_secs: benefit,
+                    blocks: ctx.pdag.node(*n).blocks,
+                });
+            }
+        }
+
+        let outcome = seeded.outcome;
+        let degraded = optimized.stats.degraded || outcome.query_errors.iter().any(Option::is_some);
+        let result = BatchResult {
+            cost: optimized.cost,
+            stats: optimized.stats,
+            exec_wall: outcome.wall,
+            rows_out: outcome.rows_out,
+            temps_built: outcome.temps_built,
+            cache_hits: plan.warm_used.len(),
+            admitted: 0,
+            evicted: 0,
+            rejected: 0,
+            degraded,
+            query_errors: outcome.query_errors,
+            results: outcome.results,
+        };
+        Ok(StagedSubmit {
+            result,
+            offers,
+            warm_fps,
+            env_fallback,
+        })
+    }
 }
 
 #[derive(Debug, Clone, Copy, Default)]
@@ -345,10 +653,6 @@ impl MqoSession {
     /// Panics if the KS15 strategy name collides with a built-in name.
     #[must_use]
     pub fn new(catalog: Catalog, db: Database, options: SessionOptions) -> Self {
-        let mut registry = Registry::builtin();
-        registry
-            .register(Arc::new(mqo_ks15::Ks15Greedy))
-            .expect("KS15 name is unique among built-ins");
         let store = MvStore::new(options.mv_budget_bytes);
         // Budget-variable typos were swallowed (leniently) when the
         // options were built; surface them on the session's counter so
@@ -359,9 +663,7 @@ impl MqoSession {
         };
         MqoSession {
             catalog,
-            db,
-            options,
-            registry,
+            core: SessionCore::new(db, options),
             store,
             batch_seq: 0,
             totals,
@@ -385,12 +687,19 @@ impl MqoSession {
     /// The session's database.
     #[must_use]
     pub fn database(&self) -> &Database {
-        &self.db
+        self.core.database()
     }
 
     /// The session's options.
     pub fn options(&self) -> &SessionOptions {
-        &self.options
+        self.core.options()
+    }
+
+    /// The pure planning core backing this session — the piece the
+    /// multi-tenant serving front shares across threads.
+    #[must_use]
+    pub fn core(&self) -> &SessionCore {
+        &self.core
     }
 
     /// The live materialized-view store (inspection; the session owns
@@ -402,8 +711,12 @@ impl MqoSession {
 
     /// Registers an additional strategy, selectable via
     /// [`SessionOptions::strategy`].
+    ///
+    /// # Errors
+    ///
+    /// Fails with a [`StrategyError`] if the name is already taken.
     pub fn register(&mut self, strategy: Arc<dyn Strategy>) -> Result<(), StrategyError> {
-        self.registry.register(strategy)
+        self.core.register(strategy)
     }
 
     /// Unified statistics across every batch submitted so far.
@@ -472,14 +785,27 @@ impl MqoSession {
     ) -> Result<BatchResult, MqoError> {
         let seq = self.batch_seq;
         self.batch_seq += 1;
-        let deadline = self.options.time_budget.map(|b| Instant::now() + b);
-        // Stage every cross-batch mutation on a snapshot (entry tables
-        // are refcounted, so the clone is shallow); commit by swapping
-        // it in, roll back by dropping it.
-        let mut staged = self.store.clone();
-        match self.submit_inner(batch, params, seq, deadline, &mut staged) {
-            Ok((result, env_fallback)) => {
-                self.store = staged;
+        // Plan and execute purely against the live store (read-only),
+        // then stage every cross-batch mutation on a snapshot (entry
+        // tables are refcounted, so the clone is shallow); commit by
+        // swapping it in, roll back by dropping it.
+        let submit = self
+            .core
+            .plan_execute(&self.catalog, batch, params, seq, &self.store)
+            .and_then(|mut staged| {
+                let mut staged_store = self.store.clone();
+                commit_staged(
+                    &mut staged_store,
+                    &mut staged,
+                    seq,
+                    self.core.options().opt.verify,
+                )?;
+                Ok((staged, staged_store))
+            });
+        match submit {
+            Ok((staged, staged_store)) => {
+                self.store = staged_store;
+                let result = staged.result;
                 let aborts = result.query_errors.iter().flatten().count() as u64;
                 self.totals.batches += 1;
                 self.totals.queries += batch.len() as u64;
@@ -491,7 +817,7 @@ impl MqoSession {
                 self.totals.degraded_submits += u64::from(result.degraded);
                 self.totals.budget_expiries += u64::from(result.stats.degraded) + aborts;
                 self.totals.query_aborts += aborts;
-                self.totals.env_fallbacks += u64::from(env_fallback);
+                self.totals.env_fallbacks += u64::from(staged.env_fallback);
                 Ok(result)
             }
             Err(e) => {
@@ -501,162 +827,12 @@ impl MqoSession {
             }
         }
     }
-
-    /// The submit pipeline proper, operating on the staged store. Every
-    /// fallible stage surfaces as `Err`; the caller owns commit versus
-    /// rollback and all counter updates.
-    fn submit_inner(
-        &self,
-        batch: &Batch,
-        params: &FxHashMap<ParamId, Value>,
-        seq: u64,
-        deadline: Option<Instant>,
-        staged: &mut MvStore,
-    ) -> Result<(BatchResult, bool), MqoError> {
-        // --- Stages 1+2: expand and physicalize (per batch, cheap
-        // relative to search + execute).
-        let opt = self.options.opt.with_deadline(deadline);
-        let optimizer = Optimizer::with_registry(&self.catalog, opt, self.registry.clone());
-        let mut ctx = optimizer.prepare(batch);
-
-        // --- Cross-batch identity: fingerprint every physical node and
-        // seed the warm set with the store's live entries.
-        mqo_chaos::hit(Seam::Fingerprint)?;
-        let group_fps = mqo_dag::try_group_fingerprints(&ctx.dag).map_err(|e| {
-            MqoError::new(
-                MqoErrorKind::FingerprintUnstable,
-                ErrorStage::Plan,
-                format!("batch {seq}"),
-                e.to_string(),
-                "cross-batch fingerprinting failed: the expanded DAG is broken",
-            )
-        })?;
-        let node_fps = mqo_physical::node_fingerprints(&ctx.pdag, &group_fps);
-        mqo_chaos::hit(Seam::WarmLookup)?;
-        let mut warm = MatSet::new();
-        for (idx, &fp) in node_fps.iter().enumerate() {
-            let n = PhysNodeId::from_index(idx);
-            if staged.contains(fp) && !ctx.dag.group(ctx.pdag.node(n).group).has_param {
-                warm.insert(&ctx.pdag, n);
-            }
-        }
-        ctx.warm = warm;
-
-        // --- Stage 3: search with the configured strategy; the warm
-        // seed makes the search spend this batch's budget on what is
-        // not already cached.
-        let optimized = optimizer.search(&ctx, &self.options.strategy)?;
-        let plan = &optimized.plan;
-
-        // --- Stage 4: execute, reading warm temps zero-copy.
-        let mut seeds: FxHashMap<PhysNodeId, Arc<Table>> = FxHashMap::default();
-        for &w in &plan.warm_used {
-            let t = staged.get(node_fps[w.index()], seq).ok_or_else(|| {
-                MqoError::invariant(
-                    ErrorStage::Session,
-                    w.to_string(),
-                    "plan reads a warm temp that is not live in the store",
-                )
-            })?;
-            seeds.insert(w, t);
-        }
-        let (base, env_fallback) = match self.options.exec {
-            Some(e) => (e, false),
-            None => ExecOptions::lenient_from_env(),
-        };
-        // Degrade, don't starve: a budget that already expired during
-        // the search would abort every query at its first checkpoint,
-        // so an expired deadline is dropped and execution runs
-        // ungoverned — the zero-budget submit still answers correctly
-        // with the (Volcano-quality) best-so-far plan.
-        let exec_deadline = deadline.filter(|&d| Instant::now() < d);
-        let exec_opts = ExecOptions {
-            deadline: exec_deadline,
-            mem_budget_bytes: self.options.mem_budget,
-            ..base
-        };
-        let seeded = try_execute_plan_seeded(
-            &self.catalog,
-            &ctx.pdag,
-            plan,
-            &self.db,
-            params,
-            exec_opts,
-            &seeds,
-        )?;
-
-        // --- Admission: offer this batch's cold temps to the staged
-        // store, ranked by the optimizer's own benefit estimate
-        // (compute − reuse, per whole block) under the final
-        // materialized set. Pricing needs per-node costs, which
-        // `Optimized` does not carry, so one bottom-up CostTable pass is
-        // paid here — but only on batches that actually built temps; the
-        // steady-state fully-warm submit (built_temps empty) skips it
-        // entirely.
-        let (mut admitted, mut evicted, mut rejected) = (0usize, 0usize, 0usize);
-        if !seeded.built_temps.is_empty() && staged.budget_bytes() > 0 {
-            let table = CostTable::compute(&ctx.pdag, &optimized.mat);
-            for (n, temp) in &seeded.built_temps {
-                if ctx.dag.group(ctx.pdag.node(*n).group).has_param {
-                    continue; // parameter-dependent: never cache
-                }
-                let benefit = (table.node_cost[n.index()] - ctx.pdag.reusecost(*n)).secs();
-                match staged.try_admit(
-                    node_fps[n.index()],
-                    Arc::clone(temp),
-                    benefit,
-                    ctx.pdag.node(*n).blocks,
-                    seq,
-                )? {
-                    Admission::Admitted { evicted: e } => {
-                        admitted += 1;
-                        evicted += e;
-                    }
-                    Admission::Rejected => rejected += 1,
-                    Admission::AlreadyPresent => {}
-                }
-            }
-        }
-        // Stage-boundary verification of the only state that survives
-        // the batch: the cross-batch cache accounting. A dirty staged
-        // store fails the submit (and is rolled back) instead of
-        // aborting the process.
-        let report = mqo_verify::verify_store(staged, self.options.opt.verify);
-        if !report.is_clean() {
-            return Err(MqoError::invariant(
-                ErrorStage::Admission,
-                format!("batch {seq}"),
-                format!(
-                    "MV store verification failed after admission:\n{}",
-                    report.render()
-                ),
-            ));
-        }
-
-        let outcome = seeded.outcome;
-        let degraded = optimized.stats.degraded || outcome.query_errors.iter().any(Option::is_some);
-        let result = BatchResult {
-            cost: optimized.cost,
-            stats: optimized.stats,
-            exec_wall: outcome.wall,
-            rows_out: outcome.rows_out,
-            temps_built: outcome.temps_built,
-            cache_hits: plan.warm_used.len(),
-            admitted,
-            evicted,
-            rejected,
-            degraded,
-            query_errors: outcome.query_errors,
-            results: outcome.results,
-        };
-        Ok((result, env_fallback))
-    }
 }
 
 impl std::fmt::Debug for MqoSession {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("MqoSession")
-            .field("strategy", &self.options.strategy)
+            .field("strategy", &self.core.options().strategy)
             .field("batches", &self.totals.batches)
             .field("mv_entries", &self.store.len())
             .field("mv_bytes_used", &self.store.bytes_used())

@@ -32,6 +32,9 @@ pub enum ErrorStage {
     Admission,
     /// Session-level orchestration (warm lookup, store verification).
     Session,
+    /// The multi-tenant serving front: batch forming, commit-actor
+    /// traffic, snapshot reads, and the TCP protocol.
+    Serve,
 }
 
 impl fmt::Display for ErrorStage {
@@ -43,6 +46,7 @@ impl fmt::Display for ErrorStage {
             ErrorStage::Execute => "execute",
             ErrorStage::Admission => "admission",
             ErrorStage::Session => "session",
+            ErrorStage::Serve => "serve",
         };
         f.write_str(s)
     }
@@ -78,6 +82,18 @@ pub enum MqoErrorKind {
     /// Canonical fingerprinting of the expanded DAG failed, so
     /// cross-batch cache identity cannot be established.
     FingerprintUnstable,
+    /// A malformed or out-of-contract frame on the serving protocol
+    /// (bad magic, oversized length, unknown opcode, missing Hello).
+    Protocol,
+    /// The serving front is shutting down (or has shut down): the
+    /// submission was rejected or abandoned rather than processed.
+    Shutdown,
+    /// A SQL statement failed to parse or plan; the caret diagnostic is
+    /// carried in `detail`.
+    Sql,
+    /// A tenant hit its in-flight cap at the batch former — the
+    /// submission was rejected for backpressure, not for being wrong.
+    Overloaded,
 }
 
 impl MqoErrorKind {
@@ -94,6 +110,10 @@ impl MqoErrorKind {
             MqoErrorKind::FaultInjected => "fault-injected",
             MqoErrorKind::InvariantViolated => "invariant-violated",
             MqoErrorKind::FingerprintUnstable => "fingerprint-unstable",
+            MqoErrorKind::Protocol => "protocol",
+            MqoErrorKind::Shutdown => "shutdown",
+            MqoErrorKind::Sql => "sql",
+            MqoErrorKind::Overloaded => "overloaded",
         }
     }
 }
@@ -192,6 +212,20 @@ impl MqoError {
         message: impl Into<String>,
     ) -> MqoError {
         MqoError::new(MqoErrorKind::InvariantViolated, stage, site, "", message)
+    }
+
+    /// A serving-protocol violation (the connection is torn down; the
+    /// shared session state is untouched).
+    #[must_use]
+    pub fn protocol(site: impl Into<String>, message: impl Into<String>) -> MqoError {
+        MqoError::new(MqoErrorKind::Protocol, ErrorStage::Serve, site, "", message)
+    }
+
+    /// A submission rejected or abandoned because the serving front is
+    /// shutting down.
+    #[must_use]
+    pub fn shutdown(site: impl Into<String>, message: impl Into<String>) -> MqoError {
+        MqoError::new(MqoErrorKind::Shutdown, ErrorStage::Serve, site, "", message)
     }
 
     /// True for governor errors (time or memory budget) — the classes

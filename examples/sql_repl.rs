@@ -16,37 +16,123 @@
 //! the end if any statement failed — so CI catches regressions without
 //! a single typo truncating the run.
 //!
+//! Serving modes (the `mqo-serve` front over the same pipeline):
+//!   --serve ADDR     run a multi-tenant TCP server on ADDR (port 0
+//!                    picks a free port; the bound address prints to
+//!                    stdout). The server runs until stdin closes or a
+//!                    `quit` line arrives.
+//!   --connect ADDR   run the same REPL against a remote server; each
+//!                    `go;` batch travels the wire and results come
+//!                    back bit-exact. `--tenant NAME` picks the lane.
+//!
 //! Run with: `cargo run --release --example sql_repl [--scale S] [--seed N]`
 //! or pipe a script: `cargo run --release --example sql_repl < examples/repl_demo.sql`
 
 use std::io::{BufRead, IsTerminal, Write};
+use std::time::Duration;
 
 use mqo::exec::generate_database;
+use mqo::serve::{Client, QueryResult, ServeFront, ServeOptions, Server};
 use mqo::session::{BatchResult, MqoSession, SessionOptions};
 use mqo::sql::{apply_order, to_batch, PlannedQuery, SqlPlanner};
 use mqo::workloads::Tpcd;
 
+/// What `go;` talks to: an in-process session or a remote serving front.
+enum Backend {
+    Local {
+        // Boxed so the enum isn't session-sized when it holds the
+        // 32-byte Remote variant.
+        session: Box<MqoSession>,
+        planner: SqlPlanner,
+    },
+    Remote {
+        client: Client,
+    },
+}
+
+impl Backend {
+    fn run_batch(&mut self, sql: &str, had_error: &mut bool) {
+        match self {
+            Backend::Local { session, planner } => run_local(session, planner, sql, had_error),
+            Backend::Remote { client } => match client.query(sql) {
+                Ok(results) => {
+                    println!("batch: {} queries (remote)", results.len());
+                    for r in &results {
+                        print_result(r);
+                    }
+                }
+                Err(e) => fail(&e.render(), had_error),
+            },
+        }
+    }
+
+    fn print_stats(&mut self) {
+        match self {
+            Backend::Local { session, .. } => print_stats(session),
+            Backend::Remote { client } => match client.stats() {
+                Ok(pairs) => {
+                    for (name, value) in pairs {
+                        println!("  {name}: {value}");
+                    }
+                }
+                Err(e) => eprintln!("{}", e.render()),
+            },
+        }
+    }
+}
+
 fn main() {
     let mut scale = 0.002f64;
     let mut seed = 42u64;
+    let mut serve: Option<String> = None;
+    let mut connect: Option<String> = None;
+    let mut tenant = "repl".to_string();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--scale" => scale = args.next().and_then(|v| v.parse().ok()).unwrap_or(scale),
             "--seed" => seed = args.next().and_then(|v| v.parse().ok()).unwrap_or(seed),
+            "--serve" => serve = args.next(),
+            "--connect" => connect = args.next(),
+            "--tenant" => tenant = args.next().unwrap_or(tenant),
             other => {
-                eprintln!("unknown argument `{other}` (expected --scale or --seed)");
+                eprintln!(
+                    "unknown argument `{other}` \
+                     (expected --scale, --seed, --serve, --connect, or --tenant)"
+                );
                 std::process::exit(2);
             }
         }
     }
+    if let Some(addr) = serve {
+        run_server(&addr, scale, seed);
+        return;
+    }
 
     let interactive = std::io::stdin().is_terminal();
-    let w = Tpcd::new(scale);
-    eprintln!("generating TPC-D data at scale {scale} (seed {seed})…");
-    let db = generate_database(&w.catalog, seed, usize::MAX);
-    let mut session = MqoSession::new(w.catalog, db, SessionOptions::new());
-    let mut planner = SqlPlanner::new();
+    let mut backend = match connect {
+        Some(addr) => {
+            let client = match Client::connect_retry(&addr, &tenant, 20, Duration::from_millis(250))
+            {
+                Ok(c) => c,
+                Err(e) => {
+                    eprintln!("{}", e.render());
+                    std::process::exit(1);
+                }
+            };
+            eprintln!("{}", client.banner());
+            Backend::Remote { client }
+        }
+        None => {
+            let w = Tpcd::new(scale);
+            eprintln!("generating TPC-D data at scale {scale} (seed {seed})…");
+            let db = generate_database(&w.catalog, seed, usize::MAX);
+            Backend::Local {
+                session: Box::new(MqoSession::new(w.catalog, db, SessionOptions::new())),
+                planner: SqlPlanner::new(),
+            }
+        }
+    };
 
     if interactive {
         eprintln!("tables: nation region supplier partsupp part lineitem orders customer");
@@ -77,7 +163,7 @@ fn main() {
                 );
             }
             if !pending.trim().is_empty() {
-                run_batch(&mut session, &mut planner, &pending, &mut had_error);
+                backend.run_batch(&pending, &mut had_error);
             }
             break;
         }
@@ -95,13 +181,13 @@ fn main() {
                         eprintln!("nothing to run — type a statement first");
                     }
                 } else {
-                    run_batch(&mut session, &mut planner, &pending, &mut had_error);
+                    backend.run_batch(&pending, &mut had_error);
                     pending.clear();
                 }
                 continue;
             }
             "stats;" | "stats" => {
-                print_stats(&session);
+                backend.print_stats();
                 continue;
             }
             "quit;" | "exit;" | "quit" | "exit" => break,
@@ -123,10 +209,51 @@ fn main() {
     }
 }
 
+/// `--serve`: a multi-tenant TCP front over freshly generated TPC-D
+/// data. Prints the bound address to stdout (scripts bind port 0 and
+/// read it back), then blocks until stdin closes or `quit` arrives, so
+/// a driving script holds the server open exactly as long as needed.
+fn run_server(addr: &str, scale: f64, seed: u64) {
+    let w = Tpcd::new(scale);
+    eprintln!("generating TPC-D data at scale {scale} (seed {seed})…");
+    let db = generate_database(&w.catalog, seed, usize::MAX);
+    let front = ServeFront::new(w.catalog, db, ServeOptions::new());
+    let mut server = match Server::start(front, addr) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("{}", e.render());
+            std::process::exit(1);
+        }
+    };
+    println!("listening on {}", server.local_addr());
+    std::io::stdout().flush().ok();
+
+    let stdin = std::io::stdin();
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) | Err(_) => break,
+            Ok(_) if matches!(line.trim(), "quit" | "quit;" | "exit" | "exit;") => break,
+            Ok(_) => {}
+        }
+    }
+    let (totals, tenants) = server.front().stats();
+    eprintln!(
+        "served {} batches / {} queries for {} tenants | {} cache hits, {} temps built",
+        totals.batches,
+        totals.queries,
+        tenants.len(),
+        totals.cache_hits,
+        totals.temps_built
+    );
+    server.shutdown();
+}
+
 /// Plans `sql` as one batch, submits it, and prints per-query results.
 /// Every failure is recoverable: the error renders and the session
 /// keeps serving (a failed submit rolled its cache changes back).
-fn run_batch(session: &mut MqoSession, planner: &mut SqlPlanner, sql: &str, had_error: &mut bool) {
+fn run_local(session: &mut MqoSession, planner: &mut SqlPlanner, sql: &str, had_error: &mut bool) {
     let planned = match planner.plan_text(session.catalog_mut(), sql) {
         Ok(p) => p,
         Err(e) => return fail(&e.render(sql), had_error),
@@ -181,6 +308,24 @@ fn print_batch(session: &MqoSession, planned: &[PlannedQuery], r: &BatchResult) 
         if table.len() > SHOW {
             println!("   … {} more", table.len() - SHOW);
         }
+    }
+}
+
+/// Prints one wire result in the same shape `print_batch` uses.
+fn print_result(r: &QueryResult) {
+    println!(
+        "-- {}: {} rows [{}]",
+        r.label,
+        r.rows.len(),
+        r.columns.join(", ")
+    );
+    const SHOW: usize = 10;
+    for row in r.rows.iter().take(SHOW) {
+        let cells: Vec<String> = row.iter().map(|v| v.to_string()).collect();
+        println!("   {}", cells.join(" | "));
+    }
+    if r.rows.len() > SHOW {
+        println!("   … {} more", r.rows.len() - SHOW);
     }
 }
 

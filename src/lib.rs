@@ -19,6 +19,7 @@ pub use mqo_expr as expr;
 pub use mqo_ks15 as ks15;
 pub use mqo_logical as logical;
 pub use mqo_physical as physical;
+pub use mqo_serve as serve;
 pub use mqo_session as session;
 pub use mqo_sql as sql;
 pub use mqo_util as util;
